@@ -1,0 +1,86 @@
+//! Fig. 1 — fault suppression of the AVX masked load/store.
+//!
+//! Reproduces the four boundary cases (A–D): an 8-lane access
+//! straddling a mapped/unmapped page boundary either faults (a lane on
+//! the invalid page is unmasked) or completes with the fault
+//! suppressed (all lanes on the invalid page are masked out).
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, ElemWidth, Machine, Mask, MaskedOp, OpKind};
+
+const MAPPED: u64 = 0x5555_5555_4000;
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(VirtAddr::new_truncate(MAPPED), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    // The adjacent page stays unmapped.
+    let profile = CpuProfile::ice_lake_i7_1065g7();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    m
+}
+
+fn case(kind: OpKind, mask_bits: u8) -> MaskedOp {
+    MaskedOp {
+        kind,
+        addr: VirtAddr::new_truncate(MAPPED + 0xff0), // last 16 bytes
+        mask: Mask::new(mask_bits, 8),
+        width: ElemWidth::Dword,
+    }
+}
+
+fn print_case_table() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        println!("\nFig. 1 — fault suppression cases (lanes 4..7 on the unmapped page):");
+        for (label, kind, bits, expect_fault) in [
+            ("A masked load, lane on invalid page unmasked ", OpKind::Load, 0b1111_0001u8, true),
+            ("B masked load, invalid page fully masked     ", OpKind::Load, 0b0000_0111, false),
+            ("C masked store, lane on invalid page unmasked", OpKind::Store, 0b1111_0001, true),
+            ("D masked store, invalid page fully masked    ", OpKind::Store, 0b0000_0111, false),
+        ] {
+            let out = m.execute(case(kind, bits));
+            let result = match out.fault {
+                Some(f) => format!("FAULT ({f})"),
+                None => format!(
+                    "suppressed (assist={}, {} cycles)",
+                    out.assist, out.cycles
+                ),
+            };
+            println!("  {label}: {result}");
+            assert_eq!(out.fault.is_some(), expect_fault, "paper Fig. 1 semantics");
+        }
+        println!();
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_case_table();
+    let mut group = c.benchmark_group("fig1_fault_suppression");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let mut m = machine(2);
+    group.bench_function("suppressed_masked_load", |b| {
+        b.iter(|| m.execute(case(OpKind::Load, 0b0000_0111)).cycles)
+    });
+    let mut m = machine(3);
+    group.bench_function("faulting_masked_load", |b| {
+        b.iter(|| m.execute(case(OpKind::Load, 0b1111_0001)).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Fig. 2 — masked-load latency and PMCs per page type (Ice Lake).
+//!
+//! Paper: USER-M 13±1.02, USER-U 110±0.91, KERNEL-M 93±1.64,
+//! KERNEL-U 107±1.04 cycles; ASSISTS.ANY 0/1/1/1; completed walks
+//! 0/2/0/2.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::paper;
+use avx_channel::report::Table;
+use avx_channel::stats::Summary;
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, Event, Machine, MaskedOp};
+
+const USER_M: u64 = 0x5555_5555_4000;
+const USER_U: u64 = 0x5555_5555_5000;
+const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
+const KERNEL_U: u64 = 0xffff_ffff_a1a0_0000;
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(VirtAddr::new_truncate(USER_M), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .map(VirtAddr::new_truncate(USER_U), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .protect(
+            VirtAddr::new_truncate(USER_U),
+            PageSize::Size4K,
+            PteFlags::none_guard(),
+        )
+        .unwrap();
+    space
+        .map(
+            VirtAddr::new_truncate(KERNEL_M),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
+    let profile = CpuProfile::ice_lake_i7_1065g7();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    m
+}
+
+fn measure_page(m: &mut Machine, addr: u64, n: usize) -> (Summary, u64, u64) {
+    let probe = MaskedOp::probe_load(VirtAddr::new_truncate(addr));
+    // Warm-up, then measure steady state (paper methodology).
+    for _ in 0..4 {
+        let _ = m.execute(probe);
+    }
+    let mut samples = Vec::with_capacity(n);
+    let snap = m.pmc().snapshot();
+    for _ in 0..n {
+        samples.push(m.execute(probe).cycles);
+    }
+    let delta = m.pmc().delta(&snap);
+    let per_probe = n as u64;
+    (
+        Summary::of(&samples),
+        delta.get(Event::AssistsAny) / per_probe,
+        delta.get(Event::DtlbLoadWalkCompleted) / per_probe,
+    )
+}
+
+fn print_fig2() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        let mut table = Table::new([
+            "page type", "measured", "paper mean", "assists", "paper", "walks", "paper",
+        ]);
+        for (i, (label, addr)) in [
+            ("USER-M", USER_M),
+            ("USER-U", USER_U),
+            ("KERNEL-M", KERNEL_M),
+            ("KERNEL-U", KERNEL_U),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (s, assists, walks) = measure_page(&mut m, *addr, 1000);
+            table.row([
+                label.to_string(),
+                format!("{:.0}±{:.2}", s.mean, s.stddev),
+                format!("{:.0}", paper::FIG2_MEANS[i]),
+                assists.to_string(),
+                paper::FIG2_ASSISTS[i].to_string(),
+                walks.to_string(),
+                paper::FIG2_WALKS[i].to_string(),
+            ]);
+        }
+        println!("\nFig. 2 — masked-load latency per page type (i7-1065G7, n=1000):");
+        println!("{table}");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    let mut group = c.benchmark_group("fig2_page_types");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, addr) in [
+        ("user_mapped", USER_M),
+        ("user_unmapped", USER_U),
+        ("kernel_mapped", KERNEL_M),
+        ("kernel_unmapped", KERNEL_U),
+    ] {
+        let mut m = machine(7);
+        let probe = MaskedOp::probe_load(VirtAddr::new_truncate(addr));
+        group.bench_function(label, |b| b.iter(|| m.execute(probe).cycles));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Fig. 3 — execution time by page permission.
+//!
+//! Paper (masked load): r-- 16, r-x 16, rw- 16, --- 115 cycles.
+//! Paper (masked store): r-- 82, r-x 82, rw- 16, --- 96 cycles.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::paper;
+use avx_channel::report::Table;
+use avx_channel::stats::Summary;
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, ElemWidth, Machine, Mask, MaskedOp, OpKind};
+
+const RO: u64 = 0x7f00_0000_0000;
+const RX: u64 = 0x7f00_0000_1000;
+const RW: u64 = 0x7f00_0000_2000;
+const NONE: u64 = 0x7f00_0000_3000;
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(VirtAddr::new_truncate(RO), PageSize::Size4K, PteFlags::user_ro())
+        .unwrap();
+    space
+        .map(VirtAddr::new_truncate(RX), PageSize::Size4K, PteFlags::user_rx())
+        .unwrap();
+    space
+        .map(VirtAddr::new_truncate(RW), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .map(VirtAddr::new_truncate(NONE), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .protect(
+            VirtAddr::new_truncate(NONE),
+            PageSize::Size4K,
+            PteFlags::none_guard(),
+        )
+        .unwrap();
+    let profile = CpuProfile::generic_desktop();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    // The rw- page is in use by the process: write once to set D (the
+    // Fig. 3 measurements are steady-state).
+    let dirty = MaskedOp {
+        kind: OpKind::Store,
+        addr: VirtAddr::new_truncate(RW),
+        mask: Mask::all_set(8),
+        width: ElemWidth::Dword,
+    };
+    let _ = m.execute(dirty);
+    m
+}
+
+fn measure(m: &mut Machine, kind: OpKind, addr: u64, n: usize) -> Summary {
+    let op = match kind {
+        OpKind::Load => MaskedOp::probe_load(VirtAddr::new_truncate(addr)),
+        OpKind::Store => MaskedOp {
+            kind: OpKind::Store,
+            addr: VirtAddr::new_truncate(addr),
+            mask: if addr == RW {
+                Mask::all_set(8) // real store to own data page
+            } else {
+                Mask::all_zero(8) // probes elsewhere
+            },
+            width: ElemWidth::Dword,
+        },
+    };
+    for _ in 0..4 {
+        let _ = m.execute(op);
+    }
+    let samples: Vec<u64> = (0..n).map(|_| m.execute(op).cycles).collect();
+    Summary::of(&samples)
+}
+
+fn print_fig3() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        let mut table = Table::new([
+            "permission", "load", "paper", "store", "paper",
+        ]);
+        for (i, (label, addr)) in [
+            ("r--", RO),
+            ("r-x", RX),
+            ("rw-", RW),
+            ("---", NONE),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let load = measure(&mut m, OpKind::Load, *addr, 500);
+            let store = measure(&mut m, OpKind::Store, *addr, 500);
+            table.row([
+                label.to_string(),
+                format!("{:.0}", load.mean),
+                format!("{:.0}", paper::FIG3_LOAD[i]),
+                format!("{:.0}", store.mean),
+                format!("{:.0}", paper::FIG3_STORE[i]),
+            ]);
+        }
+        println!("\nFig. 3 — latency by page permission (n=500):");
+        println!("{table}");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    let mut group = c.benchmark_group("fig3_permissions");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, kind, addr) in [
+        ("load_readonly", OpKind::Load, RO),
+        ("load_none", OpKind::Load, NONE),
+        ("store_readonly", OpKind::Store, RO),
+        ("store_none", OpKind::Store, NONE),
+    ] {
+        let mut m = machine(9);
+        let op = match kind {
+            OpKind::Load => MaskedOp::probe_load(VirtAddr::new_truncate(addr)),
+            OpKind::Store => MaskedOp::probe_store(VirtAddr::new_truncate(addr)),
+        };
+        group.bench_function(label, |b| b.iter(|| m.execute(op).cycles));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

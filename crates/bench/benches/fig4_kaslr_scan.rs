@@ -1,0 +1,94 @@
+//! Fig. 4 — probing all 512 kernel offsets on the i5-12400F.
+//!
+//! Paper: kernel-mapped slots average 93 cycles, unmapped 107; the
+//! mapped band starts at the slide (offset 271 in the paper's run,
+//! base 0xffffffffa1e00000).
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::{calibrate, linux_prober_with, paper};
+use avx_channel::report::{ascii_plot_clamped, Series};
+use avx_channel::KernelBaseFinder;
+use avx_os::linux::LinuxConfig;
+use avx_uarch::CpuProfile;
+
+fn print_fig4() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // Fix the slide at slot 271 to reproduce the paper's exact run.
+        let (mut p, truth) = linux_prober_with(
+            LinuxConfig {
+                fixed_slide: Some(271),
+                ..LinuxConfig::seeded(4)
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            4,
+        );
+        let th = calibrate(&mut p, &truth);
+        let scan = KernelBaseFinder::new(th).scan(&mut p);
+        let series = Series::from_samples("Fig. 4: cycles per 2 MiB offset", &scan.samples);
+        println!("\n{}", ascii_plot_clamped(&series, 100, 12, 130.0));
+        let mapped: Vec<u64> = scan
+            .samples
+            .iter()
+            .zip(&scan.mapped)
+            .filter(|(_, &m)| m)
+            .map(|(&s, _)| s)
+            .collect();
+        let unmapped: Vec<u64> = scan
+            .samples
+            .iter()
+            .zip(&scan.mapped)
+            .filter(|(_, &m)| !m)
+            .map(|(&s, _)| s)
+            .collect();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let (paper_mapped, paper_unmapped) = paper::FIG4_BANDS;
+        println!(
+            "  mapped band:   {:.1} cycles over {} slots [paper: {paper_mapped:.0}]",
+            mean(&mapped),
+            mapped.len()
+        );
+        println!(
+            "  unmapped band: {:.1} cycles over {} slots [paper: {paper_unmapped:.0}]",
+            mean(&unmapped),
+            unmapped.len()
+        );
+        println!(
+            "  recovered base: {} (slide slot {:?}; truth {})",
+            scan.base.map_or("-".into(), |b| b.to_string()),
+            scan.slide_slots(),
+            truth.kernel_base
+        );
+        assert_eq!(scan.base, Some(truth.kernel_base));
+        println!();
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig4();
+    let mut group = c.benchmark_group("fig4_kaslr_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("full_512_slot_scan", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (mut p, truth) =
+                avx_bench::linux_prober(CpuProfile::alder_lake_i5_12400f(), seed);
+            let th = calibrate(&mut p, &truth);
+            let scan = KernelBaseFinder::new(th).scan(&mut p);
+            assert!(scan.base.is_some());
+            scan.total_cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

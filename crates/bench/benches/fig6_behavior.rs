@@ -1,0 +1,73 @@
+//! Fig. 6 — user-behaviour detection via module TLB states.
+//!
+//! Paper: a spy samples the `bluetooth` / `psmouse` modules at 1 Hz for
+//! 100 s; execution times drop into the TLB-hit band whenever the user
+//! streams audio or moves the mouse.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::{calibrate, linux_prober};
+use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
+use avx_channel::report::{ascii_plot_clamped, Series};
+use avx_channel::TlbAttack;
+use avx_os::activity::{apply_activity, ActivityTimeline};
+use avx_uarch::CpuProfile;
+
+fn run_trace(timeline: &ActivityTimeline, seed: u64) -> (Series, f64) {
+    let (mut p, truth) = linux_prober(CpuProfile::ice_lake_i7_1065g7(), seed);
+    let th = calibrate(&mut p, &truth);
+    let module = truth
+        .module(timeline.behaviour.module_name())
+        .expect("module loaded");
+    let (base, pages) = (module.base, module.spec.pages());
+    let tlb = TlbAttack::from_threshold(&th);
+    let spy = TlbSpy::new(SpyConfig::default(), tlb);
+    let trace = spy.monitor(&mut p, base, |p, t| {
+        apply_activity(p.machine_mut(), timeline, base, pages, t);
+    });
+    let score = trace.score(timeline, tlb.hit_boundary);
+    let series = Series {
+        label: format!("{} — access time over 100 s", timeline.behaviour),
+        points: trace.samples.iter().map(|s| (s.t, s.cycles as f64)).collect(),
+    };
+    (series, score)
+}
+
+fn print_fig6() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\nFig. 6 — user-behaviour detection (i7-1065G7, 1 Hz spy):");
+        for (timeline, seed) in [
+            (ActivityTimeline::bluetooth_session(), 11u64),
+            (ActivityTimeline::mouse_session(), 12),
+        ] {
+            let (series, score) = run_trace(&timeline, seed);
+            println!("{}", ascii_plot_clamped(&series, 100, 10, 500.0));
+            println!("  detection agreement with ground truth: {:.1} %\n", score * 100.0);
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig6();
+    let mut group = c.benchmark_group("fig6_behavior");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("spy_100_samples_bluetooth", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let timeline = ActivityTimeline::bluetooth_session();
+            run_trace(&timeline, seed).1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

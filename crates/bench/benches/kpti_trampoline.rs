@@ -1,0 +1,92 @@
+//! §IV-D — breaking KASLR with KPTI enabled.
+//!
+//! Paper setup: base pinned to 0xffffffff81000000 (`nokaslr`); the
+//! page-table attack finds fast execution only at 0xffffffff81c00000 —
+//! the KPTI trampoline at its known build offset 0xc00000 — from which
+//! the base follows.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::{calibrate, linux_prober_with, paper};
+use avx_channel::KptiAttack;
+use avx_os::linux::{LinuxConfig, KPTI_TRAMPOLINE_OFFSET};
+use avx_uarch::CpuProfile;
+
+fn kpti_config(seed: u64, fixed: Option<u64>) -> LinuxConfig {
+    LinuxConfig {
+        kpti: true,
+        fixed_slide: fixed,
+        ..LinuxConfig::seeded(seed)
+    }
+}
+
+fn print_kpti() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        assert_eq!(paper::KPTI_TRAMPOLINE, KPTI_TRAMPOLINE_OFFSET);
+        // The paper's fixed-base verification run.
+        let (mut p, truth) = linux_prober_with(
+            kpti_config(1, Some(8)),
+            CpuProfile::alder_lake_i5_12400f(),
+            1,
+        );
+        let th = calibrate(&mut p, &truth);
+        let scan = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+        println!("\n§IV-D — KASLR break on a KPTI kernel:");
+        println!(
+            "  fixed base 0xffffffff81000000: trampoline found at {} [paper: 0xffffffff81c00000]",
+            scan.trampoline.map_or("-".into(), |t| t.to_string())
+        );
+        println!(
+            "  derived base: {} (truth {})",
+            scan.base.map_or("-".into(), |b| b.to_string()),
+            truth.kernel_base
+        );
+        assert_eq!(scan.base, Some(truth.kernel_base));
+
+        // And randomized runs.
+        let mut correct = 0;
+        for seed in 10..20u64 {
+            let (mut p, truth) = linux_prober_with(
+                kpti_config(seed, None),
+                CpuProfile::alder_lake_i5_12400f(),
+                seed,
+            );
+            let th = calibrate(&mut p, &truth);
+            let scan = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+            if scan.base == Some(truth.kernel_base) {
+                correct += 1;
+            }
+        }
+        println!("  randomized KPTI kernels derandomized: {correct}/10\n");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_kpti();
+    let mut group = c.benchmark_group("kpti_trampoline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("kpti_scan_512_slots", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (mut p, truth) = linux_prober_with(
+                kpti_config(seed, None),
+                CpuProfile::alder_lake_i5_12400f(),
+                seed,
+            );
+            let th = calibrate(&mut p, &truth);
+            KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p).base
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

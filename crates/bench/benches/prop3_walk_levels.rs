@@ -1,0 +1,114 @@
+//! §III-B property 3 — walk-termination-level timing (Coffee Lake).
+//!
+//! Paper: with the TLB flushed (INVLPG from a kernel module), the
+//! masked-load time "increases linearly from the lowest level (PDT) to
+//! the highest level (PML4T) except for PT" — PT walks are slower than
+//! huge-page walks because the paging-structure caches never hold PTEs.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_channel::report::Table;
+use avx_channel::stats::Summary;
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, Machine, MaskedOp};
+
+const PT_PAGE: u64 = 0xffff_ffff_c012_3000; // 4 KiB → walk ends at PT
+const PD_PAGE: u64 = 0xffff_ffff_a1e0_0000; // 2 MiB → PD
+const PDPT_PAGE: u64 = 0xffff_c000_0000_0000; // 1 GiB → PDPT
+const PML4_HOLE: u64 = 0xffff_9000_0000_0000; // nothing → PML4
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(VirtAddr::new_truncate(PT_PAGE), PageSize::Size4K, PteFlags::kernel_rx())
+        .unwrap();
+    space
+        .map(VirtAddr::new_truncate(PD_PAGE), PageSize::Size2M, PteFlags::kernel_rx())
+        .unwrap();
+    space
+        .map(
+            VirtAddr::new_truncate(PDPT_PAGE),
+            PageSize::Size1G,
+            PteFlags::kernel_rw(),
+        )
+        .unwrap();
+    let profile = CpuProfile::coffee_lake_i9_9900();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    m
+}
+
+/// One paper-methodology measurement: warm the PTE lines, then INVLPG
+/// (flushes TLB + PSC for the address, data caches untouched) before
+/// every timed probe.
+fn measure_level(m: &mut Machine, addr: u64, n: usize) -> Summary {
+    let va = VirtAddr::new_truncate(addr);
+    let probe = MaskedOp::probe_load(va);
+    let _ = m.execute(probe);
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        m.invlpg(va);
+        samples.push(m.execute(probe).cycles);
+    }
+    Summary::of(&samples)
+}
+
+fn print_levels() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        let mut table = Table::new(["terminal level", "cycles (mean)"]);
+        let mut means = Vec::new();
+        for (label, addr) in [
+            ("PD   (2 MiB page)", PD_PAGE),
+            ("PDPT (1 GiB page)", PDPT_PAGE),
+            ("PML4 (unmapped)  ", PML4_HOLE),
+            ("PT   (4 KiB page)", PT_PAGE),
+        ] {
+            let s = measure_level(&mut m, addr, 500);
+            means.push(s.mean);
+            table.row([label.to_string(), format!("{:.1}", s.mean)]);
+        }
+        println!("\n§III-B P3 — walk-termination-level timing (i9-9900, INVLPG before each probe):");
+        println!("{table}");
+        assert!(means[0] < means[1], "PD < PDPT");
+        assert!(means[1] < means[2], "PDPT < PML4");
+        assert!(means[3] > means[0], "PT off the line (no PSC for PTEs)");
+        println!(
+            "  ordering reproduced: PD {:.0} < PDPT {:.0} < PML4 {:.0}; PT {:.0} above PD\n",
+            means[0], means[1], means[2], means[3]
+        );
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_levels();
+    let mut group = c.benchmark_group("prop3_walk_levels");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, addr) in [
+        ("pd_terminal", PD_PAGE),
+        ("pt_terminal", PT_PAGE),
+        ("pml4_terminal", PML4_HOLE),
+    ] {
+        let mut m = machine(5);
+        let va = VirtAddr::new_truncate(addr);
+        let probe = MaskedOp::probe_load(va);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                m.invlpg(va);
+                m.execute(probe).cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! §III-B property 4 — TLB hit vs miss (Coffee Lake, n = 1000).
+//!
+//! Paper: first access after eviction 381 cycles, second access 147.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::paper;
+use avx_channel::stats::Summary;
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, Machine, MaskedOp};
+
+const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(
+            VirtAddr::new_truncate(KERNEL_M),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
+    let profile = CpuProfile::coffee_lake_i9_9900();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    m
+}
+
+fn print_hit_miss() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        let va = VirtAddr::new_truncate(KERNEL_M);
+        let probe = MaskedOp::probe_load(va);
+        let _ = m.execute(probe);
+        let mut misses = Vec::with_capacity(1000);
+        let mut hits = Vec::with_capacity(1000);
+        for _ in 0..1000 {
+            m.evict_translation(va);
+            misses.push(m.execute(probe).cycles); // first → miss
+            hits.push(m.execute(probe).cycles); // second → hit
+        }
+        let (paper_hit, paper_miss) = paper::P4_HIT_MISS;
+        println!("\n§III-B P4 — TLB state (i9-9900, n=1000):");
+        println!(
+            "  miss (first access):  {}   [paper: {paper_miss:.0}]",
+            Summary::of(&misses)
+        );
+        println!(
+            "  hit  (second access): {}   [paper: {paper_hit:.0}]\n",
+            Summary::of(&hits)
+        );
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_hit_miss();
+    let mut group = c.benchmark_group("prop4_tlb_state");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let va = VirtAddr::new_truncate(KERNEL_M);
+    let probe = MaskedOp::probe_load(va);
+
+    let mut m = machine(2);
+    group.bench_function("tlb_miss_probe", |b| {
+        b.iter(|| {
+            m.evict_translation(va);
+            m.execute(probe).cycles
+        })
+    });
+    let mut m = machine(3);
+    let _ = m.execute(probe);
+    group.bench_function("tlb_hit_probe", |b| b.iter(|| m.execute(probe).cycles));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

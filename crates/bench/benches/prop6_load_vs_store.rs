@@ -1,0 +1,80 @@
+//! §III-B property 6 — masked store vs masked load under assist.
+//!
+//! Paper (i7-1065G7, KERNEL-M page): load 92 cycles, store 76 — the
+//! store is 16–18 cycles cheaper, which the attack can use to speed up
+//! probing.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::paper;
+use avx_channel::stats::Summary;
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{CpuProfile, Machine, MaskedOp};
+
+const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
+
+fn machine(seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(
+            VirtAddr::new_truncate(KERNEL_M),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
+    let profile = CpuProfile::ice_lake_i7_1065g7();
+    let noise = avx_bench::sigma_only_noise(&profile);
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(noise);
+    m
+}
+
+fn print_p6() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut m = machine(1);
+        let va = VirtAddr::new_truncate(KERNEL_M);
+        let load = MaskedOp::probe_load(va);
+        let store = MaskedOp::probe_store(va);
+        for _ in 0..4 {
+            let _ = m.execute(load);
+            let _ = m.execute(store);
+        }
+        let loads: Vec<u64> = (0..1000).map(|_| m.execute(load).cycles).collect();
+        let stores: Vec<u64> = (0..1000).map(|_| m.execute(store).cycles).collect();
+        let (paper_load, paper_store) = paper::P6_LOAD_STORE;
+        let l = Summary::of(&loads);
+        let s = Summary::of(&stores);
+        println!("\n§III-B P6 — load vs store on KERNEL-M (i7-1065G7, n=1000):");
+        println!("  masked load:  {l}   [paper: {paper_load:.0}]");
+        println!("  masked store: {s}   [paper: {paper_store:.0}]");
+        println!("  delta: {:.1} cycles (paper: 16-18)\n", l.mean - s.mean);
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_p6();
+    let mut group = c.benchmark_group("prop6_load_vs_store");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let va = VirtAddr::new_truncate(KERNEL_M);
+    let mut m = machine(2);
+    let op = MaskedOp::probe_load(va);
+    group.bench_function("masked_load_kernel_page", |b| {
+        b.iter(|| m.execute(op).cycles)
+    });
+    let mut m = machine(3);
+    let op = MaskedOp::probe_store(va);
+    group.bench_function("masked_store_kernel_page", |b| {
+        b.iter(|| m.execute(op).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! §IV-G — Windows 10 KASLR and KVAS breaks.
+//!
+//! Paper: the five-2 MiB-page kernel region is found among 262144
+//! candidates (18 bits) in ~60 ms on an i5-12400F; on KVAS-enabled
+//! Windows 10 1709 (i7-6600U) the three shadow pages are found by a
+//! 4 KiB scan in 8 s with 100 % accuracy and base = shadow − 0x298000.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use avx_bench::paper;
+use avx_channel::attacks::windows::kernel_base_from_shadow;
+use avx_channel::report::fmt_seconds;
+use avx_channel::{Prober, SimProber, Threshold, WindowsKaslrAttack};
+use avx_mmu::VirtAddr;
+use avx_os::windows::{WindowsConfig, WindowsSystem, WindowsVersion};
+use avx_uarch::CpuProfile;
+
+fn prober(config: WindowsConfig, profile: CpuProfile, seed: u64) -> (SimProber, avx_os::WindowsTruth) {
+    let sys = WindowsSystem::build(config);
+    let (machine, truth) = sys.into_machine(profile, seed);
+    (SimProber::new(machine), truth)
+}
+
+fn print_windows() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // 18-bit region scan on Alder Lake.
+        let (mut p, truth) = prober(
+            WindowsConfig::default(),
+            CpuProfile::alder_lake_i5_12400f(),
+            1,
+        );
+        let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
+        let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+        let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+        println!("\n§IV-G — Windows 10 KASLR:");
+        println!(
+            "  kernel region: {} (truth {}), {} [paper: ~{:.0} ms for the full sweep]",
+            scan.base.map_or("-".into(), |b| b.to_string()),
+            truth.kernel_base,
+            fmt_seconds(seconds),
+            paper::WINDOWS_REGION_MS
+        );
+        assert_eq!(scan.base, Some(truth.kernel_base));
+
+        // KVAS on Skylake (1709).
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                version: WindowsVersion::V1709,
+                kvas: true,
+                fixed_slot: None,
+                seed: 2,
+            },
+            CpuProfile::skylake_i7_6600u(),
+            2,
+        );
+        let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
+        let attack = WindowsKaslrAttack::new(th);
+        // Windowed 4 KiB sweep around the (unknown to the attacker)
+        // target; the full 512 GiB sweep is the same loop — the paper
+        // reports 8 s for it on hardware.
+        let window = VirtAddr::new_truncate(truth.kernel_base.as_u64() - 2048 * 4096);
+        let shadow = attack
+            .find_kvas_shadow(&mut p, window, 4096)
+            .expect("shadow found");
+        let base = kernel_base_from_shadow(shadow);
+        println!(
+            "  KVAS shadow at {} → base {} (truth {}) [paper: 3×4 KiB pages, offset 0x298000]\n",
+            shadow, base, truth.kernel_base
+        );
+        assert_eq!(base, truth.kernel_base);
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_windows();
+    let mut group = c.benchmark_group("windows_kaslr");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("region_scan_until_found", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (mut p, _) = prober(
+                WindowsConfig {
+                    seed,
+                    ..WindowsConfig::default()
+                },
+                CpuProfile::alder_lake_i5_12400f(),
+                seed,
+            );
+            let th = Threshold::new(93.0, 7.0);
+            WindowsKaslrAttack::new(th).find_kernel_region(&mut p).base
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

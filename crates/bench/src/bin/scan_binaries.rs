@@ -1,0 +1,124 @@
+//! §V-B survey tool: scan real binaries for AVX masked-op usage.
+//!
+//! The paper scans the 4104 executables of a default Ubuntu 20.04.3
+//! install and finds 6 containing `VMASKMOV`/`VPMASKMOV` — the basis
+//! for its claim that replacing all-zero-mask masked ops with NOPs
+//! would barely affect real systems. This tool runs the same survey on
+//! any directory:
+//!
+//! ```text
+//! cargo run -p avx-bench --release --bin scan_binaries -- /usr/bin
+//! cargo run -p avx-bench --release --bin scan_binaries -- /usr/bin --list
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use avx_hw::scan::{scan_bytes, MaskedOpHit};
+
+struct Args {
+    dir: PathBuf,
+    list_hits: bool,
+    max_file_bytes: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dir = None;
+    let mut list_hits = false;
+    let mut max_file_bytes = 64 * 1024 * 1024;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => list_hits = true,
+            s if s.starts_with("--max-bytes=") => {
+                max_file_bytes = s["--max-bytes=".len()..]
+                    .parse()
+                    .map_err(|e| format!("bad --max-bytes: {e}"))?;
+            }
+            s if s.starts_with("--") => return Err(format!("unknown flag {s}")),
+            s => {
+                if dir.replace(PathBuf::from(s)).is_some() {
+                    return Err("exactly one directory expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        dir: dir.ok_or("usage: scan_binaries <dir> [--list] [--max-bytes=N]")?,
+        list_hits,
+        max_file_bytes,
+    })
+}
+
+fn scan_one(path: &Path, max_bytes: u64) -> Option<Vec<MaskedOpHit>> {
+    let meta = fs::metadata(path).ok()?;
+    if !meta.is_file() || meta.len() > max_bytes {
+        return None;
+    }
+    let bytes = fs::read(path).ok()?;
+    // Only bother with ELF objects; everything else is data.
+    if bytes.len() < 4 || &bytes[..4] != b"\x7fELF" {
+        return None;
+    }
+    Some(scan_bytes(&bytes))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let entries = match fs::read_dir(&args.dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut scanned = 0usize;
+    let mut containing = 0usize;
+    let mut total_hits = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(hits) = scan_one(&path, args.max_file_bytes) else {
+            continue;
+        };
+        scanned += 1;
+        if !hits.is_empty() {
+            containing += 1;
+            total_hits += hits.len();
+            if args.list_hits {
+                println!("{}:", path.display());
+                for hit in hits.iter().take(8) {
+                    println!("  +{:#x}: {}", hit.offset, hit.mnemonic);
+                }
+                if hits.len() > 8 {
+                    println!("  ... {} more", hits.len() - 8);
+                }
+            }
+        }
+    }
+
+    println!(
+        "{containing} of {scanned} ELF binaries in {} contain masked load/store \
+         instructions ({total_hits} sites) [paper: 6 of 4104 on Ubuntu 20.04.3]",
+        args.dir.display()
+    );
+    let fraction = if scanned == 0 {
+        0.0
+    } else {
+        containing as f64 / scanned as f64
+    };
+    println!(
+        "NOP-replacement mitigation impact: {:.2} % of binaries — {}",
+        fraction * 100.0,
+        if fraction < 0.01 { "low" } else { "substantial" }
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! # avx-bench — the reproduction harness
+//!
+//! Shared machinery for the Criterion benches (one per table/figure of
+//! the paper) and the `repro` binary that regenerates every number in
+//! `EXPERIMENTS.md`.
+//!
+//! The `paper` module records the published values so every bench can
+//! print a paper-vs-measured comparison next to its timing output.
+
+use avx_channel::{SimProber, Threshold};
+use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
+use avx_uarch::{CpuProfile, NoiseModel};
+
+/// The paper's published numbers, used for side-by-side reporting.
+pub mod paper {
+    /// Fig. 2 masked-load means on the i7-1065G7 (cycles):
+    /// USER-M, USER-U, KERNEL-M, KERNEL-U.
+    pub const FIG2_MEANS: [f64; 4] = [13.0, 110.0, 93.0, 107.0];
+    /// Fig. 2 `ASSISTS.ANY` per probe.
+    pub const FIG2_ASSISTS: [u64; 4] = [0, 1, 1, 1];
+    /// Fig. 2 completed walks per probe.
+    pub const FIG2_WALKS: [u64; 4] = [0, 2, 0, 2];
+    /// Fig. 3 masked-load means (r--, r-x, rw-, ---).
+    pub const FIG3_LOAD: [f64; 4] = [16.0, 16.0, 16.0, 115.0];
+    /// Fig. 3 masked-store means (r--, r-x, rw-, ---).
+    pub const FIG3_STORE: [f64; 4] = [82.0, 82.0, 16.0, 96.0];
+    /// §III-B P4 on the i9-9900: (TLB hit, TLB miss) cycles.
+    pub const P4_HIT_MISS: (f64, f64) = (147.0, 381.0);
+    /// §III-B P6 on the i7-1065G7: (masked load, masked store) cycles
+    /// on a kernel-mapped page.
+    pub const P6_LOAD_STORE: (f64, f64) = (92.0, 76.0);
+    /// Fig. 4 bands on the i5-12400F: (mapped, unmapped) cycles.
+    pub const FIG4_BANDS: (f64, f64) = (93.0, 107.0);
+    /// Table I rows: (cpu, target, probing, total, accuracy %).
+    pub const TABLE1: [(&str, &str, &str, &str, f64); 5] = [
+        ("Intel Core i5-12400F", "Base", "67 µs", "0.28 ms", 99.60),
+        ("Intel Core i5-12400F", "Modules", "2.43 ms", "2.62 ms", 99.84),
+        ("Intel Core i7-1065G7", "Base", "0.26 ms", "0.57 ms", 99.29),
+        ("Intel Core i7-1065G7", "Modules", "8.42 ms", "8.64 ms", 99.72),
+        ("AMD Ryzen 5 5600X", "Base", "1.91 ms", "2.90 ms", 99.48),
+    ];
+    /// §IV-C: loaded modules / unique sizes / accuracy %.
+    pub const MODULES: (usize, usize, f64) = (125, 19, 99.72);
+    /// §IV-D trampoline offset observed on Ubuntu.
+    pub const KPTI_TRAMPOLINE: u64 = 0xc0_0000;
+    /// §IV-F runtimes: (masked-load scan, masked-store scan) seconds.
+    pub const SGX_SCAN_SECONDS: (f64, f64) = (51.0, 44.0);
+    /// §IV-G: Windows region scan ≈ 60 ms; KVAS scan 8 s at 100 %.
+    pub const WINDOWS_REGION_MS: f64 = 60.0;
+    /// §IV-H cloud runtimes (seconds): EC2 base, EC2 modules, GCE base,
+    /// GCE modules, Azure 18-bit scan.
+    pub const CLOUD_SECONDS: [f64; 5] = [0.03e-3, 1.14e-3, 0.08e-3, 2.7e-3, 2.06];
+    /// §V-B survey: 6 of 4104 executables contain masked ops.
+    pub const SURVEY: (usize, usize) = (6, 4104);
+}
+
+/// Builds a Linux machine + prober on `profile`, with realistic noise.
+#[must_use]
+pub fn linux_prober(profile: CpuProfile, seed: u64) -> (SimProber, LinuxTruth) {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (machine, truth) = sys.into_machine(profile, seed.wrapping_add(0x9e37_79b9));
+    (SimProber::new(machine), truth)
+}
+
+/// Builds a Linux machine + prober with custom config.
+#[must_use]
+pub fn linux_prober_with(
+    config: LinuxConfig,
+    profile: CpuProfile,
+    seed: u64,
+) -> (SimProber, LinuxTruth) {
+    let sys = LinuxSystem::build(config);
+    let (machine, truth) = sys.into_machine(profile, seed.wrapping_add(0x9e37_79b9));
+    (SimProber::new(machine), truth)
+}
+
+/// Same, with timing noise disabled (deterministic mean extraction).
+#[must_use]
+pub fn quiet_linux_prober(profile: CpuProfile, seed: u64) -> (SimProber, LinuxTruth) {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (mut machine, truth) = sys.into_machine(profile, seed.wrapping_add(0x9e37_79b9));
+    machine.set_noise(NoiseModel::none());
+    (SimProber::new(machine), truth)
+}
+
+/// Calibrates the §IV-B threshold on a fresh prober.
+pub fn calibrate(p: &mut SimProber, truth: &LinuxTruth) -> Threshold {
+    Threshold::calibrate(p, truth.user.calibration, 16)
+}
+
+/// Gaussian-jitter-only noise for the §III characterization benches:
+/// the paper measures those distributions on a quiescent machine where
+/// interrupt spikes are rare enough to be filtered, hence σ ≈ 1 cycle.
+/// The end-to-end attack benches keep the full noise model.
+#[must_use]
+pub fn sigma_only_noise(profile: &CpuProfile) -> NoiseModel {
+    NoiseModel::new(profile.timing.noise_sigma, 0.0, (0.0, 0.0))
+}
+
+/// Number of trials for accuracy sweeps; override with the
+/// `AVX_TRIALS` environment variable (the paper uses n = 10000, which
+/// is minutes of simulation — the default keeps `cargo bench` snappy).
+#[must_use]
+pub fn accuracy_trials() -> u64 {
+    std::env::var("AVX_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avx_channel::KernelBaseFinder;
+
+    #[test]
+    fn helpers_compose_into_a_working_attack() {
+        let (mut p, truth) = quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 3);
+        let th = calibrate(&mut p, &truth);
+        let scan = KernelBaseFinder::new(th).scan(&mut p);
+        assert_eq!(scan.base, Some(truth.kernel_base));
+    }
+
+    #[test]
+    fn trials_default_and_override() {
+        std::env::remove_var("AVX_TRIALS");
+        assert_eq!(accuracy_trials(), 60);
+    }
+}

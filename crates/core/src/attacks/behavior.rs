@@ -1,0 +1,373 @@
+//! User-behaviour inference via TLB spying (§IV-E, Fig. 6).
+//!
+//! A spy process repeats, at 1 Hz: evict the translations of the first
+//! pages of a target kernel module, wait one interval (during which the
+//! victim may use the module), then time one masked load per page. TLB
+//! hits (the kernel touched the module) are hundreds of cycles faster
+//! than the cold walks of an idle module.
+
+use avx_mmu::VirtAddr;
+use avx_os::activity::ActivityTimeline;
+
+use crate::primitives::TlbAttack;
+use crate::prober::Prober;
+use crate::stats::{agreement, two_means_threshold};
+
+/// One spy observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSample {
+    /// Sample time in seconds.
+    pub t: f64,
+    /// Maximum masked-load latency across the monitored pages. The
+    /// first cold probe dominates when the module is idle (its walk
+    /// re-warms the paging-structure caches for the rest), so the max
+    /// carries the hit/miss signal — the ≈93 vs ≈430 bands of Fig. 6.
+    pub cycles: u64,
+}
+
+/// The recorded spy trace (the Fig. 6 curves).
+#[derive(Clone, Debug, Default)]
+pub struct BehaviourTrace {
+    /// Samples in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl BehaviourTrace {
+    /// Classifies each sample as active (TLB hit) with a fixed boundary.
+    #[must_use]
+    pub fn detect_active(&self, hit_boundary: f64) -> Vec<bool> {
+        self.samples
+            .iter()
+            .map(|s| (s.cycles as f64) <= hit_boundary)
+            .collect()
+    }
+
+    /// Derives a boundary from the trace itself (two-means split).
+    #[must_use]
+    pub fn auto_boundary(&self) -> Option<f64> {
+        let cycles: Vec<u64> = self.samples.iter().map(|s| s.cycles).collect();
+        two_means_threshold(&cycles)
+    }
+
+    /// Agreement with a ground-truth timeline, sampled at the spy rate.
+    #[must_use]
+    pub fn score(&self, timeline: &ActivityTimeline, hit_boundary: f64) -> f64 {
+        let detected = self.detect_active(hit_boundary);
+        let truth: Vec<bool> = self
+            .samples
+            .iter()
+            .map(|s| timeline.active_at(s.t))
+            .collect();
+        agreement(&detected, &truth)
+    }
+}
+
+/// Spy configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SpyConfig {
+    /// Leading module pages to monitor (paper: first 10).
+    pub pages: u64,
+    /// Sampling interval in seconds (paper: 1 s).
+    pub interval_s: f64,
+    /// Observation length in seconds (paper: 100 s).
+    pub duration_s: f64,
+}
+
+impl Default for SpyConfig {
+    fn default() -> Self {
+        Self {
+            pages: 10,
+            interval_s: 1.0,
+            duration_s: 100.0,
+        }
+    }
+}
+
+/// The TLB spy.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbSpy {
+    /// Configuration.
+    pub config: SpyConfig,
+    /// Hit/miss oracle.
+    pub tlb: TlbAttack,
+}
+
+impl TlbSpy {
+    /// Builds a spy with the given oracle.
+    #[must_use]
+    pub fn new(config: SpyConfig, tlb: TlbAttack) -> Self {
+        Self { config, tlb }
+    }
+
+    /// Runs the spy against the module at `module_base`.
+    ///
+    /// `advance` is called once per interval with the current time; the
+    /// experiment driver uses it to run victim/kernel activity (e.g.
+    /// [`avx_os::activity::apply_activity`]) between the eviction and
+    /// the measurement — exactly the window real activity would occupy.
+    pub fn monitor<P, F>(&self, p: &mut P, module_base: VirtAddr, mut advance: F) -> BehaviourTrace
+    where
+        P: Prober,
+        F: FnMut(&mut P, f64),
+    {
+        let steps = (self.config.duration_s / self.config.interval_s).round() as u64;
+        let mut trace = BehaviourTrace::default();
+        for step in 0..steps {
+            let t = step as f64 * self.config.interval_s;
+            for page in 0..self.config.pages {
+                self.tlb.arm(p, module_base.wrapping_add(page * 4096));
+            }
+            advance(p, t);
+            let max_cycles = (0..self.config.pages)
+                .map(|page| {
+                    self.tlb
+                        .observe(p, module_base.wrapping_add(page * 4096))
+                        .1
+                })
+                .max()
+                .expect("pages >= 1");
+            trace.samples.push(TraceSample {
+                t,
+                cycles: max_cycles,
+            });
+        }
+        trace
+    }
+}
+
+/// One measured application-activity vector: per monitored module, the
+/// fraction of spy samples in which the module was TLB-hot.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityVector {
+    /// `(module, hot fraction)` per monitored module.
+    pub per_module: Vec<(&'static str, f64)>,
+}
+
+impl ActivityVector {
+    /// Measured hot fraction of `module` (0 when unmonitored).
+    #[must_use]
+    pub fn fraction(&self, module: &str) -> f64 {
+        self.per_module
+            .iter()
+            .find(|(m, _)| *m == module)
+            .map_or(0.0, |(_, f)| *f)
+    }
+
+    /// L1 distance to an expected profile over the monitored modules.
+    #[must_use]
+    pub fn distance(&self, profile: &avx_os::AppProfile) -> f64 {
+        self.per_module
+            .iter()
+            .map(|&(module, observed)| (observed - profile.expected(module)).abs())
+            .sum()
+    }
+}
+
+/// Application fingerprinting via module-activity vectors — the §IV-E
+/// closing-remark extension ("fingerprint applications or websites").
+///
+/// The spy monitors the base pages of several (size-identified) kernel
+/// modules simultaneously; the resulting per-module hot fractions form
+/// a vector matched against known application profiles.
+#[derive(Clone, Copy, Debug)]
+pub struct AppFingerprinter {
+    /// Hit/miss oracle.
+    pub tlb: TlbAttack,
+    /// Samples to take (1 Hz each).
+    pub samples: u64,
+}
+
+impl AppFingerprinter {
+    /// Builds a fingerprinter.
+    #[must_use]
+    pub fn new(tlb: TlbAttack, samples: u64) -> Self {
+        Self { tlb, samples }
+    }
+
+    /// Observes the targets for `samples` intervals; `advance` runs the
+    /// victim between eviction and measurement of each interval.
+    pub fn observe<P, F>(
+        &self,
+        p: &mut P,
+        targets: &[(&'static str, VirtAddr)],
+        mut advance: F,
+    ) -> ActivityVector
+    where
+        P: Prober,
+        F: FnMut(&mut P, f64),
+    {
+        let mut hot_counts = vec![0u64; targets.len()];
+        for step in 0..self.samples {
+            let t = step as f64;
+            for &(_, base) in targets {
+                self.tlb.arm(p, base);
+            }
+            advance(p, t);
+            for (i, &(_, base)) in targets.iter().enumerate() {
+                let (state, _) = self.tlb.observe(p, base);
+                if state == crate::primitives::TlbState::Hit {
+                    hot_counts[i] += 1;
+                }
+            }
+        }
+        ActivityVector {
+            per_module: targets
+                .iter()
+                .zip(&hot_counts)
+                .map(|(&(name, _), &hits)| (name, hits as f64 / self.samples as f64))
+                .collect(),
+        }
+    }
+
+    /// Nearest-profile classification; returns `(name, distance)`.
+    #[must_use]
+    pub fn classify<'a>(
+        &self,
+        observed: &ActivityVector,
+        profiles: &'a [avx_os::AppProfile],
+    ) -> Option<(&'a avx_os::AppProfile, f64)> {
+        profiles
+            .iter()
+            .map(|prof| (prof, observed.distance(prof)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Threshold;
+    use crate::prober::SimProber;
+    use avx_os::activity::{apply_activity, ActivityTimeline, Behaviour};
+    use avx_os::linux::{LinuxConfig, LinuxSystem};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    fn spy_run(timeline: &ActivityTimeline, noise: bool, seed: u64) -> (BehaviourTrace, f64) {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (mut m, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), seed);
+        if !noise {
+            m.set_noise(NoiseModel::none());
+        }
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let module = truth
+            .module(timeline.behaviour.module_name())
+            .expect("module loaded");
+        let base = module.base;
+        let pages = module.spec.pages();
+        let spy = TlbSpy::new(SpyConfig::default(), TlbAttack::from_threshold(&th));
+        let trace = spy.monitor(&mut p, base, |p, t| {
+            apply_activity(p.machine_mut(), timeline, base, pages, t);
+        });
+        let boundary = TlbAttack::from_threshold(&th).hit_boundary;
+        let score = trace.score(timeline, boundary);
+        (trace, score)
+    }
+
+    #[test]
+    fn bluetooth_trace_matches_fig6() {
+        let timeline = ActivityTimeline::bluetooth_session();
+        let (trace, score) = spy_run(&timeline, false, 1);
+        assert_eq!(trace.samples.len(), 100);
+        assert_eq!(score, 1.0, "noiseless spy is exact");
+        // Active samples are fast (TLB hit ≈ 93), idle are slow (≈ 430).
+        let active = trace.samples[30].cycles;
+        let idle = trace.samples[5].cycles;
+        assert!(active < 120, "active {active}");
+        assert!(idle > 350, "idle {idle}");
+    }
+
+    #[test]
+    fn mouse_bursts_are_resolved() {
+        let timeline = ActivityTimeline::mouse_session();
+        let (trace, score) = spy_run(&timeline, false, 2);
+        assert_eq!(score, 1.0);
+        let detected = trace.detect_active(200.0);
+        // Three bursts → three transitions into "active".
+        let rises = detected
+            .windows(2)
+            .filter(|w| !w[0] && w[1])
+            .count();
+        assert_eq!(rises, 3);
+    }
+
+    #[test]
+    fn auto_boundary_splits_the_trace() {
+        let timeline = ActivityTimeline::bluetooth_session();
+        let (trace, _) = spy_run(&timeline, false, 3);
+        let b = trace.auto_boundary().expect("bimodal trace");
+        assert!(b > 100.0 && b < 430.0, "boundary {b}");
+        assert!((trace.score(&timeline, b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_spy_stays_accurate() {
+        let timeline = ActivityTimeline::random(Behaviour::BluetoothAudio, 100.0, 4, 7);
+        let (trace, score) = spy_run(&timeline, true, 4);
+        assert_eq!(trace.samples.len(), 100);
+        assert!(score > 0.93, "score {score}");
+    }
+
+    /// Runs one app's timelines against the machine and fingerprints it.
+    fn fingerprint_app(
+        profile: &avx_os::AppProfile,
+        seed: u64,
+    ) -> (&'static str, f64) {
+        use avx_os::linux::{LinuxConfig, LinuxSystem};
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (machine, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), seed);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+
+        // Monitor every unique-sized module the profiles mention.
+        let mut names: Vec<&'static str> = avx_os::AppProfile::standard_set()
+            .iter()
+            .flat_map(|pr| pr.activity.iter().map(|(m, _)| *m))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let targets: Vec<(&'static str, avx_mmu::VirtAddr)> = names
+            .iter()
+            .map(|&n| (n, truth.module(n).expect("module loaded").base))
+            .collect();
+
+        let timelines = profile.timelines(60.0, seed);
+        let spy = AppFingerprinter::new(TlbAttack::from_threshold(&th), 60);
+        let observed = spy.observe(&mut p, &targets, |p, t| {
+            for (module, tl) in &timelines {
+                let m = truth.module(module).expect("module loaded");
+                avx_os::activity::apply_activity(
+                    p.machine_mut(),
+                    tl,
+                    m.base,
+                    m.spec.pages(),
+                    t,
+                );
+            }
+        });
+        let profiles = avx_os::AppProfile::standard_set();
+        let (best, dist) = spy
+            .classify(&observed, &profiles)
+            .expect("non-empty profile set");
+        (best.name, dist)
+    }
+
+    #[test]
+    fn app_fingerprinting_identifies_all_standard_apps() {
+        for (i, profile) in avx_os::AppProfile::standard_set().iter().enumerate() {
+            let (best, dist) = fingerprint_app(profile, 40 + i as u64);
+            assert_eq!(best, profile.name, "distance {dist}");
+        }
+    }
+
+    #[test]
+    fn activity_vector_distance_is_zero_for_perfect_match() {
+        let profile = avx_os::AppProfile::editor();
+        let v = ActivityVector {
+            per_module: profile.activity.clone(),
+        };
+        assert!(v.distance(&profile) < 1e-12);
+        assert!(v.fraction("psmouse") > 0.0);
+        assert_eq!(v.fraction("xfs"), 0.0);
+    }
+}

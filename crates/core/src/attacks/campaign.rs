@@ -1,0 +1,226 @@
+//! Accuracy/runtime campaigns — the Table I methodology as an API.
+//!
+//! The paper's Table I reruns each attack over n = 10000 freshly
+//! randomized systems ("we rebooted Linux 10 times…", §IV-B) and
+//! reports average probing/total runtime plus accuracy. This module
+//! packages that loop so benches, the `repro` binary and downstream
+//! users measure identically.
+
+use core::fmt;
+
+use avx_os::linux::{LinuxConfig, LinuxSystem};
+use avx_uarch::CpuProfile;
+
+use crate::calibrate::Threshold;
+use crate::prober::{Prober, SimProber};
+use crate::report::fmt_seconds;
+use crate::stats::Trials;
+
+use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
+use super::modules::ModuleScanner;
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Fresh systems to attack (the paper uses 10000).
+    pub trials: u64,
+    /// First layout seed; trial *i* uses `seed0 + i`.
+    pub seed0: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            trials: 100,
+            seed0: 0,
+        }
+    }
+}
+
+/// One Table I row: averaged runtimes and the success rate.
+#[derive(Clone, Debug)]
+pub struct CampaignRow {
+    /// CPU description.
+    pub cpu: String,
+    /// "Base" or "Modules".
+    pub target: &'static str,
+    /// Mean seconds inside the timed masked ops.
+    pub probing_seconds: f64,
+    /// Mean seconds including overhead.
+    pub total_seconds: f64,
+    /// Success tracker (per trial for bases, per module for modules).
+    pub accuracy: Trials,
+}
+
+impl fmt::Display for CampaignRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} probing / {} total / {:.2} %",
+            self.cpu,
+            self.target,
+            fmt_seconds(self.probing_seconds),
+            fmt_seconds(self.total_seconds),
+            self.accuracy.percent()
+        )
+    }
+}
+
+/// Runs the Intel kernel-base attack over fresh systems.
+#[must_use]
+pub fn intel_base_campaign(profile: &CpuProfile, config: CampaignConfig) -> CampaignRow {
+    let mut accuracy = Trials::new();
+    let (mut probing, mut total) = (0.0f64, 0.0f64);
+    for i in 0..config.trials {
+        let seed = config.seed0 + i;
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let scan = KernelBaseFinder::new(th).scan(&mut p);
+        probing += scan.probing_cycles as f64 / (p.clock_ghz() * 1e9);
+        total += scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+        accuracy.record(scan.base == Some(truth.kernel_base));
+    }
+    CampaignRow {
+        cpu: profile.model.to_string(),
+        target: "Base",
+        probing_seconds: probing / config.trials as f64,
+        total_seconds: total / config.trials as f64,
+        accuracy,
+    }
+}
+
+/// Runs the module detection attack; accuracy is per true module
+/// exactly detected (base and size), as in §IV-C.
+#[must_use]
+pub fn intel_modules_campaign(profile: &CpuProfile, config: CampaignConfig) -> CampaignRow {
+    let mut accuracy = Trials::new();
+    let (mut probing, mut total) = (0.0f64, 0.0f64);
+    for i in 0..config.trials {
+        let seed = config.seed0 + 1000 + i;
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let scan = ModuleScanner::new(th).scan(&mut p);
+        probing += scan.probing_cycles as f64 / (p.clock_ghz() * 1e9);
+        total += scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+        for m in &truth.modules {
+            accuracy.record(
+                scan.detected
+                    .iter()
+                    .any(|d| d.base == m.base && d.size == m.spec.size),
+            );
+        }
+    }
+    CampaignRow {
+        cpu: profile.model.to_string(),
+        target: "Modules",
+        probing_seconds: probing / config.trials as f64,
+        total_seconds: total / config.trials as f64,
+        accuracy,
+    }
+}
+
+/// Runs the AMD level-based base attack over fresh systems.
+#[must_use]
+pub fn amd_base_campaign(config: CampaignConfig) -> CampaignRow {
+    let profile = CpuProfile::zen3_ryzen5_5600x();
+    let mut accuracy = Trials::new();
+    let (mut probing, mut total) = (0.0f64, 0.0f64);
+    for i in 0..config.trials {
+        let seed = config.seed0 + 2000 + i;
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+        let mut p = SimProber::new(machine);
+        let before_probing = p.probing_cycles();
+        let before_total = p.total_cycles();
+        let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+        probing += (p.probing_cycles() - before_probing) as f64 / (p.clock_ghz() * 1e9);
+        total += (p.total_cycles() - before_total) as f64 / (p.clock_ghz() * 1e9);
+        accuracy.record(scan.base == Some(truth.kernel_base));
+    }
+    CampaignRow {
+        cpu: profile.model.to_string(),
+        target: "Base",
+        probing_seconds: probing / config.trials as f64,
+        total_seconds: total / config.trials as f64,
+        accuracy,
+    }
+}
+
+/// The full Table I: the five paper rows in order (12400F base/modules,
+/// 1065G7 base/modules, 5600X base). Module rows cap trials at 20 —
+/// each trial probes 16384 slots.
+#[must_use]
+pub fn table1(config: CampaignConfig) -> Vec<CampaignRow> {
+    let module_config = CampaignConfig {
+        trials: config.trials.min(20),
+        ..config
+    };
+    vec![
+        intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), config),
+        intel_modules_campaign(&CpuProfile::alder_lake_i5_12400f(), module_config),
+        intel_base_campaign(&CpuProfile::ice_lake_i7_1065g7(), config),
+        intel_modules_campaign(&CpuProfile::ice_lake_i7_1065g7(), module_config),
+        amd_base_campaign(config),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            trials: 6,
+            seed0: 77,
+        }
+    }
+
+    #[test]
+    fn intel_base_campaign_reports_sane_numbers() {
+        let row = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        assert_eq!(row.accuracy.total, 6);
+        assert!(row.accuracy.rate() > 0.8);
+        assert!(row.probing_seconds > 0.0);
+        assert!(row.total_seconds > row.probing_seconds);
+        assert!(row.total_seconds < 0.01, "sub-10ms attack");
+    }
+
+    #[test]
+    fn module_campaign_counts_per_module() {
+        let row = intel_modules_campaign(
+            &CpuProfile::ice_lake_i7_1065g7(),
+            CampaignConfig {
+                trials: 2,
+                seed0: 3,
+            },
+        );
+        assert_eq!(row.accuracy.total, 2 * 125);
+        assert!(row.accuracy.rate() > 0.95);
+    }
+
+    #[test]
+    fn amd_campaign_slower_than_intel_desktop() {
+        let amd = amd_base_campaign(small());
+        let intel = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        assert!(amd.total_seconds > intel.total_seconds);
+        assert!(amd.accuracy.rate() > 0.8);
+    }
+
+    #[test]
+    fn table1_has_five_rows_in_paper_order() {
+        let rows = table1(CampaignConfig {
+            trials: 2,
+            seed0: 0,
+        });
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].target, "Base");
+        assert_eq!(rows[1].target, "Modules");
+        assert!(rows[4].cpu.contains("5600X"));
+        // Display is informative.
+        assert!(rows[0].to_string().contains("%"));
+    }
+}

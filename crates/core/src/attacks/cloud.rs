@@ -1,0 +1,176 @@
+//! Cloud KASLR breaks (§IV-H): one driver per provider preset.
+//!
+//! Composes the Linux/Windows attacks against the EC2/GCE/Azure guest
+//! models and scores the result against ground truth, reproducing the
+//! §IV-H narrative: EC2 via the KPTI trampoline (offset `0xe00000`),
+//! GCE via the direct mapped/unmapped scan plus module identification,
+//! Azure via the 18-bit Windows region scan.
+
+use core::fmt;
+
+use avx_mmu::VirtAddr;
+use avx_os::cloud::{CloudProvider, CloudScenario, GuestOs};
+use avx_os::linux::LinuxSystem;
+use avx_os::windows::WindowsSystem;
+
+use crate::calibrate::Threshold;
+use crate::prober::{Prober, SimProber};
+
+use super::kaslr::KernelBaseFinder;
+use super::kpti::KptiAttack;
+use super::modules::ModuleScanner;
+use super::windows::WindowsKaslrAttack;
+
+/// Outcome of attacking one cloud guest.
+#[derive(Clone, Debug)]
+pub struct CloudBreakReport {
+    /// Which provider.
+    pub provider: CloudProvider,
+    /// Recovered kernel base.
+    pub base: Option<VirtAddr>,
+    /// `true` when the base matches ground truth.
+    pub base_correct: bool,
+    /// Wall-clock seconds spent recovering the base (total accounting).
+    pub base_seconds: f64,
+    /// Detected kernel modules, when the guest exposes them.
+    pub modules_detected: Option<usize>,
+    /// Seconds spent on the module scan.
+    pub modules_seconds: Option<f64>,
+    /// Human-readable method description.
+    pub method: &'static str,
+}
+
+impl fmt::Display for CloudBreakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: base {} ({}) in {:.3} ms via {}",
+            self.provider,
+            self.base
+                .map_or("not found".to_string(), |b| format!("{b}")),
+            if self.base_correct { "correct" } else { "WRONG" },
+            self.base_seconds * 1e3,
+            self.method
+        )?;
+        if let (Some(n), Some(s)) = (self.modules_detected, self.modules_seconds) {
+            write!(f, "; {n} modules in {:.3} ms", s * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full attack chain against one provider preset.
+#[must_use]
+pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakReport {
+    match &scenario.guest {
+        GuestOs::Linux(cfg) => {
+            let sys = LinuxSystem::build(cfg.clone());
+            let (machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            let mut p = SimProber::new(machine);
+            let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+
+            if cfg.kpti {
+                let attack = KptiAttack::new(th, cfg.trampoline_offset);
+                let scan = attack.scan(&mut p);
+                let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+                CloudBreakReport {
+                    provider: scenario.provider,
+                    base: scan.base,
+                    base_correct: scan.base == Some(truth.kernel_base),
+                    base_seconds: seconds,
+                    // KPTI unmaps the module area from the user page
+                    // table; our model therefore reports no modules here
+                    // (see EXPERIMENTS.md for the deviation note).
+                    modules_detected: None,
+                    modules_seconds: None,
+                    method: "KPTI trampoline",
+                }
+            } else {
+                let scan = KernelBaseFinder::new(th).scan(&mut p);
+                let base_seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+                let module_scan = ModuleScanner::new(th).scan(&mut p);
+                let modules_seconds =
+                    module_scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+                CloudBreakReport {
+                    provider: scenario.provider,
+                    base: scan.base,
+                    base_correct: scan.base == Some(truth.kernel_base),
+                    base_seconds,
+                    modules_detected: Some(module_scan.detected.len()),
+                    modules_seconds: Some(modules_seconds),
+                    method: "mapped/unmapped scan",
+                }
+            }
+        }
+        GuestOs::Windows(cfg) => {
+            let sys = WindowsSystem::build(cfg.clone());
+            let (machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            let mut p = SimProber::new(machine);
+            let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
+            let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+            let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+            CloudBreakReport {
+                provider: scenario.provider,
+                base: scan.base,
+                base_correct: scan.base == Some(truth.kernel_base),
+                base_seconds: seconds,
+                modules_detected: None,
+                modules_seconds: None,
+                method: "18-bit Windows region scan",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec2_breaks_via_trampoline() {
+        let report = run_scenario(&CloudScenario::amazon_ec2(11), 1);
+        assert!(report.base_correct, "{report}");
+        assert_eq!(report.method, "KPTI trampoline");
+        assert!(report.modules_detected.is_none(), "KPTI hides modules");
+    }
+
+    #[test]
+    fn gce_breaks_directly_and_sees_modules() {
+        let report = run_scenario(&CloudScenario::google_gce(12), 2);
+        assert!(report.base_correct, "{report}");
+        assert_eq!(report.method, "mapped/unmapped scan");
+        assert_eq!(report.modules_detected, Some(125));
+        assert!(report.modules_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn azure_derandomizes_18_bits() {
+        let report = run_scenario(&CloudScenario::microsoft_azure(13), 3);
+        assert!(report.base_correct, "{report}");
+        assert_eq!(report.method, "18-bit Windows region scan");
+    }
+
+    #[test]
+    fn runtimes_ordered_like_the_paper() {
+        // EC2/GCE kernel-base runtimes are sub-millisecond-ish; Azure's
+        // 18-bit scan is orders of magnitude longer (paper: 2.06 s).
+        let ec2 = run_scenario(&CloudScenario::amazon_ec2(21), 4);
+        let gce = run_scenario(&CloudScenario::google_gce(22), 5);
+        let azure = run_scenario(&CloudScenario::microsoft_azure(23), 6);
+        assert!(ec2.base_seconds < 0.1, "{}", ec2.base_seconds);
+        assert!(gce.base_seconds < 0.1, "{}", gce.base_seconds);
+        assert!(
+            azure.base_seconds > gce.base_seconds,
+            "18-bit scan dominates"
+        );
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let report = run_scenario(&CloudScenario::google_gce(31), 7);
+        let text = report.to_string();
+        assert!(text.contains("Google GCE"));
+        assert!(text.contains("correct"));
+        assert!(text.contains("modules"));
+    }
+}

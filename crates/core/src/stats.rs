@@ -1,0 +1,316 @@
+//! Small statistics toolkit for timing samples.
+//!
+//! Everything the attacks and benches need: running mean/σ (Welford),
+//! order statistics, a 1-D two-means split for automatic thresholding,
+//! and accuracy bookkeeping.
+
+use core::fmt;
+
+/// Numerically stable running mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with <2 samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Summary statistics of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median (lower of the two mid elements for even n).
+    pub median: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice — a summary of nothing is a bug upstream.
+    #[must_use]
+    pub fn of(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let mut w = Welford::new();
+        w.extend(samples.iter().map(|&x| x as f64));
+        Self {
+            n: samples.len(),
+            mean: w.mean(),
+            stddev: w.stddev(),
+            min: sorted[0],
+            median: sorted[(sorted.len() - 1) / 2],
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}±{:.2} (min {}, med {}, max {}, n={})",
+            self.mean, self.stddev, self.min, self.median, self.max, self.n
+        )
+    }
+}
+
+/// Splits 1-D samples into two clusters (Lloyd's algorithm, k = 2) and
+/// returns the midpoint between the converged centroids — an automatic
+/// mapped/unmapped threshold when no calibration page is available.
+///
+/// Returns `None` when the samples cannot be split (fewer than 2
+/// distinct values).
+#[must_use]
+pub fn two_means_threshold(samples: &[u64]) -> Option<f64> {
+    let mut lo = *samples.iter().min()? as f64;
+    let mut hi = *samples.iter().max()? as f64;
+    if lo == hi {
+        return None;
+    }
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2.0;
+        let mut wl = Welford::new();
+        let mut wh = Welford::new();
+        for &s in samples {
+            if (s as f64) <= mid {
+                wl.push(s as f64);
+            } else {
+                wh.push(s as f64);
+            }
+        }
+        if wl.count() == 0 || wh.count() == 0 {
+            return Some(mid);
+        }
+        let new_lo = wl.mean();
+        let new_hi = wh.mean();
+        if (new_lo - lo).abs() < 1e-9 && (new_hi - hi).abs() < 1e-9 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    Some((lo + hi) / 2.0)
+}
+
+/// Fraction of positions where `detected` matches `truth`.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+#[must_use]
+pub fn agreement(detected: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(detected.len(), truth.len(), "length mismatch");
+    if detected.is_empty() {
+        return 1.0;
+    }
+    let same = detected
+        .iter()
+        .zip(truth)
+        .filter(|(d, t)| d == t)
+        .count();
+    same as f64 / detected.len() as f64
+}
+
+/// Bernoulli success-rate tracker (attack accuracy over trials).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Trials {
+    /// Successful trials.
+    pub successes: u64,
+    /// Total trials.
+    pub total: u64,
+}
+
+impl Trials {
+    /// Empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.total += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Success rate in [0, 1]; 0 for no trials.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.total as f64
+        }
+    }
+
+    /// Success rate in percent.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        self.rate() * 100.0
+    }
+}
+
+impl fmt::Display for Trials {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.successes, self.total, self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        w.extend(xs);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(&[9, 1, 5, 3, 7]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 5);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_even_count_takes_lower_mid() {
+        let s = Summary::of(&[1, 2, 3, 4]);
+        assert_eq!(s.median, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn two_means_separates_bimodal() {
+        // 93-ish vs 107-ish clusters, as in Fig. 4.
+        let mut samples = Vec::new();
+        for i in 0..100u64 {
+            samples.push(92 + i % 3);
+            samples.push(106 + i % 3);
+        }
+        let t = two_means_threshold(&samples).unwrap();
+        assert!(t > 94.0 && t < 106.0, "threshold {t}");
+    }
+
+    #[test]
+    fn two_means_degenerate_cases() {
+        assert!(two_means_threshold(&[]).is_none());
+        assert!(two_means_threshold(&[5, 5, 5]).is_none());
+        assert!(two_means_threshold(&[5, 6]).is_some());
+    }
+
+    #[test]
+    fn agreement_counts_matches() {
+        let d = [true, false, true, true];
+        let t = [true, true, true, false];
+        assert!((agreement(&d, &t) - 0.5).abs() < 1e-12);
+        assert_eq!(agreement(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn trials_rate() {
+        let mut t = Trials::new();
+        for i in 0..1000 {
+            t.record(i % 250 != 0);
+        }
+        assert_eq!(t.total, 1000);
+        assert_eq!(t.successes, 996);
+        assert!((t.percent() - 99.6).abs() < 1e-9);
+        assert_eq!(t.to_string(), "996/1000 (99.60%)");
+    }
+
+    #[test]
+    fn summary_display_is_compact() {
+        let s = Summary::of(&[93, 93, 94]);
+        let text = s.to_string();
+        assert!(text.contains("93"));
+        assert!(text.contains("n=3"));
+    }
+}

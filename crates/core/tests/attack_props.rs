@@ -1,0 +1,165 @@
+//! Property tests of the attack layer: for every layout the simulator
+//! can produce, the attacks recover the ground truth (noiseless), and
+//! the matcher/classifier logic is order- and subset-robust.
+
+use proptest::prelude::*;
+
+use avx_channel::attacks::userspace::{LibraryMatcher, UserSpaceScanner};
+use avx_channel::{
+    AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner,
+    PermissionAttack, SimProber, Threshold,
+};
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_os::linux::{LinuxConfig, LinuxSystem, KPTI_TRAMPOLINE_OFFSET};
+use avx_os::modules::UBUNTU_18_04_MODULES;
+use avx_os::process::{build_process, ImageSignature};
+use avx_uarch::{CpuProfile, Machine, NoiseModel};
+
+fn quiet_prober(config: LinuxConfig, profile: CpuProfile, seed: u64) -> (SimProber, avx_os::LinuxTruth) {
+    let sys = LinuxSystem::build(config);
+    let (mut machine, truth) = sys.into_machine(profile, seed);
+    machine.set_noise(NoiseModel::none());
+    (SimProber::new(machine), truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Noiseless Intel base recovery is *exact for every slide*.
+    #[test]
+    fn intel_base_exact_for_every_slide(slide in 0u64..492) {
+        let (mut p, truth) = quiet_prober(
+            LinuxConfig { fixed_slide: Some(slide), ..LinuxConfig::seeded(1) },
+            CpuProfile::alder_lake_i5_12400f(),
+            slide,
+        );
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let scan = KernelBaseFinder::new(th).scan(&mut p);
+        prop_assert_eq!(scan.base, Some(truth.kernel_base));
+        prop_assert_eq!(scan.slide_slots(), Some(slide));
+    }
+
+    /// Same for the AMD level-based finder.
+    #[test]
+    fn amd_base_exact_for_every_slide(slide in 0u64..492) {
+        let (mut p, truth) = quiet_prober(
+            LinuxConfig { fixed_slide: Some(slide), ..LinuxConfig::seeded(2) },
+            CpuProfile::zen3_ryzen5_5600x(),
+            slide,
+        );
+        let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+        prop_assert_eq!(scan.base, Some(truth.kernel_base));
+    }
+
+    /// And for the KPTI trampoline attack.
+    #[test]
+    fn kpti_base_exact_for_every_slide(slide in 0u64..492) {
+        let (mut p, truth) = quiet_prober(
+            LinuxConfig {
+                kpti: true,
+                fixed_slide: Some(slide),
+                ..LinuxConfig::seeded(3)
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            slide,
+        );
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let scan = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+        prop_assert_eq!(scan.base, Some(truth.kernel_base));
+    }
+
+    /// Noiseless module scans detect every module exactly, for any
+    /// placement seed.
+    #[test]
+    fn module_scan_exact_for_any_seed(seed in any::<u64>()) {
+        let (mut p, truth) = quiet_prober(
+            LinuxConfig::seeded(seed),
+            CpuProfile::ice_lake_i7_1065g7(),
+            seed,
+        );
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let scan = ModuleScanner::new(th).scan(&mut p);
+        prop_assert_eq!(scan.detected.len(), truth.modules.len());
+        for (d, m) in scan.detected.iter().zip(truth.modules.iter()) {
+            prop_assert_eq!(d.base, m.base);
+            prop_assert_eq!(d.size, m.spec.size);
+        }
+        // Classification: unique-size modules resolve to their name.
+        let ids = ModuleClassifier::new(&UBUNTU_18_04_MODULES).classify(&scan);
+        for (id, m) in ids.iter().zip(truth.modules.iter()) {
+            let unique = UBUNTU_18_04_MODULES
+                .iter()
+                .filter(|o| o.size == m.spec.size)
+                .count()
+                == 1;
+            if unique {
+                prop_assert_eq!(id.unique_name(), Some(m.spec.name));
+            } else {
+                prop_assert!(id.unique_name().is_none());
+            }
+        }
+    }
+
+    /// The library matcher finds any subset of the standard libraries
+    /// in any load order, and never hallucinates absent ones.
+    #[test]
+    fn library_matcher_subset_robust(mask in 1u8..31, seed in any::<u64>()) {
+        let all = ImageSignature::standard_set();
+        let loaded: Vec<ImageSignature> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let mut space = AddressSpace::new();
+        let truth = build_process(&mut space, &ImageSignature::fig7_app(), &loaded, seed);
+        let own = VirtAddr::new_truncate(0x5400_0000_0000);
+        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let mut machine = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, seed);
+        machine.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(machine);
+        let perm = PermissionAttack::calibrate(&mut p, own);
+        let scanner = UserSpaceScanner::new(perm);
+
+        let first = truth.libraries.first().unwrap().base;
+        let last = truth.libraries.last().unwrap();
+        let span = last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
+        let map = scanner.scan(&mut p, first, span / 4096);
+        let matches = LibraryMatcher::new(all.clone()).find_all(&map);
+
+        for lib in &truth.libraries {
+            prop_assert!(
+                matches.iter().any(|m| m.name == lib.signature.name && m.base == lib.base),
+                "{} missed", lib.signature.name
+            );
+        }
+        for m in &matches {
+            prop_assert!(
+                truth.libraries.iter().any(|l| l.signature.name == m.name),
+                "hallucinated {}", m.name
+            );
+        }
+    }
+
+    /// Calibration is profile-portable: on every Intel profile the
+    /// calibrated threshold separates that profile's own bands.
+    #[test]
+    fn calibration_is_profile_portable(idx in 0usize..7) {
+        let profiles = [
+            CpuProfile::ice_lake_i7_1065g7(),
+            CpuProfile::coffee_lake_i9_9900(),
+            CpuProfile::alder_lake_i5_12400f(),
+            CpuProfile::skylake_i7_6600u(),
+            CpuProfile::xeon_e5_2676(),
+            CpuProfile::xeon_cascade_lake(),
+            CpuProfile::xeon_platinum_8171m(),
+        ];
+        let profile = profiles[idx].clone();
+        let mapped = profile.expect_kernel_mapped_load();
+        let unmapped = profile.expect_kernel_unmapped_load();
+        let (mut p, truth) = quiet_prober(LinuxConfig::seeded(5), profile, 5);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        prop_assert!(th.is_mapped(mapped.round() as u64));
+        prop_assert!(!th.is_mapped(unmapped.round() as u64));
+    }
+}

@@ -1,0 +1,259 @@
+//! Real-hardware masked-op prober.
+//!
+//! Implements [`avx_channel::Prober`] with actual AVX2
+//! `VPMASKMOVD` instructions timed by `RDTSC` — the proof-of-concept
+//! path of the paper. The mask register is always all-zero, so by the
+//! architecture's fault-suppression rule (Intel SDM, paper property P1)
+//! the access raises no exception regardless of the probed address.
+//!
+//! Only compiled to real probes on x86-64; construction fails at
+//! runtime when AVX2 is absent.
+
+use core::fmt;
+
+use avx_channel::Prober;
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+/// Why a hardware prober could not be constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// The host is not x86-64.
+    WrongArchitecture,
+    /// The CPU does not advertise AVX2.
+    NoAvx2,
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::WrongArchitecture => write!(f, "host is not x86-64"),
+            HwError::NoAvx2 => write!(f, "cpu does not support avx2"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// Size of the buffer walked to evict TLB entries (covers the 1536-entry
+/// STLB of recent cores with 4 KiB pages).
+const EVICTION_BUFFER_BYTES: usize = 16 * 1024 * 1024;
+
+/// A [`Prober`] over the real CPU.
+pub struct HwProber {
+    eviction_buffer: Vec<u8>,
+    probing_cycles: u64,
+    total_start: u64,
+    clock_ghz: f64,
+}
+
+impl fmt::Debug for HwProber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HwProber(probing_cycles={}, clock={} GHz)",
+            self.probing_cycles, self.clock_ghz
+        )
+    }
+}
+
+impl HwProber {
+    /// Builds a hardware prober.
+    ///
+    /// `clock_ghz` is used only for cycle→seconds reporting (read it
+    /// from `/proc/cpuinfo` or pass the nominal TSC frequency).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::WrongArchitecture`] off x86-64; [`HwError::NoAvx2`]
+    /// when the CPU lacks AVX2.
+    ///
+    /// # Safety
+    ///
+    /// A constructed prober issues masked loads/stores with all-zero
+    /// masks at **arbitrary virtual addresses** of the calling process.
+    /// Architecturally these never fault and never transfer data, but
+    /// the caller must accept that the probes touch the process's
+    /// translation state and must not point the prober at addresses
+    /// whose *side effects* matter (e.g. MMIO mappings).
+    #[allow(unsafe_code)]
+    pub unsafe fn new(clock_ghz: f64) -> Result<Self, HwError> {
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = clock_ghz;
+            Err(HwError::WrongArchitecture)
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !std::arch::is_x86_feature_detected!("avx2") {
+                return Err(HwError::NoAvx2);
+            }
+            Ok(Self {
+                eviction_buffer: vec![1u8; EVICTION_BUFFER_BYTES],
+                probing_cycles: 0,
+                total_start: crate::tsc::rdtsc_serialized(),
+                clock_ghz,
+            })
+        }
+    }
+
+    /// Times one all-zero-mask `VPMASKMOVD` load at `addr`.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    fn timed_masked_load(addr: u64) -> u64 {
+        use core::arch::x86_64::{_mm256_maskload_epi32, _mm256_setzero_si256};
+        let start = crate::tsc::rdtsc_serialized();
+        // SAFETY: the mask is all-zero, so no element is accessed and no
+        // exception is raised regardless of `addr` (Intel SDM VMASKMOV:
+        // "faults will not occur due to referencing any memory location
+        // if the corresponding mask bit for that data element is zero").
+        let v = unsafe { _mm256_maskload_epi32(addr as *const i32, _mm256_setzero_si256()) };
+        std::hint::black_box(v);
+        let end = crate::tsc::rdtscp_fenced();
+        end.saturating_sub(start)
+    }
+
+    /// Times one all-zero-mask `VPMASKMOVD` store at `addr`.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    fn timed_masked_store(addr: u64) -> u64 {
+        use core::arch::x86_64::{_mm256_maskstore_epi32, _mm256_setzero_si256};
+        let start = crate::tsc::rdtsc_serialized();
+        // SAFETY: all-zero mask — no bytes are written, no fault is
+        // raised (same SDM rule as the load path).
+        unsafe {
+            _mm256_maskstore_epi32(
+                addr as *mut i32,
+                _mm256_setzero_si256(),
+                _mm256_setzero_si256(),
+            );
+        }
+        let end = crate::tsc::rdtscp_fenced();
+        end.saturating_sub(start)
+    }
+}
+
+impl Prober for HwProber {
+    fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let cycles = match kind {
+                OpKind::Load => Self::timed_masked_load(addr.as_u64()),
+                OpKind::Store => Self::timed_masked_store(addr.as_u64()),
+            };
+            self.probing_cycles += cycles;
+            cycles
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (kind, addr);
+            unreachable!("HwProber cannot be constructed off x86-64")
+        }
+    }
+
+    fn evict(&mut self, addr: VirtAddr) {
+        // Walk the eviction buffer at page stride; enough distinct
+        // translations to push `addr` out of DTLB and STLB sets.
+        let _ = addr;
+        let mut acc = 0u8;
+        for page in (0..self.eviction_buffer.len()).step_by(4096) {
+            acc = acc.wrapping_add(self.eviction_buffer[page]);
+        }
+        std::hint::black_box(acc);
+    }
+
+    fn spend(&mut self, _cycles: u64) {
+        // Real time passes by itself on hardware.
+    }
+
+    fn probing_cycles(&self) -> u64 {
+        self.probing_cycles
+    }
+
+    fn total_cycles(&self) -> u64 {
+        crate::tsc::rdtsc_serialized().saturating_sub(self.total_start)
+    }
+
+    fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prober() -> Option<HwProber> {
+        // SAFETY (test): probes target only this test's own buffer or
+        // plain unmapped user addresses; no MMIO exists in this process.
+        #[allow(unsafe_code)]
+        unsafe {
+            HwProber::new(2.0).ok()
+        }
+    }
+
+    #[test]
+    fn construction_matches_platform_capability() {
+        #[allow(unsafe_code)]
+        let result = unsafe { HwProber::new(2.0) };
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                assert!(result.is_ok());
+            } else {
+                assert_eq!(result.err(), Some(HwError::NoAvx2));
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(result.err(), Some(HwError::WrongArchitecture));
+    }
+
+    #[test]
+    fn probing_own_buffer_never_faults_and_costs_cycles() {
+        let Some(mut p) = prober() else { return };
+        let buf = vec![0u8; 8192];
+        let addr = VirtAddr::new_truncate(buf.as_ptr() as u64);
+        for _ in 0..32 {
+            let load = p.probe(OpKind::Load, addr);
+            let store = p.probe(OpKind::Store, addr);
+            assert!(load > 0);
+            assert!(store > 0);
+        }
+        assert!(p.probing_cycles() > 0);
+        assert!(p.total_cycles() >= p.probing_cycles());
+    }
+
+    #[test]
+    fn probing_unmapped_address_is_suppressed() {
+        // This is property P1 live on hardware: an all-zero-mask probe
+        // of a wild (almost certainly unmapped) user address must not
+        // crash the process.
+        let Some(mut p) = prober() else { return };
+        let wild = VirtAddr::new_truncate(0x1234_5678_9000);
+        for _ in 0..16 {
+            let _ = p.probe(OpKind::Load, wild);
+            let _ = p.probe(OpKind::Store, wild);
+        }
+    }
+
+    #[test]
+    fn kernel_half_probe_is_suppressed() {
+        // Inaccessible (supervisor) addresses are the attack's target;
+        // the probe must survive them too.
+        let Some(mut p) = prober() else { return };
+        let kernel = VirtAddr::new_truncate(0xffff_ffff_8000_0000);
+        for _ in 0..16 {
+            let _ = p.probe(OpKind::Load, kernel);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(HwError::NoAvx2.to_string(), "cpu does not support avx2");
+        assert_eq!(
+            HwError::WrongArchitecture.to_string(),
+            "host is not x86-64"
+        );
+    }
+}

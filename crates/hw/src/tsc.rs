@@ -1,0 +1,112 @@
+//! Cycle-accurate timing primitives.
+//!
+//! On x86-64 this wraps `RDTSC`/`RDTSCP` with the fencing the paper's
+//! measurements require (serializing before, `RDTSCP` + `LFENCE`
+//! after). On other architectures a monotonic-clock fallback keeps the
+//! crate compiling so the VEX scanner remains usable everywhere.
+
+/// Reads the time-stamp counter with full serialization before the
+/// read (`MFENCE; LFENCE` ordering, as the PoC does).
+#[cfg(target_arch = "x86_64")]
+#[must_use]
+pub fn rdtsc_serialized() -> u64 {
+    #[allow(unsafe_code)]
+    // SAFETY: `_mm_mfence`/`_mm_lfence`/`_rdtsc` have no memory-safety
+    // preconditions; they only order the pipeline.
+    unsafe {
+        core::arch::x86_64::_mm_mfence();
+        core::arch::x86_64::_mm_lfence();
+        core::arch::x86_64::_rdtsc()
+    }
+}
+
+/// Reads the TSC *after* prior instructions complete (`RDTSCP` then
+/// `LFENCE`), the closing bracket of a timed region.
+#[cfg(target_arch = "x86_64")]
+#[must_use]
+pub fn rdtscp_fenced() -> u64 {
+    let mut aux = 0u32;
+    #[allow(unsafe_code)]
+    // SAFETY: `__rdtscp` writes only to the provided aux slot.
+    let t = unsafe { core::arch::x86_64::__rdtscp(&mut aux) };
+    #[allow(unsafe_code)]
+    // SAFETY: fence, no preconditions.
+    unsafe {
+        core::arch::x86_64::_mm_lfence();
+    }
+    t
+}
+
+/// Monotonic-nanosecond fallback used on non-x86-64 hosts.
+#[cfg(not(target_arch = "x86_64"))]
+#[must_use]
+pub fn rdtsc_serialized() -> u64 {
+    fallback_nanos()
+}
+
+/// See [`rdtsc_serialized`].
+#[cfg(not(target_arch = "x86_64"))]
+#[must_use]
+pub fn rdtscp_fenced() -> u64 {
+    fallback_nanos()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fallback_nanos() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Times one closure invocation in TSC cycles (or nanoseconds on the
+/// fallback path).
+pub fn time_cycles<F: FnOnce()>(f: F) -> u64 {
+    let start = rdtsc_serialized();
+    f();
+    rdtscp_fenced().saturating_sub(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic_nonzero() {
+        let a = rdtsc_serialized();
+        let b = rdtsc_serialized();
+        assert!(b >= a, "TSC must not go backwards: {a} -> {b}");
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn timing_a_busy_loop_costs_cycles() {
+        let cycles = time_cycles(|| {
+            let mut x = 0u64;
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(cycles > 100, "10k multiplies cannot be free: {cycles}");
+    }
+
+    #[test]
+    fn empty_region_is_cheap_relative_to_work() {
+        let empty = (0..32).map(|_| time_cycles(|| {})).min().unwrap();
+        let busy = (0..32)
+            .map(|_| {
+                time_cycles(|| {
+                    let mut x = 0u64;
+                    for i in 0..100_000u64 {
+                        x = x.wrapping_add(i ^ 0x5a5a);
+                    }
+                    std::hint::black_box(x);
+                })
+            })
+            .min()
+            .unwrap();
+        assert!(busy > empty, "busy {busy} vs empty {empty}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for address-space manipulation.
+
+use core::fmt;
+
+use crate::space::PageSize;
+
+/// Errors raised by [`crate::AddressSpace`] operations and address parsing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MmuError {
+    /// The 64-bit value is not a canonical 48-bit virtual address.
+    NonCanonical {
+        /// Offending raw address.
+        addr: u64,
+    },
+    /// The address is not aligned to the requested page size.
+    Misaligned {
+        /// Offending address.
+        addr: u64,
+        /// Page size whose alignment was violated.
+        size: PageSize,
+    },
+    /// A mapping already exists at the address.
+    AlreadyMapped {
+        /// Offending address.
+        addr: u64,
+    },
+    /// A huge-page mapping overlaps the requested range at a higher level.
+    HugePageConflict {
+        /// Offending address.
+        addr: u64,
+    },
+    /// No mapping exists at the address.
+    NotMapped {
+        /// Offending address.
+        addr: u64,
+    },
+    /// The mapping at the address has a different page size than requested.
+    SizeMismatch {
+        /// Offending address.
+        addr: u64,
+        /// Size of the existing mapping.
+        found: PageSize,
+        /// Size the caller asked for.
+        expected: PageSize,
+    },
+    /// The simulated physical frame allocator is exhausted.
+    OutOfFrames,
+}
+
+impl fmt::Display for MmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::NonCanonical { addr } => {
+                write!(f, "address {addr:#x} is not canonical")
+            }
+            Self::Misaligned { addr, size } => {
+                write!(f, "address {addr:#x} is not aligned to {size}")
+            }
+            Self::AlreadyMapped { addr } => {
+                write!(f, "address {addr:#x} is already mapped")
+            }
+            Self::HugePageConflict { addr } => {
+                write!(f, "huge page already covers {addr:#x}")
+            }
+            Self::NotMapped { addr } => write!(f, "address {addr:#x} is not mapped"),
+            Self::SizeMismatch {
+                addr,
+                found,
+                expected,
+            } => write!(
+                f,
+                "mapping at {addr:#x} is {found}, expected {expected}"
+            ),
+            Self::OutOfFrames => write!(f, "physical frame allocator exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MmuError::NonCanonical { addr: 0xdead };
+        assert_eq!(e.to_string(), "address 0xdead is not canonical");
+        let e = MmuError::SizeMismatch {
+            addr: 0x1000,
+            found: PageSize::Size2M,
+            expected: PageSize::Size4K,
+        };
+        assert!(e.to_string().contains("2MiB"));
+        assert!(e.to_string().contains("4KiB"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(MmuError::OutOfFrames);
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MmuError>();
+    }
+}

@@ -1,0 +1,364 @@
+//! Architectural page-table entry flags.
+//!
+//! Bit layout follows the Intel SDM Vol. 3A format for 4-level paging.
+//! Only the bits relevant to the AVX timing channel are modelled; the
+//! remaining bits are preserved as opaque payload by [`crate::Pte`].
+
+use core::fmt;
+use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
+
+/// Page-table entry flag bits (a hand-rolled `bitflags`-style type; the
+/// external `bitflags` crate is intentionally not used to keep the
+/// dependency set minimal).
+///
+/// ```
+/// use avx_mmu::PteFlags;
+/// let f = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER;
+/// assert!(f.contains(PteFlags::PRESENT));
+/// assert!(f.is_user());
+/// assert_eq!(f | PteFlags::NO_EXECUTE, PteFlags::user_rw());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// P — the entry refers to a present translation.
+    pub const PRESENT: Self = Self(1 << 0);
+    /// R/W — writes are allowed.
+    pub const WRITABLE: Self = Self(1 << 1);
+    /// U/S — user-mode accesses are allowed.
+    pub const USER: Self = Self(1 << 2);
+    /// PWT — page-level write-through (modelled as payload only).
+    pub const WRITE_THROUGH: Self = Self(1 << 3);
+    /// PCD — page-level cache disable (modelled as payload only).
+    pub const CACHE_DISABLE: Self = Self(1 << 4);
+    /// A — the translation has been used.
+    pub const ACCESSED: Self = Self(1 << 5);
+    /// D — the page has been written (leaf entries only).
+    pub const DIRTY: Self = Self(1 << 6);
+    /// PS — this PDPT/PD entry maps a huge page.
+    pub const HUGE: Self = Self(1 << 7);
+    /// G — translation is global (survives CR3 reloads without PCID).
+    pub const GLOBAL: Self = Self(1 << 8);
+    /// XD/NX — instruction fetches are not allowed.
+    pub const NO_EXECUTE: Self = Self(1 << 63);
+
+    /// The empty flag set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// All modelled flags.
+    #[must_use]
+    pub const fn all() -> Self {
+        Self(
+            Self::PRESENT.0
+                | Self::WRITABLE.0
+                | Self::USER.0
+                | Self::WRITE_THROUGH.0
+                | Self::CACHE_DISABLE.0
+                | Self::ACCESSED.0
+                | Self::DIRTY.0
+                | Self::HUGE.0
+                | Self::GLOBAL.0
+                | Self::NO_EXECUTE.0,
+        )
+    }
+
+    /// Creates a flag set from raw bits, keeping only modelled bits.
+    #[must_use]
+    pub const fn from_bits_truncate(bits: u64) -> Self {
+        Self(bits & Self::all().0)
+    }
+
+    /// Raw bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if every flag in `other` is set in `self`.
+    #[must_use]
+    pub const fn contains(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` if any flag in `other` is set in `self`.
+    #[must_use]
+    pub const fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `self` with the flags in `other` set.
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Returns `self` with the flags in `other` cleared.
+    #[must_use]
+    pub const fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// Sets or clears `other` according to `value`.
+    #[must_use]
+    pub const fn with(self, other: Self, value: bool) -> Self {
+        if value {
+            self.union(other)
+        } else {
+            self.difference(other)
+        }
+    }
+
+    /// Shorthand: present flag set?
+    #[must_use]
+    pub const fn is_present(self) -> bool {
+        self.contains(Self::PRESENT)
+    }
+
+    /// Shorthand: user-accessible?
+    #[must_use]
+    pub const fn is_user(self) -> bool {
+        self.contains(Self::USER)
+    }
+
+    /// Shorthand: writable?
+    #[must_use]
+    pub const fn is_writable(self) -> bool {
+        self.contains(Self::WRITABLE)
+    }
+
+    /// Shorthand: dirty?
+    #[must_use]
+    pub const fn is_dirty(self) -> bool {
+        self.contains(Self::DIRTY)
+    }
+
+    /// Shorthand: maps a huge page?
+    #[must_use]
+    pub const fn is_huge(self) -> bool {
+        self.contains(Self::HUGE)
+    }
+
+    /// Shorthand: global translation?
+    #[must_use]
+    pub const fn is_global(self) -> bool {
+        self.contains(Self::GLOBAL)
+    }
+
+    /// Shorthand: execution forbidden?
+    #[must_use]
+    pub const fn is_no_execute(self) -> bool {
+        self.contains(Self::NO_EXECUTE)
+    }
+
+    // --- Common permission profiles -------------------------------------
+
+    /// Present user read-only data page (`r--`).
+    #[must_use]
+    pub const fn user_ro() -> Self {
+        Self(Self::PRESENT.0 | Self::USER.0 | Self::NO_EXECUTE.0)
+    }
+
+    /// Present user read+write data page (`rw-`).
+    #[must_use]
+    pub const fn user_rw() -> Self {
+        Self(Self::PRESENT.0 | Self::USER.0 | Self::WRITABLE.0 | Self::NO_EXECUTE.0)
+    }
+
+    /// Present user read+execute page (`r-x`).
+    #[must_use]
+    pub const fn user_rx() -> Self {
+        Self(Self::PRESENT.0 | Self::USER.0)
+    }
+
+    /// Present kernel read-only page.
+    #[must_use]
+    pub const fn kernel_ro() -> Self {
+        Self(Self::PRESENT.0 | Self::GLOBAL.0 | Self::NO_EXECUTE.0)
+    }
+
+    /// Present kernel read+write page.
+    #[must_use]
+    pub const fn kernel_rw() -> Self {
+        Self(Self::PRESENT.0 | Self::GLOBAL.0 | Self::WRITABLE.0 | Self::NO_EXECUTE.0)
+    }
+
+    /// Present kernel read+execute page (kernel text).
+    #[must_use]
+    pub const fn kernel_rx() -> Self {
+        Self(Self::PRESENT.0 | Self::GLOBAL.0)
+    }
+
+    /// A `PROT_NONE`-style guard page: a VMA exists but the present bit is
+    /// clear, exactly how Linux represents `mmap(PROT_NONE)` regions.
+    #[must_use]
+    pub const fn none_guard() -> Self {
+        Self(Self::USER.0)
+    }
+}
+
+impl BitOr for PteFlags {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for PteFlags {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = self.union(rhs);
+    }
+}
+
+impl BitAnd for PteFlags {
+    type Output = Self;
+    fn bitand(self, rhs: Self) -> Self {
+        Self(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for PteFlags {
+    fn bitand_assign(&mut self, rhs: Self) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Not for PteFlags {
+    type Output = Self;
+    fn not(self) -> Self {
+        Self(!self.0 & Self::all().0)
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut emit = |name: &str, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, " | ")?;
+            }
+            first = false;
+            write!(f, "{name}")
+        };
+        write!(f, "PteFlags(")?;
+        if self.contains(Self::PRESENT) {
+            emit("P", f)?;
+        }
+        if self.contains(Self::WRITABLE) {
+            emit("RW", f)?;
+        }
+        if self.contains(Self::USER) {
+            emit("US", f)?;
+        }
+        if self.contains(Self::WRITE_THROUGH) {
+            emit("PWT", f)?;
+        }
+        if self.contains(Self::CACHE_DISABLE) {
+            emit("PCD", f)?;
+        }
+        if self.contains(Self::ACCESSED) {
+            emit("A", f)?;
+        }
+        if self.contains(Self::DIRTY) {
+            emit("D", f)?;
+        }
+        if self.contains(Self::HUGE) {
+            emit("PS", f)?;
+        }
+        if self.contains(Self::GLOBAL) {
+            emit("G", f)?;
+        }
+        if self.contains(Self::NO_EXECUTE) {
+            emit("NX", f)?;
+        }
+        if first {
+            write!(f, "empty")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Binary for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let f = PteFlags::PRESENT | PteFlags::USER;
+        assert!(f.contains(PteFlags::PRESENT));
+        assert!(f.contains(PteFlags::USER));
+        assert!(!f.contains(PteFlags::WRITABLE));
+        assert!(f.contains(PteFlags::PRESENT | PteFlags::USER));
+        assert!(!f.contains(PteFlags::PRESENT | PteFlags::WRITABLE));
+    }
+
+    #[test]
+    fn intersects_is_any_not_all() {
+        let f = PteFlags::PRESENT | PteFlags::USER;
+        assert!(f.intersects(PteFlags::USER | PteFlags::WRITABLE));
+        assert!(!f.intersects(PteFlags::WRITABLE | PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn difference_and_with() {
+        let f = PteFlags::user_rw();
+        let ro = f.difference(PteFlags::WRITABLE);
+        assert_eq!(ro, PteFlags::user_ro());
+        assert_eq!(ro.with(PteFlags::WRITABLE, true), PteFlags::user_rw());
+        assert_eq!(f.with(PteFlags::WRITABLE, false), PteFlags::user_ro());
+    }
+
+    #[test]
+    fn from_bits_truncate_drops_unknown() {
+        let raw = 0x7 | (1 << 20);
+        let f = PteFlags::from_bits_truncate(raw);
+        assert_eq!(f.bits(), 0x7);
+    }
+
+    #[test]
+    fn profile_constructors() {
+        assert!(PteFlags::user_rx().is_user());
+        assert!(!PteFlags::user_rx().is_no_execute());
+        assert!(PteFlags::user_ro().is_no_execute());
+        assert!(PteFlags::kernel_rx().is_global());
+        assert!(!PteFlags::kernel_rx().is_user());
+        assert!(!PteFlags::none_guard().is_present());
+    }
+
+    #[test]
+    fn not_stays_within_modelled_bits() {
+        let inv = !PteFlags::PRESENT;
+        assert!(!inv.contains(PteFlags::PRESENT));
+        assert!(inv.contains(PteFlags::NO_EXECUTE));
+        assert_eq!(inv.bits() & !PteFlags::all().bits(), 0);
+    }
+
+    #[test]
+    fn debug_render_lists_set_bits() {
+        let f = PteFlags::PRESENT | PteFlags::GLOBAL;
+        let s = format!("{f:?}");
+        assert!(s.contains('P'));
+        assert!(s.contains('G'));
+        assert_eq!(format!("{:?}", PteFlags::empty()), "PteFlags(empty)");
+    }
+
+    #[test]
+    fn nx_is_bit_63() {
+        assert_eq!(PteFlags::NO_EXECUTE.bits(), 1 << 63);
+    }
+}

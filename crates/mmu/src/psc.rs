@@ -1,0 +1,358 @@
+//! Intel-style paging-structure caches (PSC).
+//!
+//! On a TLB miss the walker does not necessarily start at the PML4: the
+//! processor keeps small caches of *partial* translations — PML4E, PDPTE
+//! and PDE entries — so the walk can resume at the deepest cached level.
+//! Crucially, **PTE entries are not cached** (they go straight into the
+//! TLB), which is why a walk that terminates at PT (a 4 KiB page) always
+//! pays at least one uncached paging-structure access. The paper's §III-B
+//! uses exactly this asymmetry ("walking page tables takes longer when
+//! translating a virtual address mapped on a 4 KiB page").
+
+use core::fmt;
+
+use crate::addr::VirtAddr;
+use crate::table::{FrameId, Level};
+use crate::walk::EffectivePerms;
+
+/// Geometry of the three paging-structure caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PscConfig {
+    /// Entries in the PML4E cache.
+    pub pml4e_entries: usize,
+    /// Entries in the PDPTE cache.
+    pub pdpte_entries: usize,
+    /// Entries in the PDE cache.
+    pub pde_entries: usize,
+}
+
+impl Default for PscConfig {
+    /// Sizes in the ballpark of recent Intel cores (exact values are not
+    /// architecturally documented; only their existence matters here).
+    fn default() -> Self {
+        Self {
+            pml4e_entries: 16,
+            pdpte_entries: 16,
+            pde_entries: 64,
+        }
+    }
+}
+
+/// A cached partial translation: "the entry at `level` for this address
+/// range points at `next_table` with these accumulated permissions".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PscEntry {
+    /// Paging structure the cached entry points to.
+    pub next_table: FrameId,
+    /// Permissions accumulated from the root down to this entry.
+    pub perms: EffectivePerms,
+}
+
+#[derive(Clone, Debug)]
+struct AssocArray {
+    capacity: usize,
+    /// (tag, payload, lru stamp)
+    slots: Vec<(u64, PscEntry, u64)>,
+    clock: u64,
+}
+
+impl AssocArray {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            clock: 0,
+        }
+    }
+
+    fn lookup(&mut self, tag: u64) -> Option<PscEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        for slot in &mut self.slots {
+            if slot.0 == tag {
+                slot.2 = clock;
+                return Some(slot.1);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, tag: u64, entry: PscEntry) {
+        self.clock += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.0 == tag) {
+            slot.1 = entry;
+            slot.2 = self.clock;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push((tag, entry, self.clock));
+        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|s| s.2) {
+            *victim = (tag, entry, self.clock);
+        }
+    }
+
+    fn invalidate_tag(&mut self, tag: u64) {
+        self.slots.retain(|s| s.0 != tag);
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// The three-level paging-structure cache.
+///
+/// ```
+/// use avx_mmu::{PagingStructureCache, PscConfig};
+/// let psc = PagingStructureCache::new(PscConfig::default());
+/// assert_eq!(psc.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PagingStructureCache {
+    pml4e: AssocArray,
+    pdpte: AssocArray,
+    pde: AssocArray,
+    hits: u64,
+    misses: u64,
+}
+
+impl PagingStructureCache {
+    /// Creates an empty PSC with the given geometry.
+    #[must_use]
+    pub fn new(config: PscConfig) -> Self {
+        Self {
+            pml4e: AssocArray::new(config.pml4e_entries),
+            pdpte: AssocArray::new(config.pdpte_entries),
+            pde: AssocArray::new(config.pde_entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn array_for(&mut self, level: Level) -> Option<&mut AssocArray> {
+        match level {
+            Level::Pml4 => Some(&mut self.pml4e),
+            Level::Pdpt => Some(&mut self.pdpte),
+            Level::Pd => Some(&mut self.pde),
+            Level::Pt => None, // PTEs are never cached in the PSC.
+        }
+    }
+
+    fn tag_for(va: VirtAddr, level: Level) -> u64 {
+        match level {
+            Level::Pml4 => va.as_u64() >> 39,
+            Level::Pdpt => va.as_u64() >> 30,
+            Level::Pd => va.as_u64() >> 21,
+            Level::Pt => unreachable!("PT entries are not PSC-cached"),
+        }
+    }
+
+    /// Finds the deepest cached partial translation for `va`.
+    ///
+    /// Returns the level of the cached entry (the entry *at* that level is
+    /// known, so the walk resumes at the next level down).
+    pub fn lookup_deepest(&mut self, va: VirtAddr) -> Option<(Level, PscEntry)> {
+        for level in [Level::Pd, Level::Pdpt, Level::Pml4] {
+            let tag = Self::tag_for(va, level);
+            let hit = self
+                .array_for(level)
+                .and_then(|array| array.lookup(tag));
+            if let Some(entry) = hit {
+                self.hits += 1;
+                return Some((level, entry));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Caches the entry observed at `level` during a walk of `va`.
+    ///
+    /// PT-level insertions are ignored (architecture: PTEs go to the TLB
+    /// only).
+    pub fn insert(&mut self, level: Level, va: VirtAddr, entry: PscEntry) {
+        if level == Level::Pt {
+            return;
+        }
+        let tag = Self::tag_for(va, level);
+        if let Some(array) = self.array_for(level) {
+            array.insert(tag, entry);
+        }
+    }
+
+    /// Invalidates all cached entries covering `va` (part of `INVLPG`).
+    pub fn invlpg(&mut self, va: VirtAddr) {
+        self.pml4e.invalidate_tag(va.as_u64() >> 39);
+        self.pdpte.invalidate_tag(va.as_u64() >> 30);
+        self.pde.invalidate_tag(va.as_u64() >> 21);
+    }
+
+    /// Drops every cached entry (CR3 write without PCID).
+    pub fn flush_all(&mut self) {
+        self.pml4e.clear();
+        self.pdpte.clear();
+        self.pde.clear();
+    }
+
+    /// Total number of live entries across the three arrays.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pml4e.len() + self.pdpte.len() + self.pde.len()
+    }
+
+    /// `true` when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hit count (for diagnostics and tests).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl Default for PagingStructureCache {
+    fn default() -> Self {
+        Self::new(PscConfig::default())
+    }
+}
+
+impl fmt::Display for PagingStructureCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PSC(pml4e={}, pdpte={}, pde={}, hits={}, misses={})",
+            self.pml4e.len(),
+            self.pdpte.len(),
+            self.pde.len(),
+            self.hits,
+            self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32) -> PscEntry {
+        PscEntry {
+            next_table: FrameId(id),
+            perms: EffectivePerms::kernel_default(),
+        }
+    }
+
+    fn va(raw: u64) -> VirtAddr {
+        VirtAddr::new_truncate(raw)
+    }
+
+    #[test]
+    fn empty_psc_misses() {
+        let mut psc = PagingStructureCache::default();
+        assert!(psc.lookup_deepest(va(0xffff_ffff_8000_0000)).is_none());
+        assert_eq!(psc.misses(), 1);
+    }
+
+    #[test]
+    fn deepest_level_wins() {
+        let mut psc = PagingStructureCache::default();
+        let a = va(0xffff_ffff_8012_3000);
+        psc.insert(Level::Pml4, a, entry(1));
+        psc.insert(Level::Pd, a, entry(3));
+        let (level, e) = psc.lookup_deepest(a).unwrap();
+        assert_eq!(level, Level::Pd);
+        assert_eq!(e.next_table, FrameId(3));
+    }
+
+    #[test]
+    fn pt_insert_is_ignored() {
+        let mut psc = PagingStructureCache::default();
+        psc.insert(Level::Pt, va(0x1000), entry(9));
+        assert!(psc.is_empty());
+    }
+
+    #[test]
+    fn tags_distinguish_ranges() {
+        let mut psc = PagingStructureCache::default();
+        let a = va(0xffff_ffff_8000_0000);
+        let b = va(0xffff_ffff_8020_0000); // different 2 MiB range, same PDPT
+        psc.insert(Level::Pd, a, entry(7));
+        assert!(psc.lookup_deepest(b).is_none());
+        let (level, _) = psc.lookup_deepest(a).unwrap();
+        assert_eq!(level, Level::Pd);
+    }
+
+    #[test]
+    fn same_pml4e_shared_across_512_gib() {
+        let mut psc = PagingStructureCache::default();
+        let a = va(0xffff_ffff_8000_0000);
+        let b = va(0xffff_ffff_c000_0000); // same PML4 slot 511
+        psc.insert(Level::Pml4, a, entry(1));
+        let (level, _) = psc.lookup_deepest(b).unwrap();
+        assert_eq!(level, Level::Pml4);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut psc = PagingStructureCache::new(PscConfig {
+            pml4e_entries: 2,
+            pdpte_entries: 2,
+            pde_entries: 2,
+        });
+        let a = va(0x0000_0000_0000);
+        let b = va(0x0000_0020_0000);
+        let c = va(0x0000_0040_0000);
+        psc.insert(Level::Pd, a, entry(1));
+        psc.insert(Level::Pd, b, entry(2));
+        // Touch a so b becomes LRU.
+        psc.lookup_deepest(a);
+        psc.insert(Level::Pd, c, entry(3));
+        assert!(psc.lookup_deepest(b).is_none(), "b should be evicted");
+        assert!(psc.lookup_deepest(a).is_some());
+        assert!(psc.lookup_deepest(c).is_some());
+    }
+
+    #[test]
+    fn invlpg_removes_covering_entries_only() {
+        let mut psc = PagingStructureCache::default();
+        let a = va(0xffff_ffff_8000_0000);
+        let other = va(0xffff_ffff_8020_0000);
+        psc.insert(Level::Pd, a, entry(1));
+        psc.insert(Level::Pd, other, entry(2));
+        psc.invlpg(a);
+        assert!(psc.lookup_deepest(a).is_none());
+        assert!(psc.lookup_deepest(other).is_some());
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut psc = PagingStructureCache::default();
+        psc.insert(Level::Pd, va(0x20_0000), entry(1));
+        psc.insert(Level::Pdpt, va(0x4000_0000), entry(2));
+        psc.flush_all();
+        assert!(psc.is_empty());
+    }
+
+    #[test]
+    fn insert_updates_existing_tag() {
+        let mut psc = PagingStructureCache::default();
+        let a = va(0x20_0000);
+        psc.insert(Level::Pd, a, entry(1));
+        psc.insert(Level::Pd, a, entry(5));
+        let (_, e) = psc.lookup_deepest(a).unwrap();
+        assert_eq!(e.next_table, FrameId(5));
+        assert_eq!(psc.len(), 1);
+    }
+}

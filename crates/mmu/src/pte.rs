@@ -1,0 +1,170 @@
+//! Raw page-table entries.
+
+use core::fmt;
+
+use crate::addr::PhysAddr;
+use crate::flags::PteFlags;
+
+/// Mask of the physical-address field of an entry (bits 51..12).
+const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+/// A raw 64-bit page-table entry, exactly as it would appear in memory.
+///
+/// Bits 51..12 hold the physical frame of either the next paging structure
+/// (non-leaf) or the mapped page (leaf); the remaining bits are flags as
+/// described by [`PteFlags`].
+///
+/// ```
+/// use avx_mmu::{PhysAddr, Pte, PteFlags};
+/// let pte = Pte::new(PhysAddr::new(0x1000), PteFlags::user_rw());
+/// assert!(pte.is_present());
+/// assert_eq!(pte.addr(), PhysAddr::new(0x1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// An all-zero (non-present, empty) entry.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self(0)
+    }
+
+    /// Builds an entry pointing at `addr` with the given flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4 KiB aligned (hardware would silently
+    /// corrupt the flag bits; we fail loudly instead).
+    #[must_use]
+    pub const fn new(addr: PhysAddr, flags: PteFlags) -> Self {
+        assert!(addr.as_u64() & 0xfff == 0, "PTE target must be page aligned");
+        Self((addr.as_u64() & ADDR_MASK) | flags.bits())
+    }
+
+    /// Reconstructs an entry from its raw memory representation.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw 64-bit representation.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The flag bits of the entry.
+    #[must_use]
+    pub const fn flags(self) -> PteFlags {
+        PteFlags::from_bits_truncate(self.0)
+    }
+
+    /// The physical address field (frame of next table or mapped page).
+    #[must_use]
+    pub const fn addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 & ADDR_MASK)
+    }
+
+    /// Shorthand for `flags().is_present()`.
+    #[must_use]
+    pub const fn is_present(self) -> bool {
+        self.flags().is_present()
+    }
+
+    /// `true` for a present entry with the PS bit (2 MiB / 1 GiB leaf).
+    #[must_use]
+    pub const fn is_huge_leaf(self) -> bool {
+        self.flags().is_present() && self.flags().is_huge()
+    }
+
+    /// Returns the entry with `flags` added.
+    #[must_use]
+    pub const fn with_flags_set(self, flags: PteFlags) -> Self {
+        Self(self.0 | flags.bits())
+    }
+
+    /// Returns the entry with `flags` removed.
+    #[must_use]
+    pub const fn with_flags_cleared(self, flags: PteFlags) -> Self {
+        Self(self.0 & !flags.bits())
+    }
+
+    /// Replaces the whole flag set, preserving the address field.
+    #[must_use]
+    pub const fn with_flags(self, flags: PteFlags) -> Self {
+        Self((self.0 & ADDR_MASK) | flags.bits())
+    }
+}
+
+impl fmt::Debug for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pte(addr={}, {:?})", self.addr(), self.flags())
+    }
+}
+
+impl fmt::LowerHex for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_address_and_flags() {
+        let pte = Pte::new(PhysAddr::new(0xdead_b000), PteFlags::kernel_rw());
+        assert_eq!(pte.addr(), PhysAddr::new(0xdead_b000));
+        assert_eq!(pte.flags(), PteFlags::kernel_rw());
+    }
+
+    #[test]
+    fn zero_is_not_present() {
+        assert!(!Pte::zero().is_present());
+        assert_eq!(Pte::zero().addr(), PhysAddr::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_target_panics() {
+        let _ = Pte::new(PhysAddr::new(0x1234), PteFlags::PRESENT);
+    }
+
+    #[test]
+    fn huge_leaf_requires_present_and_ps() {
+        let huge = Pte::new(PhysAddr::new(0x20_0000), PteFlags::kernel_rx() | PteFlags::HUGE);
+        assert!(huge.is_huge_leaf());
+        let nonpresent = huge.with_flags_cleared(PteFlags::PRESENT);
+        assert!(!nonpresent.is_huge_leaf());
+        let small = Pte::new(PhysAddr::new(0x1000), PteFlags::kernel_rx());
+        assert!(!small.is_huge_leaf());
+    }
+
+    #[test]
+    fn flag_mutation_preserves_address() {
+        let pte = Pte::new(PhysAddr::new(0x4_5000), PteFlags::user_ro());
+        let dirty = pte.with_flags_set(PteFlags::DIRTY | PteFlags::ACCESSED);
+        assert_eq!(dirty.addr(), pte.addr());
+        assert!(dirty.flags().is_dirty());
+        let clean = dirty.with_flags_cleared(PteFlags::DIRTY);
+        assert!(!clean.flags().is_dirty());
+        assert!(clean.flags().contains(PteFlags::ACCESSED));
+    }
+
+    #[test]
+    fn with_flags_replaces_only_flags() {
+        let pte = Pte::new(PhysAddr::new(0x8000), PteFlags::user_rw());
+        let swapped = pte.with_flags(PteFlags::kernel_rx());
+        assert_eq!(swapped.addr(), PhysAddr::new(0x8000));
+        assert_eq!(swapped.flags(), PteFlags::kernel_rx());
+    }
+
+    #[test]
+    fn nx_survives_round_trip() {
+        let pte = Pte::new(PhysAddr::new(0x1000), PteFlags::user_ro());
+        assert!(pte.flags().is_no_execute());
+        assert_eq!(pte.raw() >> 63, 1);
+    }
+}

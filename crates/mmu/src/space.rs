@@ -1,0 +1,977 @@
+//! The four-level page-table address space.
+
+use core::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::error::MmuError;
+use crate::flags::PteFlags;
+use crate::pte::Pte;
+use crate::table::{FrameId, Level, PageTable};
+
+/// Supported architectural page sizes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PageSize {
+    /// 4 KiB page mapped by a PT entry.
+    Size4K,
+    /// 2 MiB page mapped by a PD entry with PS set.
+    Size2M,
+    /// 1 GiB page mapped by a PDPT entry with PS set.
+    Size1G,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 * 1024,
+            PageSize::Size2M => 2 * 1024 * 1024,
+            PageSize::Size1G => 1024 * 1024 * 1024,
+        }
+    }
+
+    /// log2 of the size in bytes.
+    #[must_use]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// The paging-structure level whose entry maps a leaf of this size.
+    #[must_use]
+    pub const fn leaf_level(self) -> Level {
+        match self {
+            PageSize::Size4K => Level::Pt,
+            PageSize::Size2M => Level::Pd,
+            PageSize::Size1G => Level::Pdpt,
+        }
+    }
+
+    /// The page size mapped by a leaf at `level`, if leaves are legal there.
+    #[must_use]
+    pub const fn from_leaf_level(level: Level) -> Option<Self> {
+        match level {
+            Level::Pt => Some(PageSize::Size4K),
+            Level::Pd => Some(PageSize::Size2M),
+            Level::Pdpt => Some(PageSize::Size1G),
+            Level::Pml4 => None,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PageSize::Size4K => "4KiB",
+            PageSize::Size2M => "2MiB",
+            PageSize::Size1G => "1GiB",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One leaf mapping, as yielded by [`AddressSpace::iter_regions`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MappedRegion {
+    /// First virtual address of the page.
+    pub start: VirtAddr,
+    /// Page size of the leaf entry.
+    pub size: PageSize,
+    /// Leaf entry flags.
+    pub flags: PteFlags,
+    /// Backing physical address.
+    pub phys: PhysAddr,
+}
+
+impl MappedRegion {
+    /// One past the last byte of the page.
+    #[must_use]
+    pub fn end(&self) -> VirtAddr {
+        self.start.wrapping_add(self.size.bytes())
+    }
+}
+
+/// A simulated x86-64 address space: a PML4 root plus the paging
+/// structures hanging off it, with auto-allocated backing frames.
+///
+/// Mapping semantics follow the architecture: a leaf may live at PT
+/// (4 KiB), PD (2 MiB, PS=1) or PDPT (1 GiB, PS=1); intermediate entries
+/// carry the union of the permissions required below them (as OS kernels
+/// configure them in practice).
+///
+/// ```
+/// use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+/// # fn main() -> Result<(), avx_mmu::MmuError> {
+/// let mut space = AddressSpace::new();
+/// let text = VirtAddr::new(0xffff_ffff_a1e0_0000)?;
+/// space.map(text, PageSize::Size2M, PteFlags::kernel_rx() | PteFlags::HUGE)?;
+/// assert!(space.lookup(text).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct AddressSpace {
+    tables: Vec<PageTable>,
+    root: FrameId,
+    /// Next simulated physical frame number handed to data pages.
+    next_data_frame: u64,
+    mapped_pages: usize,
+}
+
+/// Data-page physical frames are handed out from this base so they never
+/// collide with the paging-structure arena (which uses small indices).
+const DATA_FRAME_BASE: u64 = 0x10_0000;
+
+impl AddressSpace {
+    /// Creates an empty address space with a zeroed PML4.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tables: vec![PageTable::new()],
+            root: FrameId(0),
+            next_data_frame: DATA_FRAME_BASE,
+            mapped_pages: 0,
+        }
+    }
+
+    /// The root (PML4) table id.
+    #[must_use]
+    pub fn root(&self) -> FrameId {
+        self.root
+    }
+
+    /// Read access to a paging structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name an allocated table.
+    #[must_use]
+    pub fn table(&self, id: FrameId) -> &PageTable {
+        &self.tables[id.index()]
+    }
+
+    /// Number of live leaf mappings.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped_pages
+    }
+
+    /// Number of allocated paging structures (incl. the PML4).
+    #[must_use]
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn alloc_table(&mut self) -> Result<FrameId, MmuError> {
+        let id = u32::try_from(self.tables.len()).map_err(|_| MmuError::OutOfFrames)?;
+        self.tables.push(PageTable::new());
+        Ok(FrameId(id))
+    }
+
+    fn alloc_data_frame(&mut self, size: PageSize) -> PhysAddr {
+        let frames = size.bytes() >> 12;
+        // Align the allocation cursor to the page size.
+        let align = frames;
+        self.next_data_frame = (self.next_data_frame + align - 1) & !(align - 1);
+        let frame = self.next_data_frame;
+        self.next_data_frame += frames;
+        PhysAddr::from_frame_number(frame)
+    }
+
+    /// Maps one page of `size` at `va`, auto-allocating a backing frame.
+    ///
+    /// The `HUGE` flag is set automatically for 2 MiB / 1 GiB sizes and
+    /// must not be set for 4 KiB pages. Returns the backing physical
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// * [`MmuError::Misaligned`] — `va` not aligned to `size`,
+    /// * [`MmuError::AlreadyMapped`] — a leaf already exists at `va`,
+    /// * [`MmuError::HugePageConflict`] — a huge leaf covers `va` at a
+    ///   higher level, or a lower-level table is already populated where a
+    ///   huge leaf should go.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<PhysAddr, MmuError> {
+        let pa = self.alloc_data_frame(size);
+        self.map_at(va, pa, size, flags)?;
+        Ok(pa)
+    }
+
+    /// Maps `va` → `pa` with the given size and flags.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::map`]; additionally the physical address must be
+    /// aligned to `size`.
+    pub fn map_at(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MmuError> {
+        if !va.is_aligned(size.bytes()) {
+            return Err(MmuError::Misaligned {
+                addr: va.as_u64(),
+                size,
+            });
+        }
+        if pa.as_u64() & (size.bytes() - 1) != 0 {
+            return Err(MmuError::Misaligned {
+                addr: pa.as_u64(),
+                size,
+            });
+        }
+
+        let leaf_level = size.leaf_level();
+        let mut table_id = self.root;
+        for level in Level::WALK_ORDER {
+            let idx = va.index_for(level);
+            if level == leaf_level {
+                let table = &mut self.tables[table_id.index()];
+                let existing = table.entry(idx);
+                if existing.raw() != 0 {
+                    return Err(if existing.is_huge_leaf() || level == Level::Pt {
+                        MmuError::AlreadyMapped { addr: va.as_u64() }
+                    } else {
+                        // A next-level table hangs here; cannot place a huge
+                        // leaf over it.
+                        MmuError::HugePageConflict { addr: va.as_u64() }
+                    });
+                }
+                let mut leaf_flags = flags;
+                if size != PageSize::Size4K {
+                    leaf_flags |= PteFlags::HUGE;
+                } else if leaf_flags.is_huge() {
+                    // On PT entries bit 7 is PAT, not PS; reject to avoid
+                    // silently mapping something surprising.
+                    return Err(MmuError::HugePageConflict { addr: va.as_u64() });
+                }
+                table.set_entry(idx, Pte::new(pa, leaf_flags));
+                self.mapped_pages += 1;
+                return Ok(());
+            }
+
+            // Descend, allocating or validating the intermediate entry.
+            let entry = self.tables[table_id.index()].entry(idx);
+            if entry.is_huge_leaf() {
+                return Err(MmuError::HugePageConflict { addr: va.as_u64() });
+            }
+            let next_id = if entry.raw() == 0 {
+                let new_id = self.alloc_table()?;
+                let mut inter = PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::ACCESSED;
+                if flags.is_user() {
+                    inter |= PteFlags::USER;
+                }
+                self.tables[table_id.index()].set_entry(
+                    idx,
+                    Pte::new(PhysAddr::from_frame_number(new_id.0 as u64), inter),
+                );
+                new_id
+            } else {
+                // Upgrade intermediate permissions if this mapping needs them.
+                if flags.is_user() && !entry.flags().is_user() {
+                    self.tables[table_id.index()]
+                        .set_entry(idx, entry.with_flags_set(PteFlags::USER));
+                }
+                FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"))
+            };
+            table_id = next_id;
+        }
+        unreachable!("leaf level is always reached in WALK_ORDER");
+    }
+
+    /// Maps `count` consecutive pages of `size` starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first page that cannot be mapped (earlier pages
+    /// stay mapped).
+    pub fn map_range(
+        &mut self,
+        va: VirtAddr,
+        count: u64,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MmuError> {
+        for i in 0..count {
+            self.map(va.wrapping_add(i * size.bytes()), size, flags)?;
+        }
+        Ok(())
+    }
+
+    /// Unmaps `count` consecutive pages of `size` starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first page that cannot be unmapped (earlier
+    /// pages stay unmapped).
+    pub fn unmap_range(
+        &mut self,
+        va: VirtAddr,
+        count: u64,
+        size: PageSize,
+    ) -> Result<(), MmuError> {
+        for i in 0..count {
+            self.unmap(va.wrapping_add(i * size.bytes()), size)?;
+        }
+        Ok(())
+    }
+
+    /// Re-protects `count` consecutive pages of `size` starting at `va`
+    /// (an `mprotect` over a whole VMA).
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first page that cannot be re-protected.
+    pub fn protect_range(
+        &mut self,
+        va: VirtAddr,
+        count: u64,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MmuError> {
+        for i in 0..count {
+            self.protect(va.wrapping_add(i * size.bytes()), size, flags)?;
+        }
+        Ok(())
+    }
+
+    /// Removes the leaf mapping of `size` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MmuError::Misaligned`] — `va` not aligned to `size`,
+    /// * [`MmuError::NotMapped`] — nothing mapped there,
+    /// * [`MmuError::SizeMismatch`] — mapped with a different page size.
+    pub fn unmap(&mut self, va: VirtAddr, size: PageSize) -> Result<(), MmuError> {
+        if !va.is_aligned(size.bytes()) {
+            return Err(MmuError::Misaligned {
+                addr: va.as_u64(),
+                size,
+            });
+        }
+        let (table_id, idx) = self.locate_leaf_slot(va, size)?;
+        self.tables[table_id.index()].set_entry(idx, Pte::zero());
+        self.mapped_pages -= 1;
+        // Free empty paging structures, as OS kernels do on munmap —
+        // otherwise a stale empty PT/PD would block a later huge-page
+        // mapping of the same range.
+        self.prune_empty_tables(va);
+        Ok(())
+    }
+
+    /// Clears pointers to now-empty child tables along the walk path of
+    /// `va`, bottom-up. (Arena slots are not recycled; correctness only
+    /// needs the links gone.)
+    fn prune_empty_tables(&mut self, va: VirtAddr) {
+        let mut path: Vec<(FrameId, usize)> = Vec::with_capacity(3);
+        let mut table_id = self.root;
+        for level in Level::WALK_ORDER {
+            let idx = va.index_for(level);
+            let entry = self.tables[table_id.index()].entry(idx);
+            if entry.raw() == 0 || entry.is_huge_leaf() || level == Level::Pt {
+                break;
+            }
+            path.push((table_id, idx));
+            table_id =
+                FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
+        }
+        for (parent, idx) in path.into_iter().rev() {
+            let entry = self.tables[parent.index()].entry(idx);
+            let child =
+                FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
+            if self.tables[child.index()].is_empty() {
+                self.tables[parent.index()].set_entry(idx, Pte::zero());
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Replaces the flags of the existing leaf at `va` (e.g. `mprotect`).
+    ///
+    /// The `HUGE` bit is managed automatically and the physical target is
+    /// preserved. As with [`AddressSpace::map`], granting `USER` upgrades
+    /// the intermediate entries on the path so the *effective* permission
+    /// (the AND across levels) actually becomes user-accessible.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AddressSpace::unmap`].
+    pub fn protect(
+        &mut self,
+        va: VirtAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MmuError> {
+        let (table_id, idx) = self.locate_leaf_slot(va, size)?;
+        let entry = self.tables[table_id.index()].entry(idx);
+        let mut new_flags = flags;
+        if size != PageSize::Size4K {
+            new_flags |= PteFlags::HUGE;
+        }
+        self.tables[table_id.index()].set_entry(idx, entry.with_flags(new_flags));
+        if flags.is_user() {
+            self.upgrade_intermediates_to_user(va);
+        }
+        Ok(())
+    }
+
+    /// Sets `USER` on every present intermediate entry on the walk path
+    /// of `va` (leaf excluded).
+    fn upgrade_intermediates_to_user(&mut self, va: VirtAddr) {
+        let mut table_id = self.root;
+        for level in Level::WALK_ORDER {
+            let idx = va.index_for(level);
+            let entry = self.tables[table_id.index()].entry(idx);
+            if level == Level::Pt || entry.is_huge_leaf() || !entry.is_present() {
+                return;
+            }
+            if !entry.flags().is_user() {
+                self.tables[table_id.index()].set_entry(idx, entry.with_flags_set(PteFlags::USER));
+            }
+            table_id = FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame"));
+        }
+    }
+
+    /// Sets the Accessed (and optionally Dirty) bit on the leaf at `va`,
+    /// as the MMU does on a successful translation.
+    ///
+    /// Returns the previous flags so callers (the timing engine) can see
+    /// whether a dirty-bit microcode assist was required.
+    ///
+    /// # Errors
+    ///
+    /// [`MmuError::NotMapped`] if no present leaf covers `va`.
+    pub fn mark_accessed(
+        &mut self,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<PteFlags, MmuError> {
+        let (table_id, idx) = self
+            .locate_any_leaf(va)
+            .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
+        let entry = self.tables[table_id.index()].entry(idx);
+        if !entry.is_present() {
+            return Err(MmuError::NotMapped { addr: va.as_u64() });
+        }
+        let old = entry.flags();
+        let mut set = PteFlags::ACCESSED;
+        if write {
+            set |= PteFlags::DIRTY;
+        }
+        self.tables[table_id.index()].set_entry(idx, entry.with_flags_set(set));
+        Ok(old)
+    }
+
+    /// Clears Accessed/Dirty on the leaf covering `va` (used by tests and
+    /// by OS-model page reclaim).
+    ///
+    /// # Errors
+    ///
+    /// [`MmuError::NotMapped`] if no leaf covers `va`.
+    pub fn clear_accessed_dirty(&mut self, va: VirtAddr) -> Result<(), MmuError> {
+        let (table_id, idx) = self
+            .locate_any_leaf(va)
+            .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
+        let entry = self.tables[table_id.index()].entry(idx);
+        self.tables[table_id.index()]
+            .set_entry(idx, entry.with_flags_cleared(PteFlags::ACCESSED | PteFlags::DIRTY));
+        Ok(())
+    }
+
+    /// Returns the leaf mapping covering `va`, if one is present.
+    #[must_use]
+    pub fn lookup(&self, va: VirtAddr) -> Option<MappedRegion> {
+        let (table_id, idx) = self.locate_any_leaf(va)?;
+        let entry = self.tables[table_id.index()].entry(idx);
+        if !entry.is_present() {
+            return None;
+        }
+        let level = self.level_of_slot(va, table_id)?;
+        let size = PageSize::from_leaf_level(level)?;
+        Some(MappedRegion {
+            start: va.align_down(size.bytes()),
+            size,
+            flags: entry.flags(),
+            phys: entry.addr(),
+        })
+    }
+
+    /// Iterates every leaf mapping in ascending virtual-address order.
+    pub fn iter_regions(&self) -> Vec<MappedRegion> {
+        let mut out = Vec::with_capacity(self.mapped_pages);
+        self.collect_regions(self.root, Level::Pml4, 0, &mut out);
+        out.sort_by_key(|r| r.start);
+        out
+    }
+
+    fn collect_regions(
+        &self,
+        table_id: FrameId,
+        level: Level,
+        va_prefix: u64,
+        out: &mut Vec<MappedRegion>,
+    ) {
+        for (idx, entry) in self.tables[table_id.index()].iter_live() {
+            let va = VirtAddr::new_truncate(va_prefix | ((idx as u64) << level_shift(level)));
+            let is_leaf = match level {
+                Level::Pt => true,
+                Level::Pml4 => false,
+                _ => entry.is_huge_leaf(),
+            };
+            if is_leaf {
+                if entry.is_present() {
+                    if let Some(size) = PageSize::from_leaf_level(level) {
+                        out.push(MappedRegion {
+                            start: va,
+                            size,
+                            flags: entry.flags(),
+                            phys: entry.addr(),
+                        });
+                    }
+                }
+            } else if let Some(next) = level.next() {
+                let next_id =
+                    FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
+                self.collect_regions(next_id, next, va.as_u64(), out);
+            }
+        }
+    }
+
+    /// Finds the table and index of the leaf slot for (`va`, `size`),
+    /// verifying the mapping exists with exactly that size.
+    fn locate_leaf_slot(
+        &self,
+        va: VirtAddr,
+        size: PageSize,
+    ) -> Result<(FrameId, usize), MmuError> {
+        let (table_id, idx) = self
+            .locate_any_leaf(va)
+            .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
+        let level = self
+            .level_of_slot(va, table_id)
+            .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
+        let found = PageSize::from_leaf_level(level).ok_or(MmuError::NotMapped {
+            addr: va.as_u64(),
+        })?;
+        if found != size {
+            return Err(MmuError::SizeMismatch {
+                addr: va.as_u64(),
+                found,
+                expected: size,
+            });
+        }
+        Ok((table_id, idx))
+    }
+
+    /// Descends to the slot that terminates the walk for `va`: either a
+    /// leaf entry (possibly non-present) or `None` when an intermediate
+    /// entry is missing entirely.
+    fn locate_any_leaf(&self, va: VirtAddr) -> Option<(FrameId, usize)> {
+        let mut table_id = self.root;
+        for level in Level::WALK_ORDER {
+            let idx = va.index_for(level);
+            let entry = self.tables[table_id.index()].entry(idx);
+            if level == Level::Pt {
+                if entry.raw() == 0 {
+                    return None;
+                }
+                return Some((table_id, idx));
+            }
+            if entry.is_huge_leaf() {
+                return Some((table_id, idx));
+            }
+            if entry.raw() == 0 || !entry.is_present() {
+                return None;
+            }
+            table_id = FrameId(u32::try_from(entry.addr().frame_number()).ok()?);
+        }
+        None
+    }
+
+    /// Determines which level `table_id` sits at for address `va`.
+    fn level_of_slot(&self, va: VirtAddr, needle: FrameId) -> Option<Level> {
+        let mut table_id = self.root;
+        for level in Level::WALK_ORDER {
+            if table_id == needle {
+                return Some(level);
+            }
+            let entry = self.tables[table_id.index()].entry(va.index_for(level));
+            if entry.raw() == 0 || entry.is_huge_leaf() {
+                return None;
+            }
+            table_id = FrameId(u32::try_from(entry.addr().frame_number()).ok()?);
+        }
+        None
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AddressSpace({} pages, {} tables)",
+            self.mapped_pages,
+            self.tables.len()
+        )
+    }
+}
+
+const fn level_shift(level: Level) -> u32 {
+    match level {
+        Level::Pml4 => 39,
+        Level::Pdpt => 30,
+        Level::Pd => 21,
+        Level::Pt => 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(raw: u64) -> VirtAddr {
+        VirtAddr::new_truncate(raw)
+    }
+
+    #[test]
+    fn map_and_lookup_4k() {
+        let mut s = AddressSpace::new();
+        let a = va(0x5555_5555_4000);
+        let pa = s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        let m = s.lookup(a).unwrap();
+        assert_eq!(m.start, a);
+        assert_eq!(m.size, PageSize::Size4K);
+        assert_eq!(m.phys, pa);
+        assert!(m.flags.is_user());
+        assert_eq!(s.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn map_and_lookup_2m_huge() {
+        let mut s = AddressSpace::new();
+        let a = va(0xffff_ffff_a1e0_0000);
+        s.map(a, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+        let m = s.lookup(a).unwrap();
+        assert_eq!(m.size, PageSize::Size2M);
+        assert!(m.flags.is_huge());
+        // Interior addresses resolve to the same page.
+        let inner = va(0xffff_ffff_a1e1_2345);
+        let mi = s.lookup(inner).unwrap();
+        assert_eq!(mi.start, a);
+    }
+
+    #[test]
+    fn map_1g_page() {
+        let mut s = AddressSpace::new();
+        let a = va(0xffff_c000_0000_0000);
+        s.map(a, PageSize::Size1G, PteFlags::kernel_rw()).unwrap();
+        let m = s.lookup(va(0xffff_c000_3fff_f000)).unwrap();
+        assert_eq!(m.size, PageSize::Size1G);
+        assert_eq!(m.start, a);
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let mut s = AddressSpace::new();
+        assert_eq!(
+            s.map(va(0x1000), PageSize::Size2M, PteFlags::user_rw()),
+            Err(MmuError::Misaligned {
+                addr: 0x1000,
+                size: PageSize::Size2M
+            })
+        );
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut s = AddressSpace::new();
+        let a = va(0x7f00_0000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        assert_eq!(
+            s.map(a, PageSize::Size4K, PteFlags::user_ro()),
+            Err(MmuError::AlreadyMapped { addr: a.as_u64() })
+        );
+    }
+
+    #[test]
+    fn huge_leaf_blocks_4k_below_it() {
+        let mut s = AddressSpace::new();
+        let big = va(0xffff_ffff_8000_0000);
+        s.map(big, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+        let small = va(0xffff_ffff_8000_3000);
+        assert_eq!(
+            s.map(small, PageSize::Size4K, PteFlags::kernel_rx()),
+            Err(MmuError::HugePageConflict {
+                addr: small.as_u64()
+            })
+        );
+    }
+
+    #[test]
+    fn populated_pt_blocks_huge_leaf_above_it() {
+        let mut s = AddressSpace::new();
+        let small = va(0xffff_ffff_8000_3000);
+        s.map(small, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        let big = va(0xffff_ffff_8000_0000);
+        assert_eq!(
+            s.map(big, PageSize::Size2M, PteFlags::kernel_rx()),
+            Err(MmuError::HugePageConflict { addr: big.as_u64() })
+        );
+    }
+
+    #[test]
+    fn explicit_huge_flag_on_4k_rejected() {
+        let mut s = AddressSpace::new();
+        assert!(s
+            .map(
+                va(0x1000),
+                PageSize::Size4K,
+                PteFlags::user_rw() | PteFlags::HUGE
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_then_lookup_none() {
+        let mut s = AddressSpace::new();
+        let a = va(0x4000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.unmap(a, PageSize::Size4K).unwrap();
+        assert!(s.lookup(a).is_none());
+        assert_eq!(s.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn unmap_wrong_size_reports_mismatch() {
+        let mut s = AddressSpace::new();
+        let a = va(0x4000_0000);
+        s.map(a, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        assert_eq!(
+            s.unmap(a, PageSize::Size4K),
+            Err(MmuError::SizeMismatch {
+                addr: a.as_u64(),
+                found: PageSize::Size2M,
+                expected: PageSize::Size4K
+            })
+        );
+    }
+
+    #[test]
+    fn unmap_not_mapped_errors() {
+        let mut s = AddressSpace::new();
+        assert_eq!(
+            s.unmap(va(0x9000), PageSize::Size4K),
+            Err(MmuError::NotMapped { addr: 0x9000 })
+        );
+    }
+
+    #[test]
+    fn protect_changes_flags_keeps_phys() {
+        let mut s = AddressSpace::new();
+        let a = va(0x7f12_3456_7000);
+        let pa = s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let m = s.lookup(a).unwrap();
+        assert_eq!(m.phys, pa);
+        assert!(!m.flags.is_writable());
+    }
+
+    #[test]
+    fn protect_to_non_present_makes_lookup_fail() {
+        let mut s = AddressSpace::new();
+        let a = va(0x7f12_3456_7000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        // Entry exists but is non-present: lookup (present leaf) fails...
+        assert!(s.lookup(a).is_none());
+        // ...yet re-protecting back to present works (VMA semantics).
+        s.protect(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        assert!(s.lookup(a).is_some());
+    }
+
+    #[test]
+    fn protect_to_user_upgrades_intermediates() {
+        // Map as supervisor-only, then mprotect to user: the effective
+        // permission (AND across levels) must become user-accessible.
+        let mut s = AddressSpace::new();
+        let a = va(0x6000_0000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::PRESENT).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        let walk = crate::walk::Walker::new().walk(&s, a);
+        assert!(walk.is_mapped());
+        assert!(walk.perms.user, "intermediates upgraded");
+    }
+
+    #[test]
+    fn mark_accessed_sets_a_and_d_bits() {
+        let mut s = AddressSpace::new();
+        let a = va(0x6000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        let before = s.mark_accessed(a, true).unwrap();
+        assert!(!before.is_dirty());
+        let m = s.lookup(a).unwrap();
+        assert!(m.flags.contains(PteFlags::ACCESSED | PteFlags::DIRTY));
+        // Second write reports the dirty state from the first.
+        let before2 = s.mark_accessed(a, true).unwrap();
+        assert!(before2.is_dirty());
+    }
+
+    #[test]
+    fn clear_accessed_dirty_resets() {
+        let mut s = AddressSpace::new();
+        let a = va(0x6000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.mark_accessed(a, true).unwrap();
+        s.clear_accessed_dirty(a).unwrap();
+        let m = s.lookup(a).unwrap();
+        assert!(!m.flags.is_dirty());
+        assert!(!m.flags.contains(PteFlags::ACCESSED));
+    }
+
+    #[test]
+    fn map_range_maps_consecutive_pages() {
+        let mut s = AddressSpace::new();
+        let a = va(0xffff_ffff_c000_0000);
+        s.map_range(a, 5, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        for i in 0..5 {
+            assert!(s.lookup(a.wrapping_add(i * 4096)).is_some(), "page {i}");
+        }
+        assert!(s.lookup(a.wrapping_add(5 * 4096)).is_none());
+    }
+
+    #[test]
+    fn unmap_range_clears_all_pages() {
+        let mut s = AddressSpace::new();
+        let a = va(0xffff_ffff_c000_0000);
+        s.map_range(a, 8, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        s.unmap_range(a, 8, PageSize::Size4K).unwrap();
+        for i in 0..8 {
+            assert!(s.lookup(a.wrapping_add(i * 4096)).is_none(), "page {i}");
+        }
+        assert_eq!(s.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn unmap_prunes_empty_tables_for_later_huge_maps() {
+        // 2 MiB map + unmap leaves an empty PD behind; a subsequent
+        // 1 GiB map over the same range must succeed (OS kernels free
+        // empty tables on munmap).
+        let mut s = AddressSpace::new();
+        let a = va(0x6000_0000_0000);
+        s.map(a, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        s.unmap(a, PageSize::Size2M).unwrap();
+        s.map(a, PageSize::Size1G, PteFlags::user_rw()).unwrap();
+        assert_eq!(s.lookup(a).unwrap().size, PageSize::Size1G);
+        // And the other direction: 4 KiB after an unmapped 2 MiB works
+        // because the huge leaf is really gone.
+        let b = va(0x6080_0000_0000);
+        s.map(b, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.unmap(b, PageSize::Size4K).unwrap();
+        s.map(b, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+    }
+
+    #[test]
+    fn prune_stops_at_non_empty_tables() {
+        let mut s = AddressSpace::new();
+        let a = va(0x6000_0000_0000);
+        let sibling = va(0x6000_0020_0000); // same PD, next 2 MiB slot
+        s.map(a, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        s.map(sibling, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        s.unmap(a, PageSize::Size2M).unwrap();
+        // Sibling must survive the prune.
+        assert!(s.lookup(sibling).is_some());
+        // And a 1 GiB map over the range is still (correctly) blocked.
+        assert!(s.map(a.align_down(1 << 30), PageSize::Size1G, PteFlags::user_rw()).is_err());
+    }
+
+    #[test]
+    fn unmap_range_fails_fast_on_hole() {
+        let mut s = AddressSpace::new();
+        let a = va(0x4000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        // Second page missing: range unmap of 2 fails after the first.
+        assert!(s.unmap_range(a, 2, PageSize::Size4K).is_err());
+        assert!(s.lookup(a).is_none(), "first page already unmapped");
+    }
+
+    #[test]
+    fn protect_range_rewrites_flags() {
+        let mut s = AddressSpace::new();
+        let a = va(0x7f00_0000_0000);
+        s.map_range(a, 4, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.protect_range(a, 4, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        for i in 0..4 {
+            let m = s.lookup(a.wrapping_add(i * 4096)).unwrap();
+            assert!(!m.flags.is_writable(), "page {i}");
+        }
+    }
+
+    #[test]
+    fn iter_regions_sorted_and_complete() {
+        let mut s = AddressSpace::new();
+        s.map(va(0xffff_ffff_a000_0000), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        s.map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rx())
+            .unwrap();
+        s.map(va(0x7fff_f7a0_0000), PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
+        let regions = s.iter_regions();
+        assert_eq!(regions.len(), 3);
+        assert!(regions.windows(2).all(|w| w[0].start < w[1].start));
+        assert_eq!(regions[0].start, va(0x5555_5555_4000));
+        assert_eq!(regions[2].size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn iter_regions_skips_non_present_guards() {
+        let mut s = AddressSpace::new();
+        let a = va(0x7f00_0000_0000);
+        s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        assert!(s.iter_regions().is_empty());
+    }
+
+    #[test]
+    fn user_and_kernel_mappings_coexist() {
+        let mut s = AddressSpace::new();
+        s.map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rx())
+            .unwrap();
+        s.map(va(0xffff_ffff_a1e0_0000), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        assert_eq!(s.mapped_pages(), 2);
+        assert!(s.lookup(va(0x5555_5555_4000)).unwrap().flags.is_user());
+        assert!(!s
+            .lookup(va(0xffff_ffff_a1e0_0000))
+            .unwrap()
+            .flags
+            .is_user());
+    }
+
+    #[test]
+    fn data_frames_do_not_collide_across_sizes() {
+        let mut s = AddressSpace::new();
+        let p1 = s.map(va(0x1000), PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        let p2 = s.map(va(0x20_0000), PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        let p3 = s.map(va(0x2000), PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        assert!(p2.as_u64() >= p1.as_u64() + 4096);
+        assert!(p3.as_u64() >= p2.as_u64() + PageSize::Size2M.bytes());
+        assert_eq!(p2.as_u64() % PageSize::Size2M.bytes(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Paging-structure tables and levels.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+use crate::pte::Pte;
+
+/// Number of entries in every paging structure (512 × 8 bytes = 4 KiB).
+pub const ENTRIES_PER_TABLE: usize = 512;
+
+/// Identifier of a simulated physical frame holding a paging structure.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FrameId(pub(crate) u32);
+
+impl FrameId {
+    /// Creates a frame id from a raw arena index (useful for tests and
+    /// for timing models that key caches by frame).
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Raw index value.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// The four levels of 4-level paging, ordered from root to leaf.
+///
+/// The numeric value equals the conventional level number used in the
+/// paper and in Intel documentation (PML4 = 4 … PT = 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Level {
+    /// Page-map level 4 (root), bits 47..39.
+    Pml4,
+    /// Page-directory-pointer table, bits 38..30. 1 GiB leaves live here.
+    Pdpt,
+    /// Page directory, bits 29..21. 2 MiB leaves live here.
+    Pd,
+    /// Page table, bits 20..12. 4 KiB leaves live here.
+    Pt,
+}
+
+impl Level {
+    /// All levels in walk order (root → leaf).
+    pub const WALK_ORDER: [Level; 4] = [Level::Pml4, Level::Pdpt, Level::Pd, Level::Pt];
+
+    /// Conventional numeric level (PML4 = 4, PDPT = 3, PD = 2, PT = 1).
+    #[must_use]
+    pub const fn number(self) -> u8 {
+        match self {
+            Level::Pml4 => 4,
+            Level::Pdpt => 3,
+            Level::Pd => 2,
+            Level::Pt => 1,
+        }
+    }
+
+    /// The next level towards the leaf, if any.
+    #[must_use]
+    pub const fn next(self) -> Option<Level> {
+        match self {
+            Level::Pml4 => Some(Level::Pdpt),
+            Level::Pdpt => Some(Level::Pd),
+            Level::Pd => Some(Level::Pt),
+            Level::Pt => None,
+        }
+    }
+
+    /// Number of paging-structure accesses a full walk down to (and
+    /// including) this level performs: PML4 → 1 … PT → 4.
+    #[must_use]
+    pub const fn accesses_from_root(self) -> u8 {
+        5 - self.number()
+    }
+
+    /// Size of the region one entry at this level spans.
+    #[must_use]
+    pub const fn entry_span(self) -> u64 {
+        match self {
+            Level::Pml4 => 1 << 39,
+            Level::Pdpt => 1 << 30,
+            Level::Pd => 1 << 21,
+            Level::Pt => 1 << 12,
+        }
+    }
+
+    /// `true` if a leaf mapping may terminate at this level.
+    #[must_use]
+    pub const fn supports_leaf(self) -> bool {
+        !matches!(self, Level::Pml4)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Level::Pml4 => "PML4",
+            Level::Pdpt => "PDPT",
+            Level::Pd => "PD",
+            Level::Pt => "PT",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One 4 KiB paging structure: 512 raw entries.
+#[derive(Clone)]
+pub struct PageTable {
+    entries: Box<[Pte; ENTRIES_PER_TABLE]>,
+    live_entries: u16,
+}
+
+impl PageTable {
+    /// An empty (all zero) table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Box::new([Pte::zero(); ENTRIES_PER_TABLE]),
+            live_entries: 0,
+        }
+    }
+
+    /// The entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512`.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> Pte {
+        self.entries[index]
+    }
+
+    /// Overwrites the entry at `index`, maintaining the live-entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512`.
+    pub fn set_entry(&mut self, index: usize, pte: Pte) {
+        let was = self.entries[index].raw() != 0;
+        let is = pte.raw() != 0;
+        match (was, is) {
+            (false, true) => self.live_entries += 1,
+            (true, false) => self.live_entries -= 1,
+            _ => {}
+        }
+        self.entries[index] = pte;
+    }
+
+    /// Number of non-zero entries; an empty table can be reclaimed.
+    #[must_use]
+    pub fn live_entries(&self) -> usize {
+        self.live_entries as usize
+    }
+
+    /// `true` if every entry is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live_entries == 0
+    }
+
+    /// Iterates over `(index, entry)` pairs of non-zero entries.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, Pte)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.raw() != 0)
+            .map(|(i, e)| (i, *e))
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index<usize> for PageTable {
+    type Output = Pte;
+    fn index(&self, index: usize) -> &Pte {
+        &self.entries[index]
+    }
+}
+
+impl IndexMut<usize> for PageTable {
+    /// Direct mutable access bypasses live-entry accounting; use
+    /// [`PageTable::set_entry`] unless the zero-ness cannot change.
+    fn index_mut(&mut self, index: usize) -> &mut Pte {
+        &mut self.entries[index]
+    }
+}
+
+impl fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageTable({} live entries)", self.live_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::flags::PteFlags;
+
+    #[test]
+    fn level_numbers_match_convention() {
+        assert_eq!(Level::Pml4.number(), 4);
+        assert_eq!(Level::Pdpt.number(), 3);
+        assert_eq!(Level::Pd.number(), 2);
+        assert_eq!(Level::Pt.number(), 1);
+    }
+
+    #[test]
+    fn walk_order_is_root_to_leaf() {
+        assert_eq!(
+            Level::WALK_ORDER,
+            [Level::Pml4, Level::Pdpt, Level::Pd, Level::Pt]
+        );
+        assert_eq!(Level::Pml4.next(), Some(Level::Pdpt));
+        assert_eq!(Level::Pt.next(), None);
+    }
+
+    #[test]
+    fn accesses_from_root_counts_structures() {
+        assert_eq!(Level::Pml4.accesses_from_root(), 1);
+        assert_eq!(Level::Pdpt.accesses_from_root(), 2);
+        assert_eq!(Level::Pd.accesses_from_root(), 3);
+        assert_eq!(Level::Pt.accesses_from_root(), 4);
+    }
+
+    #[test]
+    fn entry_spans() {
+        assert_eq!(Level::Pt.entry_span(), 4096);
+        assert_eq!(Level::Pd.entry_span(), 2 * 1024 * 1024);
+        assert_eq!(Level::Pdpt.entry_span(), 1024 * 1024 * 1024);
+        assert_eq!(Level::Pml4.entry_span(), 512u64 << 30);
+    }
+
+    #[test]
+    fn leaf_support() {
+        assert!(!Level::Pml4.supports_leaf());
+        assert!(Level::Pdpt.supports_leaf());
+        assert!(Level::Pd.supports_leaf());
+        assert!(Level::Pt.supports_leaf());
+    }
+
+    #[test]
+    fn table_live_entry_accounting() {
+        let mut t = PageTable::new();
+        assert!(t.is_empty());
+        let pte = Pte::new(PhysAddr::new(0x1000), PteFlags::PRESENT);
+        t.set_entry(3, pte);
+        t.set_entry(7, pte);
+        assert_eq!(t.live_entries(), 2);
+        t.set_entry(3, pte); // overwrite with non-zero: count unchanged
+        assert_eq!(t.live_entries(), 2);
+        t.set_entry(3, Pte::zero());
+        assert_eq!(t.live_entries(), 1);
+        t.set_entry(7, Pte::zero());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_live_yields_only_nonzero() {
+        let mut t = PageTable::new();
+        let pte = Pte::new(PhysAddr::new(0x2000), PteFlags::PRESENT);
+        t.set_entry(511, pte);
+        let collected: Vec<_> = t.iter_live().collect();
+        assert_eq!(collected, vec![(511, pte)]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Level::Pml4.to_string(), "PML4");
+        assert_eq!(Level::Pt.to_string(), "PT");
+    }
+}

@@ -1,0 +1,630 @@
+//! Translation look-aside buffer model.
+//!
+//! Two-level structure mirroring recent Intel cores: a small
+//! set-associative first-level D-TLB for 4 KiB translations plus a
+//! fully-associative array for huge pages, backed by a large unified
+//! second-level STLB. Only present translations are cached — a walk that
+//! ends at a non-present entry inserts nothing, which is the
+//! architectural root of the paper's mapped/unmapped timing signal (P2)
+//! and of the TLB attack (P4).
+
+use core::fmt;
+
+use crate::addr::VirtAddr;
+use crate::space::PageSize;
+use crate::walk::EffectivePerms;
+
+/// TLB geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Sets in the first-level 4 KiB D-TLB.
+    pub dtlb_sets: usize,
+    /// Ways per set in the first-level 4 KiB D-TLB.
+    pub dtlb_ways: usize,
+    /// Entries in the fully-associative huge-page (2 MiB/1 GiB) array.
+    pub huge_entries: usize,
+    /// Sets in the unified second-level STLB.
+    pub stlb_sets: usize,
+    /// Ways per set in the unified second-level STLB.
+    pub stlb_ways: usize,
+}
+
+impl Default for TlbConfig {
+    /// Ice-Lake-like geometry (64-entry DTLB, 32-entry huge array,
+    /// 1536-entry 12-way STLB).
+    fn default() -> Self {
+        Self {
+            dtlb_sets: 16,
+            dtlb_ways: 4,
+            huge_entries: 32,
+            stlb_sets: 128,
+            stlb_ways: 12,
+        }
+    }
+}
+
+/// One cached translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number (address >> page shift).
+    pub vpn: u64,
+    /// Page size of the translation.
+    pub size: PageSize,
+    /// Physical frame number of the mapped page.
+    pub pfn: u64,
+    /// Effective permissions incl. dirty state at fill time.
+    pub perms: EffectivePerms,
+}
+
+impl TlbEntry {
+    /// `true` if this entry translates `va`.
+    #[must_use]
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        va.as_u64() >> self.size.shift() == self.vpn
+    }
+}
+
+/// Which level of the TLB hierarchy produced a hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// First-level hit (D-TLB or huge array).
+    L1,
+    /// Second-level (STLB) hit; the entry is promoted to L1.
+    L2,
+}
+
+#[derive(Clone, Debug)]
+struct SetAssoc {
+    sets: usize,
+    ways: usize,
+    /// slots[set * ways + way] = (entry, lru stamp); stamp 0 = invalid.
+    slots: Vec<Option<(TlbEntry, u64)>>,
+    clock: u64,
+}
+
+impl SetAssoc {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets,
+            ways,
+            slots: vec![None; sets * ways],
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets - 1)
+    }
+
+    fn lookup(&mut self, va: VirtAddr, size_shift: u32) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        let vpn = va.as_u64() >> size_shift;
+        let set = self.set_index(vpn);
+        for way in 0..self.ways {
+            let slot = &mut self.slots[set * self.ways + way];
+            if let Some((entry, stamp)) = slot {
+                if entry.vpn == vpn && entry.size.shift() == size_shift {
+                    *stamp = clock;
+                    return Some(*entry);
+                }
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+        self.clock += 1;
+        let set = self.set_index(entry.vpn);
+        let base = set * self.ways;
+        // Update in place if present.
+        for way in 0..self.ways {
+            if let Some((existing, stamp)) = &mut self.slots[base + way] {
+                if existing.vpn == entry.vpn && existing.size == entry.size {
+                    *existing = entry;
+                    *stamp = self.clock;
+                    return None;
+                }
+            }
+        }
+        // Free way?
+        for way in 0..self.ways {
+            if self.slots[base + way].is_none() {
+                self.slots[base + way] = Some((entry, self.clock));
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim_way = (0..self.ways)
+            .min_by_key(|&w| self.slots[base + w].map_or(0, |(_, s)| s))
+            .expect("ways > 0");
+        let evicted = self.slots[base + victim_way].take().map(|(e, _)| e);
+        self.slots[base + victim_way] = Some((entry, self.clock));
+        evicted
+    }
+
+    fn invalidate(&mut self, va: VirtAddr) {
+        for slot in &mut self.slots {
+            if let Some((entry, _)) = slot {
+                if entry.covers(va) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, keep_global: bool) {
+        for slot in &mut self.slots {
+            let keep = keep_global && slot.is_some_and(|(e, _)| e.perms.global);
+            if !keep {
+                *slot = None;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct FullyAssoc {
+    capacity: usize,
+    slots: Vec<(TlbEntry, u64)>,
+    clock: u64,
+}
+
+impl FullyAssoc {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            clock: 0,
+        }
+    }
+
+    fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        for (entry, stamp) in &mut self.slots {
+            if entry.covers(va) {
+                *stamp = clock;
+                return Some(*entry);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, entry: TlbEntry) {
+        self.clock += 1;
+        if let Some((existing, stamp)) = self
+            .slots
+            .iter_mut()
+            .find(|(e, _)| e.vpn == entry.vpn && e.size == entry.size)
+        {
+            *existing = entry;
+            *stamp = self.clock;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push((entry, self.clock));
+        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
+            *victim = (entry, self.clock);
+        }
+    }
+
+    fn invalidate(&mut self, va: VirtAddr) {
+        self.slots.retain(|(e, _)| !e.covers(va));
+    }
+
+    fn flush(&mut self, keep_global: bool) {
+        if keep_global {
+            self.slots.retain(|(e, _)| e.perms.global);
+        } else {
+            self.slots.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// The two-level TLB.
+///
+/// ```
+/// use avx_mmu::{Tlb, TlbConfig, TlbEntry, PageSize};
+/// use avx_mmu::walk::EffectivePerms;
+/// use avx_mmu::VirtAddr;
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// let va = VirtAddr::new_truncate(0xffff_ffff_a1e0_0000);
+/// tlb.insert(TlbEntry {
+///     vpn: va.as_u64() >> 21,
+///     size: PageSize::Size2M,
+///     pfn: 0x1000,
+///     perms: EffectivePerms::kernel_default(),
+/// });
+/// assert!(tlb.lookup(va).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    dtlb: SetAssoc,
+    huge: FullyAssoc,
+    stlb: SetAssoc,
+    config: TlbConfig,
+    hits_l1: u64,
+    hits_l2: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless set counts are powers of two and ways are non-zero.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.dtlb_sets.is_power_of_two(), "dtlb_sets must be 2^n");
+        assert!(config.stlb_sets.is_power_of_two(), "stlb_sets must be 2^n");
+        assert!(config.dtlb_ways > 0 && config.stlb_ways > 0, "ways > 0");
+        Self {
+            dtlb: SetAssoc::new(config.dtlb_sets, config.dtlb_ways),
+            huge: FullyAssoc::new(config.huge_entries),
+            stlb: SetAssoc::new(config.stlb_sets, config.stlb_ways),
+            config,
+            hits_l1: 0,
+            hits_l2: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    #[must_use]
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Looks up a translation for `va`, updating replacement state.
+    ///
+    /// An STLB hit is promoted into the first level, as hardware does.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<(TlbEntry, TlbLookup)> {
+        if let Some(e) = self.dtlb.lookup(va, PageSize::Size4K.shift()) {
+            self.hits_l1 += 1;
+            return Some((e, TlbLookup::L1));
+        }
+        if let Some(e) = self.huge.lookup(va) {
+            self.hits_l1 += 1;
+            return Some((e, TlbLookup::L1));
+        }
+        // Unified STLB holds all page sizes.
+        for shift in [
+            PageSize::Size4K.shift(),
+            PageSize::Size2M.shift(),
+            PageSize::Size1G.shift(),
+        ] {
+            if let Some(e) = self.stlb.lookup(va, shift) {
+                self.hits_l2 += 1;
+                self.promote(e);
+                return Some((e, TlbLookup::L2));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Peeks without touching replacement state or counters.
+    #[must_use]
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        let in_dtlb = self
+            .dtlb
+            .slots
+            .iter()
+            .flatten()
+            .any(|(e, _)| e.covers(va));
+        let in_huge = self.huge.slots.iter().any(|(e, _)| e.covers(va));
+        let in_stlb = self
+            .stlb
+            .slots
+            .iter()
+            .flatten()
+            .any(|(e, _)| e.covers(va));
+        in_dtlb || in_huge || in_stlb
+    }
+
+    fn promote(&mut self, entry: TlbEntry) {
+        match entry.size {
+            PageSize::Size4K => {
+                let _ = self.dtlb.insert(entry);
+            }
+            _ => self.huge.insert(entry),
+        }
+    }
+
+    /// Inserts a translation into both levels (walk completion).
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.promote(entry);
+        let _ = self.stlb.insert(entry);
+    }
+
+    /// Updates the cached dirty state for `va`, if cached (store fills).
+    pub fn set_dirty(&mut self, va: VirtAddr) {
+        for slot in self.dtlb.slots.iter_mut().flatten() {
+            if slot.0.covers(va) {
+                slot.0.perms.dirty = true;
+            }
+        }
+        for slot in self.huge.slots.iter_mut() {
+            if slot.0.covers(va) {
+                slot.0.perms.dirty = true;
+            }
+        }
+        for slot in self.stlb.slots.iter_mut().flatten() {
+            if slot.0.covers(va) {
+                slot.0.perms.dirty = true;
+            }
+        }
+    }
+
+    /// Invalidates any translation covering `va` (the `INVLPG` part that
+    /// touches the TLB proper; the PSC has its own `invlpg`).
+    pub fn invlpg(&mut self, va: VirtAddr) {
+        self.dtlb.invalidate(va);
+        self.huge.invalidate(va);
+        self.stlb.invalidate(va);
+    }
+
+    /// Flushes everything (CR3 write). Global entries survive unless
+    /// `keep_global` is false (CR4.PGE toggle).
+    pub fn flush(&mut self, keep_global: bool) {
+        self.dtlb.flush(keep_global);
+        self.huge.flush(keep_global);
+        self.stlb.flush(keep_global);
+    }
+
+    /// Simulates the user-level eviction pattern of Gras et al.: fills the
+    /// D-TLB and STLB sets that `va` maps to with attacker translations,
+    /// evicting the victim entry without `INVLPG`.
+    ///
+    /// Returns how many filler translations were inserted.
+    pub fn evict_address(&mut self, va: VirtAddr) -> usize {
+        let vpn = va.vpn();
+        let mut inserted = 0;
+        // Enough fillers to exhaust both the D-TLB set and the STLB set:
+        // filler vpns congruent modulo both set counts.
+        let stride = (self.config.dtlb_sets * self.config.stlb_sets) as u64;
+        let fillers = self.config.dtlb_ways + self.config.stlb_ways;
+        for i in 1..=fillers {
+            // Attacker-controlled user addresses; top bits cleared so they
+            // never alias kernel translations.
+            let filler_vpn = (vpn & (stride - 1)) + stride * i as u64 + (1 << 30);
+            let entry = TlbEntry {
+                vpn: filler_vpn,
+                size: PageSize::Size4K,
+                pfn: filler_vpn,
+                perms: EffectivePerms {
+                    user: true,
+                    writable: true,
+                    no_execute: true,
+                    global: false,
+                    dirty: true,
+                },
+            };
+            self.insert(entry);
+            inserted += 1;
+        }
+        // Huge-page victims sit in the fully-associative array and in
+        // STLB sets the 4 KiB fillers do not index; the attacker's real
+        // eviction loop also touches huge-page buffers, modelled here as
+        // a direct invalidation.
+        self.huge.invalidate(va);
+        self.stlb.invalidate(va);
+        inserted
+    }
+
+    /// Number of live entries across all arrays (L1 + L2, duplicates
+    /// counted once per array).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dtlb.len() + self.huge.len() + self.stlb.len()
+    }
+
+    /// `true` when completely empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (L1 hits, L2 hits, misses) counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits_l1, self.hits_l2, self.misses)
+    }
+
+    /// First-level D-TLB associativity (used by eviction-pressure tests).
+    #[must_use]
+    pub fn dtlb_ways(&self) -> usize {
+        self.config.dtlb_ways
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new(TlbConfig::default())
+    }
+}
+
+impl fmt::Display for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (h1, h2, m) = self.stats();
+        write!(
+            f,
+            "TLB(dtlb={}, huge={}, stlb={}, hits={}+{}, misses={})",
+            self.dtlb.len(),
+            self.huge.len(),
+            self.stlb.len(),
+            h1,
+            h2,
+            m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_4k(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            vpn,
+            size: PageSize::Size4K,
+            pfn: vpn ^ 0xaaaa,
+            perms: EffectivePerms {
+                user: true,
+                writable: true,
+                no_execute: true,
+                global: false,
+                dirty: false,
+            },
+        }
+    }
+
+    fn entry_2m(vpn: u64, global: bool) -> TlbEntry {
+        TlbEntry {
+            vpn,
+            size: PageSize::Size2M,
+            pfn: vpn,
+            perms: EffectivePerms {
+                user: false,
+                writable: false,
+                no_execute: false,
+                global,
+                dirty: false,
+            },
+        }
+    }
+
+    fn va_of_4k(vpn: u64) -> VirtAddr {
+        VirtAddr::new_truncate(vpn << 12)
+    }
+
+    #[test]
+    fn insert_then_hit_l1() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x1234));
+        let (e, lvl) = tlb.lookup(va_of_4k(0x1234)).unwrap();
+        assert_eq!(e.vpn, 0x1234);
+        assert_eq!(lvl, TlbLookup::L1);
+    }
+
+    #[test]
+    fn miss_on_empty() {
+        let mut tlb = Tlb::default();
+        assert!(tlb.lookup(va_of_4k(0x42)).is_none());
+        assert_eq!(tlb.stats().2, 1);
+    }
+
+    #[test]
+    fn huge_entry_covers_interior_addresses() {
+        let mut tlb = Tlb::default();
+        let base = 0xffff_ffff_a1e0_0000u64;
+        tlb.insert(entry_2m(base >> 21, true));
+        let inner = VirtAddr::new_truncate(base + 0x12_3456);
+        assert!(tlb.lookup(inner).is_some());
+    }
+
+    #[test]
+    fn dtlb_eviction_falls_back_to_stlb() {
+        let mut tlb = Tlb::default();
+        let cfg = tlb.config();
+        let victim_vpn = 0x7000;
+        tlb.insert(entry_4k(victim_vpn));
+        // Fill the victim's D-TLB set with congruent vpns (same low bits).
+        for i in 1..=cfg.dtlb_ways as u64 {
+            tlb.insert(entry_4k(victim_vpn + i * cfg.dtlb_sets as u64));
+        }
+        // The victim was evicted from L1 but still hits in the STLB.
+        let (_, lvl) = tlb.lookup(va_of_4k(victim_vpn)).unwrap();
+        assert_eq!(lvl, TlbLookup::L2);
+        // And the hit promoted it back to L1.
+        let (_, lvl) = tlb.lookup(va_of_4k(victim_vpn)).unwrap();
+        assert_eq!(lvl, TlbLookup::L1);
+    }
+
+    #[test]
+    fn evict_address_forces_full_miss() {
+        let mut tlb = Tlb::default();
+        let vpn = 0xffff_ffff_a1e0_0000u64 >> 12;
+        tlb.insert(entry_4k(vpn));
+        assert!(tlb.contains(va_of_4k(vpn)));
+        tlb.evict_address(va_of_4k(vpn));
+        assert!(
+            tlb.lookup(va_of_4k(vpn)).is_none(),
+            "victim must be evicted from both levels"
+        );
+    }
+
+    #[test]
+    fn invlpg_removes_entry_everywhere() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x99));
+        tlb.invlpg(va_of_4k(0x99));
+        assert!(!tlb.contains(va_of_4k(0x99)));
+        assert!(tlb.lookup(va_of_4k(0x99)).is_none());
+    }
+
+    #[test]
+    fn flush_keeps_global_when_asked() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x11)); // non-global
+        tlb.insert(entry_2m(0xffff_ffff_a1e0_0000u64 >> 21, true)); // global
+        tlb.flush(true);
+        assert!(!tlb.contains(va_of_4k(0x11)));
+        assert!(tlb.contains(VirtAddr::new_truncate(0xffff_ffff_a1e0_0000)));
+        tlb.flush(false);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn set_dirty_updates_cached_perms() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x55));
+        tlb.set_dirty(va_of_4k(0x55));
+        let (e, _) = tlb.lookup(va_of_4k(0x55)).unwrap();
+        assert!(e.perms.dirty);
+    }
+
+    #[test]
+    fn duplicate_insert_updates_in_place() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x77));
+        let mut updated = entry_4k(0x77);
+        updated.perms.dirty = true;
+        tlb.insert(updated);
+        let (e, _) = tlb.lookup(va_of_4k(0x77)).unwrap();
+        assert!(e.perms.dirty);
+        // No duplicate entries accumulated in the STLB.
+        assert!(tlb.len() <= 2 * 2);
+    }
+
+    #[test]
+    fn lookup_promotes_and_counts() {
+        let mut tlb = Tlb::default();
+        tlb.insert(entry_4k(0x31));
+        let _ = tlb.lookup(va_of_4k(0x31));
+        let (h1, h2, m) = tlb.stats();
+        assert_eq!((h1, h2, m), (1, 0, 0));
+        let _ = tlb.lookup(va_of_4k(0x32));
+        assert_eq!(tlb.stats().2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dtlb_sets must be 2^n")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Tlb::new(TlbConfig {
+            dtlb_sets: 3,
+            ..TlbConfig::default()
+        });
+    }
+}

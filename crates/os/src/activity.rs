@@ -1,0 +1,404 @@
+//! Background kernel-activity timelines.
+//!
+//! Drives the Fig. 6 user-behaviour experiment: when the user streams
+//! Bluetooth audio or moves the mouse, the kernel executes the
+//! corresponding driver module, whose page translations land in the
+//! shared TLB. A spy probing the module's pages then sees TLB-hit
+//! latencies during activity and cold-walk latencies otherwise.
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use avx_uarch::Machine;
+use avx_mmu::VirtAddr;
+
+/// The two user behaviours monitored in the paper's Fig. 6.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Behaviour {
+    /// Bluetooth audio streaming (touches the `bluetooth` module).
+    BluetoothAudio,
+    /// Mouse movement (touches the `psmouse` module).
+    MouseMovement,
+}
+
+impl Behaviour {
+    /// The kernel module this behaviour exercises.
+    #[must_use]
+    pub const fn module_name(self) -> &'static str {
+        match self {
+            Behaviour::BluetoothAudio => "bluetooth",
+            Behaviour::MouseMovement => "psmouse",
+        }
+    }
+}
+
+impl fmt::Display for Behaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behaviour::BluetoothAudio => write!(f, "Bluetooth audio"),
+            Behaviour::MouseMovement => write!(f, "Mouse movements"),
+        }
+    }
+}
+
+/// A half-open activity window `[start, end)` in seconds.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Window {
+    /// Start second (inclusive).
+    pub start: f64,
+    /// End second (exclusive).
+    pub end: f64,
+}
+
+impl Window {
+    /// `true` if `t` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// When a behaviour is active over the observation period.
+#[derive(Clone, Debug)]
+pub struct ActivityTimeline {
+    /// Which behaviour this timeline describes.
+    pub behaviour: Behaviour,
+    /// Active windows, non-overlapping, ascending.
+    pub windows: Vec<Window>,
+    /// Total observation length in seconds.
+    pub duration: f64,
+}
+
+impl ActivityTimeline {
+    /// The Fig. 6 Bluetooth session: one long streaming window in the
+    /// middle of a 100 s observation.
+    #[must_use]
+    pub fn bluetooth_session() -> Self {
+        Self {
+            behaviour: Behaviour::BluetoothAudio,
+            windows: vec![Window { start: 20.0, end: 80.0 }],
+            duration: 100.0,
+        }
+    }
+
+    /// The Fig. 6 mouse session: several movement bursts.
+    #[must_use]
+    pub fn mouse_session() -> Self {
+        Self {
+            behaviour: Behaviour::MouseMovement,
+            windows: vec![
+                Window { start: 10.0, end: 22.0 },
+                Window { start: 38.0, end: 52.0 },
+                Window { start: 68.0, end: 90.0 },
+            ],
+            duration: 100.0,
+        }
+    }
+
+    /// A randomized timeline with `bursts` activity windows — used for
+    /// accuracy sweeps of the behaviour detector.
+    #[must_use]
+    pub fn random(behaviour: Behaviour, duration: f64, bursts: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4143_5449_5649_5459); // "ACTIVITY"
+        let mut windows: Vec<Window> = Vec::with_capacity(bursts);
+        let slot = duration / bursts.max(1) as f64;
+        for i in 0..bursts {
+            let lo = i as f64 * slot;
+            let start = lo + rng.gen_range(0.0..slot * 0.4);
+            let len = rng.gen_range(slot * 0.2..slot * 0.5);
+            windows.push(Window {
+                start,
+                end: (start + len).min(duration),
+            });
+        }
+        Self {
+            behaviour,
+            windows,
+            duration,
+        }
+    }
+
+    /// `true` if the behaviour is active at time `t`.
+    #[must_use]
+    pub fn active_at(&self, t: f64) -> bool {
+        self.windows.iter().any(|w| w.contains(t))
+    }
+
+    /// The ground-truth activity sample at 1 Hz (for detector scoring).
+    #[must_use]
+    pub fn samples_1hz(&self) -> Vec<bool> {
+        (0..self.duration as usize)
+            .map(|s| self.active_at(s as f64))
+            .collect()
+    }
+}
+
+/// Applies kernel-side effects of the timeline to a machine at time `t`:
+/// when active, the kernel touches the first pages of the module
+/// (interrupt handlers, data structures), caching their translations.
+pub fn apply_activity(
+    machine: &mut Machine,
+    timeline: &ActivityTimeline,
+    module_base: VirtAddr,
+    module_pages: u64,
+    t: f64,
+) {
+    if timeline.active_at(t) {
+        // Driver activity touches the leading pages repeatedly.
+        for page in 0..module_pages.min(10) {
+            machine.touch_as_kernel(module_base.wrapping_add(page * 4096));
+        }
+    }
+}
+
+/// An application's *module-activity profile*: which kernel modules its
+/// execution keeps hot, as fractions of spy samples in [0, 1].
+///
+/// The paper closes §IV-E with "we believe that our attack will likely
+/// be extended … to fingerprint applications or websites"; this is that
+/// extension. Only unique-sized modules are usable in practice (the spy
+/// must first locate them by size, §IV-C), so profiles are defined over
+/// that subset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: &'static str,
+    /// `(module, expected activity fraction)` — modules not listed are
+    /// expected idle.
+    pub activity: Vec<(&'static str, f64)>,
+}
+
+impl AppProfile {
+    /// A video-call app: audio streaming + camera + network driver work.
+    #[must_use]
+    pub fn video_call() -> Self {
+        Self {
+            name: "video-call",
+            activity: vec![
+                ("bluetooth", 0.9),
+                ("video", 0.7),
+                ("e1000e", 0.8),
+                ("psmouse", 0.2),
+            ],
+        }
+    }
+
+    /// A code editor: input devices dominate, barely any network.
+    #[must_use]
+    pub fn editor() -> Self {
+        Self {
+            name: "editor",
+            activity: vec![
+                ("psmouse", 0.8),
+                ("i2c_i801", 0.3),
+                ("e1000e", 0.1),
+            ],
+        }
+    }
+
+    /// A file-sync daemon: filesystem + network, no input.
+    #[must_use]
+    pub fn file_sync() -> Self {
+        Self {
+            name: "file-sync",
+            activity: vec![
+                ("xfs", 0.9),
+                ("e1000e", 0.9),
+                ("nvme", 0.6),
+            ],
+        }
+    }
+
+    /// A media player: audio + video, mouse only occasionally.
+    #[must_use]
+    pub fn media_player() -> Self {
+        Self {
+            name: "media-player",
+            activity: vec![
+                ("snd_hda_intel", 0.9),
+                ("video", 0.8),
+                ("psmouse", 0.1),
+            ],
+        }
+    }
+
+    /// The default classifier database.
+    #[must_use]
+    pub fn standard_set() -> Vec<Self> {
+        vec![
+            Self::video_call(),
+            Self::editor(),
+            Self::file_sync(),
+            Self::media_player(),
+        ]
+    }
+
+    /// Expected activity fraction for `module` (0 when unlisted).
+    #[must_use]
+    pub fn expected(&self, module: &str) -> f64 {
+        self.activity
+            .iter()
+            .find(|(m, _)| *m == module)
+            .map_or(0.0, |(_, f)| *f)
+    }
+
+    /// Generates per-module activity timelines for one run of this app:
+    /// each listed module gets random bursts totalling roughly its
+    /// activity fraction of the observation window.
+    #[must_use]
+    pub fn timelines(&self, duration: f64, seed: u64) -> Vec<(&'static str, ActivityTimeline)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4150_5050_524f_464c); // "APPPROFL"
+        self.activity
+            .iter()
+            .map(|&(module, fraction)| {
+                // Bernoulli per second, preserving the expected fraction.
+                let mut windows = Vec::new();
+                let mut t = 0.0;
+                while t < duration {
+                    if rng.gen::<f64>() < fraction {
+                        windows.push(Window { start: t, end: t + 1.0 });
+                    }
+                    t += 1.0;
+                }
+                (
+                    module,
+                    ActivityTimeline {
+                        behaviour: Behaviour::BluetoothAudio, // label unused here
+                        windows,
+                        duration,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bluetooth_session_matches_fig6_shape() {
+        let tl = ActivityTimeline::bluetooth_session();
+        assert!(!tl.active_at(5.0));
+        assert!(tl.active_at(25.0));
+        assert!(tl.active_at(79.9));
+        assert!(!tl.active_at(85.0));
+        assert_eq!(tl.behaviour.module_name(), "bluetooth");
+    }
+
+    #[test]
+    fn mouse_session_has_three_bursts() {
+        let tl = ActivityTimeline::mouse_session();
+        assert_eq!(tl.windows.len(), 3);
+        assert!(tl.active_at(15.0));
+        assert!(!tl.active_at(30.0));
+        assert!(tl.active_at(45.0));
+        assert!(!tl.active_at(60.0));
+        assert!(tl.active_at(75.0));
+        assert_eq!(tl.behaviour.module_name(), "psmouse");
+    }
+
+    #[test]
+    fn samples_1hz_length_and_content() {
+        let tl = ActivityTimeline::bluetooth_session();
+        let s = tl.samples_1hz();
+        assert_eq!(s.len(), 100);
+        assert!(!s[0]);
+        assert!(s[50]);
+        assert_eq!(s.iter().filter(|&&b| b).count(), 60);
+    }
+
+    #[test]
+    fn random_timelines_stay_in_bounds_and_vary() {
+        let a = ActivityTimeline::random(Behaviour::MouseMovement, 60.0, 4, 1);
+        let b = ActivityTimeline::random(Behaviour::MouseMovement, 60.0, 4, 2);
+        assert_eq!(a.windows.len(), 4);
+        for w in &a.windows {
+            assert!(w.start >= 0.0 && w.end <= 60.0 && w.start < w.end);
+        }
+        assert_ne!(
+            a.samples_1hz(),
+            b.samples_1hz(),
+            "different seeds, different bursts"
+        );
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        for seed in 0..10 {
+            let tl = ActivityTimeline::random(Behaviour::BluetoothAudio, 120.0, 5, seed);
+            for pair in tl.windows.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn behaviour_display() {
+        assert_eq!(Behaviour::BluetoothAudio.to_string(), "Bluetooth audio");
+        assert_eq!(Behaviour::MouseMovement.to_string(), "Mouse movements");
+    }
+
+    #[test]
+    fn app_profiles_use_unique_sized_modules_only() {
+        use crate::modules::{unique_sized, UBUNTU_18_04_MODULES};
+        let unique: Vec<&str> = unique_sized(&UBUNTU_18_04_MODULES)
+            .iter()
+            .map(|m| m.name)
+            .collect();
+        for profile in AppProfile::standard_set() {
+            for (module, fraction) in &profile.activity {
+                assert!(
+                    unique.contains(module),
+                    "{}: {module} is not locatable by size",
+                    profile.name
+                );
+                assert!((0.0..=1.0).contains(fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn app_timelines_respect_activity_fractions() {
+        let profile = AppProfile::video_call();
+        let timelines = profile.timelines(200.0, 3);
+        for (module, tl) in &timelines {
+            let active = tl.samples_1hz().iter().filter(|&&b| b).count() as f64 / 200.0;
+            let expected = profile.expected(module);
+            assert!(
+                (active - expected).abs() < 0.15,
+                "{module}: {active} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn app_profiles_are_pairwise_distinguishable() {
+        // The L1 distance between any two profiles (over the union of
+        // their modules) must be large enough for a detector to tell
+        // them apart even with sampling noise.
+        let set = AppProfile::standard_set();
+        for (i, a) in set.iter().enumerate() {
+            for b in &set[i + 1..] {
+                let mut modules: Vec<&str> =
+                    a.activity.iter().chain(&b.activity).map(|(m, _)| *m).collect();
+                modules.sort_unstable();
+                modules.dedup();
+                let dist: f64 = modules
+                    .iter()
+                    .map(|m| (a.expected(m) - b.expected(m)).abs())
+                    .sum();
+                assert!(dist > 0.8, "{} vs {} too close: {dist}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_returns_zero_for_unlisted() {
+        assert_eq!(AppProfile::editor().expected("bluetooth"), 0.0);
+        assert!(AppProfile::editor().expected("psmouse") > 0.0);
+    }
+}

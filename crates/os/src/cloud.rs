@@ -1,0 +1,166 @@
+//! Cloud-provider guest presets (§IV-H).
+//!
+//! The paper breaks KASLR on three public clouds. Each preset bundles
+//! the host CPU the paper observed with the guest OS configuration:
+//!
+//! * **Amazon EC2** — Xeon E5-2676 (Meltdown-vulnerable ⇒ KPTI on),
+//!   Linux 5.11.0-1020-aws with the trampoline at offset `0xe00000`,
+//! * **Google GCE** — Xeon Cascade Lake (Meltdown-resistant ⇒ KPTI
+//!   off), Linux 5.13.0: kernel base probed directly,
+//! * **Microsoft Azure** — Xeon Platinum 8171M running Windows 10 21H2.
+
+use core::fmt;
+
+use avx_uarch::CpuProfile;
+
+use crate::linux::LinuxConfig;
+use crate::windows::{WindowsConfig, WindowsVersion};
+
+/// The three evaluated providers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CloudProvider {
+    /// Amazon EC2 (§IV-H first testbed).
+    AmazonEc2,
+    /// Google Compute Engine.
+    GoogleGce,
+    /// Microsoft Azure.
+    MicrosoftAzure,
+}
+
+impl fmt::Display for CloudProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudProvider::AmazonEc2 => write!(f, "Amazon EC2"),
+            CloudProvider::GoogleGce => write!(f, "Google GCE"),
+            CloudProvider::MicrosoftAzure => write!(f, "Microsoft Azure"),
+        }
+    }
+}
+
+/// The guest operating-system configuration of a preset.
+#[derive(Clone, Debug)]
+pub enum GuestOs {
+    /// A Linux guest.
+    Linux(LinuxConfig),
+    /// A Windows guest.
+    Windows(WindowsConfig),
+}
+
+/// A cloud scenario: provider + host CPU + guest OS.
+#[derive(Clone, Debug)]
+pub struct CloudScenario {
+    /// Which provider.
+    pub provider: CloudProvider,
+    /// Host CPU profile observed by the paper.
+    pub cpu: CpuProfile,
+    /// Guest OS configuration.
+    pub guest: GuestOs,
+}
+
+impl CloudScenario {
+    /// The EC2 preset: KPTI-enabled Linux, trampoline at `0xe00000`.
+    #[must_use]
+    pub fn amazon_ec2(seed: u64) -> Self {
+        Self {
+            provider: CloudProvider::AmazonEc2,
+            cpu: CpuProfile::xeon_e5_2676(),
+            guest: GuestOs::Linux(LinuxConfig {
+                kpti: true,
+                trampoline_offset: 0xe0_0000,
+                ..LinuxConfig::seeded(seed)
+            }),
+        }
+    }
+
+    /// The GCE preset: Meltdown-resistant host, KPTI off.
+    #[must_use]
+    pub fn google_gce(seed: u64) -> Self {
+        Self {
+            provider: CloudProvider::GoogleGce,
+            cpu: CpuProfile::xeon_cascade_lake(),
+            guest: GuestOs::Linux(LinuxConfig::seeded(seed)),
+        }
+    }
+
+    /// The Azure preset: Windows 10 21H2 guest.
+    #[must_use]
+    pub fn microsoft_azure(seed: u64) -> Self {
+        Self {
+            provider: CloudProvider::MicrosoftAzure,
+            cpu: CpuProfile::xeon_platinum_8171m(),
+            guest: GuestOs::Windows(WindowsConfig {
+                version: WindowsVersion::V21H2,
+                kvas: false,
+                fixed_slot: None,
+                seed,
+            }),
+        }
+    }
+
+    /// All three presets.
+    #[must_use]
+    pub fn all(seed: u64) -> Vec<Self> {
+        vec![
+            Self::amazon_ec2(seed),
+            Self::google_gce(seed.wrapping_add(1)),
+            Self::microsoft_azure(seed.wrapping_add(2)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avx_uarch::CpuModel;
+
+    #[test]
+    fn ec2_runs_kpti_with_aws_trampoline() {
+        let s = CloudScenario::amazon_ec2(1);
+        assert_eq!(s.cpu.model, CpuModel::XeonE5_2676);
+        match &s.guest {
+            GuestOs::Linux(cfg) => {
+                assert!(cfg.kpti, "Meltdown-vulnerable host needs KPTI");
+                assert_eq!(cfg.trampoline_offset, 0xe0_0000);
+            }
+            GuestOs::Windows(_) => panic!("EC2 preset is Linux"),
+        }
+    }
+
+    #[test]
+    fn gce_is_kpti_free_linux() {
+        let s = CloudScenario::google_gce(1);
+        assert_eq!(s.cpu.model, CpuModel::XeonCascadeLake);
+        match &s.guest {
+            GuestOs::Linux(cfg) => assert!(!cfg.kpti),
+            GuestOs::Windows(_) => panic!("GCE preset is Linux"),
+        }
+    }
+
+    #[test]
+    fn azure_is_windows_21h2() {
+        let s = CloudScenario::microsoft_azure(1);
+        assert_eq!(s.cpu.model, CpuModel::XeonPlatinum8171M);
+        match &s.guest {
+            GuestOs::Windows(cfg) => {
+                assert_eq!(cfg.version, WindowsVersion::V21H2);
+            }
+            GuestOs::Linux(_) => panic!("Azure preset is Windows"),
+        }
+    }
+
+    #[test]
+    fn all_returns_three_distinct_providers() {
+        let all = CloudScenario::all(9);
+        assert_eq!(all.len(), 3);
+        let providers: std::collections::HashSet<_> =
+            all.iter().map(|s| s.provider).collect();
+        assert_eq!(providers.len(), 3);
+    }
+
+    #[test]
+    fn provider_display() {
+        assert_eq!(CloudProvider::AmazonEc2.to_string(), "Amazon EC2");
+        assert_eq!(CloudProvider::GoogleGce.to_string(), "Google GCE");
+        assert_eq!(CloudProvider::MicrosoftAzure.to_string(), "Microsoft Azure");
+    }
+}

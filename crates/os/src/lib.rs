@@ -1,0 +1,48 @@
+//! # avx-os — operating-system memory-layout simulator
+//!
+//! Builds the attacker-visible address spaces that the AVX timing side
+//! channel (DAC 2023) is evaluated against:
+//!
+//! * [`linux`] — KASLR-randomized kernel image, the 125-module area,
+//!   KPTI trampolines, FLARE dummy mappings, FGKASLR shuffling, and the
+//!   attacker's own user pages,
+//! * [`modules`] — the `/proc/modules` ground-truth database (125
+//!   modules, 19 unique sizes, incl. the Fig. 5 and Fig. 6 modules),
+//! * [`process`] — 28-bit user-space ASLR with glibc-style section
+//!   signatures (Fig. 7),
+//! * [`windows`] — the Windows 10 kernel region (18-bit entropy) and
+//!   KVAS shadow pages,
+//! * [`sgx`] — enclave execution contexts (timer/oracle restrictions),
+//! * [`cloud`] — EC2/GCE/Azure guest presets,
+//! * [`activity`] — user-behaviour timelines driving the Fig. 6
+//!   TLB-spy experiment.
+//!
+//! ```
+//! use avx_os::linux::{LinuxConfig, LinuxSystem};
+//! use avx_uarch::CpuProfile;
+//!
+//! let system = LinuxSystem::build(LinuxConfig::seeded(42));
+//! let kernel_base = system.truth().kernel_base;
+//! let (machine, truth) = system.into_machine(CpuProfile::alder_lake_i5_12400f(), 7);
+//! assert_eq!(truth.kernel_base, kernel_base);
+//! assert!(machine.space().mapped_pages() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod activity;
+pub mod cloud;
+pub mod linux;
+pub mod modules;
+pub mod process;
+pub mod sgx;
+pub mod windows;
+
+pub use activity::{ActivityTimeline, AppProfile, Behaviour};
+pub use cloud::{CloudProvider, CloudScenario, GuestOs};
+pub use linux::{LinuxConfig, LinuxSystem, LinuxTruth, LoadedModule};
+pub use modules::ModuleSpec;
+pub use process::{build_process, ImageSignature, PermClass, ProcessTruth};
+pub use sgx::ExecutionContext;
+pub use windows::{WindowsConfig, WindowsSystem, WindowsTruth};

@@ -1,0 +1,285 @@
+//! The kernel-module database.
+//!
+//! Mirrors the `/proc/modules` view of the paper's Ubuntu 18.04.3
+//! testbed (§IV-C): **125 loaded modules of which 19 have a unique
+//! size**. Classification by size can then identify exactly the
+//! unique-size modules — the paper's Fig. 5 shows `video`, `mac_hid` and
+//! `pinctrl_icelake` identified while `autofs4`/`x_tables` collide at
+//! 0xB000 bytes.
+//!
+//! Sizes are 4 KiB multiples (module core layout granularity).
+
+use core::fmt;
+
+/// One `/proc/modules`-style record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ModuleSpec {
+    /// Module name.
+    pub name: &'static str,
+    /// Mapped size in bytes (4 KiB multiple).
+    pub size: u64,
+}
+
+impl ModuleSpec {
+    /// Size in 4 KiB pages.
+    #[must_use]
+    pub const fn pages(&self) -> u64 {
+        self.size / 4096
+    }
+}
+
+impl fmt::Display for ModuleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.name, self.size)
+    }
+}
+
+/// The five modules shown in the paper's Fig. 5, with their exact sizes.
+pub const FIG5_MODULES: [ModuleSpec; 5] = [
+    ModuleSpec { name: "autofs4", size: 0xB000 },
+    ModuleSpec { name: "x_tables", size: 0xB000 },
+    ModuleSpec { name: "video", size: 0xC000 },
+    ModuleSpec { name: "mac_hid", size: 0x4000 },
+    ModuleSpec { name: "pinctrl_icelake", size: 0x6000 },
+];
+
+/// The full 125-module set of the simulated Ubuntu 18.04.3 machine.
+///
+/// Shared sizes (appearing ≥ 2×): 0x2000, 0x3000, 0x5000, 0x7000,
+/// 0x8000, 0xB000, 0xD000, 0xE000, 0x10000, 0x14000, 0x18000, 0x20000.
+/// Unique sizes (19): 0x4000, 0x6000, 0x9000, 0xA000, 0xC000, 0xF000,
+/// 0x11000, 0x12000, 0x13000, 0x15000, 0x16000, 0x17000, 0x19000,
+/// 0x1B000, 0x1D000, 0x22000, 0x28000, 0x30000, 0x95000.
+#[rustfmt::skip]
+pub const UBUNTU_18_04_MODULES: [ModuleSpec; 125] = [
+    // --- unique sizes (19 identifiable modules) ---------------------
+    ModuleSpec { name: "mac_hid",           size: 0x4000 },
+    ModuleSpec { name: "pinctrl_icelake",   size: 0x6000 },
+    ModuleSpec { name: "coretemp",          size: 0x9000 },
+    ModuleSpec { name: "intel_wmi_thunderbolt", size: 0xA000 },
+    ModuleSpec { name: "video",             size: 0xC000 },
+    ModuleSpec { name: "thunderbolt",       size: 0xF000 },
+    ModuleSpec { name: "i2c_i801",          size: 0x11000 },
+    ModuleSpec { name: "snd_hda_codec_hdmi", size: 0x12000 },
+    ModuleSpec { name: "iwlmvm",            size: 0x13000 },
+    ModuleSpec { name: "kvm_intel",         size: 0x15000 },
+    ModuleSpec { name: "psmouse",           size: 0x16000 },
+    ModuleSpec { name: "e1000e",            size: 0x17000 },
+    ModuleSpec { name: "snd_hda_intel",     size: 0x19000 },
+    ModuleSpec { name: "nvme",              size: 0x1B000 },
+    ModuleSpec { name: "i915",              size: 0x1D000 },
+    ModuleSpec { name: "mwifiex_pcie",      size: 0x22000 },
+    ModuleSpec { name: "xfs",               size: 0x28000 },
+    ModuleSpec { name: "btrfs",             size: 0x30000 },
+    ModuleSpec { name: "bluetooth",         size: 0x95000 },
+    // --- 0x2000 × 12 -------------------------------------------------
+    ModuleSpec { name: "scsi_transport_sas", size: 0x2000 },
+    ModuleSpec { name: "crc16",             size: 0x2000 },
+    ModuleSpec { name: "crc32_pclmul",      size: 0x2000 },
+    ModuleSpec { name: "cryptd",            size: 0x2000 },
+    ModuleSpec { name: "glue_helper",       size: 0x2000 },
+    ModuleSpec { name: "intel_rapl_perf",   size: 0x2000 },
+    ModuleSpec { name: "joydev",            size: 0x2000 },
+    ModuleSpec { name: "lp",                size: 0x2000 },
+    ModuleSpec { name: "mei_hdcp",          size: 0x2000 },
+    ModuleSpec { name: "ecc",               size: 0x2000 },
+    ModuleSpec { name: "parport_pc",        size: 0x2000 },
+    ModuleSpec { name: "wmi_bmof",          size: 0x2000 },
+    // --- 0x3000 × 12 -------------------------------------------------
+    ModuleSpec { name: "aesni_intel",       size: 0x3000 },
+    ModuleSpec { name: "af_alg",            size: 0x3000 },
+    ModuleSpec { name: "algif_hash",        size: 0x3000 },
+    ModuleSpec { name: "algif_skcipher",    size: 0x3000 },
+    ModuleSpec { name: "bnep",              size: 0x3000 },
+    ModuleSpec { name: "btbcm",             size: 0x3000 },
+    ModuleSpec { name: "btintel",           size: 0x3000 },
+    ModuleSpec { name: "hid_generic",       size: 0x3000 },
+    ModuleSpec { name: "input_leds",        size: 0x3000 },
+    ModuleSpec { name: "intel_cstate",      size: 0x3000 },
+    ModuleSpec { name: "ip6t_REJECT",       size: 0x3000 },
+    ModuleSpec { name: "ipt_REJECT",        size: 0x3000 },
+    // --- 0x5000 × 12 -------------------------------------------------
+    ModuleSpec { name: "acpi_pad",          size: 0x5000 },
+    ModuleSpec { name: "acpi_tad",          size: 0x5000 },
+    ModuleSpec { name: "btrtl",             size: 0x5000 },
+    ModuleSpec { name: "btusb",             size: 0x5000 },
+    ModuleSpec { name: "dca",               size: 0x5000 },
+    ModuleSpec { name: "ee1004",            size: 0x5000 },
+    ModuleSpec { name: "fb_sys_fops",       size: 0x5000 },
+    ModuleSpec { name: "hid",               size: 0x5000 },
+    ModuleSpec { name: "i2c_algo_bit",      size: 0x5000 },
+    ModuleSpec { name: "i2c_smbus",         size: 0x5000 },
+    ModuleSpec { name: "idma64",            size: 0x5000 },
+    ModuleSpec { name: "intel_lpss",        size: 0x5000 },
+    // --- 0x7000 × 10 -------------------------------------------------
+    ModuleSpec { name: "intel_lpss_pci",    size: 0x7000 },
+    ModuleSpec { name: "intel_pch_thermal", size: 0x7000 },
+    ModuleSpec { name: "intel_powerclamp",  size: 0x7000 },
+    ModuleSpec { name: "irqbypass",         size: 0x7000 },
+    ModuleSpec { name: "iwlwifi",           size: 0x7000 },
+    ModuleSpec { name: "kvm",               size: 0x7000 },
+    ModuleSpec { name: "ledtrig_audio",     size: 0x7000 },
+    ModuleSpec { name: "libahci",           size: 0x7000 },
+    ModuleSpec { name: "libcrc32c",         size: 0x7000 },
+    ModuleSpec { name: "llc",               size: 0x7000 },
+    // --- 0x8000 × 10 -------------------------------------------------
+    ModuleSpec { name: "mei",               size: 0x8000 },
+    ModuleSpec { name: "mei_me",            size: 0x8000 },
+    ModuleSpec { name: "memstick",          size: 0x8000 },
+    ModuleSpec { name: "mii",               size: 0x8000 },
+    ModuleSpec { name: "msr",               size: 0x8000 },
+    ModuleSpec { name: "nf_conntrack",      size: 0x8000 },
+    ModuleSpec { name: "nf_defrag_ipv4",    size: 0x8000 },
+    ModuleSpec { name: "nf_defrag_ipv6",    size: 0x8000 },
+    ModuleSpec { name: "nf_log_common",     size: 0x8000 },
+    ModuleSpec { name: "nf_log_ipv4",       size: 0x8000 },
+    // --- 0xB000 × 10 (autofs4 and x_tables collide here: Fig. 5) -----
+    ModuleSpec { name: "autofs4",           size: 0xB000 },
+    ModuleSpec { name: "x_tables",          size: 0xB000 },
+    ModuleSpec { name: "nf_log_ipv6",       size: 0xB000 },
+    ModuleSpec { name: "nf_nat",            size: 0xB000 },
+    ModuleSpec { name: "nf_reject_ipv4",    size: 0xB000 },
+    ModuleSpec { name: "nf_reject_ipv6",    size: 0xB000 },
+    ModuleSpec { name: "nf_tables",         size: 0xB000 },
+    ModuleSpec { name: "nfnetlink",         size: 0xB000 },
+    ModuleSpec { name: "nls_iso8859_1",     size: 0xB000 },
+    ModuleSpec { name: "intel_rapl_msr",    size: 0xB000 },
+    // --- 0xD000 × 10 -------------------------------------------------
+    ModuleSpec { name: "parport",           size: 0xD000 },
+    ModuleSpec { name: "pinctrl_cannonlake", size: 0xD000 },
+    ModuleSpec { name: "processor_thermal_device", size: 0xD000 },
+    ModuleSpec { name: "rapl",              size: 0xD000 },
+    ModuleSpec { name: "rc_core",           size: 0xD000 },
+    ModuleSpec { name: "rtsx_pci",          size: 0xD000 },
+    ModuleSpec { name: "rtsx_pci_ms",       size: 0xD000 },
+    ModuleSpec { name: "rtsx_pci_sdmmc",    size: 0xD000 },
+    ModuleSpec { name: "sch_fq_codel",      size: 0xD000 },
+    ModuleSpec { name: "serio_raw",         size: 0xD000 },
+    // --- 0xE000 × 8 --------------------------------------------------
+    ModuleSpec { name: "snd",               size: 0xE000 },
+    ModuleSpec { name: "snd_compress",      size: 0xE000 },
+    ModuleSpec { name: "snd_hda_codec",     size: 0xE000 },
+    ModuleSpec { name: "snd_hda_codec_generic", size: 0xE000 },
+    ModuleSpec { name: "snd_hda_codec_realtek", size: 0xE000 },
+    ModuleSpec { name: "snd_hda_core",      size: 0xE000 },
+    ModuleSpec { name: "snd_hrtimer",       size: 0xE000 },
+    ModuleSpec { name: "snd_hwdep",         size: 0xE000 },
+    // --- 0x10000 × 8 -------------------------------------------------
+    ModuleSpec { name: "snd_pcm",           size: 0x10000 },
+    ModuleSpec { name: "snd_rawmidi",       size: 0x10000 },
+    ModuleSpec { name: "snd_seq",           size: 0x10000 },
+    ModuleSpec { name: "snd_seq_device",    size: 0x10000 },
+    ModuleSpec { name: "snd_seq_midi",      size: 0x10000 },
+    ModuleSpec { name: "snd_seq_midi_event", size: 0x10000 },
+    ModuleSpec { name: "snd_timer",         size: 0x10000 },
+    ModuleSpec { name: "soundcore",         size: 0x10000 },
+    // --- 0x14000 × 6 -------------------------------------------------
+    ModuleSpec { name: "spi_pxa2xx_platform", size: 0x14000 },
+    ModuleSpec { name: "syscopyarea",       size: 0x14000 },
+    ModuleSpec { name: "sysfillrect",       size: 0x14000 },
+    ModuleSpec { name: "sysimgblt",         size: 0x14000 },
+    ModuleSpec { name: "typec",             size: 0x14000 },
+    ModuleSpec { name: "typec_ucsi",        size: 0x14000 },
+    // --- 0x18000 × 4 -------------------------------------------------
+    ModuleSpec { name: "ucsi_acpi",         size: 0x18000 },
+    ModuleSpec { name: "uvcvideo",          size: 0x18000 },
+    ModuleSpec { name: "videobuf2_common",  size: 0x18000 },
+    ModuleSpec { name: "videobuf2_v4l2",    size: 0x18000 },
+    // --- 0x20000 × 4 -------------------------------------------------
+    ModuleSpec { name: "videodev",          size: 0x20000 },
+    ModuleSpec { name: "wmi",               size: 0x20000 },
+    ModuleSpec { name: "xhci_pci",          size: 0x20000 },
+    ModuleSpec { name: "ahci",              size: 0x20000 },
+];
+
+/// Returns the default module set as a vector (most callers want owned).
+#[must_use]
+pub fn default_module_set() -> Vec<ModuleSpec> {
+    UBUNTU_18_04_MODULES.to_vec()
+}
+
+/// Returns the modules whose size is unique within `set`.
+#[must_use]
+pub fn unique_sized(set: &[ModuleSpec]) -> Vec<&ModuleSpec> {
+    set.iter()
+        .filter(|m| set.iter().filter(|o| o.size == m.size).count() == 1)
+        .collect()
+}
+
+/// Looks a module up by name.
+#[must_use]
+pub fn find<'a>(set: &'a [ModuleSpec], name: &str) -> Option<&'a ModuleSpec> {
+    set.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_125_modules() {
+        assert_eq!(UBUNTU_18_04_MODULES.len(), 125);
+    }
+
+    #[test]
+    fn exactly_19_unique_sizes() {
+        assert_eq!(unique_sized(&UBUNTU_18_04_MODULES).len(), 19);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = UBUNTU_18_04_MODULES.iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), 125);
+    }
+
+    #[test]
+    fn sizes_are_page_multiples() {
+        for m in &UBUNTU_18_04_MODULES {
+            assert_eq!(m.size % 4096, 0, "{}", m.name);
+            assert!(m.size > 0);
+        }
+    }
+
+    #[test]
+    fn fig5_modules_present_with_paper_sizes() {
+        for wanted in FIG5_MODULES {
+            let found = find(&UBUNTU_18_04_MODULES, wanted.name)
+                .unwrap_or_else(|| panic!("{} missing", wanted.name));
+            assert_eq!(found.size, wanted.size, "{}", wanted.name);
+        }
+    }
+
+    #[test]
+    fn fig5_collision_and_uniqueness_structure() {
+        let uniques = unique_sized(&UBUNTU_18_04_MODULES);
+        let unique_names: HashSet<_> = uniques.iter().map(|m| m.name).collect();
+        // video, mac_hid, pinctrl_icelake identifiable.
+        assert!(unique_names.contains("video"));
+        assert!(unique_names.contains("mac_hid"));
+        assert!(unique_names.contains("pinctrl_icelake"));
+        // autofs4 / x_tables share 0xB000 → not identifiable.
+        assert!(!unique_names.contains("autofs4"));
+        assert!(!unique_names.contains("x_tables"));
+    }
+
+    #[test]
+    fn behaviour_target_modules_are_unique_sized() {
+        // Fig. 6 monitors bluetooth and psmouse; the spy finds them via
+        // size classification, so they must be unique-sized.
+        let uniques = unique_sized(&UBUNTU_18_04_MODULES);
+        let unique_names: HashSet<_> = uniques.iter().map(|m| m.name).collect();
+        assert!(unique_names.contains("bluetooth"));
+        assert!(unique_names.contains("psmouse"));
+    }
+
+    #[test]
+    fn display_formats_proc_modules_style() {
+        let m = ModuleSpec {
+            name: "video",
+            size: 0xC000,
+        };
+        assert_eq!(m.to_string(), "video 0xc000");
+        assert_eq!(m.pages(), 12);
+    }
+}

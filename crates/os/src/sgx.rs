@@ -1,0 +1,122 @@
+//! SGX enclave execution context (§IV-F).
+//!
+//! The paper mounts its fine-grained user-space ASLR break *from inside*
+//! an SGX enclave. The enclave does not change what the masked
+//! operations observe — it changes what the attacker can use:
+//!
+//! * no syscalls, hence no `/proc/PID/maps` oracle,
+//! * SGX1 forbids `RDTSC`/`RDTSCP` inside the enclave (the attack then
+//!   needs a counting-thread timer with extra jitter),
+//! * SGX2 permits the high-precision timer, which is the configuration
+//!   the paper evaluates (51 s masked-load / 44 s masked-store scans).
+
+use core::fmt;
+
+/// SGX generation, deciding timer availability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SgxGeneration {
+    /// SGX1: `RDTSC` is illegal inside the enclave.
+    Sgx1,
+    /// SGX2: `RDTSC`/`RDTSCP` allowed (the paper's setup).
+    Sgx2,
+}
+
+/// The execution context an attack runs in.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExecutionContext {
+    /// Inside an enclave?
+    pub enclave: Option<SgxGeneration>,
+    /// Multiplier on timing-noise sigma for degraded timers (counting
+    /// thread ≈ 3–5× noisier than `RDTSC`).
+    pub timer_noise_factor: f64,
+}
+
+impl ExecutionContext {
+    /// Plain user-space process with `RDTSC` (the common case).
+    #[must_use]
+    pub const fn native() -> Self {
+        Self {
+            enclave: None,
+            timer_noise_factor: 1.0,
+        }
+    }
+
+    /// Inside an SGX2 enclave: precise timer available.
+    #[must_use]
+    pub const fn sgx2() -> Self {
+        Self {
+            enclave: Some(SgxGeneration::Sgx2),
+            timer_noise_factor: 1.0,
+        }
+    }
+
+    /// Inside an SGX1 enclave: counting-thread timer only.
+    #[must_use]
+    pub const fn sgx1() -> Self {
+        Self {
+            enclave: Some(SgxGeneration::Sgx1),
+            timer_noise_factor: 4.0,
+        }
+    }
+
+    /// `true` when a high-precision timer is available.
+    #[must_use]
+    pub fn has_precise_timer(&self) -> bool {
+        !matches!(self.enclave, Some(SgxGeneration::Sgx1))
+    }
+
+    /// `true` when OS oracles (`/proc`) are reachable: never in enclaves.
+    #[must_use]
+    pub fn has_proc_oracle(&self) -> bool {
+        self.enclave.is_none()
+    }
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self::native()
+    }
+}
+
+impl fmt::Display for ExecutionContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.enclave {
+            None => write!(f, "native process"),
+            Some(SgxGeneration::Sgx1) => write!(f, "SGX1 enclave (no rdtsc)"),
+            Some(SgxGeneration::Sgx2) => write!(f, "SGX2 enclave (rdtsc ok)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_has_everything() {
+        let c = ExecutionContext::native();
+        assert!(c.has_precise_timer());
+        assert!(c.has_proc_oracle());
+        assert_eq!(c.timer_noise_factor, 1.0);
+    }
+
+    #[test]
+    fn sgx2_keeps_timer_loses_proc() {
+        let c = ExecutionContext::sgx2();
+        assert!(c.has_precise_timer());
+        assert!(!c.has_proc_oracle());
+    }
+
+    #[test]
+    fn sgx1_degrades_timer() {
+        let c = ExecutionContext::sgx1();
+        assert!(!c.has_precise_timer());
+        assert!(c.timer_noise_factor > 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExecutionContext::native().to_string(), "native process");
+        assert!(ExecutionContext::sgx2().to_string().contains("SGX2"));
+    }
+}

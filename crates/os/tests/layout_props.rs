@@ -1,0 +1,167 @@
+//! Property tests of the OS layout builders: structural invariants
+//! that must hold for every seed and configuration.
+
+use proptest::prelude::*;
+
+use avx_mmu::{VirtAddr, Walker};
+use avx_os::linux::{
+    LinuxConfig, LinuxSystem, KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_END,
+    KERNEL_TEXT_REGION_START, MODULE_REGION_END, MODULE_REGION_START,
+};
+use avx_os::process::{build_process, ImageSignature};
+use avx_os::windows::{WindowsConfig, WindowsSystem, WIN_KERNEL_REGION_END, WIN_KERNEL_REGION_START};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Linux layout invariants for arbitrary seeds and feature mixes.
+    #[test]
+    fn linux_layout_invariants(seed in any::<u64>(), kpti in any::<bool>(), flare in any::<bool>(), fgkaslr in any::<bool>()) {
+        // FLARE + KPTI is contradictory (FLARE fills ranges KPTI removes);
+        // the builder is exercised on the meaningful combinations.
+        prop_assume!(!(kpti && flare));
+        let sys = LinuxSystem::build(LinuxConfig {
+            kpti,
+            flare,
+            fgkaslr,
+            ..LinuxConfig::seeded(seed)
+        });
+        let t = sys.truth();
+
+        // Slide within range, 2 MiB aligned, image fits.
+        prop_assert!(t.kernel_base.as_u64() >= KERNEL_TEXT_REGION_START);
+        prop_assert_eq!(t.kernel_base.as_u64() % KASLR_ALIGN, 0);
+        prop_assert!(
+            t.kernel_base.as_u64() + t.kernel_slots * KASLR_ALIGN <= KERNEL_TEXT_REGION_END
+        );
+        prop_assert!(t.slide_slots <= KERNEL_SLOTS - t.kernel_slots);
+
+        // KPTI ⇔ trampoline visible, image hidden.
+        let walker = Walker::new();
+        if kpti {
+            let tramp = t.trampoline.expect("trampoline under KPTI");
+            prop_assert!(walker.walk(sys.space(), tramp).is_mapped());
+            prop_assert!(t.modules.is_empty());
+        } else {
+            prop_assert!(t.trampoline.is_none());
+            prop_assert!(walker.walk(sys.space(), t.kernel_base).is_mapped());
+            prop_assert_eq!(t.modules.len(), 125);
+        }
+
+        // Modules: in-range, sorted, guard-separated, fully mapped.
+        for pair in t.modules.windows(2) {
+            prop_assert!(pair[0].end() < pair[1].base);
+        }
+        for m in &t.modules {
+            prop_assert!(m.base.as_u64() >= MODULE_REGION_START);
+            prop_assert!(m.end().as_u64() <= MODULE_REGION_END);
+        }
+
+        // Strict W^X everywhere.
+        for region in sys.space().iter_regions() {
+            if region.flags.is_writable() {
+                prop_assert!(region.flags.is_no_execute(), "W^X at {}", region.start);
+            }
+        }
+
+        // Functions stay inside the text region.
+        let text_bytes = sys.config().text_slots * KASLR_ALIGN;
+        for f in &t.functions {
+            if f.name == "entry_SYSCALL_64" {
+                continue;
+            }
+            prop_assert!(f.offset < text_bytes.max(0x20_0000), "{} at {:#x}", f.name, f.offset);
+        }
+    }
+
+    /// FLARE must make *every* kernel-region candidate look mapped.
+    #[test]
+    fn flare_covers_all_candidates(seed in any::<u64>()) {
+        let sys = LinuxSystem::build(LinuxConfig {
+            flare: true,
+            ..LinuxConfig::seeded(seed)
+        });
+        let walker = Walker::new();
+        for slot in (0..KERNEL_SLOTS).step_by(17) {
+            let va = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START + slot * KASLR_ALIGN);
+            prop_assert!(walker.walk(sys.space(), va).is_mapped(), "slot {slot}");
+        }
+    }
+
+    /// The module placement is a bijection: every spec appears exactly
+    /// once regardless of seed-driven shuffling.
+    #[test]
+    fn module_placement_is_a_permutation(seed in any::<u64>()) {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let mut names: Vec<&str> = sys.truth().modules.iter().map(|m| m.spec.name).collect();
+        names.sort_unstable();
+        let mut expected: Vec<&str> =
+            avx_os::modules::UBUNTU_18_04_MODULES.iter().map(|m| m.name).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(names, expected);
+    }
+
+    /// Windows layout invariants.
+    #[test]
+    fn windows_layout_invariants(seed in any::<u64>(), kvas in any::<bool>()) {
+        let sys = WindowsSystem::build(WindowsConfig {
+            kvas,
+            seed,
+            ..WindowsConfig::default()
+        });
+        let t = sys.truth();
+        prop_assert!(t.kernel_base.as_u64() >= WIN_KERNEL_REGION_START);
+        prop_assert!(t.kernel_base.as_u64() < WIN_KERNEL_REGION_END);
+        prop_assert_eq!(t.kernel_base.as_u64() % 0x20_0000, 0);
+        // Entry within the first slot, page aligned.
+        let off = t.entry.as_u64() - t.kernel_base.as_u64();
+        prop_assert!(off < 0x20_0000);
+        prop_assert_eq!(off % 4096, 0);
+        let walker = Walker::new();
+        if kvas {
+            let shadow = t.shadow.expect("shadow under KVAS");
+            prop_assert!(walker.walk(sys.space(), shadow).is_mapped());
+            prop_assert!(!walker.walk(sys.space(), t.kernel_base).is_mapped());
+        } else {
+            prop_assert!(t.shadow.is_none());
+            prop_assert!(walker.walk(sys.space(), t.entry).is_mapped());
+        }
+    }
+
+    /// Process layouts: images never overlap, hidden pages directly
+    /// follow their image, and the maps file is consistent.
+    #[test]
+    fn process_layout_invariants(seed in any::<u64>()) {
+        let mut space = avx_mmu::AddressSpace::new();
+        let truth = build_process(
+            &mut space,
+            &ImageSignature::fig7_app(),
+            &ImageSignature::standard_set(),
+            seed,
+        );
+        // Library spans are disjoint and ascending.
+        for pair in truth.libraries.windows(2) {
+            let a_end = pair[0].base.as_u64()
+                + pair[0].signature.span()
+                + pair[0].signature.hidden_rw_bytes;
+            prop_assert!(a_end <= pair[1].base.as_u64());
+        }
+        // Every maps entry is backed by page-table state of the same
+        // permission class.
+        for entry in &truth.maps {
+            let mid = VirtAddr::new_truncate(
+                entry.start.as_u64() + (entry.end.as_u64() - entry.start.as_u64()) / 2,
+            );
+            let lookup = space.lookup(mid.align_down(4096));
+            match entry.perm {
+                avx_os::PermClass::None => prop_assert!(lookup.is_none()),
+                avx_os::PermClass::ReadWrite => {
+                    prop_assert!(lookup.is_some_and(|m| m.flags.is_writable()));
+                }
+                _ => prop_assert!(lookup.is_some_and(|m| !m.flags.is_writable())),
+            }
+        }
+        // 28-bit windows.
+        prop_assert_eq!(truth.app.base.as_u64() >> 40, 0x55);
+    }
+}

@@ -1,0 +1,139 @@
+//! A small cache of paging-structure *lines*.
+//!
+//! Page-table entries are ordinary memory: after a walk touches a PTE,
+//! the 64-byte line holding it (8 entries) stays in the data caches, so
+//! the next walk over the same line is much cheaper. The engine uses
+//! this to decide between [`warm`](crate::TimingParams::walk_step_warm)
+//! and [`cold`](crate::TimingParams::walk_step_cold) step costs — the
+//! difference behind the paper's P4 experiment (381 vs 147 cycles) and
+//! the Fig. 6 idle level.
+
+use avx_mmu::FrameId;
+
+/// LRU cache keyed by (paging-structure frame, 64-byte line index).
+#[derive(Clone, Debug)]
+pub struct PteLineCache {
+    capacity: usize,
+    /// (key, stamp); linear scan — capacity is small and probes are the
+    /// hot path, so locality beats hashing here.
+    slots: Vec<(u64, u64)>,
+    clock: u64,
+}
+
+impl PteLineCache {
+    /// Default capacity: 256 lines ≈ 16 KiB of PTE data resident.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates a cache holding up to `capacity` lines.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(1024)),
+            clock: 0,
+        }
+    }
+
+    fn key(table: FrameId, entry_index: usize) -> u64 {
+        ((table.index() as u64) << 6) | (entry_index as u64 >> 3)
+    }
+
+    /// Records an access to `entry_index` of `table`; returns `true` if
+    /// the line was already cached (a *warm* access).
+    pub fn touch(&mut self, table: FrameId, entry_index: usize) -> bool {
+        self.clock += 1;
+        let key = Self::key(table, entry_index);
+        if let Some(slot) = self.slots.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = self.clock;
+            return true;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push((key, self.clock));
+        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
+            *victim = (key, self.clock);
+        }
+        false
+    }
+
+    /// Checks warmth without updating recency (diagnostics).
+    #[must_use]
+    pub fn contains(&self, table: FrameId, entry_index: usize) -> bool {
+        let key = Self::key(table, entry_index);
+        self.slots.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Drops everything (models cache thrashing by an eviction loop).
+    pub fn flush(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Number of cached lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl Default for PteLineCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_cold_second_is_warm() {
+        let mut c = PteLineCache::default();
+        assert!(!c.touch(FrameId::new(1), 100));
+        assert!(c.touch(FrameId::new(1), 100));
+    }
+
+    #[test]
+    fn entries_on_same_line_share_warmth() {
+        let mut c = PteLineCache::default();
+        // Entries 96..103 share one 64-byte line (index >> 3 == 12).
+        assert!(!c.touch(FrameId::new(1), 96));
+        assert!(c.touch(FrameId::new(1), 103));
+        // Entry 104 is the next line.
+        assert!(!c.touch(FrameId::new(1), 104));
+    }
+
+    #[test]
+    fn different_tables_do_not_alias() {
+        let mut c = PteLineCache::default();
+        c.touch(FrameId::new(1), 0);
+        assert!(!c.touch(FrameId::new(2), 0));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = PteLineCache::new(2);
+        c.touch(FrameId::new(1), 0);
+        c.touch(FrameId::new(2), 0);
+        // Refresh frame 1, then insert a third line: frame 2 is evicted.
+        c.touch(FrameId::new(1), 0);
+        c.touch(FrameId::new(3), 0);
+        assert!(c.contains(FrameId::new(1), 0));
+        assert!(!c.contains(FrameId::new(2), 0));
+        assert!(c.contains(FrameId::new(3), 0));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = PteLineCache::default();
+        c.touch(FrameId::new(1), 0);
+        assert!(!c.is_empty());
+        c.flush();
+        assert!(c.is_empty());
+        assert!(!c.touch(FrameId::new(1), 0), "cold again after flush");
+    }
+}

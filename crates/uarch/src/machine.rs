@@ -1,0 +1,966 @@
+//! The execution engine: one simulated core running masked ops.
+//!
+//! [`Machine`] owns an [`AddressSpace`] plus the translation caches and
+//! counters, and executes [`MaskedOp`]s with the timing semantics the
+//! paper measures:
+//!
+//! * valid, accessible, TLB-hit access → base cost only (Fig. 2 USER-M),
+//! * invalid or inaccessible translation → microcode assist, faults
+//!   suppressed for masked-out lanes (P1), retried walks for non-present
+//!   pages (Fig. 2 PMC column),
+//! * masked store to a clean writable page → dirty-bit assist whose cost
+//!   equals the kernel-mapped load cost (the §IV-B calibration identity),
+//! * TLB hit vs miss and walk depth modulate latency (P2–P4),
+//! * masked stores run ~16–18 cycles faster than loads under assist (P6).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use avx_mmu::{
+    AddressSpace, Level, PagingStructureCache, Tlb, TlbEntry, TlbLookup, VirtAddr, WalkOutcome,
+    Walker,
+};
+
+use crate::lines::PteLineCache;
+use crate::masked::{Fault, MaskedOp, OpKind};
+use crate::memory::SparseMemory;
+use crate::noise::NoiseModel;
+use crate::pmc::{Event, PmcBank};
+use crate::profile::CpuProfile;
+
+/// Result of executing one masked operation.
+#[derive(Clone, Debug)]
+pub struct MaskedOutcome {
+    /// Measured latency in cycles (noise included).
+    pub cycles: u64,
+    /// Architecturally delivered fault, if any unmasked lane touched a
+    /// bad page. `None` for suppressed (masked-out) problems.
+    pub fault: Option<Fault>,
+    /// A microcode assist fired (invalid/inaccessible translation).
+    pub assist: bool,
+    /// The dirty-bit assist fired (store to a clean writable page).
+    pub dirty_assist: bool,
+    /// Completed page-table walks during this op.
+    pub walks_completed: u8,
+    /// TLB outcome for the first touched page (`None` = miss/bypass).
+    pub tlb_hit: Option<TlbLookup>,
+    /// Walk-termination level for the first touched page, when a walk ran.
+    pub terminal_level: Option<Level>,
+    /// Loaded bytes (loads only): `lanes × width` bytes, zeros in
+    /// masked-out lanes, zeros for suppressed pages.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Per-page translation verdict, internal to the engine.
+struct PageVerdict {
+    present: bool,
+    user: bool,
+    writable: bool,
+    dirty: bool,
+    phys_frame: Option<u64>,
+    tlb_hit: Option<TlbLookup>,
+    terminal_level: Option<Level>,
+    walks: u8,
+    cycles: f64,
+}
+
+/// One simulated core: address space + TLB + PSC + PTE-line cache +
+/// counters + clock.
+///
+/// ```
+/// use avx_uarch::{CpuProfile, Machine, MaskedOp};
+/// use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+///
+/// # fn main() -> Result<(), avx_mmu::MmuError> {
+/// let mut space = AddressSpace::new();
+/// let page = VirtAddr::new(0x5555_5555_4000)?;
+/// space.map(page, PageSize::Size4K, PteFlags::user_rw())?;
+///
+/// let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 42);
+/// let out = m.execute(MaskedOp::probe_load(page));
+/// assert!(out.fault.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    profile: CpuProfile,
+    space: AddressSpace,
+    tlb: Tlb,
+    psc: PagingStructureCache,
+    lines: PteLineCache,
+    walker: Walker,
+    pmc: PmcBank,
+    mem: SparseMemory,
+    noise: NoiseModel,
+    rng: StdRng,
+    tsc: u64,
+}
+
+impl Machine {
+    /// Creates a machine over `space` with the profile's caches and noise.
+    #[must_use]
+    pub fn new(profile: CpuProfile, space: AddressSpace, seed: u64) -> Self {
+        let tlb = Tlb::new(profile.tlb);
+        let psc = PagingStructureCache::new(profile.psc);
+        let noise = NoiseModel::new(
+            profile.timing.noise_sigma,
+            profile.timing.spike_prob,
+            profile.timing.spike_range,
+        );
+        Self {
+            profile,
+            space,
+            tlb,
+            psc,
+            lines: PteLineCache::default(),
+            walker: Walker::new(),
+            pmc: PmcBank::new(),
+            mem: SparseMemory::new(),
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            tsc: 0,
+        }
+    }
+
+    /// The CPU profile in use.
+    #[must_use]
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Read access to the address space.
+    #[must_use]
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable access to the address space (OS-model surgery). Note that
+    /// changing mappings does **not** flush the TLB — exactly like
+    /// hardware; call [`Machine::invlpg`] as an OS would.
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The performance counters.
+    #[must_use]
+    pub fn pmc(&self) -> &PmcBank {
+        &self.pmc
+    }
+
+    /// Mutable counters (reset between experiments).
+    pub fn pmc_mut(&mut self) -> &mut PmcBank {
+        &mut self.pmc
+    }
+
+    /// Cumulative cycle count of executed operations.
+    #[must_use]
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.tsc
+    }
+
+    /// Advances the clock without executing anything (models attack loop
+    /// overhead around the timed instruction).
+    pub fn spend_cycles(&mut self, cycles: u64) {
+        self.tsc += cycles;
+    }
+
+    /// Replaces the noise model (tests use [`NoiseModel::none`]).
+    pub fn set_noise(&mut self, noise: NoiseModel) {
+        self.noise = noise;
+    }
+
+    /// Flushes the whole TLB (CR3 reload). Global entries survive when
+    /// `keep_global`.
+    pub fn flush_tlb(&mut self, keep_global: bool) {
+        self.tlb.flush(keep_global);
+        if !keep_global {
+            self.psc.flush_all();
+        }
+    }
+
+    /// `INVLPG`: invalidates the TLB entry and paging-structure-cache
+    /// entries for `va`. PTE lines stay in the data caches (they are
+    /// ordinary memory), matching the §III-B P3 experiment setup.
+    pub fn invlpg(&mut self, va: VirtAddr) {
+        self.tlb.invlpg(va);
+        self.psc.invlpg(va);
+    }
+
+    /// User-level eviction of the translation for `va` (Gras-style): the
+    /// attacker touches thousands of own pages, which as a side effect
+    /// also thrashes the paging-structure caches and the cached PTE
+    /// lines. This is the "TLB eviction to reduce noise" of the paper's
+    /// TLB attack (P4) and produces the *cold-walk* timings (381 cycles
+    /// in §III-B, the ≈430-cycle idle band of Fig. 6).
+    pub fn evict_translation(&mut self, va: VirtAddr) {
+        self.tlb.evict_address(va);
+        self.psc.flush_all();
+        self.lines.flush();
+    }
+
+    /// Simulates the *kernel itself* using the page at `va` (syscall,
+    /// interrupt handler, driver code): the translation is walked and
+    /// cached in the shared TLB with its true (supervisor) permissions.
+    /// Drives the Fig. 6 user-behaviour signal and the FLARE bypass.
+    pub fn touch_as_kernel(&mut self, va: VirtAddr) {
+        let walk = self.walker.walk_with_psc(&self.space, va, &mut self.psc);
+        for (table, idx) in walk.accesses.iter() {
+            let _ = self.lines.touch(table, idx);
+        }
+        if let Some(mapping) = walk.mapping {
+            self.tlb.insert(TlbEntry {
+                vpn: va.as_u64() >> mapping.size.shift(),
+                size: mapping.size,
+                pfn: mapping.phys.frame_number(),
+                perms: walk.perms,
+            });
+        }
+    }
+
+    /// Convenience probe: executes an all-zero-mask op and returns the
+    /// measured cycles. This is the attack's innermost loop.
+    pub fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64 {
+        let op = match kind {
+            OpKind::Load => MaskedOp::probe_load(addr),
+            OpKind::Store => MaskedOp::probe_store(addr),
+        };
+        self.execute(op).cycles
+    }
+
+    /// Executes one masked operation, advancing the clock.
+    pub fn execute(&mut self, op: MaskedOp) -> MaskedOutcome {
+        let retired_event = match op.kind {
+            OpKind::Load => Event::MaskedLoadRetired,
+            OpKind::Store => Event::MaskedStoreRetired,
+        };
+        self.pmc.bump(retired_event);
+
+        let t = self.profile.timing;
+        let mut cycles = match op.kind {
+            OpKind::Load => t.base_load,
+            OpKind::Store => t.base_store,
+        };
+
+        let pages = op.touched_pages();
+        let mut assist = false;
+        let mut dirty_assist = false;
+        let mut walks_total: u8 = 0;
+        let mut fault: Option<Fault> = None;
+        let mut primary_tlb: Option<TlbLookup> = None;
+        let mut primary_level: Option<Level> = None;
+        let mut user_nonpresent = false;
+        let mut ok_pages: Vec<(VirtAddr, u64)> = Vec::with_capacity(pages.len());
+
+        for (page_index, &(page, has_unmasked)) in pages.iter().enumerate() {
+            let verdict = self.translate_page(page);
+            cycles += verdict.cycles;
+            walks_total += verdict.walks;
+            if page_index == 0 {
+                primary_tlb = verdict.tlb_hit;
+                primary_level = verdict.terminal_level;
+            }
+
+            let accessible = verdict.present
+                && verdict.user
+                && (op.kind == OpKind::Load || verdict.writable);
+
+            if accessible {
+                if op.kind == OpKind::Store && !verdict.dirty && !dirty_assist {
+                    // First store to a clean page: dirty-bit microcode
+                    // assist, regardless of the mask (the assist must
+                    // inspect the mask to know whether D may be set).
+                    dirty_assist = true;
+                    cycles += self.profile.dirty_assist();
+                    self.pmc.bump(Event::AssistsAny);
+                }
+                if let Some(frame) = verdict.phys_frame {
+                    ok_pages.push((page, frame));
+                }
+                // A-bit maintenance; D only when lanes actually store.
+                let writes = op.kind == OpKind::Store && has_unmasked;
+                let _ = self.space.mark_accessed(page, writes);
+                if writes {
+                    self.tlb.set_dirty(page);
+                }
+            } else if has_unmasked {
+                // An unmasked lane touches a bad page: deliver #PF.
+                if fault.is_none() {
+                    fault = Some(Fault {
+                        addr: page,
+                        write: op.kind == OpKind::Store,
+                        protection: verdict.present,
+                    });
+                }
+            } else {
+                // Bad page, all lanes masked: suppression via assist.
+                if !assist {
+                    assist = true;
+                    cycles += match op.kind {
+                        OpKind::Load => t.assist_load,
+                        OpKind::Store => t.assist_store,
+                    };
+                    self.pmc.bump(Event::AssistsAny);
+                }
+                if !verdict.present && !page.is_kernel_half() {
+                    user_nonpresent = true;
+                }
+                self.pmc.bump(Event::SuppressedFault);
+            }
+        }
+
+        if user_nonpresent && op.kind == OpKind::Load {
+            cycles += t.user_nonpresent_load_extra;
+        }
+
+        if let Some(f) = fault {
+            cycles += t.fault_cost;
+            self.pmc.bump(Event::PageFault);
+            let measured = self.noise.perturb(&mut self.rng, cycles);
+            self.tsc += measured;
+            return MaskedOutcome {
+                cycles: measured,
+                fault: Some(f),
+                assist,
+                dirty_assist,
+                walks_completed: walks_total,
+                tlb_hit: primary_tlb,
+                terminal_level: primary_level,
+                data: None,
+            };
+        }
+
+        let walk_event = match op.kind {
+            OpKind::Load => Event::DtlbLoadWalkCompleted,
+            OpKind::Store => Event::DtlbStoreWalkCompleted,
+        };
+        self.pmc.add(walk_event, u64::from(walks_total));
+
+        // Move the data for unmasked lanes on good pages.
+        let data = self.transfer(&op, &ok_pages);
+
+        let measured = self.noise.perturb(&mut self.rng, cycles);
+        self.tsc += measured;
+        MaskedOutcome {
+            cycles: measured,
+            fault: None,
+            assist,
+            dirty_assist,
+            walks_completed: walks_total,
+            tlb_hit: primary_tlb,
+            terminal_level: primary_level,
+            data,
+        }
+    }
+
+    /// Translates one page, charging cycles for TLB/walk behaviour and
+    /// updating the caches.
+    fn translate_page(&mut self, page: VirtAddr) -> PageVerdict {
+        let t = self.profile.timing;
+        let bypass = self.profile.kernel_walks_uncached() && page.is_kernel_half();
+
+        if !bypass {
+            if let Some((entry, lookup)) = self.tlb.lookup(page) {
+                self.pmc.bump(match lookup {
+                    TlbLookup::L1 => Event::TlbHitL1,
+                    TlbLookup::L2 => Event::TlbHitL2,
+                });
+                let extra = match lookup {
+                    TlbLookup::L1 => 0.0,
+                    TlbLookup::L2 => t.stlb_hit_extra,
+                };
+                return PageVerdict {
+                    present: true,
+                    user: entry.perms.user,
+                    writable: entry.perms.writable,
+                    dirty: entry.perms.dirty,
+                    phys_frame: Some(entry.pfn),
+                    tlb_hit: Some(lookup),
+                    terminal_level: None,
+                    walks: 0,
+                    cycles: extra,
+                };
+            }
+            self.pmc.bump(Event::TlbMiss);
+        }
+
+        // Walk. Non-present translations are re-walked while the assist
+        // decides suppression (Fig. 2: 2 completed walks per probe).
+        let first = self.perform_walk(page, bypass);
+        let mut cycles = first.1;
+        let mut walks: u8 = 1;
+        let outcome = first.0;
+
+        if !outcome.is_mapped() {
+            // Intel's suppression assist re-walks the translation
+            // (Fig. 2: 2 completed walks). AMD shows no such retry —
+            // mapped and unmapped kernel pages time identically (§IV-B).
+            if !bypass {
+                for _ in 1..t.nonpresent_retries.max(1) {
+                    let retry = self.perform_walk(page, bypass);
+                    cycles += retry.1;
+                    walks += 1;
+                }
+            }
+            return PageVerdict {
+                present: false,
+                user: false,
+                writable: false,
+                dirty: false,
+                phys_frame: None,
+                tlb_hit: None,
+                terminal_level: Some(outcome.terminal_level),
+                walks,
+                cycles,
+            };
+        }
+
+        let mapping = outcome.mapping.expect("mapped outcome has mapping");
+        if !bypass {
+            // Present translations are cached even when the permission
+            // check will fail — the observable that keeps KERNEL-M at
+            // zero walks in Fig. 2.
+            self.tlb.insert(TlbEntry {
+                vpn: page.as_u64() >> mapping.size.shift(),
+                size: mapping.size,
+                pfn: mapping.phys.frame_number(),
+                perms: outcome.perms,
+            });
+        }
+        PageVerdict {
+            present: true,
+            user: outcome.perms.user,
+            writable: outcome.perms.writable,
+            dirty: outcome.perms.dirty,
+            phys_frame: Some(mapping.phys.frame_number()),
+            tlb_hit: None,
+            terminal_level: Some(outcome.terminal_level),
+            walks,
+            cycles,
+        }
+    }
+
+    /// One page-table walk with cycle accounting.
+    fn perform_walk(&mut self, page: VirtAddr, bypass_psc: bool) -> (WalkOutcome, f64) {
+        let t = self.profile.timing;
+        let outcome = if bypass_psc {
+            self.walker.walk(&self.space, page)
+        } else {
+            self.walker.walk_with_psc(&self.space, page, &mut self.psc)
+        };
+
+        let mut cycles = 0.0;
+        for (table, idx) in outcome.accesses.iter() {
+            let warm = if bypass_psc {
+                // AMD kernel walks re-fetch structures each time.
+                false_warm_for_amd(&mut self.lines, table, idx)
+            } else {
+                self.lines.touch(table, idx)
+            };
+            cycles += if warm {
+                t.walk_step_warm
+            } else {
+                t.walk_step_cold
+            };
+        }
+
+        // Termination-level extras apply to root walks only (see
+        // `TimingParams::level_extra_pt` and DESIGN.md §5).
+        if outcome.psc_resume_level.is_none() || bypass_psc {
+            cycles += match outcome.terminal_level {
+                Level::Pt => t.level_extra_pt,
+                Level::Pd => t.level_extra_pd,
+                Level::Pdpt => t.level_extra_pdpt,
+                Level::Pml4 => t.level_extra_pml4,
+            };
+        }
+        (outcome, cycles)
+    }
+
+    /// Moves bytes for unmasked lanes whose pages translated fine.
+    fn transfer(&mut self, op: &MaskedOp, ok_pages: &[(VirtAddr, u64)]) -> Option<Vec<u8>> {
+        let width = op.width.bytes() as usize;
+        let mut data = match op.kind {
+            OpKind::Load => Some(vec![0u8; usize::from(op.mask.lanes()) * width]),
+            OpKind::Store => None,
+        };
+        for lane in op.mask.set_lanes() {
+            let la = op.lane_addr(lane);
+            let page = la.align_down(4096);
+            let Some(&(_, frame)) = ok_pages.iter().find(|(p, _)| *p == page) else {
+                continue; // suppressed page: lane dropped (loads read 0)
+            };
+            let pa = avx_mmu::PhysAddr::from_frame_number(frame)
+                .wrapping_add(la.as_u64() & 0xfff);
+            match (&mut data, op.kind) {
+                (Some(buf), OpKind::Load) => {
+                    let off = usize::from(lane) * width;
+                    self.mem.read(pa, &mut buf[off..off + width]);
+                }
+                (None, OpKind::Store) => {
+                    // Stores write a recognizable lane pattern.
+                    let pattern = [0xa5u8; 8];
+                    self.mem.write(pa, &pattern[..width]);
+                }
+                _ => unreachable!("data buffer existence tracks op kind"),
+            }
+        }
+        data
+    }
+
+    /// Writes bytes into simulated physical memory behind `va` (test and
+    /// example setup). Pages must be mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not mapped.
+    pub fn poke(&mut self, va: VirtAddr, bytes: &[u8]) {
+        let mapping = self.space.lookup(va).expect("poke target must be mapped");
+        let offset = va.as_u64() - mapping.start.as_u64();
+        let pa = mapping.phys.wrapping_add(offset);
+        self.mem.write(pa, bytes);
+    }
+
+    /// Reads bytes from simulated physical memory behind `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not mapped.
+    #[must_use]
+    pub fn peek(&mut self, va: VirtAddr, len: usize) -> Vec<u8> {
+        let mapping = self.space.lookup(va).expect("peek target must be mapped");
+        let offset = va.as_u64() - mapping.start.as_u64();
+        let pa = mapping.phys.wrapping_add(offset);
+        let mut buf = vec![0u8; len];
+        self.mem.read(pa, &mut buf);
+        buf
+    }
+}
+
+/// AMD kernel walks bypass cached structures; still record the touch so
+/// user-half behaviour stays realistic.
+fn false_warm_for_amd(lines: &mut PteLineCache, table: avx_mmu::FrameId, idx: usize) -> bool {
+    let _ = lines.touch(table, idx);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masked::{ElemWidth, Mask};
+    use avx_mmu::{PageSize, PteFlags};
+
+    fn va(raw: u64) -> VirtAddr {
+        VirtAddr::new_truncate(raw)
+    }
+
+    /// USER-M, USER-U, KERNEL-M, KERNEL-U pages as in Fig. 2.
+    fn fig2_machine() -> Machine {
+        let mut space = AddressSpace::new();
+        space
+            .map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        // USER-U: adjacent VMA exists but page non-present.
+        space
+            .map(va(0x5555_5555_5000), PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        space
+            .protect(va(0x5555_5555_5000), PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
+        space
+            .map(va(0xffff_ffff_a1e0_0000), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 1);
+        m.set_noise(NoiseModel::none());
+        m
+    }
+
+    const USER_M: u64 = 0x5555_5555_4000;
+    const USER_U: u64 = 0x5555_5555_5000;
+    const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
+    const KERNEL_U: u64 = 0xffff_ffff_a1a0_0000; // unmapped 2 MiB slot nearby
+
+    /// Steady-state probe: run twice, report the second (paper §IV-B).
+    fn steady(m: &mut Machine, kind: OpKind, addr: u64) -> MaskedOutcome {
+        let op = match kind {
+            OpKind::Load => MaskedOp::probe_load(va(addr)),
+            OpKind::Store => MaskedOp::probe_store(va(addr)),
+        };
+        let _ = m.execute(op);
+        m.execute(op)
+    }
+
+    #[test]
+    fn fig2_user_mapped_is_base_cost() {
+        let mut m = fig2_machine();
+        let out = steady(&mut m, OpKind::Load, USER_M);
+        assert_eq!(out.cycles, 13);
+        assert!(!out.assist);
+        assert_eq!(out.walks_completed, 0);
+        assert_eq!(out.tlb_hit, Some(TlbLookup::L1));
+    }
+
+    #[test]
+    fn fig2_kernel_mapped_is_assist_no_walk() {
+        let mut m = fig2_machine();
+        let out = steady(&mut m, OpKind::Load, KERNEL_M);
+        assert_eq!(out.cycles, 93);
+        assert!(out.assist);
+        assert_eq!(out.walks_completed, 0, "translation cached in TLB");
+        assert!(out.fault.is_none(), "fault suppressed");
+    }
+
+    #[test]
+    fn fig2_kernel_unmapped_walks_twice() {
+        let mut m = fig2_machine();
+        let out = steady(&mut m, OpKind::Load, KERNEL_U);
+        assert_eq!(out.cycles, 107);
+        assert!(out.assist);
+        assert_eq!(out.walks_completed, 2);
+    }
+
+    #[test]
+    fn fig2_user_unmapped_slightly_above_kernel_unmapped() {
+        let mut m = fig2_machine();
+        let ku = steady(&mut m, OpKind::Load, KERNEL_U).cycles;
+        let uu = steady(&mut m, OpKind::Load, USER_U).cycles;
+        assert_eq!(uu, 110);
+        assert_eq!(uu - ku, 3);
+    }
+
+    #[test]
+    fn fig2_pmc_pattern_matches_paper() {
+        let mut m = fig2_machine();
+        // Warm up all four page types, then measure one probe each.
+        for addr in [USER_M, USER_U, KERNEL_M, KERNEL_U] {
+            let _ = m.execute(MaskedOp::probe_load(va(addr)));
+        }
+        let mut assists = Vec::new();
+        let mut walks = Vec::new();
+        for addr in [USER_M, USER_U, KERNEL_M, KERNEL_U] {
+            let snap = m.pmc().snapshot();
+            let _ = m.execute(MaskedOp::probe_load(va(addr)));
+            let d = m.pmc().delta(&snap);
+            assists.push(d.get(Event::AssistsAny));
+            walks.push(d.get(Event::DtlbLoadWalkCompleted));
+        }
+        assert_eq!(assists, vec![0, 1, 1, 1], "Fig. 2 ASSISTS.ANY");
+        assert_eq!(walks, vec![0, 2, 0, 2], "Fig. 2 WALK_COMPLETED");
+    }
+
+    #[test]
+    fn p6_kernel_store_faster_than_load() {
+        let mut m = fig2_machine();
+        let load = steady(&mut m, OpKind::Load, KERNEL_M).cycles;
+        let store = steady(&mut m, OpKind::Store, KERNEL_M).cycles;
+        assert_eq!(load, 93);
+        assert_eq!(store, 76);
+        assert!((16..=18).contains(&(load - store)));
+    }
+
+    #[test]
+    fn fault_suppression_all_zero_mask_never_faults() {
+        let mut m = fig2_machine();
+        for addr in [USER_U, KERNEL_M, KERNEL_U, 0x10_0000_0000] {
+            let out = m.execute(MaskedOp::probe_load(va(addr)));
+            assert!(out.fault.is_none(), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn unmasked_lane_on_bad_page_faults() {
+        let mut m = fig2_machine();
+        let op = MaskedOp {
+            kind: OpKind::Load,
+            addr: va(USER_U),
+            mask: Mask::new(0b1, 8),
+            width: ElemWidth::Dword,
+        };
+        let out = m.execute(op);
+        let fault = out.fault.expect("must fault");
+        assert!(!fault.protection, "non-present fault");
+        assert!(!fault.write);
+    }
+
+    #[test]
+    fn fig1_cross_page_cases() {
+        // Fig. 1: access straddling a mapped(low)/unmapped(high) boundary.
+        let mut m = fig2_machine();
+        let base = va(USER_M + 0xff0); // last 16 bytes of USER_M page
+        // Case A/B: an unmasked lane on the unmapped page → #PF.
+        let faulting = MaskedOp {
+            kind: OpKind::Load,
+            addr: base,
+            mask: Mask::new(0b1111_0001, 8),
+            width: ElemWidth::Dword,
+        };
+        assert!(m.execute(faulting).fault.is_some());
+        // Case C/D: lanes on the unmapped page are masked → suppressed.
+        let suppressed = MaskedOp {
+            kind: OpKind::Load,
+            addr: base,
+            mask: Mask::new(0b0000_0111, 8),
+            width: ElemWidth::Dword,
+        };
+        let out = m.execute(suppressed);
+        assert!(out.fault.is_none());
+        assert!(out.assist);
+    }
+
+    #[test]
+    fn store_dirty_assist_matches_kernel_mapped_load() {
+        let mut m = fig2_machine();
+        // Fresh writable page, D=0. Warm translation with a load first.
+        let _ = m.execute(MaskedOp::probe_load(va(USER_M)));
+        let kernel = steady(&mut m, OpKind::Load, KERNEL_M).cycles;
+        let clean_store = m.execute(MaskedOp::probe_store(va(USER_M))).cycles;
+        assert_eq!(
+            clean_store, kernel,
+            "§IV-B calibration identity: clean-store == kernel-mapped load"
+        );
+    }
+
+    #[test]
+    fn zero_mask_store_never_sets_dirty_so_assist_repeats() {
+        let mut m = fig2_machine();
+        let _ = m.execute(MaskedOp::probe_load(va(USER_M)));
+        let first = m.execute(MaskedOp::probe_store(va(USER_M)));
+        let second = m.execute(MaskedOp::probe_store(va(USER_M)));
+        assert!(first.dirty_assist);
+        assert!(second.dirty_assist, "no lane stored, D stays clear");
+        assert_eq!(first.cycles, second.cycles);
+    }
+
+    #[test]
+    fn real_store_sets_dirty_and_becomes_fast() {
+        let mut m = fig2_machine();
+        let op = MaskedOp {
+            kind: OpKind::Store,
+            addr: va(USER_M),
+            mask: Mask::all_set(8),
+            width: ElemWidth::Dword,
+        };
+        let first = m.execute(op);
+        assert!(first.dirty_assist);
+        let second = m.execute(op);
+        assert!(!second.dirty_assist);
+        assert_eq!(second.cycles, 12, "base store cost after D is set");
+    }
+
+    #[test]
+    fn load_transfers_unmasked_lanes_only() {
+        let mut m = fig2_machine();
+        m.poke(va(USER_M), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let op = MaskedOp {
+            kind: OpKind::Load,
+            addr: va(USER_M),
+            mask: Mask::new(0b0000_0001, 8),
+            width: ElemWidth::Dword,
+        };
+        let out = m.execute(op);
+        let data = out.data.unwrap();
+        assert_eq!(&data[..4], &[1, 2, 3, 4], "lane 0 transferred");
+        assert_eq!(&data[4..8], &[0, 0, 0, 0], "lane 1 masked out");
+    }
+
+    #[test]
+    fn suppressed_cross_page_load_still_transfers_valid_lanes() {
+        let mut m = fig2_machine();
+        let base = va(USER_M + 0xff8); // 2 dword lanes fit, rest on USER_U
+        m.poke(base, &[9, 9, 9, 9]);
+        let op = MaskedOp {
+            kind: OpKind::Load,
+            addr: base,
+            mask: Mask::new(0b0000_0011, 8), // lanes 0,1 valid page only
+            width: ElemWidth::Dword,
+        };
+        let out = m.execute(op);
+        assert!(out.fault.is_none());
+        let data = out.data.unwrap();
+        assert_eq!(&data[..4], &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn tlb_eviction_makes_next_probe_cold() {
+        let mut m = fig2_machine();
+        let warm = steady(&mut m, OpKind::Load, KERNEL_M).cycles;
+        m.evict_translation(va(KERNEL_M));
+        let cold = m.execute(MaskedOp::probe_load(va(KERNEL_M))).cycles;
+        assert!(
+            cold > warm + 100,
+            "cold walk must be much slower: warm={warm} cold={cold}"
+        );
+    }
+
+    #[test]
+    fn p4_coffee_lake_hit_miss_anchors() {
+        let mut space = AddressSpace::new();
+        space
+            .map(va(KERNEL_M), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::coffee_lake_i9_9900(), space, 3);
+        m.set_noise(NoiseModel::none());
+        // Warm up, then evict: first probe cold, second probe hit.
+        let _ = m.execute(MaskedOp::probe_load(va(KERNEL_M)));
+        m.evict_translation(va(KERNEL_M));
+        let miss = m.execute(MaskedOp::probe_load(va(KERNEL_M))).cycles;
+        let hit = m.execute(MaskedOp::probe_load(va(KERNEL_M))).cycles;
+        assert_eq!(miss, 381, "3 cold steps + assist + base");
+        assert_eq!(hit, 147);
+    }
+
+    #[test]
+    fn touch_as_kernel_fills_tlb_for_user_probe() {
+        let mut m = fig2_machine();
+        m.evict_translation(va(KERNEL_M));
+        m.touch_as_kernel(va(KERNEL_M));
+        let out = m.execute(MaskedOp::probe_load(va(KERNEL_M)));
+        assert_eq!(out.tlb_hit, Some(TlbLookup::L1));
+        assert_eq!(out.cycles, 93);
+    }
+
+    #[test]
+    fn amd_kernel_probes_always_walk() {
+        let mut space = AddressSpace::new();
+        space
+            .map(va(KERNEL_M), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::zen3_ryzen5_5600x(), space, 4);
+        m.set_noise(NoiseModel::none());
+        let first = m.execute(MaskedOp::probe_load(va(KERNEL_M)));
+        let second = m.execute(MaskedOp::probe_load(va(KERNEL_M)));
+        assert!(first.walks_completed >= 1);
+        assert!(second.walks_completed >= 1, "no TLB shortcut on AMD");
+        assert_eq!(first.cycles, second.cycles, "steady and identical");
+    }
+
+    #[test]
+    fn amd_mapped_and_unmapped_kernel_indistinguishable_but_4k_visible() {
+        let mut space = AddressSpace::new();
+        space
+            .map(va(KERNEL_M), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        // A 4 KiB kernel page in the same PDPT.
+        space
+            .map(va(0xffff_ffff_a1c0_0000), PageSize::Size4K, PteFlags::kernel_ro())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::zen3_ryzen5_5600x(), space, 5);
+        m.set_noise(NoiseModel::none());
+        let mapped_2m = m.execute(MaskedOp::probe_load(va(KERNEL_M))).cycles;
+        let unmapped = m.execute(MaskedOp::probe_load(va(KERNEL_U))).cycles;
+        let mapped_4k = m
+            .execute(MaskedOp::probe_load(va(0xffff_ffff_a1c0_0000)))
+            .cycles;
+        assert_eq!(mapped_2m, unmapped, "P-bit invisible on AMD");
+        assert!(
+            mapped_4k > mapped_2m + 20,
+            "PT-terminated walks stand out: {mapped_4k} vs {mapped_2m}"
+        );
+    }
+
+    #[test]
+    fn user_half_on_amd_still_uses_tlb() {
+        let mut space = AddressSpace::new();
+        space
+            .map(va(USER_M), PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::zen3_ryzen5_5600x(), space, 6);
+        m.set_noise(NoiseModel::none());
+        let _ = m.execute(MaskedOp::probe_load(va(USER_M)));
+        let out = m.execute(MaskedOp::probe_load(va(USER_M)));
+        assert_eq!(out.tlb_hit, Some(TlbLookup::L1));
+        assert_eq!(out.walks_completed, 0);
+    }
+
+    #[test]
+    fn permission_fig3_pattern() {
+        let mut space = AddressSpace::new();
+        let ro = va(0x7f00_0000_0000);
+        let rx = va(0x7f00_0000_1000);
+        let rw = va(0x7f00_0000_2000);
+        let none = va(0x7f00_0000_3000);
+        space.map(ro, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        space.map(rx, PageSize::Size4K, PteFlags::user_rx()).unwrap();
+        space.map(rw, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        // PROT_NONE: map then drop present, like mprotect(PROT_NONE).
+        space.map(none, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space.protect(none, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+
+        let mut m = Machine::new(CpuProfile::generic_desktop(), space, 7);
+        m.set_noise(NoiseModel::none());
+        // Warm up translations + dirty bits with real accesses.
+        for page in [ro, rx, rw] {
+            let _ = m.execute(MaskedOp::probe_load(page));
+        }
+        let write_all = MaskedOp {
+            kind: OpKind::Store,
+            addr: rw,
+            mask: Mask::all_set(8),
+            width: ElemWidth::Dword,
+        };
+        let _ = m.execute(write_all);
+
+        // Masked load: 16 / 16 / 16 / 115.
+        assert_eq!(m.execute(MaskedOp::probe_load(ro)).cycles, 16);
+        assert_eq!(m.execute(MaskedOp::probe_load(rx)).cycles, 16);
+        assert_eq!(m.execute(MaskedOp::probe_load(rw)).cycles, 16);
+        let _ = m.execute(MaskedOp::probe_load(none));
+        assert_eq!(m.execute(MaskedOp::probe_load(none)).cycles, 115);
+
+        // Masked store: 82 / 82 / 16 / 96.
+        assert_eq!(m.execute(MaskedOp::probe_store(ro)).cycles, 82);
+        assert_eq!(m.execute(MaskedOp::probe_store(rx)).cycles, 82);
+        assert_eq!(m.execute(write_all).cycles, 16);
+        assert_eq!(m.execute(MaskedOp::probe_store(none)).cycles, 96);
+    }
+
+    #[test]
+    fn p3_level_ordering_with_invlpg() {
+        // Kernel pages terminating at PT, PD, PDPT plus an empty PML4
+        // slot; INVLPG before each probe → root walks with level extras.
+        let mut space = AddressSpace::new();
+        let pt_page = va(0xffff_ffff_c012_3000);
+        let pd_page = va(0xffff_ffff_a1e0_0000);
+        let pdpt_page = va(0xffff_c000_0000_0000);
+        let pml4_hole = va(0xffff_9000_0000_0000);
+        space.map(pt_page, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        space.map(pd_page, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+        space.map(pdpt_page, PageSize::Size1G, PteFlags::kernel_rw()).unwrap();
+
+        let mut m = Machine::new(CpuProfile::coffee_lake_i9_9900(), space, 8);
+        m.set_noise(NoiseModel::none());
+        let mut measure = |addr: VirtAddr| {
+            // Warm lines first so the signal is the level pattern, not
+            // cold-line noise.
+            let _ = m.execute(MaskedOp::probe_load(addr));
+            m.invlpg(addr);
+            let _ = m.execute(MaskedOp::probe_load(addr));
+            m.invlpg(addr);
+            m.execute(MaskedOp::probe_load(addr)).cycles
+        };
+        let t_pd = measure(pd_page);
+        let t_pdpt = measure(pdpt_page);
+        let t_pml4 = measure(pml4_hole);
+        let t_pt = measure(pt_page);
+        assert!(t_pd < t_pdpt, "PD {t_pd} < PDPT {t_pdpt}");
+        assert!(t_pdpt < t_pml4, "PDPT {t_pdpt} < PML4 {t_pml4}");
+        assert!(t_pt > t_pd, "PT off the line: {t_pt} > {t_pd}");
+    }
+
+    #[test]
+    fn clock_advances_with_execution() {
+        let mut m = fig2_machine();
+        assert_eq!(m.elapsed_cycles(), 0);
+        let out = m.execute(MaskedOp::probe_load(va(USER_M)));
+        assert_eq!(m.elapsed_cycles(), out.cycles);
+        m.spend_cycles(100);
+        assert_eq!(m.elapsed_cycles(), out.cycles + 100);
+    }
+
+    #[test]
+    fn poke_peek_round_trip() {
+        let mut m = fig2_machine();
+        m.poke(va(USER_M + 8), &[0xde, 0xad]);
+        assert_eq!(m.peek(va(USER_M + 8), 2), vec![0xde, 0xad]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Masked load/store operation descriptions.
+//!
+//! Models the AVX/AVX2 `VMASKMOVPS/PD` and `VPMASKMOVD/Q` instructions:
+//! a packed access of 4 or 8 elements whose per-element mask bit decides
+//! whether the element is transferred — and, crucially for the side
+//! channel, whether a translation problem on that element's page raises
+//! `#PF` or is silently suppressed.
+
+use core::fmt;
+
+use avx_mmu::VirtAddr;
+
+/// Direction of the masked access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// `VMASKMOV dest, mask, mem` — masked load.
+    Load,
+    /// `VMASKMOV mem, mask, src` — masked store.
+    Store,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Load => write!(f, "masked load"),
+            OpKind::Store => write!(f, "masked store"),
+        }
+    }
+}
+
+/// Element width of the vector operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemWidth {
+    /// 32-bit elements (`VPMASKMOVD` / `VMASKMOVPS`).
+    Dword,
+    /// 64-bit elements (`VPMASKMOVQ` / `VMASKMOVPD`).
+    Qword,
+}
+
+impl ElemWidth {
+    /// Bytes per element.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            ElemWidth::Dword => 4,
+            ElemWidth::Qword => 8,
+        }
+    }
+}
+
+/// A per-lane mask for up to 8 lanes (256-bit vector of dwords).
+///
+/// Bit *i* set means lane *i* participates in the transfer. In hardware
+/// the mask is the sign bit of each element of a ymm register; here it
+/// is a compact bitset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mask {
+    bits: u8,
+    lanes: u8,
+}
+
+impl Mask {
+    /// Creates a mask over `lanes` lanes (1..=8) from the low bits of
+    /// `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 8.
+    #[must_use]
+    pub fn new(bits: u8, lanes: u8) -> Self {
+        assert!((1..=8).contains(&lanes), "lanes must be in 1..=8");
+        let keep = if lanes == 8 { 0xff } else { (1u8 << lanes) - 1 };
+        Self {
+            bits: bits & keep,
+            lanes,
+        }
+    }
+
+    /// The all-zero mask: nothing is transferred, every fault is
+    /// suppressed. This is the probe mask of the attack (paper P1).
+    #[must_use]
+    pub fn all_zero(lanes: u8) -> Self {
+        Self::new(0, lanes)
+    }
+
+    /// The all-ones mask: a plain vector access.
+    #[must_use]
+    pub fn all_set(lanes: u8) -> Self {
+        Self::new(0xff, lanes)
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub const fn lanes(self) -> u8 {
+        self.lanes
+    }
+
+    /// `true` if lane `i` participates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= lanes`.
+    #[must_use]
+    pub fn lane(self, i: u8) -> bool {
+        assert!(i < self.lanes, "lane out of range");
+        self.bits & (1 << i) != 0
+    }
+
+    /// `true` if no lane participates.
+    #[must_use]
+    pub const fn is_all_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Raw bits (low `lanes` bits meaningful).
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Iterator over participating lane indices.
+    pub fn set_lanes(self) -> impl Iterator<Item = u8> {
+        let bits = self.bits;
+        let lanes = self.lanes;
+        (0..lanes).filter(move |i| bits & (1 << i) != 0)
+    }
+}
+
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.lanes).rev() {
+            write!(f, "{}", u8::from(self.lane(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully-described masked memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MaskedOp {
+    /// Load or store.
+    pub kind: OpKind,
+    /// Base virtual address of element 0.
+    pub addr: VirtAddr,
+    /// Per-lane participation mask.
+    pub mask: Mask,
+    /// Element width.
+    pub width: ElemWidth,
+}
+
+impl MaskedOp {
+    /// The attack probe: an all-zero-mask dword load at `addr`.
+    #[must_use]
+    pub fn probe_load(addr: VirtAddr) -> Self {
+        Self {
+            kind: OpKind::Load,
+            addr,
+            mask: Mask::all_zero(8),
+            width: ElemWidth::Dword,
+        }
+    }
+
+    /// The attack probe: an all-zero-mask dword store at `addr`.
+    #[must_use]
+    pub fn probe_store(addr: VirtAddr) -> Self {
+        Self {
+            kind: OpKind::Store,
+            addr,
+            mask: Mask::all_zero(8),
+            width: ElemWidth::Dword,
+        }
+    }
+
+    /// The virtual address of lane `i`.
+    #[must_use]
+    pub fn lane_addr(&self, i: u8) -> VirtAddr {
+        self.addr.wrapping_add(u64::from(i) * self.width.bytes())
+    }
+
+    /// Total byte span of the vector access.
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        u64::from(self.mask.lanes()) * self.width.bytes()
+    }
+
+    /// Distinct 4 KiB page base addresses the vector touches, with a flag
+    /// for whether any *unmasked* lane lies on that page.
+    #[must_use]
+    pub fn touched_pages(&self) -> Vec<(VirtAddr, bool)> {
+        let mut pages: Vec<(VirtAddr, bool)> = Vec::with_capacity(2);
+        for i in 0..self.mask.lanes() {
+            let page = self.lane_addr(i).align_down(4096);
+            let unmasked = self.mask.lane(i);
+            match pages.iter_mut().find(|(p, _)| *p == page) {
+                Some(slot) => slot.1 |= unmasked,
+                None => pages.push((page, unmasked)),
+            }
+        }
+        pages
+    }
+}
+
+impl fmt::Display for MaskedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} mask={}", self.kind, self.addr, self.mask)
+    }
+}
+
+/// An architecturally delivered fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// Faulting page base.
+    pub addr: VirtAddr,
+    /// `true` when caused by a store.
+    pub write: bool,
+    /// `true` when the translation existed but permissions failed
+    /// (protection violation vs non-present fault).
+    pub protection: bool,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#PF at {} ({}, {})",
+            self.addr,
+            if self.write { "write" } else { "read" },
+            if self.protection {
+                "protection"
+            } else {
+                "not-present"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(raw: u64) -> VirtAddr {
+        VirtAddr::new_truncate(raw)
+    }
+
+    #[test]
+    fn mask_construction_and_lanes() {
+        let m = Mask::new(0b1101, 4);
+        assert!(m.lane(0));
+        assert!(!m.lane(1));
+        assert!(m.lane(2));
+        assert!(m.lane(3));
+        assert_eq!(m.set_lanes().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn mask_truncates_to_lane_count() {
+        let m = Mask::new(0xff, 4);
+        assert_eq!(m.bits(), 0x0f);
+    }
+
+    #[test]
+    fn all_zero_and_all_set() {
+        assert!(Mask::all_zero(8).is_all_zero());
+        assert_eq!(Mask::all_set(8).bits(), 0xff);
+        assert!(!Mask::all_set(1).is_all_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in 1..=8")]
+    fn zero_lanes_rejected() {
+        let _ = Mask::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn out_of_range_lane_panics() {
+        let m = Mask::new(0b1, 2);
+        let _ = m.lane(2);
+    }
+
+    #[test]
+    fn mask_display_msb_first() {
+        let m = Mask::new(0b1101, 4);
+        assert_eq!(m.to_string(), "1101");
+    }
+
+    #[test]
+    fn lane_addresses_step_by_width() {
+        let op = MaskedOp {
+            kind: OpKind::Load,
+            addr: va(0x1000),
+            mask: Mask::all_set(4),
+            width: ElemWidth::Qword,
+        };
+        assert_eq!(op.lane_addr(0), va(0x1000));
+        assert_eq!(op.lane_addr(3), va(0x1018));
+        assert_eq!(op.span(), 32);
+    }
+
+    #[test]
+    fn touched_pages_single_page() {
+        let op = MaskedOp::probe_load(va(0x5000));
+        let pages = op.touched_pages();
+        assert_eq!(pages, vec![(va(0x5000), false)]);
+    }
+
+    #[test]
+    fn touched_pages_straddles_boundary() {
+        // 8 dword lanes starting 16 bytes before a page boundary:
+        // lanes 0..3 on the low page, 4..7 on the high page.
+        let op = MaskedOp {
+            kind: OpKind::Load,
+            addr: va(0x1ff0),
+            mask: Mask::new(0b0000_1111, 8), // only low-page lanes unmasked
+            width: ElemWidth::Dword,
+        };
+        let pages = op.touched_pages();
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0], (va(0x1000), true));
+        assert_eq!(pages[1], (va(0x2000), false), "high page fully masked");
+    }
+
+    #[test]
+    fn probe_ops_use_zero_mask() {
+        assert!(MaskedOp::probe_load(va(0)).mask.is_all_zero());
+        assert!(MaskedOp::probe_store(va(0)).mask.is_all_zero());
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = Fault {
+            addr: va(0x2000),
+            write: true,
+            protection: false,
+        };
+        let s = f.to_string();
+        assert!(s.contains("#PF"));
+        assert!(s.contains("write"));
+        assert!(s.contains("not-present"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Performance-monitoring counters.
+//!
+//! Models the two counters the paper reads to explain Fig. 2 —
+//! `ASSISTS.ANY` and `DTLB_LOAD_MISSES.WALK_COMPLETED` — plus a few more
+//! that the tests use to validate engine behaviour.
+
+use core::fmt;
+
+/// The modelled performance events.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum Event {
+    /// `ASSISTS.ANY` — microcode assists of any kind.
+    AssistsAny,
+    /// `DTLB_LOAD_MISSES.WALK_COMPLETED` — completed walks for loads.
+    DtlbLoadWalkCompleted,
+    /// `DTLB_STORE_MISSES.WALK_COMPLETED` — completed walks for stores.
+    DtlbStoreWalkCompleted,
+    /// First-level TLB hits.
+    TlbHitL1,
+    /// Second-level (STLB) hits.
+    TlbHitL2,
+    /// TLB misses (a walk was required).
+    TlbMiss,
+    /// Page faults architecturally delivered.
+    PageFault,
+    /// Page faults suppressed by masking (paper property P1).
+    SuppressedFault,
+    /// Retired masked-load instructions.
+    MaskedLoadRetired,
+    /// Retired masked-store instructions.
+    MaskedStoreRetired,
+}
+
+impl Event {
+    /// Every modelled event, for iteration.
+    pub const ALL: [Event; 10] = [
+        Event::AssistsAny,
+        Event::DtlbLoadWalkCompleted,
+        Event::DtlbStoreWalkCompleted,
+        Event::TlbHitL1,
+        Event::TlbHitL2,
+        Event::TlbMiss,
+        Event::PageFault,
+        Event::SuppressedFault,
+        Event::MaskedLoadRetired,
+        Event::MaskedStoreRetired,
+    ];
+
+    const fn index(self) -> usize {
+        match self {
+            Event::AssistsAny => 0,
+            Event::DtlbLoadWalkCompleted => 1,
+            Event::DtlbStoreWalkCompleted => 2,
+            Event::TlbHitL1 => 3,
+            Event::TlbHitL2 => 4,
+            Event::TlbMiss => 5,
+            Event::PageFault => 6,
+            Event::SuppressedFault => 7,
+            Event::MaskedLoadRetired => 8,
+            Event::MaskedStoreRetired => 9,
+        }
+    }
+
+    /// The conventional (Intel SDM-style) event mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Event::AssistsAny => "ASSISTS.ANY",
+            Event::DtlbLoadWalkCompleted => "DTLB_LOAD_MISSES.WALK_COMPLETED",
+            Event::DtlbStoreWalkCompleted => "DTLB_STORE_MISSES.WALK_COMPLETED",
+            Event::TlbHitL1 => "DTLB.HIT_L1",
+            Event::TlbHitL2 => "DTLB.HIT_L2",
+            Event::TlbMiss => "DTLB.MISS",
+            Event::PageFault => "FAULTS.DELIVERED",
+            Event::SuppressedFault => "FAULTS.SUPPRESSED",
+            Event::MaskedLoadRetired => "MASKED_LOAD.RETIRED",
+            Event::MaskedStoreRetired => "MASKED_STORE.RETIRED",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A snapshot-capable counter bank.
+#[derive(Clone, Default, Debug)]
+pub struct PmcBank {
+    counts: [u64; Event::ALL.len()],
+}
+
+impl PmcBank {
+    /// A zeroed bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `event` by one.
+    pub fn bump(&mut self, event: Event) {
+        self.counts[event.index()] += 1;
+    }
+
+    /// Increments `event` by `n`.
+    pub fn add(&mut self, event: Event, n: u64) {
+        self.counts[event.index()] += n;
+    }
+
+    /// Current value of `event`.
+    #[must_use]
+    pub fn read(&self, event: Event) -> u64 {
+        self.counts[event.index()]
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        self.counts = [0; Event::ALL.len()];
+    }
+
+    /// Takes a snapshot for later delta computation.
+    #[must_use]
+    pub fn snapshot(&self) -> PmcSnapshot {
+        PmcSnapshot {
+            counts: self.counts,
+        }
+    }
+
+    /// Per-event difference since `snapshot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a counter moved backwards (would indicate
+    /// an engine bug; counters are monotonic).
+    #[must_use]
+    pub fn delta(&self, snapshot: &PmcSnapshot) -> PmcDelta {
+        let mut d = [0u64; Event::ALL.len()];
+        for (i, slot) in d.iter_mut().enumerate() {
+            debug_assert!(self.counts[i] >= snapshot.counts[i]);
+            *slot = self.counts[i] - snapshot.counts[i];
+        }
+        PmcDelta { counts: d }
+    }
+}
+
+/// An immutable snapshot of all counters.
+#[derive(Clone, Copy, Debug)]
+pub struct PmcSnapshot {
+    counts: [u64; Event::ALL.len()],
+}
+
+/// Differences between two points in time.
+#[derive(Clone, Copy, Debug)]
+pub struct PmcDelta {
+    counts: [u64; Event::ALL.len()],
+}
+
+impl PmcDelta {
+    /// The delta of `event`.
+    #[must_use]
+    pub fn get(&self, event: Event) -> u64 {
+        self.counts[event.index()]
+    }
+}
+
+impl fmt::Display for PmcDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for event in Event::ALL {
+            let v = self.get(event);
+            if v != 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}={v}", event.mnemonic())?;
+            }
+        }
+        if first {
+            write!(f, "no events")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_read() {
+        let mut bank = PmcBank::new();
+        bank.bump(Event::AssistsAny);
+        bank.bump(Event::AssistsAny);
+        bank.add(Event::TlbMiss, 5);
+        assert_eq!(bank.read(Event::AssistsAny), 2);
+        assert_eq!(bank.read(Event::TlbMiss), 5);
+        assert_eq!(bank.read(Event::PageFault), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut bank = PmcBank::new();
+        bank.add(Event::DtlbLoadWalkCompleted, 3);
+        let snap = bank.snapshot();
+        bank.add(Event::DtlbLoadWalkCompleted, 2);
+        bank.bump(Event::SuppressedFault);
+        let d = bank.delta(&snap);
+        assert_eq!(d.get(Event::DtlbLoadWalkCompleted), 2);
+        assert_eq!(d.get(Event::SuppressedFault), 1);
+        assert_eq!(d.get(Event::AssistsAny), 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut bank = PmcBank::new();
+        bank.bump(Event::PageFault);
+        bank.reset();
+        assert_eq!(bank.read(Event::PageFault), 0);
+    }
+
+    #[test]
+    fn delta_display_lists_nonzero() {
+        let mut bank = PmcBank::new();
+        let snap = bank.snapshot();
+        bank.bump(Event::AssistsAny);
+        let text = bank.delta(&snap).to_string();
+        assert!(text.contains("ASSISTS.ANY=1"));
+        let empty = bank.delta(&bank.snapshot()).to_string();
+        assert_eq!(empty, "no events");
+    }
+
+    #[test]
+    fn mnemonics_match_paper() {
+        assert_eq!(Event::AssistsAny.mnemonic(), "ASSISTS.ANY");
+        assert_eq!(
+            Event::DtlbLoadWalkCompleted.mnemonic(),
+            "DTLB_LOAD_MISSES.WALK_COMPLETED"
+        );
+    }
+}

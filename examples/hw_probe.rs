@@ -1,0 +1,76 @@
+//! Live hardware demonstration of property P1 and the timing channel.
+//!
+//! Runs the *real* AVX2 masked-load probe (the paper's PoC instruction
+//! sequence) on this machine, if it is an x86-64 with AVX2:
+//!
+//! 1. all-zero-mask probes of unmapped and kernel addresses complete
+//!    without a fault (P1 — fault suppression),
+//! 2. latency histograms for an own mapped page vs a wild unmapped
+//!    address vs a kernel address are printed — on most CPUs the bands
+//!    differ, which is the entire side channel.
+//!
+//! On other hosts the example explains itself and exits cleanly.
+//!
+//! ```text
+//! cargo run --release --example hw_probe
+//! ```
+
+use avx_channel::stats::Summary;
+use avx_channel::Prober;
+use avx_hw::HwProber;
+use avx_mmu::VirtAddr;
+use avx_uarch::OpKind;
+
+fn main() {
+    // SAFETY: this demo probes (a) its own buffer, (b) a canonical but
+    // almost-certainly-unmapped user address, (c) the kernel text
+    // region. All probes use all-zero masks (architecturally
+    // non-faulting, non-transferring); no MMIO is mapped in this
+    // process.
+    let mut prober = match unsafe { HwProber::new(3.0) } {
+        Ok(p) => p,
+        Err(e) => {
+            println!("hardware probe unavailable on this host: {e}");
+            println!("(the simulator examples work everywhere — try `quickstart`)");
+            return;
+        }
+    };
+    println!("AVX2 detected — running live masked-load probes.\n");
+
+    let own = vec![0u8; 4096 * 4];
+    let own_addr = VirtAddr::new_truncate(own.as_ptr() as u64 & !0xfff) // page-align
+        .wrapping_add(4096);
+    let wild = VirtAddr::new_truncate(0x1357_9bd0_0000);
+    let kernel = VirtAddr::new_truncate(0xffff_ffff_8100_0000);
+
+    let mut measure = |label: &str, addr: VirtAddr| {
+        // Warm up, then min-filter 4096 probes (live machines are noisy).
+        for _ in 0..64 {
+            let _ = prober.probe(OpKind::Load, addr);
+        }
+        let samples: Vec<u64> = (0..4096)
+            .map(|_| prober.probe(OpKind::Load, addr))
+            .collect();
+        let s = Summary::of(&samples);
+        println!("  {label:<28} {s}");
+        s.median
+    };
+
+    println!("masked-load latency (cycles):");
+    let own_med = measure("own mapped page", own_addr);
+    let wild_med = measure("wild (unmapped) address", wild);
+    let kernel_med = measure("kernel text address", kernel);
+
+    println!("\nno page fault was raised by any probe — property P1 holds live.");
+    if wild_med > own_med || kernel_med > own_med {
+        println!(
+            "timing bands differ (own {own_med}, wild {wild_med}, kernel {kernel_med}): \
+             the side channel is visible on this CPU."
+        );
+    } else {
+        println!(
+            "bands are indistinguishable on this CPU/kernel (own {own_med}, wild {wild_med}, \
+             kernel {kernel_med}) — likely mitigated or virtualized."
+        );
+    }
+}

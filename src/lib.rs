@@ -1,0 +1,33 @@
+//! # avx-aslr — umbrella crate for the DAC 2023 AVX/ASLR reproduction
+//!
+//! Re-exports the whole workspace under one roof and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). See the individual crates for the substance:
+//!
+//! * [`mmu`] (`avx-mmu`) — x86-64 paging, TLB, paging-structure caches,
+//! * [`uarch`] (`avx-uarch`) — the masked-op timing engine and CPU profiles,
+//! * [`os`] (`avx-os`) — Linux/Windows/SGX/cloud memory-layout models,
+//! * [`channel`] (`avx-channel`) — the attack primitives and end-to-end
+//!   attacks,
+//! * [`hw`] (`avx-hw`) — the real-hardware prober and the VEX scanner.
+//!
+//! ```
+//! use avx_aslr::channel::{KernelBaseFinder, SimProber, Threshold};
+//! use avx_aslr::os::linux::{LinuxConfig, LinuxSystem};
+//! use avx_aslr::uarch::CpuProfile;
+//!
+//! let system = LinuxSystem::build(LinuxConfig::seeded(1));
+//! let (machine, truth) = system.into_machine(CpuProfile::alder_lake_i5_12400f(), 1);
+//! let mut prober = SimProber::new(machine);
+//! let threshold = Threshold::calibrate(&mut prober, truth.user.calibration, 16);
+//! let scan = KernelBaseFinder::new(threshold).scan(&mut prober);
+//! assert_eq!(scan.base, Some(truth.kernel_base));
+//! ```
+
+#![deny(missing_docs)]
+
+pub use avx_channel as channel;
+pub use avx_hw as hw;
+pub use avx_mmu as mmu;
+pub use avx_os as os;
+pub use avx_uarch as uarch;

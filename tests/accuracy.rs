@@ -1,0 +1,89 @@
+//! Statistical accuracy bounds under realistic noise — the Table I
+//! claims at CI-friendly trial counts. (`repro` with `AVX_TRIALS=10000`
+//! reproduces the paper-scale n.)
+
+use avx_aslr::channel::attacks::modules::score;
+use avx_aslr::channel::{
+    AmdKernelBaseFinder, KernelBaseFinder, ModuleClassifier, ModuleScanner, SimProber,
+    Threshold,
+};
+use avx_aslr::os::linux::{LinuxConfig, LinuxSystem};
+use avx_aslr::os::modules::UBUNTU_18_04_MODULES;
+use avx_aslr::uarch::CpuProfile;
+
+const TRIALS: u64 = 40;
+
+#[test]
+fn intel_base_accuracy_is_high_but_imperfect_noise_model() {
+    // The paper reports 99.60 % — i.e. *not* 100 %: interrupt spikes
+    // occasionally flip the first kernel slot. Over enough trials both
+    // "mostly right" and "sometimes wrong" must hold.
+    let mut wins = 0;
+    for seed in 0..TRIALS {
+        let system = LinuxSystem::build(LinuxConfig::seeded(seed * 31 + 5));
+        let (machine, truth) =
+            system.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        if KernelBaseFinder::new(th).scan(&mut p).base == Some(truth.kernel_base) {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 100 >= TRIALS * 92,
+        "accuracy too low: {wins}/{TRIALS}"
+    );
+}
+
+#[test]
+fn amd_base_accuracy() {
+    let mut wins = 0;
+    for seed in 0..TRIALS {
+        let system = LinuxSystem::build(LinuxConfig::seeded(seed * 17 + 9));
+        let (machine, truth) = system.into_machine(CpuProfile::zen3_ryzen5_5600x(), seed);
+        let mut p = SimProber::new(machine);
+        let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+        if scan.base == Some(truth.kernel_base) {
+            wins += 1;
+        }
+    }
+    assert!(wins * 100 >= TRIALS * 92, "{wins}/{TRIALS}");
+}
+
+#[test]
+fn module_detection_accuracy_across_trials() {
+    let mut total = avx_aslr::channel::stats::Trials::new();
+    for seed in 0..8u64 {
+        let system = LinuxSystem::build(LinuxConfig::seeded(seed * 101 + 2));
+        let (machine, truth) = system.into_machine(CpuProfile::ice_lake_i7_1065g7(), seed);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let scan = ModuleScanner::new(th).scan(&mut p);
+        let ids = ModuleClassifier::new(&UBUNTU_18_04_MODULES).classify(&scan);
+        let s = score(&scan, &ids, &truth.modules);
+        total.successes += s.exact.successes;
+        total.total += s.exact.total;
+    }
+    assert!(
+        total.rate() > 0.97,
+        "per-module exact detection {total} (paper: 99.72 %)"
+    );
+}
+
+#[test]
+fn calibration_is_stable_across_seeds() {
+    // The calibrated value must stay within a few cycles of the
+    // profile's kernel-mapped anchor across machines and noise seeds.
+    let anchor = CpuProfile::alder_lake_i5_12400f().expect_kernel_mapped_load();
+    for seed in 0..20u64 {
+        let system = LinuxSystem::build(LinuxConfig::seeded(seed));
+        let (machine, truth) = system.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        let mut p = SimProber::new(machine);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        assert!(
+            (th.value - anchor).abs() < 5.0,
+            "seed {seed}: {} vs {anchor}",
+            th.value
+        );
+    }
+}
