@@ -22,9 +22,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use avx_bench::{calibrate, linux_prober};
 use avx_channel::report::Table;
 use avx_channel::stats::Trials;
-use avx_channel::{
-    KernelBaseFinder, ProbeStrategy, Prober, SimProber, Threshold, TlbAttack,
-};
+use avx_channel::{KernelBaseFinder, ProbeStrategy, Prober, SimProber, Threshold, TlbAttack};
 use avx_os::activity::{apply_activity, ActivityTimeline};
 use avx_os::linux::{LinuxConfig, LinuxSystem};
 use avx_uarch::{CpuProfile, NoiseModel};
@@ -35,8 +33,7 @@ fn base_accuracy(strategy: ProbeStrategy, spike_prob: Option<f64>, margin: Optio
     let mut acc = Trials::new();
     for seed in 0..TRIALS {
         let sys = LinuxSystem::build(LinuxConfig::seeded(seed * 23 + 7));
-        let (mut machine, truth) =
-            sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
         if let Some(p) = spike_prob {
             let t = machine.profile().timing;
             machine.set_noise(NoiseModel::new(t.noise_sigma, p, t.spike_range));
@@ -92,7 +89,10 @@ fn print_ablations() {
                     "{:.1} %",
                     base_accuracy(ProbeStrategy::SecondOfTwo, Some(p), None)
                 ),
-                format!("{:.1} %", base_accuracy(ProbeStrategy::MinOf(4), Some(p), None)),
+                format!(
+                    "{:.1} %",
+                    base_accuracy(ProbeStrategy::MinOf(4), Some(p), None)
+                ),
             ]);
         }
         println!("{t}");
@@ -151,8 +151,7 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let (mut p, truth) =
-                    linux_prober(CpuProfile::alder_lake_i5_12400f(), seed);
+                let (mut p, truth) = linux_prober(CpuProfile::alder_lake_i5_12400f(), seed);
                 let th = calibrate(&mut p, &truth);
                 KernelBaseFinder::new(th)
                     .with_strategy(strategy)

@@ -1,0 +1,108 @@
+//! Batched vs scalar sweep throughput.
+//!
+//! The sweep-shaped attacks (Fig. 4 kernel scan, Fig. 5 module scan)
+//! time one masked op per candidate address. The batched probe pipeline
+//! (`Prober::probe_batch` → `Machine::execute_batch`) amortizes the
+//! per-op bookkeeping of the scalar path — no `MaskedOutcome`
+//! materialization, no lane-buffer allocation — so the same sweep
+//! measured through `ProbeStrategy::measure_batch` must beat the
+//! per-address `ProbeStrategy::measure` loop while returning identical
+//! cycle readings.
+
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use avx_bench::quiet_linux_prober;
+use avx_channel::{KernelBaseFinder, ModuleScanner, ProbeStrategy, Prober};
+use avx_mmu::VirtAddr;
+use avx_uarch::{CpuProfile, OpKind};
+
+/// Scalar reference: the pre-batching hot loop, one strategy
+/// measurement per candidate.
+fn scalar_sweep<P: Prober + ?Sized>(p: &mut P, strategy: ProbeStrategy, addrs: &[VirtAddr]) -> u64 {
+    addrs
+        .iter()
+        .map(|&a| strategy.measure(p, OpKind::Load, a))
+        .sum()
+}
+
+/// Batched pipeline: same candidates, same strategy, whole tiles at a
+/// time.
+fn batched_sweep<P: Prober + ?Sized>(
+    p: &mut P,
+    strategy: ProbeStrategy,
+    addrs: &[VirtAddr],
+) -> u64 {
+    strategy
+        .measure_batch(p, OpKind::Load, addrs)
+        .into_iter()
+        .sum()
+}
+
+/// One-off printed comparison so the bench output leads with the
+/// headline number.
+fn print_throughput_comparison() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let addrs = KernelBaseFinder::candidate_range().to_vec();
+        let strategy = ProbeStrategy::SecondOfTwo;
+        let rounds = 200u32;
+
+        let (mut p, _) = quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 1);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(scalar_sweep(&mut p, strategy, &addrs));
+        }
+        let scalar = start.elapsed();
+
+        let (mut p, _) = quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 1);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(batched_sweep(&mut p, strategy, &addrs));
+        }
+        let batched = start.elapsed();
+
+        println!(
+            "\nFig. 4 sweep, {rounds} rounds of 512 slots: scalar {:.2} ms, \
+             batched {:.2} ms — {:.2}x",
+            scalar.as_secs_f64() * 1e3,
+            batched.as_secs_f64() * 1e3,
+            scalar.as_secs_f64() / batched.as_secs_f64()
+        );
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_throughput_comparison();
+    let mut group = c.benchmark_group("batched_sweep");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let fig4_addrs = KernelBaseFinder::candidate_range().to_vec();
+    group.bench_function("fig4_512_slots_scalar", |b| {
+        let (mut p, _) = quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 2);
+        b.iter(|| scalar_sweep(&mut p, ProbeStrategy::SecondOfTwo, &fig4_addrs))
+    });
+    group.bench_function("fig4_512_slots_batched", |b| {
+        let (mut p, _) = quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 2);
+        b.iter(|| batched_sweep(&mut p, ProbeStrategy::SecondOfTwo, &fig4_addrs))
+    });
+
+    let fig5_addrs = ModuleScanner::candidate_range().to_vec();
+    group.bench_function("fig5_16384_pages_scalar", |b| {
+        let (mut p, _) = quiet_linux_prober(CpuProfile::ice_lake_i7_1065g7(), 3);
+        b.iter(|| scalar_sweep(&mut p, ProbeStrategy::MinOf(2), &fig5_addrs))
+    });
+    group.bench_function("fig5_16384_pages_batched", |b| {
+        let (mut p, _) = quiet_linux_prober(CpuProfile::ice_lake_i7_1065g7(), 3);
+        b.iter(|| batched_sweep(&mut p, ProbeStrategy::MinOf(2), &fig5_addrs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,16 +19,18 @@ fn print_cloud() {
     ONCE.call_once(|| {
         println!("\n§IV-H — cloud KASLR breaks:");
         let mut table = Table::new(["provider", "method", "base", "runtime", "paper"]);
-        let paper_base = [paper::CLOUD_SECONDS[0], paper::CLOUD_SECONDS[2], paper::CLOUD_SECONDS[4]];
+        let paper_base = [
+            paper::CLOUD_SECONDS[0],
+            paper::CLOUD_SECONDS[2],
+            paper::CLOUD_SECONDS[4],
+        ];
         for (i, scenario) in CloudScenario::all(77).iter().enumerate() {
             let report = run_scenario(scenario, 7 + i as u64);
             assert!(report.base_correct, "{report}");
             table.row([
                 report.provider.to_string(),
                 report.method.to_string(),
-                report
-                    .base
-                    .map_or("-".into(), |b| format!("{b}")),
+                report.base.map_or("-".into(), |b| format!("{b}")),
                 fmt_seconds(report.base_seconds),
                 fmt_seconds(paper_base[i]),
             ]);

@@ -18,7 +18,11 @@ const MAPPED: u64 = 0x5555_5555_4000;
 fn machine(seed: u64) -> Machine {
     let mut space = AddressSpace::new();
     space
-        .map(VirtAddr::new_truncate(MAPPED), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(MAPPED),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     // The adjacent page stays unmapped.
     let profile = CpuProfile::ice_lake_i7_1065g7();
@@ -43,18 +47,35 @@ fn print_case_table() {
         let mut m = machine(1);
         println!("\nFig. 1 — fault suppression cases (lanes 4..7 on the unmapped page):");
         for (label, kind, bits, expect_fault) in [
-            ("A masked load, lane on invalid page unmasked ", OpKind::Load, 0b1111_0001u8, true),
-            ("B masked load, invalid page fully masked     ", OpKind::Load, 0b0000_0111, false),
-            ("C masked store, lane on invalid page unmasked", OpKind::Store, 0b1111_0001, true),
-            ("D masked store, invalid page fully masked    ", OpKind::Store, 0b0000_0111, false),
+            (
+                "A masked load, lane on invalid page unmasked ",
+                OpKind::Load,
+                0b1111_0001u8,
+                true,
+            ),
+            (
+                "B masked load, invalid page fully masked     ",
+                OpKind::Load,
+                0b0000_0111,
+                false,
+            ),
+            (
+                "C masked store, lane on invalid page unmasked",
+                OpKind::Store,
+                0b1111_0001,
+                true,
+            ),
+            (
+                "D masked store, invalid page fully masked    ",
+                OpKind::Store,
+                0b0000_0111,
+                false,
+            ),
         ] {
             let out = m.execute(case(kind, bits));
             let result = match out.fault {
                 Some(f) => format!("FAULT ({f})"),
-                None => format!(
-                    "suppressed (assist={}, {} cycles)",
-                    out.assist, out.cycles
-                ),
+                None => format!("suppressed (assist={}, {} cycles)", out.assist, out.cycles),
             };
             println!("  {label}: {result}");
             assert_eq!(out.fault.is_some(), expect_fault, "paper Fig. 1 semantics");

@@ -23,10 +23,18 @@ const KERNEL_U: u64 = 0xffff_ffff_a1a0_0000;
 fn machine(seed: u64) -> Machine {
     let mut space = AddressSpace::new();
     space
-        .map(VirtAddr::new_truncate(USER_M), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(USER_M),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     space
-        .map(VirtAddr::new_truncate(USER_U), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(USER_U),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     space
         .protect(
@@ -74,7 +82,13 @@ fn print_fig2() {
     ONCE.call_once(|| {
         let mut m = machine(1);
         let mut table = Table::new([
-            "page type", "measured", "paper mean", "assists", "paper", "walks", "paper",
+            "page type",
+            "measured",
+            "paper mean",
+            "assists",
+            "paper",
+            "walks",
+            "paper",
         ]);
         for (i, (label, addr)) in [
             ("USER-M", USER_M),

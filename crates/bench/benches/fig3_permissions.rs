@@ -22,16 +22,32 @@ const NONE: u64 = 0x7f00_0000_3000;
 fn machine(seed: u64) -> Machine {
     let mut space = AddressSpace::new();
     space
-        .map(VirtAddr::new_truncate(RO), PageSize::Size4K, PteFlags::user_ro())
+        .map(
+            VirtAddr::new_truncate(RO),
+            PageSize::Size4K,
+            PteFlags::user_ro(),
+        )
         .unwrap();
     space
-        .map(VirtAddr::new_truncate(RX), PageSize::Size4K, PteFlags::user_rx())
+        .map(
+            VirtAddr::new_truncate(RX),
+            PageSize::Size4K,
+            PteFlags::user_rx(),
+        )
         .unwrap();
     space
-        .map(VirtAddr::new_truncate(RW), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(RW),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     space
-        .map(VirtAddr::new_truncate(NONE), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(NONE),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     space
         .protect(
@@ -81,17 +97,10 @@ fn print_fig3() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let mut m = machine(1);
-        let mut table = Table::new([
-            "permission", "load", "paper", "store", "paper",
-        ]);
-        for (i, (label, addr)) in [
-            ("r--", RO),
-            ("r-x", RX),
-            ("rw-", RW),
-            ("---", NONE),
-        ]
-        .iter()
-        .enumerate()
+        let mut table = Table::new(["permission", "load", "paper", "store", "paper"]);
+        for (i, (label, addr)) in [("r--", RO), ("r-x", RX), ("rw-", RW), ("---", NONE)]
+            .iter()
+            .enumerate()
         {
             let load = measure(&mut m, OpKind::Load, *addr, 500);
             let store = measure(&mut m, OpKind::Store, *addr, 500);

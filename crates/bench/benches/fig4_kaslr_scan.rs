@@ -10,6 +10,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use avx_bench::{calibrate, linux_prober_with, paper};
+use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
 use avx_channel::report::{ascii_plot_clamped, Series};
 use avx_channel::KernelBaseFinder;
 use avx_os::linux::LinuxConfig;
@@ -79,12 +80,26 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let (mut p, truth) =
-                avx_bench::linux_prober(CpuProfile::alder_lake_i5_12400f(), seed);
+            let (mut p, truth) = avx_bench::linux_prober(CpuProfile::alder_lake_i5_12400f(), seed);
             let th = calibrate(&mut p, &truth);
             let scan = KernelBaseFinder::new(th).scan(&mut p);
             assert!(scan.base.is_some());
             scan.total_cycles
+        })
+    });
+    group.bench_function("base_campaign_8_parallel_trials", |b| {
+        let mut seed = 50_000u64;
+        b.iter(|| {
+            seed += 100;
+            let row = Scenario::KernelBase.campaign(
+                &CpuProfile::alder_lake_i5_12400f(),
+                CampaignConfig {
+                    trials: 8,
+                    seed0: seed,
+                },
+            );
+            assert_eq!(row.accuracy.total, 8);
+            row.accuracy.successes
         })
     });
     group.finish();

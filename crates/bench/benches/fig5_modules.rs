@@ -10,6 +10,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use avx_bench::{calibrate, linux_prober, paper};
+use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
 use avx_channel::attacks::modules::score;
 use avx_channel::report::Table;
 use avx_channel::{ModuleClassifier, ModuleScanner};
@@ -72,6 +73,21 @@ fn bench(c: &mut Criterion) {
             let (mut p, truth) = linux_prober(CpuProfile::ice_lake_i7_1065g7(), seed);
             let th = calibrate(&mut p, &truth);
             ModuleScanner::new(th).scan(&mut p).detected.len()
+        })
+    });
+    group.bench_function("modules_campaign_4_parallel_trials", |b| {
+        let mut seed = 60_000u64;
+        b.iter(|| {
+            seed += 100;
+            let row = Scenario::Modules.campaign(
+                &CpuProfile::ice_lake_i7_1065g7(),
+                CampaignConfig {
+                    trials: 4,
+                    seed0: seed,
+                },
+            );
+            assert_eq!(row.accuracy.total, 4 * 125);
+            row.accuracy.successes
         })
     });
     group.finish();

@@ -31,7 +31,11 @@ fn run_trace(timeline: &ActivityTimeline, seed: u64) -> (Series, f64) {
     let score = trace.score(timeline, tlb.hit_boundary);
     let series = Series {
         label: format!("{} — access time over 100 s", timeline.behaviour),
-        points: trace.samples.iter().map(|s| (s.t, s.cycles as f64)).collect(),
+        points: trace
+            .samples
+            .iter()
+            .map(|s| (s.t, s.cycles as f64))
+            .collect(),
     };
     (series, score)
 }
@@ -46,7 +50,10 @@ fn print_fig6() {
         ] {
             let (series, score) = run_trace(&timeline, seed);
             println!("{}", ascii_plot_clamped(&series, 100, 10, 500.0));
-            println!("  detection agreement with ground truth: {:.1} %\n", score * 100.0);
+            println!(
+                "  detection agreement with ground truth: {:.1} %\n",
+                score * 100.0
+            );
         }
     });
 }

@@ -15,6 +15,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use avx_bench::paper;
+use avx_channel::attacks::campaign::Scenario;
 use avx_channel::attacks::userspace::{LibraryMatcher, UserSpaceScanner};
 use avx_channel::{PermissionAttack, Prober, SimProber};
 use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
@@ -78,8 +79,7 @@ fn print_fig7() {
         // Library fingerprinting across the full library window.
         let first = truth.libraries.first().unwrap().base;
         let last = truth.libraries.last().unwrap();
-        let span =
-            last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
+        let span = last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
         let full_map = scanner.scan(&mut p, first, span / 4096);
         let matcher = LibraryMatcher::new(ImageSignature::standard_set());
         let matches = matcher.find_all(&full_map);
@@ -96,8 +96,7 @@ fn print_fig7() {
 
         // Extrapolate the full 2^28-page scan runtime from the window.
         let per_page = window_cycles as f64 / pages as f64;
-        let full_seconds =
-            per_page * (1u64 << 28) as f64 / (p.clock_ghz() * 1e9);
+        let full_seconds = per_page * (1u64 << 28) as f64 / (p.clock_ghz() * 1e9);
         let (paper_load, paper_store) = paper::SGX_SCAN_SECONDS;
         println!(
             "\n  extrapolated full 2^28-page scan: {full_seconds:.0} s \
@@ -126,6 +125,15 @@ fn bench(c: &mut Criterion) {
         let scanner = UserSpaceScanner::new(perm);
         let window = VirtAddr::new_truncate(truth.app.base.as_u64() - 512 * 4096);
         b.iter(|| scanner.find_first_mapped(&mut p, window, 1024))
+    });
+    group.bench_function("userspace_campaign_trial", |b| {
+        let mut seed = 70_000u64;
+        b.iter(|| {
+            seed += 1;
+            let outcome = Scenario::UserSpace.run_trial(&CpuProfile::ice_lake_i7_1065g7(), seed);
+            assert!(outcome.accuracy.total > 0);
+            outcome.accuracy.successes
+        })
     });
     group.finish();
 }

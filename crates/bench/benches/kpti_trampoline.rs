@@ -82,7 +82,9 @@ fn bench(c: &mut Criterion) {
                 seed,
             );
             let th = calibrate(&mut p, &truth);
-            KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p).base
+            KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET)
+                .scan(&mut p)
+                .base
         })
     });
     group.finish();

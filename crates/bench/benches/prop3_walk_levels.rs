@@ -23,10 +23,18 @@ const PML4_HOLE: u64 = 0xffff_9000_0000_0000; // nothing → PML4
 fn machine(seed: u64) -> Machine {
     let mut space = AddressSpace::new();
     space
-        .map(VirtAddr::new_truncate(PT_PAGE), PageSize::Size4K, PteFlags::kernel_rx())
+        .map(
+            VirtAddr::new_truncate(PT_PAGE),
+            PageSize::Size4K,
+            PteFlags::kernel_rx(),
+        )
         .unwrap();
     space
-        .map(VirtAddr::new_truncate(PD_PAGE), PageSize::Size2M, PteFlags::kernel_rx())
+        .map(
+            VirtAddr::new_truncate(PD_PAGE),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
         .unwrap();
     space
         .map(
@@ -73,7 +81,9 @@ fn print_levels() {
             means.push(s.mean);
             table.row([label.to_string(), format!("{:.1}", s.mean)]);
         }
-        println!("\n§III-B P3 — walk-termination-level timing (i9-9900, INVLPG before each probe):");
+        println!(
+            "\n§III-B P3 — walk-termination-level timing (i9-9900, INVLPG before each probe):"
+        );
         println!("{table}");
         assert!(means[0] < means[1], "PD < PDPT");
         assert!(means[1] < means[2], "PDPT < PML4");

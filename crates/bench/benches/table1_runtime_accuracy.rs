@@ -26,7 +26,12 @@ fn print_table1() {
             avx_channel::attacks::campaign::CampaignConfig { trials, seed0: 0 },
         );
         let mut table = Table::new([
-            "CPU", "Target", "Probing", "Total", "Accuracy", "Paper (prob/total/acc)",
+            "CPU",
+            "Target",
+            "Probing",
+            "Total",
+            "Accuracy",
+            "Paper (prob/total/acc)",
         ]);
         for (row, paper_row) in rows.iter().zip(paper::TABLE1.iter()) {
             table.row([
@@ -35,10 +40,7 @@ fn print_table1() {
                 fmt_seconds(row.probing_seconds),
                 fmt_seconds(row.total_seconds),
                 format!("{:.2} %", row.accuracy.percent()),
-                format!(
-                    "{} / {} / {:.2} %",
-                    paper_row.2, paper_row.3, paper_row.4
-                ),
+                format!("{} / {} / {:.2} %", paper_row.2, paper_row.3, paper_row.4),
             ]);
         }
         println!("\nTable I — derandomization runtime and accuracy (n={trials}):");

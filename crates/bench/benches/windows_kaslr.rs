@@ -18,7 +18,11 @@ use avx_mmu::VirtAddr;
 use avx_os::windows::{WindowsConfig, WindowsSystem, WindowsVersion};
 use avx_uarch::CpuProfile;
 
-fn prober(config: WindowsConfig, profile: CpuProfile, seed: u64) -> (SimProber, avx_os::WindowsTruth) {
+fn prober(
+    config: WindowsConfig,
+    profile: CpuProfile,
+    seed: u64,
+) -> (SimProber, avx_os::WindowsTruth) {
     let sys = WindowsSystem::build(config);
     let (machine, truth) = sys.into_machine(profile, seed);
     (SimProber::new(machine), truth)

@@ -17,8 +17,8 @@ use avx_channel::countermeasures::{evaluate_fgkaslr, evaluate_flare, MaskedOpSur
 use avx_channel::report::{ascii_plot_clamped, fmt_seconds, Series, Table};
 use avx_channel::stats::Summary;
 use avx_channel::{
-    KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, PermissionAttack,
-    ProbeStrategy, Prober, SimProber, Threshold, TlbAttack,
+    KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, PermissionAttack, ProbeStrategy,
+    Prober, SimProber, Threshold, TlbAttack,
 };
 use avx_hw::scan::{survey_corpus, synthetic_corpus};
 use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
@@ -55,7 +55,31 @@ fn main() {
     cloud();
     countermeasures();
     survey();
+    full_campaign();
     println!("\ndone.");
+}
+
+/// The generalized Table I: every §IV attack scenario across the three
+/// evaluated desktop/mobile parts, trials parallelized via rayon.
+fn full_campaign() {
+    use avx_channel::attacks::campaign::{Campaign, CampaignConfig};
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, rayon-parallel)"
+    ));
+    let campaign = Campaign::full(CampaignConfig { trials, seed0: 0 });
+    let mut table = Table::new(["CPU", "Target", "Probing", "Total", "Accuracy", "Records"]);
+    for row in campaign.run() {
+        table.row([
+            row.cpu.clone(),
+            row.target.to_string(),
+            fmt_seconds(row.probing_seconds),
+            fmt_seconds(row.total_seconds),
+            format!("{:.2} %", row.accuracy.percent()),
+            format!("{}", row.accuracy.total),
+        ]);
+    }
+    println!("{table}");
 }
 
 fn quiet_machine(profile: CpuProfile, space: AddressSpace, seed: u64) -> Machine {
@@ -69,11 +93,17 @@ fn fig1() {
     heading("Fig. 1 — fault suppression (A–D)");
     let mut space = AddressSpace::new();
     let mapped = VirtAddr::new_truncate(0x5555_5555_4000);
-    space.map(mapped, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+    space
+        .map(mapped, PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::ice_lake_i7_1065g7(), space, 1);
     let boundary = mapped.wrapping_add(0xff0);
     for (label, kind, bits) in [
-        ("A load, invalid lane unmasked ", OpKind::Load, 0b1111_0001u8),
+        (
+            "A load, invalid lane unmasked ",
+            OpKind::Load,
+            0b1111_0001u8,
+        ),
         ("B load, invalid lanes masked  ", OpKind::Load, 0b0000_0111),
         ("C store, invalid lane unmasked", OpKind::Store, 0b1111_0001),
         ("D store, invalid lanes masked ", OpKind::Store, 0b0000_0111),
@@ -102,10 +132,18 @@ fn fig2() {
     let user_u = VirtAddr::new_truncate(0x5555_5555_5000);
     let kernel_m = VirtAddr::new_truncate(0xffff_ffff_a1e0_0000);
     let kernel_u = VirtAddr::new_truncate(0xffff_ffff_a1a0_0000);
-    space.map(user_m, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-    space.map(user_u, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-    space.protect(user_u, PageSize::Size4K, PteFlags::none_guard()).unwrap();
-    space.map(kernel_m, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+    space
+        .map(user_m, PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .map(user_u, PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .protect(user_u, PageSize::Size4K, PteFlags::none_guard())
+        .unwrap();
+    space
+        .map(kernel_m, PageSize::Size2M, PteFlags::kernel_rx())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::ice_lake_i7_1065g7(), space, 2);
 
     let mut table = Table::new(["page type", "measured", "paper", "assists", "walks"]);
@@ -144,12 +182,22 @@ fn fig3() {
     let rx = VirtAddr::new_truncate(0x7f00_0000_1000);
     let rw = VirtAddr::new_truncate(0x7f00_0000_2000);
     let none = VirtAddr::new_truncate(0x7f00_0000_3000);
-    space.map(ro, PageSize::Size4K, PteFlags::user_ro()).unwrap();
-    space.map(rx, PageSize::Size4K, PteFlags::user_rx()).unwrap();
-    space.map(rw, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+    space
+        .map(ro, PageSize::Size4K, PteFlags::user_ro())
+        .unwrap();
+    space
+        .map(rx, PageSize::Size4K, PteFlags::user_rx())
+        .unwrap();
+    space
+        .map(rw, PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
     space.mark_accessed(rw, true).unwrap();
-    space.map(none, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-    space.protect(none, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+    space
+        .map(none, PageSize::Size4K, PteFlags::user_rw())
+        .unwrap();
+    space
+        .protect(none, PageSize::Size4K, PteFlags::none_guard())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::generic_desktop(), space, 3);
 
     let mut table = Table::new(["perm", "load", "paper", "store", "paper"]);
@@ -194,9 +242,15 @@ fn prop3() {
     let pd = VirtAddr::new_truncate(0xffff_ffff_a1e0_0000);
     let pdpt = VirtAddr::new_truncate(0xffff_c000_0000_0000);
     let pml4 = VirtAddr::new_truncate(0xffff_9000_0000_0000);
-    space.map(pt, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
-    space.map(pd, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
-    space.map(pdpt, PageSize::Size1G, PteFlags::kernel_rw()).unwrap();
+    space
+        .map(pt, PageSize::Size4K, PteFlags::kernel_rx())
+        .unwrap();
+    space
+        .map(pd, PageSize::Size2M, PteFlags::kernel_rx())
+        .unwrap();
+    space
+        .map(pdpt, PageSize::Size1G, PteFlags::kernel_rw())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::coffee_lake_i9_9900(), space, 4);
     for (label, addr) in [
         ("PD   (2 MiB)", pd),
@@ -221,7 +275,9 @@ fn prop4() {
     heading("§III-B P4 — TLB hit vs miss (i9-9900, n=1000)");
     let mut space = AddressSpace::new();
     let kernel = VirtAddr::new_truncate(0xffff_ffff_a1e0_0000);
-    space.map(kernel, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+    space
+        .map(kernel, PageSize::Size2M, PteFlags::kernel_rx())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::coffee_lake_i9_9900(), space, 5);
     let probe = MaskedOp::probe_load(kernel);
     let _ = m.execute(probe);
@@ -245,7 +301,9 @@ fn prop6() {
     heading("§III-B P6 — masked store vs load on KERNEL-M (i7-1065G7)");
     let mut space = AddressSpace::new();
     let kernel = VirtAddr::new_truncate(0xffff_ffff_a1e0_0000);
-    space.map(kernel, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
+    space
+        .map(kernel, PageSize::Size2M, PteFlags::kernel_rx())
+        .unwrap();
     let mut m = quiet_machine(CpuProfile::ice_lake_i7_1065g7(), space, 6);
     let load = MaskedOp::probe_load(kernel);
     let store = MaskedOp::probe_store(kernel);
@@ -289,9 +347,11 @@ fn fig4() {
 fn table1() {
     let trials = accuracy_trials();
     heading(&format!("Table I — runtime and accuracy (n={trials})"));
-    let rows = avx_channel::attacks::campaign::table1(
-        avx_channel::attacks::campaign::CampaignConfig { trials, seed0: 0 },
-    );
+    let rows =
+        avx_channel::attacks::campaign::table1(avx_channel::attacks::campaign::CampaignConfig {
+            trials,
+            seed0: 0,
+        });
     let mut table = Table::new(["CPU", "Target", "Probing", "Total", "Accuracy"]);
     for row in &rows {
         table.row([
@@ -383,7 +443,11 @@ fn fig6() {
         });
         let series = Series {
             label: format!("{}", timeline.behaviour),
-            points: trace.samples.iter().map(|s| (s.t, s.cycles as f64)).collect(),
+            points: trace
+                .samples
+                .iter()
+                .map(|s| (s.t, s.cycles as f64))
+                .collect(),
         };
         println!("{}", ascii_plot_clamped(&series, 100, 8, 500.0));
         println!(
@@ -403,7 +467,9 @@ fn fig7() {
         12,
     );
     let own = VirtAddr::new_truncate(0x5400_0000_0000);
-    space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+    space
+        .map(own, PageSize::Size4K, PteFlags::user_ro())
+        .unwrap();
     let machine = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 12);
     let mut p = SimProber::with_context(machine, ExecutionContext::sgx2());
     let perm = PermissionAttack::calibrate(&mut p, own);
@@ -502,7 +568,10 @@ fn cloud() {
 
 fn countermeasures() {
     heading("§V-A — FLARE and FGKASLR");
-    println!("  {}", evaluate_flare(CpuProfile::alder_lake_i5_12400f(), 16));
+    println!(
+        "  {}",
+        evaluate_flare(CpuProfile::alder_lake_i5_12400f(), 16)
+    );
     println!(
         "  {}",
         evaluate_fgkaslr(CpuProfile::alder_lake_i5_12400f(), 17, "commit_creds")
@@ -517,7 +586,9 @@ fn survey() {
         total: count.total,
         containing: count.containing,
     };
-    println!("  {s} [paper: 6 of 4104] — NOP replacement impact: {}",
-        if s.low_impact() { "low" } else { "HIGH" });
+    println!(
+        "  {s} [paper: 6 of 4104] — NOP replacement impact: {}",
+        if s.low_impact() { "low" } else { "HIGH" }
+    );
     let _ = ProbeStrategy::SecondOfTwo; // (referenced for doc purposes)
 }

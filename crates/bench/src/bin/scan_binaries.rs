@@ -118,7 +118,11 @@ fn main() -> ExitCode {
     println!(
         "NOP-replacement mitigation impact: {:.2} % of binaries — {}",
         fraction * 100.0,
-        if fraction < 0.01 { "low" } else { "substantial" }
+        if fraction < 0.01 {
+            "low"
+        } else {
+            "substantial"
+        }
     );
     ExitCode::SUCCESS
 }

@@ -34,9 +34,21 @@ pub mod paper {
     /// Table I rows: (cpu, target, probing, total, accuracy %).
     pub const TABLE1: [(&str, &str, &str, &str, f64); 5] = [
         ("Intel Core i5-12400F", "Base", "67 µs", "0.28 ms", 99.60),
-        ("Intel Core i5-12400F", "Modules", "2.43 ms", "2.62 ms", 99.84),
+        (
+            "Intel Core i5-12400F",
+            "Modules",
+            "2.43 ms",
+            "2.62 ms",
+            99.84,
+        ),
         ("Intel Core i7-1065G7", "Base", "0.26 ms", "0.57 ms", 99.29),
-        ("Intel Core i7-1065G7", "Modules", "8.42 ms", "8.64 ms", 99.72),
+        (
+            "Intel Core i7-1065G7",
+            "Modules",
+            "8.42 ms",
+            "8.64 ms",
+            99.72,
+        ),
         ("AMD Ryzen 5 5600X", "Base", "1.91 ms", "2.90 ms", 99.48),
     ];
     /// §IV-C: loaded modules / unique sizes / accuracy %.

@@ -119,11 +119,7 @@ impl TlbSpy {
             }
             advance(p, t);
             let max_cycles = (0..self.config.pages)
-                .map(|page| {
-                    self.tlb
-                        .observe(p, module_base.wrapping_add(page * 4096))
-                        .1
-                })
+                .map(|page| self.tlb.observe(p, module_base.wrapping_add(page * 4096)).1)
                 .max()
                 .expect("pages >= 1");
             trace.samples.push(TraceSample {
@@ -284,10 +280,7 @@ mod tests {
         assert_eq!(score, 1.0);
         let detected = trace.detect_active(200.0);
         // Three bursts → three transitions into "active".
-        let rises = detected
-            .windows(2)
-            .filter(|w| !w[0] && w[1])
-            .count();
+        let rises = detected.windows(2).filter(|w| !w[0] && w[1]).count();
         assert_eq!(rises, 3);
     }
 
@@ -309,10 +302,7 @@ mod tests {
     }
 
     /// Runs one app's timelines against the machine and fingerprints it.
-    fn fingerprint_app(
-        profile: &avx_os::AppProfile,
-        seed: u64,
-    ) -> (&'static str, f64) {
+    fn fingerprint_app(profile: &avx_os::AppProfile, seed: u64) -> (&'static str, f64) {
         use avx_os::linux::{LinuxConfig, LinuxSystem};
         let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
         let (machine, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), seed);
@@ -336,13 +326,7 @@ mod tests {
         let observed = spy.observe(&mut p, &targets, |p, t| {
             for (module, tl) in &timelines {
                 let m = truth.module(module).expect("module loaded");
-                avx_os::activity::apply_activity(
-                    p.machine_mut(),
-                    tl,
-                    m.base,
-                    m.spec.pages(),
-                    t,
-                );
+                avx_os::activity::apply_activity(p.machine_mut(), tl, m.base, m.spec.pages(), t);
             }
         });
         let profiles = avx_os::AppProfile::standard_set();

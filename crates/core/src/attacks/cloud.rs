@@ -32,6 +32,9 @@ pub struct CloudBreakReport {
     pub base_correct: bool,
     /// Wall-clock seconds spent recovering the base (total accounting).
     pub base_seconds: f64,
+    /// Seconds spent inside the timed masked ops across the whole
+    /// attack chain ("Probing" in the Table I sense).
+    pub probing_seconds: f64,
     /// Detected kernel modules, when the guest exposes them.
     pub modules_detected: Option<usize>,
     /// Seconds spent on the module scan.
@@ -48,7 +51,11 @@ impl fmt::Display for CloudBreakReport {
             self.provider,
             self.base
                 .map_or("not found".to_string(), |b| format!("{b}")),
-            if self.base_correct { "correct" } else { "WRONG" },
+            if self.base_correct {
+                "correct"
+            } else {
+                "WRONG"
+            },
             self.base_seconds * 1e3,
             self.method
         )?;
@@ -78,6 +85,7 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                     base: scan.base,
                     base_correct: scan.base == Some(truth.kernel_base),
                     base_seconds: seconds,
+                    probing_seconds: scan.probing_cycles as f64 / (p.clock_ghz() * 1e9),
                     // KPTI unmaps the module area from the user page
                     // table; our model therefore reports no modules here
                     // (see EXPERIMENTS.md for the deviation note).
@@ -89,13 +97,14 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                 let scan = KernelBaseFinder::new(th).scan(&mut p);
                 let base_seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
                 let module_scan = ModuleScanner::new(th).scan(&mut p);
-                let modules_seconds =
-                    module_scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
+                let modules_seconds = module_scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
                 CloudBreakReport {
                     provider: scenario.provider,
                     base: scan.base,
                     base_correct: scan.base == Some(truth.kernel_base),
                     base_seconds,
+                    probing_seconds: (scan.probing_cycles + module_scan.probing_cycles) as f64
+                        / (p.clock_ghz() * 1e9),
                     modules_detected: Some(module_scan.detected.len()),
                     modules_seconds: Some(modules_seconds),
                     method: "mapped/unmapped scan",
@@ -114,6 +123,7 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                 base: scan.base,
                 base_correct: scan.base == Some(truth.kernel_base),
                 base_seconds: seconds,
+                probing_seconds: scan.probing_cycles as f64 / (p.clock_ghz() * 1e9),
                 modules_detected: None,
                 modules_seconds: None,
                 method: "18-bit Windows region scan",

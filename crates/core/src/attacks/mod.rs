@@ -19,7 +19,7 @@ pub mod userspace;
 pub mod windows;
 
 pub use behavior::{AppFingerprinter, BehaviourTrace, SpyConfig, TlbSpy};
-pub use campaign::{table1, CampaignConfig, CampaignRow};
+pub use campaign::{table1, Campaign, CampaignConfig, CampaignRow, Scenario, TrialOutcome};
 pub use cloud::{run_scenario, CloudBreakReport};
 pub use kaslr::{AmdKaslrScan, AmdKernelBaseFinder, KaslrScan, KernelBaseFinder};
 pub use kpti::{KptiAttack, KptiScan};

@@ -13,6 +13,7 @@ use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::{ProbeStrategy, Prober};
 use crate::stats::Trials;
+use crate::sweep::AddrRange;
 
 /// Record-keeping overhead per probed page.
 pub const PER_PAGE_OVERHEAD_CYCLES: u64 = 120;
@@ -55,14 +56,23 @@ impl ModuleScanner {
         Self { attack }
     }
 
-    /// Scans the whole module area.
+    /// The 16384-page candidate range of the §IV-C scan.
+    #[must_use]
+    pub fn candidate_range() -> AddrRange {
+        AddrRange::new(
+            VirtAddr::new_truncate(MODULE_REGION_START),
+            MODULE_ALIGN,
+            MODULE_SLOTS,
+        )
+    }
+
+    /// Scans the whole module area through the batched probe pipeline.
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> ModuleScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
-        let start = VirtAddr::new_truncate(MODULE_REGION_START);
-        let samples = self
-            .attack
-            .measure_range(p, start, MODULE_ALIGN, MODULE_SLOTS);
+        let range = Self::candidate_range();
+        let start = range.start;
+        let samples = self.attack.measure_addrs(p, &range.to_vec());
         p.spend(MODULE_SLOTS * PER_PAGE_OVERHEAD_CYCLES);
         let page_mapped = self.attack.classify(&samples);
         let detected = extract_runs(&page_mapped, start);
@@ -142,11 +152,7 @@ impl<'a> ModuleClassifier<'a> {
             .iter()
             .map(|&detected| Identification {
                 detected,
-                candidates: self
-                    .db
-                    .iter()
-                    .filter(|m| m.size == detected.size)
-                    .collect(),
+                candidates: self.db.iter().filter(|m| m.size == detected.size).collect(),
             })
             .collect()
     }
@@ -179,11 +185,7 @@ pub fn score(
     // Unique-size truth modules: is there an identification naming them
     // at the right base?
     for m in truth {
-        let unique = truth
-            .iter()
-            .filter(|o| o.spec.size == m.spec.size)
-            .count()
-            == 1;
+        let unique = truth.iter().filter(|o| o.spec.size == m.spec.size).count() == 1;
         if !unique {
             continue;
         }

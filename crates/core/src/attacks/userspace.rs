@@ -14,6 +14,7 @@ use avx_os::process::{ImageSignature, PermClass};
 
 use crate::primitives::{PermissionAttack, ProbedPerm};
 use crate::prober::Prober;
+use crate::sweep::AddrRange;
 
 /// A classified user-space region (merged consecutive pages).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -104,32 +105,42 @@ impl UserSpaceScanner {
         }
     }
 
+    /// Pages classified per batch while sweeping (chunk size of the
+    /// full-region scan loop).
+    pub const SCAN_CHUNK_PAGES: u64 = 512;
+
+    /// Pages classified per batch by the early-exit search: one probe
+    /// tile, so a hit near the window start costs (and bills) at most
+    /// one tile of extra probes over the old per-page loop.
+    pub const FIND_CHUNK_PAGES: u64 = 16;
+
     /// Scans `pages` pages from `start` and merges classes into regions.
-    pub fn scan<P: Prober + ?Sized>(
-        &self,
-        p: &mut P,
-        start: VirtAddr,
-        pages: u64,
-    ) -> RegionMap {
+    ///
+    /// The sweep runs in [`UserSpaceScanner::SCAN_CHUNK_PAGES`]-page
+    /// chunks through [`PermissionAttack::classify_batch`], so the probe
+    /// backend times whole batches of candidates.
+    pub fn scan<P: Prober + ?Sized>(&self, p: &mut P, start: VirtAddr, pages: u64) -> RegionMap {
         let mut map = RegionMap::default();
         let mut current: Option<UserRegion> = None;
-        for i in 0..pages {
-            let page = start.wrapping_add(i * 4096);
-            let class = self.permission.classify_page(p, page);
-            p.spend(self.per_page_overhead);
-            match current.as_mut() {
-                Some(region) if region.perm == class => {
-                    region.end = page.wrapping_add(4096);
-                }
-                _ => {
-                    if let Some(done) = current.take() {
-                        map.regions.push(done);
+        for chunk in AddrRange::pages(start, pages).chunks(Self::SCAN_CHUNK_PAGES) {
+            let addrs = chunk.to_vec();
+            let classes = self.permission.classify_batch(p, &addrs);
+            p.spend(self.per_page_overhead * chunk.count);
+            for (page, class) in addrs.into_iter().zip(classes) {
+                match current.as_mut() {
+                    Some(region) if region.perm == class => {
+                        region.end = page.wrapping_add(4096);
                     }
-                    current = Some(UserRegion {
-                        start: page,
-                        end: page.wrapping_add(4096),
-                        perm: class,
-                    });
+                    _ => {
+                        if let Some(done) = current.take() {
+                            map.regions.push(done);
+                        }
+                        current = Some(UserRegion {
+                            start: page,
+                            end: page.wrapping_add(4096),
+                            perm: class,
+                        });
+                    }
                 }
             }
         }
@@ -141,19 +152,27 @@ impl UserSpaceScanner {
 
     /// Early-exit search for the first mapped page in an ASLR window —
     /// the §IV-F "find the code section" step. Returns the first page
-    /// whose load probe classifies as readable.
+    /// whose load probe classifies as readable. Probes one
+    /// [`UserSpaceScanner::FIND_CHUNK_PAGES`] tile at a time and stops
+    /// at the first tile containing a mapped page, so early hits keep
+    /// the probe count (and the cycle accounting) close to the
+    /// per-page loop it replaced.
     pub fn find_first_mapped<P: Prober + ?Sized>(
         &self,
         p: &mut P,
         window_start: VirtAddr,
         window_pages: u64,
     ) -> Option<VirtAddr> {
-        for i in 0..window_pages {
-            let page = window_start.wrapping_add(i * 4096);
-            let class = self.permission.classify_page(p, page);
-            p.spend(self.per_page_overhead);
-            if class != ProbedPerm::NoneOrUnmapped {
-                return Some(page);
+        for chunk in AddrRange::pages(window_start, window_pages).chunks(Self::FIND_CHUNK_PAGES) {
+            let addrs = chunk.to_vec();
+            let classes = self.permission.classify_batch(p, &addrs);
+            p.spend(self.per_page_overhead * chunk.count);
+            if let Some(hit) = addrs
+                .into_iter()
+                .zip(classes)
+                .find(|(_, class)| *class != ProbedPerm::NoneOrUnmapped)
+            {
+                return Some(hit.0);
             }
         }
         None
@@ -209,10 +228,8 @@ impl LibraryMatcher {
                     // signature (hidden allocator pages, inter-library
                     // gaps merge into them).
                     let size_ok = if last
-                        && matches!(
-                            class,
-                            ProbedPerm::ReadWrite | ProbedPerm::NoneOrUnmapped
-                        ) {
+                        && matches!(class, ProbedPerm::ReadWrite | ProbedPerm::NoneOrUnmapped)
+                    {
                         region.len() >= size
                     } else {
                         region.len() == size
@@ -262,7 +279,9 @@ mod tests {
         );
         // The attacker's own page for calibration.
         let own = VirtAddr::new_truncate(0x5400_0000_0000);
-        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        space
+            .map(own, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
         let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, seed);
         m.set_noise(NoiseModel::none());
         (SimProber::new(m), truth)
@@ -318,8 +337,7 @@ mod tests {
         // Scan the whole library window from the first lib to past the last.
         let first = truth.libraries.first().unwrap().base;
         let last = truth.libraries.last().unwrap();
-        let span = last.base.as_u64() + last.signature.span() + 0x10_0000
-            - first.as_u64();
+        let span = last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
         let map = scanner.scan(&mut p, first, span / 4096);
         let matcher = LibraryMatcher::new(ImageSignature::standard_set());
         let matches = matcher.find_all(&map);
@@ -342,7 +360,9 @@ mod tests {
             9,
         );
         let own = VirtAddr::new_truncate(OWN);
-        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        space
+            .map(own, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
         let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 9);
         m.set_noise(NoiseModel::none());
         let mut p = SimProber::with_context(m, ExecutionContext::sgx2());
@@ -372,9 +392,7 @@ mod tests {
         let libc = truth.library_base("libc.so.6").unwrap();
         let map = scanner.scan(&mut p, libc, 8);
         assert!(map.region_at(libc).is_some());
-        assert!(map
-            .region_at(VirtAddr::new_truncate(0x10_0000))
-            .is_none());
+        assert!(map.region_at(VirtAddr::new_truncate(0x10_0000)).is_none());
         assert!(!map.mapped_regions().is_empty());
     }
 }

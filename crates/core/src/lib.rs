@@ -56,13 +56,15 @@ pub mod primitives;
 pub mod prober;
 pub mod report;
 pub mod stats;
+pub mod sweep;
 
 pub use attacks::{
-    AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner,
-    TlbSpy, UserSpaceScanner, WindowsKaslrAttack,
+    AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, TlbSpy,
+    UserSpaceScanner, WindowsKaslrAttack,
 };
 pub use calibrate::Threshold;
 pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,
 };
 pub use prober::{ProbeStrategy, Prober, SimProber};
+pub use sweep::AddrRange;

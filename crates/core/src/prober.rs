@@ -25,6 +25,21 @@ pub trait Prober {
     /// Times one all-zero-mask masked op at `addr`; returns cycles.
     fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64;
 
+    /// Times one masked op per address, returning cycles in input
+    /// order.
+    ///
+    /// Semantically equivalent to calling [`Prober::probe`] once per
+    /// address (the default implementation is exactly that loop);
+    /// backends override it with a fast path that amortizes per-probe
+    /// bookkeeping — [`SimProber`] forwards to
+    /// [`avx_uarch::Machine::execute_batch`], and the hardware prober
+    /// in `avx-hw` keeps the timed instructions in one tight loop.
+    /// Sweep-shaped attacks (Fig. 4/5/7 and the Windows region scan)
+    /// feed their candidate ranges through this entry point.
+    fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+        addrs.iter().map(|&addr| self.probe(kind, addr)).collect()
+    }
+
     /// Evicts cached translation state for `addr` (TLB attack setup).
     fn evict(&mut self, addr: VirtAddr);
 
@@ -69,6 +84,15 @@ pub enum ProbeStrategy {
 }
 
 impl ProbeStrategy {
+    /// Addresses per batched-measurement tile.
+    ///
+    /// A tile's warm-up probes must still be cached when its measurement
+    /// probes run. 16 sits comfortably inside the smallest translation
+    /// structure involved (the 32-entry huge-page TLB of
+    /// [`avx_mmu::TlbConfig`]'s default geometry) while long enough to
+    /// amortize per-batch dispatch.
+    pub const BATCH_TILE: usize = 16;
+
     /// Runs the strategy at `addr`.
     pub fn measure<P: Prober + ?Sized>(&self, p: &mut P, kind: OpKind, addr: VirtAddr) -> u64 {
         match *self {
@@ -85,6 +109,44 @@ impl ProbeStrategy {
                     .expect("n >= 1")
             }
         }
+    }
+
+    /// Batched variant of [`ProbeStrategy::measure`]: one measurement
+    /// per address, returned in input order.
+    ///
+    /// Addresses are processed in tiles of [`ProbeStrategy::BATCH_TILE`]
+    /// so each tile's warm-up pass stays resident in the translation
+    /// caches when its measurement pass runs — tile-local warm/measure
+    /// interleaving is what keeps the batched sweep's steady-state
+    /// readings identical to per-address measurement while letting the
+    /// backend amortize per-probe overhead.
+    pub fn measure_batch<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        addrs: &[VirtAddr],
+    ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for tile in addrs.chunks(Self::BATCH_TILE) {
+            match *self {
+                ProbeStrategy::Single => out.extend(p.probe_batch(kind, tile)),
+                ProbeStrategy::SecondOfTwo => {
+                    let _ = p.probe_batch(kind, tile);
+                    out.extend(p.probe_batch(kind, tile));
+                }
+                ProbeStrategy::MinOf(n) => {
+                    let _ = p.probe_batch(kind, tile);
+                    let mut mins = p.probe_batch(kind, tile);
+                    for _ in 1..n.max(1) {
+                        for (min, cycles) in mins.iter_mut().zip(p.probe_batch(kind, tile)) {
+                            *min = (*min).min(cycles);
+                        }
+                    }
+                    out.append(&mut mins);
+                }
+            }
+        }
+        out
     }
 
     /// Raw probes issued per measurement.
@@ -163,6 +225,11 @@ impl Prober for SimProber {
         self.machine.probe(kind, addr)
     }
 
+    fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+        self.overhead += self.machine.profile().probe_overhead as u64 * addrs.len() as u64;
+        self.machine.execute_batch(kind, addrs)
+    }
+
     fn evict(&mut self, addr: VirtAddr) {
         self.machine.evict_translation(addr);
         self.overhead += EVICTION_COST_CYCLES;
@@ -227,7 +294,11 @@ mod tests {
     #[test]
     fn second_of_two_returns_steady_state() {
         let mut p = SimProber::new(machine());
-        let t = ProbeStrategy::SecondOfTwo.measure(&mut p, OpKind::Load, VirtAddr::new_truncate(KERNEL));
+        let t = ProbeStrategy::SecondOfTwo.measure(
+            &mut p,
+            OpKind::Load,
+            VirtAddr::new_truncate(KERNEL),
+        );
         assert_eq!(t, 93, "steady kernel-mapped load");
     }
 
@@ -245,7 +316,8 @@ mod tests {
         let mut m = Machine::new(CpuProfile::alder_lake_i5_12400f(), space, 99);
         m.set_noise(NoiseModel::new(0.0, 0.5, (500.0, 600.0)));
         let mut p = SimProber::new(m);
-        let t = ProbeStrategy::MinOf(8).measure(&mut p, OpKind::Load, VirtAddr::new_truncate(KERNEL));
+        let t =
+            ProbeStrategy::MinOf(8).measure(&mut p, OpKind::Load, VirtAddr::new_truncate(KERNEL));
         assert_eq!(t, 93, "min filters the spikes");
     }
 
@@ -259,7 +331,11 @@ mod tests {
     #[test]
     fn evict_books_overhead_and_colds_translation() {
         let mut p = SimProber::new(machine());
-        let warm = ProbeStrategy::SecondOfTwo.measure(&mut p, OpKind::Load, VirtAddr::new_truncate(KERNEL));
+        let warm = ProbeStrategy::SecondOfTwo.measure(
+            &mut p,
+            OpKind::Load,
+            VirtAddr::new_truncate(KERNEL),
+        );
         let before = p.total_cycles();
         p.evict(VirtAddr::new_truncate(KERNEL));
         assert!(p.total_cycles() >= before + EVICTION_COST_CYCLES);
@@ -293,5 +369,44 @@ mod tests {
             let _ = p.probe(OpKind::Store, VirtAddr::new_truncate(addr));
         }
         // Reaching here without panic = no architectural fault modelled.
+    }
+
+    #[test]
+    fn probe_batch_matches_scalar_sequence_and_accounting() {
+        let addrs: Vec<VirtAddr> = (0..40)
+            .map(|i| VirtAddr::new_truncate(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        for kind in [OpKind::Load, OpKind::Store] {
+            let mut scalar = SimProber::new(machine());
+            let mut batched = SimProber::new(machine());
+            let batch = batched.probe_batch(kind, &addrs);
+            let looped: Vec<u64> = addrs.iter().map(|&a| scalar.probe(kind, a)).collect();
+            assert_eq!(batch, looped);
+            assert_eq!(scalar.probing_cycles(), batched.probing_cycles());
+            assert_eq!(scalar.total_cycles(), batched.total_cycles());
+        }
+    }
+
+    #[test]
+    fn measure_batch_matches_scalar_measurement_per_strategy() {
+        let addrs: Vec<VirtAddr> = (0..40)
+            .map(|i| VirtAddr::new_truncate(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        for strategy in [
+            ProbeStrategy::Single,
+            ProbeStrategy::SecondOfTwo,
+            ProbeStrategy::MinOf(3),
+        ] {
+            for kind in [OpKind::Load, OpKind::Store] {
+                let mut scalar = SimProber::new(machine());
+                let mut batched = SimProber::new(machine());
+                let batch = strategy.measure_batch(&mut batched, kind, &addrs);
+                let looped: Vec<u64> = addrs
+                    .iter()
+                    .map(|&a| strategy.measure(&mut scalar, kind, a))
+                    .collect();
+                assert_eq!(batch, looped, "{strategy:?} {kind}");
+            }
+        }
     }
 }

@@ -166,11 +166,7 @@ pub fn agreement(detected: &[bool], truth: &[bool]) -> f64 {
     if detected.is_empty() {
         return 1.0;
     }
-    let same = detected
-        .iter()
-        .zip(truth)
-        .filter(|(d, t)| d == t)
-        .count();
+    let same = detected.iter().zip(truth).filter(|(d, t)| d == t).count();
     same as f64 / detected.len() as f64
 }
 
@@ -217,7 +213,13 @@ impl Trials {
 
 impl fmt::Display for Trials {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.successes, self.total, self.percent())
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.successes,
+            self.total,
+            self.percent()
+        )
     }
 }
 

@@ -1,0 +1,121 @@
+//! Address-range sweeps: the shape shared by every scan attack.
+//!
+//! Fig. 4 (512 × 2 MiB kernel slots), Fig. 5 (16384 × 4 KiB module
+//! pages), Fig. 7 (user pages) and the §IV-G Windows region scan all
+//! walk an arithmetic progression of candidate addresses and time one
+//! masked op per candidate. [`AddrRange`] describes such a progression;
+//! its iterators feed [`crate::ProbeStrategy::measure_batch`] so the
+//! probe backend sees whole batches instead of one address at a time.
+
+use avx_mmu::VirtAddr;
+
+/// An arithmetic progression of candidate addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AddrRange {
+    /// First candidate.
+    pub start: VirtAddr,
+    /// Distance between candidates in bytes.
+    pub stride: u64,
+    /// Number of candidates.
+    pub count: u64,
+}
+
+impl AddrRange {
+    /// A range of `count` candidates at `stride` from `start`.
+    #[must_use]
+    pub fn new(start: VirtAddr, stride: u64, count: u64) -> Self {
+        Self {
+            start,
+            stride,
+            count,
+        }
+    }
+
+    /// A range of 4 KiB-aligned pages.
+    #[must_use]
+    pub fn pages(start: VirtAddr, count: u64) -> Self {
+        Self::new(start, 4096, count)
+    }
+
+    /// The `i`-th candidate address (wrapping).
+    #[must_use]
+    pub fn addr(&self, i: u64) -> VirtAddr {
+        self.start.wrapping_add(i.wrapping_mul(self.stride))
+    }
+
+    /// Number of candidates as `usize`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::try_from(self.count).expect("sweep fits in memory")
+    }
+
+    /// `true` for an empty range.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the candidate addresses.
+    pub fn iter(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        (0..self.count).map(|i| self.addr(i))
+    }
+
+    /// Materializes all candidates (what full-series scans feed to
+    /// [`crate::ProbeStrategy::measure_batch`]).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<VirtAddr> {
+        self.iter().collect()
+    }
+
+    /// Splits the range into consecutive sub-ranges of at most
+    /// `chunk` candidates — the streaming shape used by early-exit
+    /// scans (Windows §IV-G), which probe chunk by chunk and stop as
+    /// soon as the target pattern is confirmed.
+    pub fn chunks(&self, chunk: u64) -> impl Iterator<Item = AddrRange> + '_ {
+        assert!(chunk > 0, "chunk must be positive");
+        (0..self.count.div_ceil(chunk)).map(move |c| {
+            let first = c * chunk;
+            AddrRange::new(self.addr(first), self.stride, chunk.min(self.count - first))
+        })
+    }
+}
+
+impl IntoIterator for &AddrRange {
+    type Item = VirtAddr;
+    type IntoIter = std::vec::IntoIter<VirtAddr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_step_by_stride() {
+        let r = AddrRange::new(VirtAddr::new_truncate(0x1000), 0x2000, 4);
+        let addrs: Vec<u64> = r.iter().map(VirtAddr::as_u64).collect();
+        assert_eq!(addrs, vec![0x1000, 0x3000, 0x5000, 0x7000]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn chunking_covers_exactly_once() {
+        let r = AddrRange::pages(VirtAddr::new_truncate(0x7f00_0000_0000), 10);
+        let chunks: Vec<AddrRange> = r.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].count, 4);
+        assert_eq!(chunks[2].count, 2);
+        let flat: Vec<VirtAddr> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+        assert_eq!(flat, r.to_vec());
+    }
+
+    #[test]
+    fn empty_range_has_no_chunks() {
+        let r = AddrRange::pages(VirtAddr::new_truncate(0), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.chunks(8).count(), 0);
+    }
+}

@@ -15,7 +15,11 @@ use avx_os::modules::UBUNTU_18_04_MODULES;
 use avx_os::process::{build_process, ImageSignature};
 use avx_uarch::{CpuProfile, Machine, NoiseModel};
 
-fn quiet_prober(config: LinuxConfig, profile: CpuProfile, seed: u64) -> (SimProber, avx_os::LinuxTruth) {
+fn quiet_prober(
+    config: LinuxConfig,
+    profile: CpuProfile,
+    seed: u64,
+) -> (SimProber, avx_os::LinuxTruth) {
     let sys = LinuxSystem::build(config);
     let (mut machine, truth) = sys.into_machine(profile, seed);
     machine.set_noise(NoiseModel::none());

@@ -23,6 +23,8 @@ pub enum HwError {
     WrongArchitecture,
     /// The CPU does not advertise AVX2.
     NoAvx2,
+    /// The crate was built without the `real-avx2` feature.
+    DisabledAtBuild,
 }
 
 impl fmt::Display for HwError {
@@ -30,6 +32,9 @@ impl fmt::Display for HwError {
         match self {
             HwError::WrongArchitecture => write!(f, "host is not x86-64"),
             HwError::NoAvx2 => write!(f, "cpu does not support avx2"),
+            HwError::DisabledAtBuild => {
+                write!(f, "built without the real-avx2 feature")
+            }
         }
     }
 }
@@ -38,6 +43,7 @@ impl std::error::Error for HwError {}
 
 /// Size of the buffer walked to evict TLB entries (covers the 1536-entry
 /// STLB of recent cores with 4 KiB pages).
+#[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
 const EVICTION_BUFFER_BYTES: usize = 16 * 1024 * 1024;
 
 /// A [`Prober`] over the real CPU.
@@ -84,7 +90,12 @@ impl HwProber {
             let _ = clock_ghz;
             Err(HwError::WrongArchitecture)
         }
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(feature = "real-avx2")))]
+        {
+            let _ = clock_ghz;
+            Err(HwError::DisabledAtBuild)
+        }
+        #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
         {
             if !std::arch::is_x86_feature_detected!("avx2") {
                 return Err(HwError::NoAvx2);
@@ -99,7 +110,7 @@ impl HwProber {
     }
 
     /// Times one all-zero-mask `VPMASKMOVD` load at `addr`.
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
     #[allow(unsafe_code)]
     fn timed_masked_load(addr: u64) -> u64 {
         use core::arch::x86_64::{_mm256_maskload_epi32, _mm256_setzero_si256};
@@ -115,7 +126,7 @@ impl HwProber {
     }
 
     /// Times one all-zero-mask `VPMASKMOVD` store at `addr`.
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
     #[allow(unsafe_code)]
     fn timed_masked_store(addr: u64) -> u64 {
         use core::arch::x86_64::{_mm256_maskstore_epi32, _mm256_setzero_si256};
@@ -136,7 +147,7 @@ impl HwProber {
 
 impl Prober for HwProber {
     fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64 {
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
         {
             let cycles = match kind {
                 OpKind::Load => Self::timed_masked_load(addr.as_u64()),
@@ -145,10 +156,45 @@ impl Prober for HwProber {
             self.probing_cycles += cycles;
             cycles
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(not(all(target_arch = "x86_64", feature = "real-avx2")))]
         {
             let _ = (kind, addr);
-            unreachable!("HwProber cannot be constructed off x86-64")
+            unreachable!("HwProber cannot be constructed without real-avx2")
+        }
+    }
+
+    fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+        #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
+        {
+            // Keep the timed instructions in one monomorphic loop: one
+            // bounds-checked pass, one pre-sized allocation, no
+            // per-probe dynamic dispatch — the sweep-shaped attacks call
+            // this with whole candidate tiles.
+            let mut out = Vec::with_capacity(addrs.len());
+            let mut batch_cycles = 0u64;
+            match kind {
+                OpKind::Load => {
+                    for addr in addrs {
+                        let cycles = Self::timed_masked_load(addr.as_u64());
+                        batch_cycles += cycles;
+                        out.push(cycles);
+                    }
+                }
+                OpKind::Store => {
+                    for addr in addrs {
+                        let cycles = Self::timed_masked_store(addr.as_u64());
+                        batch_cycles += cycles;
+                        out.push(cycles);
+                    }
+                }
+            }
+            self.probing_cycles += batch_cycles;
+            out
+        }
+        #[cfg(not(all(target_arch = "x86_64", feature = "real-avx2")))]
+        {
+            let _ = (kind, addrs);
+            unreachable!("HwProber cannot be constructed without real-avx2")
         }
     }
 
@@ -251,9 +297,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(HwError::NoAvx2.to_string(), "cpu does not support avx2");
-        assert_eq!(
-            HwError::WrongArchitecture.to_string(),
-            "host is not x86-64"
-        );
+        assert_eq!(HwError::WrongArchitecture.to_string(), "host is not x86-64");
     }
 }

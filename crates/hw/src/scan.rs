@@ -242,7 +242,13 @@ mod tests {
         let hits = scan_file(dir.join("with.bin")).unwrap();
         assert_eq!(hits.len(), 1);
         let count = survey_dir(&dir).unwrap();
-        assert_eq!(count, SurveyCount { total: 2, containing: 1 });
+        assert_eq!(
+            count,
+            SurveyCount {
+                total: 2,
+                containing: 1
+            }
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -68,10 +68,7 @@ impl fmt::Display for MmuError {
                 addr,
                 found,
                 expected,
-            } => write!(
-                f,
-                "mapping at {addr:#x} is {found}, expected {expected}"
-            ),
+            } => write!(f, "mapping at {addr:#x} is {found}, expected {expected}"),
             Self::OutOfFrames => write!(f, "physical frame allocator exhausted"),
         }
     }

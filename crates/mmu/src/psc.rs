@@ -158,9 +158,7 @@ impl PagingStructureCache {
     pub fn lookup_deepest(&mut self, va: VirtAddr) -> Option<(Level, PscEntry)> {
         for level in [Level::Pd, Level::Pdpt, Level::Pml4] {
             let tag = Self::tag_for(va, level);
-            let hit = self
-                .array_for(level)
-                .and_then(|array| array.lookup(tag));
+            let hit = self.array_for(level).and_then(|array| array.lookup(tag));
             if let Some(entry) = hit {
                 self.hits += 1;
                 return Some((level, entry));

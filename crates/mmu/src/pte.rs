@@ -38,7 +38,10 @@ impl Pte {
     /// corrupt the flag bits; we fail loudly instead).
     #[must_use]
     pub const fn new(addr: PhysAddr, flags: PteFlags) -> Self {
-        assert!(addr.as_u64() & 0xfff == 0, "PTE target must be page aligned");
+        assert!(
+            addr.as_u64() & 0xfff == 0,
+            "PTE target must be page aligned"
+        );
         Self((addr.as_u64() & ADDR_MASK) | flags.bits())
     }
 
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn huge_leaf_requires_present_and_ps() {
-        let huge = Pte::new(PhysAddr::new(0x20_0000), PteFlags::kernel_rx() | PteFlags::HUGE);
+        let huge = Pte::new(
+            PhysAddr::new(0x20_0000),
+            PteFlags::kernel_rx() | PteFlags::HUGE,
+        );
         assert!(huge.is_huge_leaf());
         let nonpresent = huge.with_flags_cleared(PteFlags::PRESENT);
         assert!(!nonpresent.is_huge_leaf());

@@ -382,8 +382,7 @@ impl AddressSpace {
                 break;
             }
             path.push((table_id, idx));
-            table_id =
-                FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
+            table_id = FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
         }
         for (parent, idx) in path.into_iter().rev() {
             let entry = self.tables[parent.index()].entry(idx);
@@ -452,11 +451,7 @@ impl AddressSpace {
     /// # Errors
     ///
     /// [`MmuError::NotMapped`] if no present leaf covers `va`.
-    pub fn mark_accessed(
-        &mut self,
-        va: VirtAddr,
-        write: bool,
-    ) -> Result<PteFlags, MmuError> {
+    pub fn mark_accessed(&mut self, va: VirtAddr, write: bool) -> Result<PteFlags, MmuError> {
         let (table_id, idx) = self
             .locate_any_leaf(va)
             .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
@@ -484,8 +479,10 @@ impl AddressSpace {
             .locate_any_leaf(va)
             .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
         let entry = self.tables[table_id.index()].entry(idx);
-        self.tables[table_id.index()]
-            .set_entry(idx, entry.with_flags_cleared(PteFlags::ACCESSED | PteFlags::DIRTY));
+        self.tables[table_id.index()].set_entry(
+            idx,
+            entry.with_flags_cleared(PteFlags::ACCESSED | PteFlags::DIRTY),
+        );
         Ok(())
     }
 
@@ -550,20 +547,15 @@ impl AddressSpace {
 
     /// Finds the table and index of the leaf slot for (`va`, `size`),
     /// verifying the mapping exists with exactly that size.
-    fn locate_leaf_slot(
-        &self,
-        va: VirtAddr,
-        size: PageSize,
-    ) -> Result<(FrameId, usize), MmuError> {
+    fn locate_leaf_slot(&self, va: VirtAddr, size: PageSize) -> Result<(FrameId, usize), MmuError> {
         let (table_id, idx) = self
             .locate_any_leaf(va)
             .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
         let level = self
             .level_of_slot(va, table_id)
             .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
-        let found = PageSize::from_leaf_level(level).ok_or(MmuError::NotMapped {
-            addr: va.as_u64(),
-        })?;
+        let found =
+            PageSize::from_leaf_level(level).ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
         if found != size {
             return Err(MmuError::SizeMismatch {
                 addr: va.as_u64(),
@@ -728,7 +720,8 @@ mod tests {
     fn populated_pt_blocks_huge_leaf_above_it() {
         let mut s = AddressSpace::new();
         let small = va(0xffff_ffff_8000_3000);
-        s.map(small, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        s.map(small, PageSize::Size4K, PteFlags::kernel_rx())
+            .unwrap();
         let big = va(0xffff_ffff_8000_0000);
         assert_eq!(
             s.map(big, PageSize::Size2M, PteFlags::kernel_rx()),
@@ -798,7 +791,8 @@ mod tests {
         let mut s = AddressSpace::new();
         let a = va(0x7f12_3456_7000);
         s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-        s.protect(a, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
         // Entry exists but is non-present: lookup (present leaf) fails...
         assert!(s.lookup(a).is_none());
         // ...yet re-protecting back to present works (VMA semantics).
@@ -849,7 +843,8 @@ mod tests {
     fn map_range_maps_consecutive_pages() {
         let mut s = AddressSpace::new();
         let a = va(0xffff_ffff_c000_0000);
-        s.map_range(a, 5, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        s.map_range(a, 5, PageSize::Size4K, PteFlags::kernel_rx())
+            .unwrap();
         for i in 0..5 {
             assert!(s.lookup(a.wrapping_add(i * 4096)).is_some(), "page {i}");
         }
@@ -860,7 +855,8 @@ mod tests {
     fn unmap_range_clears_all_pages() {
         let mut s = AddressSpace::new();
         let a = va(0xffff_ffff_c000_0000);
-        s.map_range(a, 8, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
+        s.map_range(a, 8, PageSize::Size4K, PteFlags::kernel_rx())
+            .unwrap();
         s.unmap_range(a, 8, PageSize::Size4K).unwrap();
         for i in 0..8 {
             assert!(s.lookup(a.wrapping_add(i * 4096)).is_none(), "page {i}");
@@ -893,12 +889,15 @@ mod tests {
         let a = va(0x6000_0000_0000);
         let sibling = va(0x6000_0020_0000); // same PD, next 2 MiB slot
         s.map(a, PageSize::Size2M, PteFlags::user_rw()).unwrap();
-        s.map(sibling, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        s.map(sibling, PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
         s.unmap(a, PageSize::Size2M).unwrap();
         // Sibling must survive the prune.
         assert!(s.lookup(sibling).is_some());
         // And a 1 GiB map over the range is still (correctly) blocked.
-        assert!(s.map(a.align_down(1 << 30), PageSize::Size1G, PteFlags::user_rw()).is_err());
+        assert!(s
+            .map(a.align_down(1 << 30), PageSize::Size1G, PteFlags::user_rw())
+            .is_err());
     }
 
     #[test]
@@ -915,8 +914,10 @@ mod tests {
     fn protect_range_rewrites_flags() {
         let mut s = AddressSpace::new();
         let a = va(0x7f00_0000_0000);
-        s.map_range(a, 4, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-        s.protect_range(a, 4, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+        s.map_range(a, 4, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        s.protect_range(a, 4, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
         for i in 0..4 {
             let m = s.lookup(a.wrapping_add(i * 4096)).unwrap();
             assert!(!m.flags.is_writable(), "page {i}");
@@ -926,8 +927,12 @@ mod tests {
     #[test]
     fn iter_regions_sorted_and_complete() {
         let mut s = AddressSpace::new();
-        s.map(va(0xffff_ffff_a000_0000), PageSize::Size2M, PteFlags::kernel_rx())
-            .unwrap();
+        s.map(
+            va(0xffff_ffff_a000_0000),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
         s.map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rx())
             .unwrap();
         s.map(va(0x7fff_f7a0_0000), PageSize::Size4K, PteFlags::user_ro())
@@ -944,7 +949,8 @@ mod tests {
         let mut s = AddressSpace::new();
         let a = va(0x7f00_0000_0000);
         s.map(a, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-        s.protect(a, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
         assert!(s.iter_regions().is_empty());
     }
 
@@ -953,23 +959,29 @@ mod tests {
         let mut s = AddressSpace::new();
         s.map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rx())
             .unwrap();
-        s.map(va(0xffff_ffff_a1e0_0000), PageSize::Size2M, PteFlags::kernel_rx())
-            .unwrap();
+        s.map(
+            va(0xffff_ffff_a1e0_0000),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
         assert_eq!(s.mapped_pages(), 2);
         assert!(s.lookup(va(0x5555_5555_4000)).unwrap().flags.is_user());
-        assert!(!s
-            .lookup(va(0xffff_ffff_a1e0_0000))
-            .unwrap()
-            .flags
-            .is_user());
+        assert!(!s.lookup(va(0xffff_ffff_a1e0_0000)).unwrap().flags.is_user());
     }
 
     #[test]
     fn data_frames_do_not_collide_across_sizes() {
         let mut s = AddressSpace::new();
-        let p1 = s.map(va(0x1000), PageSize::Size4K, PteFlags::user_rw()).unwrap();
-        let p2 = s.map(va(0x20_0000), PageSize::Size2M, PteFlags::user_rw()).unwrap();
-        let p3 = s.map(va(0x2000), PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        let p1 = s
+            .map(va(0x1000), PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        let p2 = s
+            .map(va(0x20_0000), PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
+        let p3 = s
+            .map(va(0x2000), PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
         assert!(p2.as_u64() >= p1.as_u64() + 4096);
         assert!(p3.as_u64() >= p2.as_u64() + PageSize::Size2M.bytes());
         assert_eq!(p2.as_u64() % PageSize::Size2M.bytes(), 0);

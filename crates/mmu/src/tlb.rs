@@ -317,19 +317,9 @@ impl Tlb {
     /// Peeks without touching replacement state or counters.
     #[must_use]
     pub fn contains(&self, va: VirtAddr) -> bool {
-        let in_dtlb = self
-            .dtlb
-            .slots
-            .iter()
-            .flatten()
-            .any(|(e, _)| e.covers(va));
+        let in_dtlb = self.dtlb.slots.iter().flatten().any(|(e, _)| e.covers(va));
         let in_huge = self.huge.slots.iter().any(|(e, _)| e.covers(va));
-        let in_stlb = self
-            .stlb
-            .slots
-            .iter()
-            .flatten()
-            .any(|(e, _)| e.covers(va));
+        let in_stlb = self.stlb.slots.iter().flatten().any(|(e, _)| e.covers(va));
         in_dtlb || in_huge || in_stlb
     }
 

@@ -314,10 +314,18 @@ mod tests {
 
     fn kernel_space() -> AddressSpace {
         let mut s = AddressSpace::new();
-        s.map(va(0xffff_ffff_a1e0_0000), PageSize::Size2M, PteFlags::kernel_rx())
-            .unwrap();
-        s.map(va(0xffff_ffff_c012_3000), PageSize::Size4K, PteFlags::kernel_rx())
-            .unwrap();
+        s.map(
+            va(0xffff_ffff_a1e0_0000),
+            PageSize::Size2M,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
+        s.map(
+            va(0xffff_ffff_c012_3000),
+            PageSize::Size4K,
+            PteFlags::kernel_rx(),
+        )
+        .unwrap();
         s.map(va(0x5555_5555_4000), PageSize::Size4K, PteFlags::user_rw())
             .unwrap();
         s
@@ -377,7 +385,8 @@ mod tests {
     fn non_present_leaf_is_unmapped_at_pt() {
         let mut s = kernel_space();
         let a = va(0x5555_5555_4000);
-        s.protect(a, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        s.protect(a, PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
         let w = Walker::new().walk(&s, a);
         assert!(!w.is_mapped());
         assert_eq!(w.terminal_level, Level::Pt);

@@ -45,10 +45,25 @@ impl RefModel {
 /// Operations the generator can issue.
 #[derive(Clone, Debug)]
 enum Op {
-    Map { slot: u64, size: PageSize, user: bool, writable: bool },
-    Unmap { slot: u64, size: PageSize },
-    Protect { slot: u64, size: PageSize, writable: bool },
-    Lookup { slot: u64, size: PageSize },
+    Map {
+        slot: u64,
+        size: PageSize,
+        user: bool,
+        writable: bool,
+    },
+    Unmap {
+        slot: u64,
+        size: PageSize,
+    },
+    Protect {
+        slot: u64,
+        size: PageSize,
+        writable: bool,
+    },
+    Lookup {
+        slot: u64,
+        size: PageSize,
+    },
 }
 
 /// Slots are homed per size class so alignment is always valid, and
@@ -75,11 +90,20 @@ fn arb_size() -> impl Strategy<Value = PageSize> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u64>(), arb_size(), any::<bool>(), any::<bool>())
-            .prop_map(|(slot, size, user, writable)| Op::Map { slot, size, user, writable }),
+        (any::<u64>(), arb_size(), any::<bool>(), any::<bool>()).prop_map(
+            |(slot, size, user, writable)| Op::Map {
+                slot,
+                size,
+                user,
+                writable
+            }
+        ),
         (any::<u64>(), arb_size()).prop_map(|(slot, size)| Op::Unmap { slot, size }),
-        (any::<u64>(), arb_size(), any::<bool>())
-            .prop_map(|(slot, size, writable)| Op::Protect { slot, size, writable }),
+        (any::<u64>(), arb_size(), any::<bool>()).prop_map(|(slot, size, writable)| Op::Protect {
+            slot,
+            size,
+            writable
+        }),
         (any::<u64>(), arb_size()).prop_map(|(slot, size)| Op::Lookup { slot, size }),
     ]
 }

@@ -11,8 +11,8 @@ use core::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use avx_uarch::Machine;
 use avx_mmu::VirtAddr;
+use avx_uarch::Machine;
 
 /// The two user behaviours monitored in the paper's Fig. 6.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -78,7 +78,10 @@ impl ActivityTimeline {
     pub fn bluetooth_session() -> Self {
         Self {
             behaviour: Behaviour::BluetoothAudio,
-            windows: vec![Window { start: 20.0, end: 80.0 }],
+            windows: vec![Window {
+                start: 20.0,
+                end: 80.0,
+            }],
             duration: 100.0,
         }
     }
@@ -89,9 +92,18 @@ impl ActivityTimeline {
         Self {
             behaviour: Behaviour::MouseMovement,
             windows: vec![
-                Window { start: 10.0, end: 22.0 },
-                Window { start: 38.0, end: 52.0 },
-                Window { start: 68.0, end: 90.0 },
+                Window {
+                    start: 10.0,
+                    end: 22.0,
+                },
+                Window {
+                    start: 38.0,
+                    end: 52.0,
+                },
+                Window {
+                    start: 68.0,
+                    end: 90.0,
+                },
             ],
             duration: 100.0,
         }
@@ -190,11 +202,7 @@ impl AppProfile {
     pub fn editor() -> Self {
         Self {
             name: "editor",
-            activity: vec![
-                ("psmouse", 0.8),
-                ("i2c_i801", 0.3),
-                ("e1000e", 0.1),
-            ],
+            activity: vec![("psmouse", 0.8), ("i2c_i801", 0.3), ("e1000e", 0.1)],
         }
     }
 
@@ -203,11 +211,7 @@ impl AppProfile {
     pub fn file_sync() -> Self {
         Self {
             name: "file-sync",
-            activity: vec![
-                ("xfs", 0.9),
-                ("e1000e", 0.9),
-                ("nvme", 0.6),
-            ],
+            activity: vec![("xfs", 0.9), ("e1000e", 0.9), ("nvme", 0.6)],
         }
     }
 
@@ -216,11 +220,7 @@ impl AppProfile {
     pub fn media_player() -> Self {
         Self {
             name: "media-player",
-            activity: vec![
-                ("snd_hda_intel", 0.9),
-                ("video", 0.8),
-                ("psmouse", 0.1),
-            ],
+            activity: vec![("snd_hda_intel", 0.9), ("video", 0.8), ("psmouse", 0.1)],
         }
     }
 
@@ -258,7 +258,10 @@ impl AppProfile {
                 let mut t = 0.0;
                 while t < duration {
                     if rng.gen::<f64>() < fraction {
-                        windows.push(Window { start: t, end: t + 1.0 });
+                        windows.push(Window {
+                            start: t,
+                            end: t + 1.0,
+                        });
                     }
                     t += 1.0;
                 }
@@ -383,8 +386,12 @@ mod tests {
         let set = AppProfile::standard_set();
         for (i, a) in set.iter().enumerate() {
             for b in &set[i + 1..] {
-                let mut modules: Vec<&str> =
-                    a.activity.iter().chain(&b.activity).map(|(m, _)| *m).collect();
+                let mut modules: Vec<&str> = a
+                    .activity
+                    .iter()
+                    .chain(&b.activity)
+                    .map(|(m, _)| *m)
+                    .collect();
                 modules.sort_unstable();
                 modules.dedup();
                 let dist: f64 = modules

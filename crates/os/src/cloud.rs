@@ -152,8 +152,7 @@ mod tests {
     fn all_returns_three_distinct_providers() {
         let all = CloudScenario::all(9);
         assert_eq!(all.len(), 3);
-        let providers: std::collections::HashSet<_> =
-            all.iter().map(|s| s.provider).collect();
+        let providers: std::collections::HashSet<_> = all.iter().map(|s| s.provider).collect();
         assert_eq!(providers.len(), 3);
     }
 

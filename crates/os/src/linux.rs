@@ -24,8 +24,7 @@ pub const KERNEL_TEXT_REGION_END: u64 = 0xffff_ffff_c000_0000;
 /// KASLR slide granularity.
 pub const KASLR_ALIGN: u64 = 0x20_0000;
 /// Number of possible kernel base slots (9 bits of entropy).
-pub const KERNEL_SLOTS: u64 =
-    (KERNEL_TEXT_REGION_END - KERNEL_TEXT_REGION_START) / KASLR_ALIGN;
+pub const KERNEL_SLOTS: u64 = (KERNEL_TEXT_REGION_END - KERNEL_TEXT_REGION_START) / KASLR_ALIGN;
 /// Start of the kernel-module area.
 pub const MODULE_REGION_START: u64 = 0xffff_ffff_c000_0000;
 /// End (exclusive) of the kernel-module area.
@@ -50,14 +49,38 @@ pub struct KernelFunction {
 /// Nominal (FGKASLR-off) function offsets used by the countermeasure
 /// study; values are representative, not copied from a real build.
 pub const DEFAULT_FUNCTIONS: [KernelFunction; 8] = [
-    KernelFunction { name: "do_syscall_64", offset: 0x00_2340 },
-    KernelFunction { name: "__x64_sys_read", offset: 0x0e_1200 },
-    KernelFunction { name: "__x64_sys_write", offset: 0x0e_3480 },
-    KernelFunction { name: "commit_creds", offset: 0x10_5a00 },
-    KernelFunction { name: "prepare_kernel_cred", offset: 0x10_7c40 },
-    KernelFunction { name: "bprm_execve", offset: 0x15_9e80 },
-    KernelFunction { name: "ksys_mmap_pgoff", offset: 0x1b_0d00 },
-    KernelFunction { name: "entry_SYSCALL_64", offset: KPTI_TRAMPOLINE_OFFSET },
+    KernelFunction {
+        name: "do_syscall_64",
+        offset: 0x00_2340,
+    },
+    KernelFunction {
+        name: "__x64_sys_read",
+        offset: 0x0e_1200,
+    },
+    KernelFunction {
+        name: "__x64_sys_write",
+        offset: 0x0e_3480,
+    },
+    KernelFunction {
+        name: "commit_creds",
+        offset: 0x10_5a00,
+    },
+    KernelFunction {
+        name: "prepare_kernel_cred",
+        offset: 0x10_7c40,
+    },
+    KernelFunction {
+        name: "bprm_execve",
+        offset: 0x15_9e80,
+    },
+    KernelFunction {
+        name: "ksys_mmap_pgoff",
+        offset: 0x1b_0d00,
+    },
+    KernelFunction {
+        name: "entry_SYSCALL_64",
+        offset: KPTI_TRAMPOLINE_OFFSET,
+    },
 ];
 
 /// Build-time options for a simulated Linux machine.
@@ -321,8 +344,7 @@ impl LinuxSystem {
                 if f.name == "entry_SYSCALL_64" {
                     continue; // entry code is not reordered by FGKASLR
                 }
-                f.offset = rng.gen_range(0..text_bytes / 0x1000) * 0x1000
-                    + (f.offset & 0xfff);
+                f.offset = rng.gen_range(0..text_bytes / 0x1000) * 0x1000 + (f.offset & 0xfff);
             }
         }
 
@@ -401,10 +423,7 @@ fn install_flare_dummies(space: &mut AddressSpace, kernel_base: VirtAddr, config
 
 /// Maps the attacker's text, scratch and calibration pages with 28-bit
 /// user ASLR (§IV-F: code text within `0x55XXXXXXX000`).
-fn map_user_context(
-    space: &mut AddressSpace,
-    rng: &mut StdRng,
-) -> Result<UserContext, MmuError> {
+fn map_user_context(space: &mut AddressSpace, rng: &mut StdRng) -> Result<UserContext, MmuError> {
     let text_base = VirtAddr::new_truncate(0x5500_0000_0000 + (rng.gen_range(0u64..1 << 28) << 12));
     space.map_range(text_base, 2, PageSize::Size4K, PteFlags::user_rx())?;
     let scratch = text_base.wrapping_add(0x10_0000);
@@ -455,9 +474,15 @@ mod tests {
 
     #[test]
     fn seeds_change_the_slide() {
-        let a = LinuxSystem::build(LinuxConfig::seeded(1)).truth().slide_slots;
-        let b = LinuxSystem::build(LinuxConfig::seeded(2)).truth().slide_slots;
-        let c = LinuxSystem::build(LinuxConfig::seeded(3)).truth().slide_slots;
+        let a = LinuxSystem::build(LinuxConfig::seeded(1))
+            .truth()
+            .slide_slots;
+        let b = LinuxSystem::build(LinuxConfig::seeded(2))
+            .truth()
+            .slide_slots;
+        let c = LinuxSystem::build(LinuxConfig::seeded(3))
+            .truth()
+            .slide_slots;
         assert!(a != b || b != c, "different seeds should move the base");
     }
 
@@ -618,9 +643,7 @@ mod tests {
         let moved = DEFAULT_FUNCTIONS
             .iter()
             .filter(|f| f.name != "entry_SYSCALL_64")
-            .filter(|f| {
-                plain.truth().function_addr(f.name) != fg.truth().function_addr(f.name)
-            })
+            .filter(|f| plain.truth().function_addr(f.name) != fg.truth().function_addr(f.name))
             .count();
         assert!(moved >= 5, "most functions should move under FGKASLR");
         assert_eq!(

@@ -36,11 +36,26 @@ impl fmt::Display for ModuleSpec {
 
 /// The five modules shown in the paper's Fig. 5, with their exact sizes.
 pub const FIG5_MODULES: [ModuleSpec; 5] = [
-    ModuleSpec { name: "autofs4", size: 0xB000 },
-    ModuleSpec { name: "x_tables", size: 0xB000 },
-    ModuleSpec { name: "video", size: 0xC000 },
-    ModuleSpec { name: "mac_hid", size: 0x4000 },
-    ModuleSpec { name: "pinctrl_icelake", size: 0x6000 },
+    ModuleSpec {
+        name: "autofs4",
+        size: 0xB000,
+    },
+    ModuleSpec {
+        name: "x_tables",
+        size: 0xB000,
+    },
+    ModuleSpec {
+        name: "video",
+        size: 0xC000,
+    },
+    ModuleSpec {
+        name: "mac_hid",
+        size: 0x4000,
+    },
+    ModuleSpec {
+        name: "pinctrl_icelake",
+        size: 0x6000,
+    },
 ];
 
 /// The full 125-module set of the simulated Ubuntu 18.04.3 machine.

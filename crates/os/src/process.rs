@@ -90,10 +90,22 @@ impl ImageSignature {
         Self {
             name: "libc.so.6",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x1e_7000 },
-                Section { perm: PermClass::None, size: 0x20_0000 },
-                Section { perm: PermClass::ReadOnly, size: 0x4000 },
-                Section { perm: PermClass::ReadWrite, size: 0x2000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x1e_7000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x20_0000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x4000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x2000,
+                },
             ],
             hidden_rw_bytes: 0x2000,
         }
@@ -105,10 +117,22 @@ impl ImageSignature {
         Self {
             name: "ld-2.27.so",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x2_7000 },
-                Section { perm: PermClass::None, size: 0x1f_f000 },
-                Section { perm: PermClass::ReadOnly, size: 0x1000 },
-                Section { perm: PermClass::ReadWrite, size: 0x1000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x2_7000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x1f_f000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x1000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x1000,
+                },
             ],
             hidden_rw_bytes: 0x1000,
         }
@@ -120,10 +144,22 @@ impl ImageSignature {
         Self {
             name: "libpthread-2.27.so",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x1_9000 },
-                Section { perm: PermClass::None, size: 0x1f_e000 },
-                Section { perm: PermClass::ReadOnly, size: 0x1000 },
-                Section { perm: PermClass::ReadWrite, size: 0x1000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x1_9000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x1f_e000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x1000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x1000,
+                },
             ],
             hidden_rw_bytes: 0x2000,
         }
@@ -135,10 +171,22 @@ impl ImageSignature {
         Self {
             name: "libm-2.27.so",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x18_b000 },
-                Section { perm: PermClass::None, size: 0x1f_f000 },
-                Section { perm: PermClass::ReadOnly, size: 0x1000 },
-                Section { perm: PermClass::ReadWrite, size: 0x1000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x18_b000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x1f_f000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x1000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x1000,
+                },
             ],
             hidden_rw_bytes: 0,
         }
@@ -150,10 +198,22 @@ impl ImageSignature {
         Self {
             name: "libdl-2.27.so",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x2000 },
-                Section { perm: PermClass::None, size: 0x20_0000 },
-                Section { perm: PermClass::ReadOnly, size: 0x1000 },
-                Section { perm: PermClass::ReadWrite, size: 0x1000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x2000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x20_0000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x1000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x1000,
+                },
             ],
             hidden_rw_bytes: 0,
         }
@@ -166,10 +226,22 @@ impl ImageSignature {
         Self {
             name: "app",
             sections: vec![
-                Section { perm: PermClass::ReadExec, size: 0x2000 },
-                Section { perm: PermClass::None, size: 0x11f_f000 },
-                Section { perm: PermClass::ReadOnly, size: 0x1000 },
-                Section { perm: PermClass::ReadWrite, size: 0x1000 },
+                Section {
+                    perm: PermClass::ReadExec,
+                    size: 0x2000,
+                },
+                Section {
+                    perm: PermClass::None,
+                    size: 0x11f_f000,
+                },
+                Section {
+                    perm: PermClass::ReadOnly,
+                    size: 0x1000,
+                },
+                Section {
+                    perm: PermClass::ReadWrite,
+                    size: 0x1000,
+                },
             ],
             hidden_rw_bytes: 0x1000,
         }
@@ -278,8 +350,7 @@ pub fn build_process(
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5553_4552_4153_4c52); // "USERASLR"
     let mut maps = Vec::new();
 
-    let app_base =
-        VirtAddr::new_truncate(0x5500_0000_0000 + (rng.gen_range(0u64..1 << 28) << 12));
+    let app_base = VirtAddr::new_truncate(0x5500_0000_0000 + (rng.gen_range(0u64..1 << 28) << 12));
     place_image(space, app, app_base, &mut maps);
     let app_placed = PlacedImage {
         signature: app.clone(),
@@ -404,12 +475,7 @@ mod tests {
         let mut bases = std::collections::HashSet::new();
         for seed in 0..16 {
             let mut space = AddressSpace::new();
-            let t = build_process(
-                &mut space,
-                &ImageSignature::fig7_app(),
-                &[],
-                seed,
-            );
+            let t = build_process(&mut space, &ImageSignature::fig7_app(), &[], seed);
             assert_eq!(t.app.base.as_u64() & 0xfff, 0);
             assert!(t.app.base.as_u64() < 0x5500_0000_0000 + (1u64 << 40));
             bases.insert(t.app.base);
@@ -441,7 +507,9 @@ mod tests {
         let walk = Walker::new().walk(&space, gap);
         assert_eq!(walk.terminal_level, avx_mmu::Level::Pt, "VMA exists");
         // r-- section.
-        let ro = space.lookup(libc_base.wrapping_add(0x1e_7000 + 0x20_0000)).unwrap();
+        let ro = space
+            .lookup(libc_base.wrapping_add(0x1e_7000 + 0x20_0000))
+            .unwrap();
         assert!(!ro.flags.is_writable());
         // rw- section.
         let rw = space
@@ -484,7 +552,10 @@ mod tests {
         let line = truth.maps[0].to_string();
         assert!(line.contains('-'));
         assert!(
-            line.contains("r-x") || line.contains("r--") || line.contains("rw-") || line.contains("---")
+            line.contains("r-x")
+                || line.contains("r--")
+                || line.contains("rw-")
+                || line.contains("---")
         );
     }
 
@@ -502,13 +573,20 @@ mod tests {
     fn deterministic_under_seed() {
         let mut s1 = AddressSpace::new();
         let mut s2 = AddressSpace::new();
-        let t1 = build_process(&mut s1, &ImageSignature::fig7_app(), &ImageSignature::standard_set(), 7);
-        let t2 = build_process(&mut s2, &ImageSignature::fig7_app(), &ImageSignature::standard_set(), 7);
-        assert_eq!(t1.app.base, t2.app.base);
-        assert_eq!(
-            t1.library_base("libc.so.6"),
-            t2.library_base("libc.so.6")
+        let t1 = build_process(
+            &mut s1,
+            &ImageSignature::fig7_app(),
+            &ImageSignature::standard_set(),
+            7,
         );
+        let t2 = build_process(
+            &mut s2,
+            &ImageSignature::fig7_app(),
+            &ImageSignature::standard_set(),
+            7,
+        );
+        assert_eq!(t1.app.base, t2.app.base);
+        assert_eq!(t1.library_base("libc.so.6"), t2.library_base("libc.so.6"));
     }
 
     #[test]

@@ -259,16 +259,15 @@ mod tests {
         let walker = Walker::new();
         assert!(!walker.walk(sys.space(), t.kernel_base).is_mapped());
         let shadow = t.shadow.expect("shadow mapped");
-        assert_eq!(
-            shadow.as_u64(),
-            t.kernel_base.as_u64() + KVAS_SHADOW_OFFSET
-        );
+        assert_eq!(shadow.as_u64(), t.kernel_base.as_u64() + KVAS_SHADOW_OFFSET);
         for p in 0..3 {
             assert!(walker
                 .walk(sys.space(), shadow.wrapping_add(p * 4096))
                 .is_mapped());
         }
-        assert!(!walker.walk(sys.space(), shadow.wrapping_add(3 * 4096)).is_mapped());
+        assert!(!walker
+            .walk(sys.space(), shadow.wrapping_add(3 * 4096))
+            .is_mapped());
     }
 
     #[test]

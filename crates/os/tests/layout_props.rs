@@ -9,7 +9,9 @@ use avx_os::linux::{
     KERNEL_TEXT_REGION_START, MODULE_REGION_END, MODULE_REGION_START,
 };
 use avx_os::process::{build_process, ImageSignature};
-use avx_os::windows::{WindowsConfig, WindowsSystem, WIN_KERNEL_REGION_END, WIN_KERNEL_REGION_START};
+use avx_os::windows::{
+    WindowsConfig, WindowsSystem, WIN_KERNEL_REGION_END, WIN_KERNEL_REGION_START,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the small subset of the rand 0.8 API it actually uses:
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom::shuffle`]. The generator behind `StdRng` is
+//! xoshiro256++ seeded through SplitMix64 — deterministic for a given
+//! seed, which is all the simulator requires (it never asserts exact
+//! values of the upstream ChaCha stream).
+
+#![deny(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] (rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize, T: Standard> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        core::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// Samples a value of the inferred type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64. Statistically solid, tiny, and
+    /// deterministic across platforms.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+    }
+}
+
+/// Slice utilities.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place slice shuffling (rand's `SliceRandom` subset).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(3u64..=5);
+            assert!((3..=5).contains(&y));
+            let z = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..50_000).map(|_| r.gen::<f64>()).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships
+//! the slice of the rayon API its campaign engine uses:
+//! `into_par_iter()` over ranges, vectors and slices, followed by
+//! `.map(..).collect()`, `.for_each(..)`, `.sum()` or `.reduce(..)`.
+//! Work is split into per-thread chunks executed on
+//! [`std::thread::scope`] threads (one per available core), and results
+//! come back **in input order** — the same observable contract rayon's
+//! indexed parallel iterators give.
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Re-exports that make `use rayon::prelude::*` work.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+/// Number of worker threads used for a job of `n` items.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Ordered parallel map: applies `f` to every item on a thread pool and
+/// returns the results in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` in parallel, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map(self.items, f);
+    }
+
+    /// Rayon tuning hint — accepted and ignored.
+    #[must_use]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// A parallel map stage awaiting collection.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Executes the map and collects the ordered results.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Executes the map and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map(self.items, self.f).into_iter().sum()
+    }
+
+    /// Executes the map and folds the results with `op`, seeded by
+    /// `identity`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> R
+    where
+        Id: Fn() -> R,
+        Op: Fn(R, R) -> R,
+    {
+        par_map(self.items, self.f).into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range!(u32, u64, usize, i32, i64);
+
+macro_rules! impl_into_par_iter_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_iter_range_inclusive!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let sum = AtomicU64::new(0);
+        (1u64..=100).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn sum_and_reduce_agree() {
+        let s: u64 = (1u64..=50).into_par_iter().map(|x| x).sum();
+        let r: u64 = (1u64..=50)
+            .into_par_iter()
+            .map(|x| x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 1275);
+        assert_eq!(r, 1275);
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.as_slice().into_par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            return;
+        }
+        let ids: Vec<std::thread::ThreadId> = (0u64..64)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let mut unique: Vec<String> = ids.iter().map(|id| format!("{id:?}")).collect();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 1, "expected work on >1 thread");
+    }
+}

@@ -22,7 +22,7 @@ use avx_mmu::{
 };
 
 use crate::lines::PteLineCache;
-use crate::masked::{Fault, MaskedOp, OpKind};
+use crate::masked::{ElemWidth, Fault, MaskedOp, OpKind};
 use crate::memory::SparseMemory;
 use crate::noise::NoiseModel;
 use crate::pmc::{Event, PmcBank};
@@ -62,6 +62,35 @@ struct PageVerdict {
     terminal_level: Option<Level>,
     walks: u8,
     cycles: f64,
+}
+
+/// Running per-op accounting shared by the scalar ([`Machine::execute`])
+/// and batched ([`Machine::execute_batch`]) paths — one source of truth
+/// for the timing/PMC/assist semantics, so the two paths cannot drift.
+struct OpAccounting {
+    cycles: f64,
+    assist: bool,
+    dirty_assist: bool,
+    walks_total: u8,
+    user_nonpresent: bool,
+    primary_tlb: Option<TlbLookup>,
+    primary_level: Option<Level>,
+    first_page_seen: bool,
+}
+
+impl OpAccounting {
+    fn new(base_cycles: f64) -> Self {
+        Self {
+            cycles: base_cycles,
+            assist: false,
+            dirty_assist: false,
+            walks_total: 0,
+            user_nonpresent: false,
+            primary_tlb: None,
+            primary_level: None,
+            first_page_seen: false,
+        }
+    }
 }
 
 /// One simulated core: address space + TLB + PSC + PTE-line cache +
@@ -228,6 +257,128 @@ impl Machine {
         self.execute(op).cycles
     }
 
+    /// Batched probe: executes one all-zero-mask op per address and
+    /// returns the measured cycles in input order.
+    ///
+    /// Observably identical to calling [`Machine::probe`] once per
+    /// address — same translation-cache evolution, same performance
+    /// counters, same noise stream — but the per-op bookkeeping of
+    /// [`Machine::execute`] is amortized away: no [`MaskedOutcome`] is
+    /// materialized and no lane-transfer buffer is allocated (an
+    /// all-zero mask moves no data), which is what makes large
+    /// Fig. 4/5/7-style sweeps fast.
+    pub fn execute_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+        let t = self.profile.timing;
+        let (retired_event, walk_event, base) = match kind {
+            OpKind::Load => (
+                Event::MaskedLoadRetired,
+                Event::DtlbLoadWalkCompleted,
+                t.base_load,
+            ),
+            OpKind::Store => (
+                Event::MaskedStoreRetired,
+                Event::DtlbStoreWalkCompleted,
+                t.base_store,
+            ),
+        };
+        // Footprint of the probe ops built by `MaskedOp::probe_load` /
+        // `probe_store`: 8 dword lanes, so the last lane starts 28 bytes
+        // past the base address.
+        let last_lane_offset = 7 * ElemWidth::Dword.bytes();
+
+        let mut out = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            self.pmc.bump(retired_event);
+            let mut acc = OpAccounting::new(base);
+
+            // The zero mask means no lane is unmasked, so `visit_page`
+            // can never report a fault on this path.
+            let first_page = addr.align_down(4096);
+            let last_page = addr.wrapping_add(last_lane_offset).align_down(4096);
+            let _ = self.visit_page(kind, first_page, false, &mut acc, None);
+            if last_page != first_page {
+                let _ = self.visit_page(kind, last_page, false, &mut acc, None);
+            }
+
+            if acc.user_nonpresent && kind == OpKind::Load {
+                acc.cycles += t.user_nonpresent_load_extra;
+            }
+            self.pmc.add(walk_event, u64::from(acc.walks_total));
+            let measured = self.noise.perturb(&mut self.rng, acc.cycles);
+            self.tsc += measured;
+            out.push(measured);
+        }
+        out
+    }
+
+    /// Translates and accounts one touched page of a masked op — the
+    /// shared per-page core of [`Machine::execute`] and
+    /// [`Machine::execute_batch`]. Returns the fault to deliver when an
+    /// *unmasked* lane touched a bad page.
+    fn visit_page(
+        &mut self,
+        kind: OpKind,
+        page: VirtAddr,
+        has_unmasked: bool,
+        acc: &mut OpAccounting,
+        ok_pages: Option<&mut Vec<(VirtAddr, u64)>>,
+    ) -> Option<Fault> {
+        let t = self.profile.timing;
+        let verdict = self.translate_page(page);
+        acc.cycles += verdict.cycles;
+        acc.walks_total += verdict.walks;
+        if !acc.first_page_seen {
+            acc.first_page_seen = true;
+            acc.primary_tlb = verdict.tlb_hit;
+            acc.primary_level = verdict.terminal_level;
+        }
+
+        let accessible =
+            verdict.present && verdict.user && (kind == OpKind::Load || verdict.writable);
+        if accessible {
+            if kind == OpKind::Store && !verdict.dirty && !acc.dirty_assist {
+                // First store to a clean page: dirty-bit microcode
+                // assist, regardless of the mask (the assist must
+                // inspect the mask to know whether D may be set).
+                acc.dirty_assist = true;
+                acc.cycles += self.profile.dirty_assist();
+                self.pmc.bump(Event::AssistsAny);
+            }
+            if let (Some(ok_pages), Some(frame)) = (ok_pages, verdict.phys_frame) {
+                ok_pages.push((page, frame));
+            }
+            // A-bit maintenance; D only when lanes actually store.
+            let writes = kind == OpKind::Store && has_unmasked;
+            let _ = self.space.mark_accessed(page, writes);
+            if writes {
+                self.tlb.set_dirty(page);
+            }
+            None
+        } else if has_unmasked {
+            // An unmasked lane touches a bad page: deliver #PF.
+            Some(Fault {
+                addr: page,
+                write: kind == OpKind::Store,
+                protection: verdict.present,
+            })
+        } else {
+            // Bad page, all lanes masked: suppression via assist.
+            if !acc.assist {
+                acc.assist = true;
+                acc.cycles += match kind {
+                    OpKind::Load => t.assist_load,
+                    OpKind::Store => t.assist_store,
+                };
+                self.pmc.bump(Event::AssistsAny);
+            }
+            if !verdict.present && !page.is_kernel_half() {
+                acc.user_nonpresent = true;
+            }
+            self.pmc.bump(Event::SuppressedFault);
+            None
+        }
+    }
+
     /// Executes one masked operation, advancing the clock.
     pub fn execute(&mut self, op: MaskedOp) -> MaskedOutcome {
         let retired_event = match op.kind {
@@ -237,95 +388,40 @@ impl Machine {
         self.pmc.bump(retired_event);
 
         let t = self.profile.timing;
-        let mut cycles = match op.kind {
+        let mut acc = OpAccounting::new(match op.kind {
             OpKind::Load => t.base_load,
             OpKind::Store => t.base_store,
-        };
+        });
 
         let pages = op.touched_pages();
-        let mut assist = false;
-        let mut dirty_assist = false;
-        let mut walks_total: u8 = 0;
         let mut fault: Option<Fault> = None;
-        let mut primary_tlb: Option<TlbLookup> = None;
-        let mut primary_level: Option<Level> = None;
-        let mut user_nonpresent = false;
         let mut ok_pages: Vec<(VirtAddr, u64)> = Vec::with_capacity(pages.len());
 
-        for (page_index, &(page, has_unmasked)) in pages.iter().enumerate() {
-            let verdict = self.translate_page(page);
-            cycles += verdict.cycles;
-            walks_total += verdict.walks;
-            if page_index == 0 {
-                primary_tlb = verdict.tlb_hit;
-                primary_level = verdict.terminal_level;
-            }
-
-            let accessible = verdict.present
-                && verdict.user
-                && (op.kind == OpKind::Load || verdict.writable);
-
-            if accessible {
-                if op.kind == OpKind::Store && !verdict.dirty && !dirty_assist {
-                    // First store to a clean page: dirty-bit microcode
-                    // assist, regardless of the mask (the assist must
-                    // inspect the mask to know whether D may be set).
-                    dirty_assist = true;
-                    cycles += self.profile.dirty_assist();
-                    self.pmc.bump(Event::AssistsAny);
-                }
-                if let Some(frame) = verdict.phys_frame {
-                    ok_pages.push((page, frame));
-                }
-                // A-bit maintenance; D only when lanes actually store.
-                let writes = op.kind == OpKind::Store && has_unmasked;
-                let _ = self.space.mark_accessed(page, writes);
-                if writes {
-                    self.tlb.set_dirty(page);
-                }
-            } else if has_unmasked {
-                // An unmasked lane touches a bad page: deliver #PF.
-                if fault.is_none() {
-                    fault = Some(Fault {
-                        addr: page,
-                        write: op.kind == OpKind::Store,
-                        protection: verdict.present,
-                    });
-                }
-            } else {
-                // Bad page, all lanes masked: suppression via assist.
-                if !assist {
-                    assist = true;
-                    cycles += match op.kind {
-                        OpKind::Load => t.assist_load,
-                        OpKind::Store => t.assist_store,
-                    };
-                    self.pmc.bump(Event::AssistsAny);
-                }
-                if !verdict.present && !page.is_kernel_half() {
-                    user_nonpresent = true;
-                }
-                self.pmc.bump(Event::SuppressedFault);
+        for &(page, has_unmasked) in pages.iter() {
+            let page_fault =
+                self.visit_page(op.kind, page, has_unmasked, &mut acc, Some(&mut ok_pages));
+            if fault.is_none() {
+                fault = page_fault;
             }
         }
 
-        if user_nonpresent && op.kind == OpKind::Load {
-            cycles += t.user_nonpresent_load_extra;
+        if acc.user_nonpresent && op.kind == OpKind::Load {
+            acc.cycles += t.user_nonpresent_load_extra;
         }
 
         if let Some(f) = fault {
-            cycles += t.fault_cost;
+            acc.cycles += t.fault_cost;
             self.pmc.bump(Event::PageFault);
-            let measured = self.noise.perturb(&mut self.rng, cycles);
+            let measured = self.noise.perturb(&mut self.rng, acc.cycles);
             self.tsc += measured;
             return MaskedOutcome {
                 cycles: measured,
                 fault: Some(f),
-                assist,
-                dirty_assist,
-                walks_completed: walks_total,
-                tlb_hit: primary_tlb,
-                terminal_level: primary_level,
+                assist: acc.assist,
+                dirty_assist: acc.dirty_assist,
+                walks_completed: acc.walks_total,
+                tlb_hit: acc.primary_tlb,
+                terminal_level: acc.primary_level,
                 data: None,
             };
         }
@@ -334,21 +430,21 @@ impl Machine {
             OpKind::Load => Event::DtlbLoadWalkCompleted,
             OpKind::Store => Event::DtlbStoreWalkCompleted,
         };
-        self.pmc.add(walk_event, u64::from(walks_total));
+        self.pmc.add(walk_event, u64::from(acc.walks_total));
 
         // Move the data for unmasked lanes on good pages.
         let data = self.transfer(&op, &ok_pages);
 
-        let measured = self.noise.perturb(&mut self.rng, cycles);
+        let measured = self.noise.perturb(&mut self.rng, acc.cycles);
         self.tsc += measured;
         MaskedOutcome {
             cycles: measured,
             fault: None,
-            assist,
-            dirty_assist,
-            walks_completed: walks_total,
-            tlb_hit: primary_tlb,
-            terminal_level: primary_level,
+            assist: acc.assist,
+            dirty_assist: acc.dirty_assist,
+            walks_completed: acc.walks_total,
+            tlb_hit: acc.primary_tlb,
+            terminal_level: acc.primary_level,
             data,
         }
     }
@@ -490,8 +586,7 @@ impl Machine {
             let Some(&(_, frame)) = ok_pages.iter().find(|(p, _)| *p == page) else {
                 continue; // suppressed page: lane dropped (loads read 0)
             };
-            let pa = avx_mmu::PhysAddr::from_frame_number(frame)
-                .wrapping_add(la.as_u64() & 0xfff);
+            let pa = avx_mmu::PhysAddr::from_frame_number(frame).wrapping_add(la.as_u64() & 0xfff);
             match (&mut data, op.kind) {
                 (Some(buf), OpKind::Load) => {
                     let off = usize::from(lane) * width;
@@ -565,10 +660,18 @@ mod tests {
             .map(va(0x5555_5555_5000), PageSize::Size4K, PteFlags::user_rw())
             .unwrap();
         space
-            .protect(va(0x5555_5555_5000), PageSize::Size4K, PteFlags::none_guard())
+            .protect(
+                va(0x5555_5555_5000),
+                PageSize::Size4K,
+                PteFlags::none_guard(),
+            )
             .unwrap();
         space
-            .map(va(0xffff_ffff_a1e0_0000), PageSize::Size2M, PteFlags::kernel_rx())
+            .map(
+                va(0xffff_ffff_a1e0_0000),
+                PageSize::Size2M,
+                PteFlags::kernel_rx(),
+            )
             .unwrap();
         let mut m = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 1);
         m.set_noise(NoiseModel::none());
@@ -687,7 +790,7 @@ mod tests {
         // Fig. 1: access straddling a mapped(low)/unmapped(high) boundary.
         let mut m = fig2_machine();
         let base = va(USER_M + 0xff0); // last 16 bytes of USER_M page
-        // Case A/B: an unmasked lane on the unmapped page → #PF.
+                                       // Case A/B: an unmasked lane on the unmapped page → #PF.
         let faulting = MaskedOp {
             kind: OpKind::Load,
             addr: base,
@@ -842,7 +945,11 @@ mod tests {
             .unwrap();
         // A 4 KiB kernel page in the same PDPT.
         space
-            .map(va(0xffff_ffff_a1c0_0000), PageSize::Size4K, PteFlags::kernel_ro())
+            .map(
+                va(0xffff_ffff_a1c0_0000),
+                PageSize::Size4K,
+                PteFlags::kernel_ro(),
+            )
             .unwrap();
         let mut m = Machine::new(CpuProfile::zen3_ryzen5_5600x(), space, 5);
         m.set_noise(NoiseModel::none());
@@ -879,12 +986,22 @@ mod tests {
         let rx = va(0x7f00_0000_1000);
         let rw = va(0x7f00_0000_2000);
         let none = va(0x7f00_0000_3000);
-        space.map(ro, PageSize::Size4K, PteFlags::user_ro()).unwrap();
-        space.map(rx, PageSize::Size4K, PteFlags::user_rx()).unwrap();
-        space.map(rw, PageSize::Size4K, PteFlags::user_rw()).unwrap();
+        space
+            .map(ro, PageSize::Size4K, PteFlags::user_ro())
+            .unwrap();
+        space
+            .map(rx, PageSize::Size4K, PteFlags::user_rx())
+            .unwrap();
+        space
+            .map(rw, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
         // PROT_NONE: map then drop present, like mprotect(PROT_NONE).
-        space.map(none, PageSize::Size4K, PteFlags::user_rw()).unwrap();
-        space.protect(none, PageSize::Size4K, PteFlags::none_guard()).unwrap();
+        space
+            .map(none, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        space
+            .protect(none, PageSize::Size4K, PteFlags::none_guard())
+            .unwrap();
 
         let mut m = Machine::new(CpuProfile::generic_desktop(), space, 7);
         m.set_noise(NoiseModel::none());
@@ -923,9 +1040,15 @@ mod tests {
         let pd_page = va(0xffff_ffff_a1e0_0000);
         let pdpt_page = va(0xffff_c000_0000_0000);
         let pml4_hole = va(0xffff_9000_0000_0000);
-        space.map(pt_page, PageSize::Size4K, PteFlags::kernel_rx()).unwrap();
-        space.map(pd_page, PageSize::Size2M, PteFlags::kernel_rx()).unwrap();
-        space.map(pdpt_page, PageSize::Size1G, PteFlags::kernel_rw()).unwrap();
+        space
+            .map(pt_page, PageSize::Size4K, PteFlags::kernel_rx())
+            .unwrap();
+        space
+            .map(pd_page, PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        space
+            .map(pdpt_page, PageSize::Size1G, PteFlags::kernel_rw())
+            .unwrap();
 
         let mut m = Machine::new(CpuProfile::coffee_lake_i9_9900(), space, 8);
         m.set_noise(NoiseModel::none());
@@ -962,5 +1085,57 @@ mod tests {
         let mut m = fig2_machine();
         m.poke(va(USER_M + 8), &[0xde, 0xad]);
         assert_eq!(m.peek(va(USER_M + 8), 2), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn execute_batch_matches_scalar_probes_exactly() {
+        // Two identically-built machines: one runs the batched fast
+        // path, the other the scalar loop. Cycles, clock and PMCs must
+        // agree bit for bit — including a page-straddling probe.
+        let addrs: Vec<VirtAddr> = [USER_M, USER_U, KERNEL_M, KERNEL_U, USER_M + 0xff0]
+            .iter()
+            .map(|&a| va(a))
+            .collect();
+        for kind in [OpKind::Load, OpKind::Store] {
+            let mut scalar = fig2_machine();
+            let mut batched = fig2_machine();
+            let batch = batched.execute_batch(kind, &addrs);
+            let looped: Vec<u64> = addrs.iter().map(|&a| scalar.probe(kind, a)).collect();
+            assert_eq!(batch, looped, "{kind}");
+            assert_eq!(scalar.elapsed_cycles(), batched.elapsed_cycles());
+            for event in [
+                Event::AssistsAny,
+                Event::SuppressedFault,
+                Event::DtlbLoadWalkCompleted,
+                Event::DtlbStoreWalkCompleted,
+                Event::TlbMiss,
+                Event::TlbHitL1,
+            ] {
+                assert_eq!(
+                    scalar.pmc().read(event),
+                    batched.pmc().read(event),
+                    "{kind}: {event:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn execute_batch_matches_scalar_under_noise() {
+        // With the full noise model the two paths must also consume the
+        // RNG stream identically (same draws in the same order).
+        let addrs: Vec<VirtAddr> = (0..64)
+            .map(|i| va(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        let mut scalar = fig2_machine();
+        let mut batched = fig2_machine();
+        scalar.set_noise(NoiseModel::new(1.3, 0.05, (200.0, 900.0)));
+        batched.set_noise(NoiseModel::new(1.3, 0.05, (200.0, 900.0)));
+        let batch = batched.execute_batch(OpKind::Load, &addrs);
+        let looped: Vec<u64> = addrs
+            .iter()
+            .map(|&a| scalar.probe(OpKind::Load, a))
+            .collect();
+        assert_eq!(batch, looped);
     }
 }

@@ -588,10 +588,9 @@ mod tests {
         let t = &p.timing;
         assert_eq!(t.base_load, 16.0); // r--/r-x/rw- load
         assert_eq!(t.base_store + t.assist_store, 82.0); // r--/r-x store
-        // --- store: base + assist + retried warm walk = 96.
-        let none_store = t.base_store
-            + t.assist_store
-            + f64::from(t.nonpresent_retries) * t.walk_step_warm;
+                                                         // --- store: base + assist + retried warm walk = 96.
+        let none_store =
+            t.base_store + t.assist_store + f64::from(t.nonpresent_retries) * t.walk_step_warm;
         assert_eq!(none_store, 96.0);
         // --- load: +user extra = 115.
         let none_load = t.base_load

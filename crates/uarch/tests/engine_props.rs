@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
-use avx_uarch::{
-    CpuProfile, ElemWidth, Event, Machine, Mask, MaskedOp, NoiseModel, OpKind,
-};
+use avx_uarch::{CpuProfile, ElemWidth, Event, Machine, Mask, MaskedOp, NoiseModel, OpKind};
 
 const USER_M: u64 = 0x5555_5555_4000;
 const KERNEL_M: u64 = 0xffff_ffff_a1e0_0000;
@@ -15,7 +13,11 @@ const KERNEL_U: u64 = 0xffff_ffff_a1a0_0000;
 fn machine(profile: CpuProfile, seed: u64) -> Machine {
     let mut space = AddressSpace::new();
     space
-        .map(VirtAddr::new_truncate(USER_M), PageSize::Size4K, PteFlags::user_rw())
+        .map(
+            VirtAddr::new_truncate(USER_M),
+            PageSize::Size4K,
+            PteFlags::user_rw(),
+        )
         .unwrap();
     space
         .map(

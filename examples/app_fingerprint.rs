@@ -22,7 +22,14 @@ use avx_uarch::CpuProfile;
 
 fn main() {
     let profiles = AppProfile::standard_set();
-    println!("profile database: {}", profiles.iter().map(|p| p.name).collect::<Vec<_>>().join(", "));
+    println!(
+        "profile database: {}",
+        profiles
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let mut table = Table::new(["victim app", "classified as", "L1 distance", "verdict"]);
     for (i, victim) in profiles.iter().enumerate() {

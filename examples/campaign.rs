@@ -1,0 +1,45 @@
+//! The Table I methodology, generalized: run every §IV attack scenario
+//! across several CPU profiles, with trials parallelized via rayon.
+//!
+//! ```text
+//! cargo run --release --example campaign            # 4 trials/cell
+//! cargo run --release --example campaign -- 12      # 12 trials/cell
+//! ```
+
+use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
+use avx_channel::report::fmt_seconds;
+use avx_uarch::CpuProfile;
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4u64);
+
+    // One cell: a single scenario on a single CPU.
+    let row = Scenario::KernelBase.campaign(
+        &CpuProfile::alder_lake_i5_12400f(),
+        CampaignConfig { trials, seed0: 7 },
+    );
+    println!("single cell: {row}\n");
+
+    // The full matrix: all eight paper attacks on every profile whose
+    // probing primitive supports them.
+    let campaign = Campaign::full(CampaignConfig { trials, seed0: 7 });
+    println!(
+        "full campaign: {} scenarios x {} profiles, {trials} trials per cell",
+        campaign.scenarios.len(),
+        campaign.profiles.len()
+    );
+    for row in campaign.run() {
+        println!(
+            "  {:<34} {:<11} probing {:>9}  total {:>9}  accuracy {:>7.2} % ({} records)",
+            row.cpu,
+            row.target,
+            fmt_seconds(row.probing_seconds),
+            fmt_seconds(row.total_seconds),
+            row.accuracy.percent(),
+            row.accuracy.total,
+        );
+    }
+}

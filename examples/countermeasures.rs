@@ -38,7 +38,11 @@ fn fgkaslr() {
         let eval = evaluate_fgkaslr(CpuProfile::alder_lake_i5_12400f(), 32, function);
         println!(
             "target {function}: base {} / function page {} ({:?})",
-            if eval.base_correct { "recovered" } else { "lost" },
+            if eval.base_correct {
+                "recovered"
+            } else {
+                "lost"
+            },
             if eval.function_page_correct {
                 "located"
             } else {

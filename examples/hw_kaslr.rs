@@ -41,9 +41,7 @@ fn main() {
     let mut samples = vec![u64::MAX; KERNEL_SLOTS as usize];
     for _ in 0..ROUNDS {
         for (slot, best) in samples.iter_mut().enumerate() {
-            let addr = VirtAddr::new_truncate(
-                KERNEL_TEXT_REGION_START + slot as u64 * KASLR_ALIGN,
-            );
+            let addr = VirtAddr::new_truncate(KERNEL_TEXT_REGION_START + slot as u64 * KASLR_ALIGN);
             // Paper methodology: probe twice, keep the second; min over
             // rounds rejects interrupts.
             let _ = prober.probe(OpKind::Load, addr);
@@ -74,7 +72,9 @@ fn main() {
                     mapped[0],
                     base
                 );
-                println!("(verify against /proc/kallsyms with root: `sudo head -1 /proc/kallsyms`)");
+                println!(
+                    "(verify against /proc/kallsyms with root: `sudo head -1 /proc/kallsyms`)"
+                );
             } else {
                 println!(
                     "no usable bimodal structure ({} of {} slots below the split): \

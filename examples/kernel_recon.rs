@@ -8,9 +8,7 @@
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::modules::score;
 use avx_channel::report::{ascii_plot_clamped, Series};
-use avx_channel::{
-    KptiAttack, ModuleClassifier, ModuleScanner, SimProber, Threshold, TlbAttack,
-};
+use avx_channel::{KptiAttack, ModuleClassifier, ModuleScanner, SimProber, Threshold, TlbAttack};
 use avx_os::activity::{apply_activity, ActivityTimeline};
 use avx_os::linux::{LinuxConfig, LinuxSystem, KPTI_TRAMPOLINE_OFFSET};
 use avx_os::modules::UBUNTU_18_04_MODULES;

@@ -3,7 +3,8 @@
 //! Builds a KASLR-randomized Linux machine model, calibrates the
 //! mapped/unmapped threshold from the attacker's own pages (no kernel
 //! knowledge needed), probes the 512 candidate offsets with all-zero-
-//! mask AVX loads, and recovers the kernel base.
+//! mask AVX loads (fed through the batched probe pipeline), and
+//! recovers the kernel base.
 //!
 //! ```text
 //! cargo run --release --example quickstart

@@ -36,7 +36,10 @@ fn main() {
     let machine = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 99);
     let mut p = SimProber::with_context(machine, ExecutionContext::sgx2());
     println!("context: {}", p.context());
-    assert!(!p.context().has_proc_oracle(), "no /proc inside the enclave");
+    assert!(
+        !p.context().has_proc_oracle(),
+        "no /proc inside the enclave"
+    );
 
     let perm = PermissionAttack::calibrate(&mut p, own);
     let scanner = UserSpaceScanner::new(perm);
@@ -51,7 +54,11 @@ fn main() {
     println!(
         "app code section: {code} (truth {}, {})",
         truth.app.base,
-        if code == truth.app.base { "exact" } else { "off" }
+        if code == truth.app.base {
+            "exact"
+        } else {
+            "off"
+        }
     );
 
     // Phase 2: map the library window page by page (load + store pass).
@@ -60,9 +67,11 @@ fn main() {
     let span = last.base.as_u64() + last.signature.span() + 0x10_0000 - first.as_u64();
     let map = scanner.scan(&mut p, first, span / 4096);
     println!("\ndetected regions (maps-file style, incl. hidden pages):");
-    for region in map.regions.iter().filter(|r| {
-        r.perm != avx_channel::ProbedPerm::NoneOrUnmapped || r.len() < 0x40_0000
-    }) {
+    for region in map
+        .regions
+        .iter()
+        .filter(|r| r.perm != avx_channel::ProbedPerm::NoneOrUnmapped || r.len() < 0x40_0000)
+    {
         println!("  {region}");
     }
 

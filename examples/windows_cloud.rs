@@ -47,10 +47,7 @@ fn windows_18bit() {
             avx_os::windows::perform_syscall(p.machine_mut(), &truth)
         })
         .expect("entry page located");
-    println!(
-        "entry page via TLB attack: {entry} (truth {})",
-        truth.entry
-    );
+    println!("entry page via TLB attack: {entry} (truth {})", truth.entry);
     assert_eq!(entry, truth.entry.align_down(4096));
     println!("=> all 27 bits broken.\n");
 }
@@ -77,7 +74,10 @@ fn windows_kvas() {
         .expect("three consecutive 4 KiB pages found");
     let base = kernel_base_from_shadow(shadow);
     println!("KiSystemCall64Shadow pages at {shadow}");
-    println!("kernel base = shadow - 0x298000 = {base} (truth {})", truth.kernel_base);
+    println!(
+        "kernel base = shadow - 0x298000 = {base} (truth {})",
+        truth.kernel_base
+    );
     assert_eq!(base, truth.kernel_base);
     println!("=> KASLR broken despite KVAS.\n");
 }

@@ -4,8 +4,7 @@
 
 use avx_aslr::channel::attacks::modules::score;
 use avx_aslr::channel::{
-    AmdKernelBaseFinder, KernelBaseFinder, ModuleClassifier, ModuleScanner, SimProber,
-    Threshold,
+    AmdKernelBaseFinder, KernelBaseFinder, ModuleClassifier, ModuleScanner, SimProber, Threshold,
 };
 use avx_aslr::os::linux::{LinuxConfig, LinuxSystem};
 use avx_aslr::os::modules::UBUNTU_18_04_MODULES;
@@ -21,8 +20,7 @@ fn intel_base_accuracy_is_high_but_imperfect_noise_model() {
     let mut wins = 0;
     for seed in 0..TRIALS {
         let system = LinuxSystem::build(LinuxConfig::seeded(seed * 31 + 5));
-        let (machine, truth) =
-            system.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+        let (machine, truth) = system.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
         let mut p = SimProber::new(machine);
         let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
         if KernelBaseFinder::new(th).scan(&mut p).base == Some(truth.kernel_base) {

@@ -49,7 +49,10 @@ fn layout_seed_and_machine_seed_are_independent() {
         let mut p = SimProber::new(machine);
         let th = Threshold::calibrate(
             &mut p,
-            LinuxSystem::build(LinuxConfig::seeded(50)).truth().user.calibration,
+            LinuxSystem::build(LinuxConfig::seeded(50))
+                .truth()
+                .user
+                .calibration,
             16,
         );
         KernelBaseFinder::new(th).scan(&mut p)
@@ -86,7 +89,11 @@ fn single_probe_stream_is_reproducible() {
     let (mut m2, _) = mk();
     let probe = MaskedOp::probe_load(truth.kernel_base);
     for i in 0..200 {
-        assert_eq!(m1.execute(probe).cycles, m2.execute(probe).cycles, "probe {i}");
+        assert_eq!(
+            m1.execute(probe).cycles,
+            m2.execute(probe).cycles,
+            "probe {i}"
+        );
     }
     let _ = OpKind::Load;
 }

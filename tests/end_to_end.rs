@@ -94,12 +94,7 @@ fn kpti_trampoline_derandomizes_hidden_kernel() {
 
 #[test]
 fn behaviour_spy_tracks_random_timelines() {
-    let timeline = ActivityTimeline::random(
-        avx_aslr::os::Behaviour::MouseMovement,
-        60.0,
-        3,
-        99,
-    );
+    let timeline = ActivityTimeline::random(avx_aslr::os::Behaviour::MouseMovement, 60.0, 3, 99);
     let system = LinuxSystem::build(LinuxConfig::seeded(8));
     let (machine, truth) = system.into_machine(CpuProfile::ice_lake_i7_1065g7(), 8);
     let mut p = SimProber::new(machine);
@@ -130,7 +125,9 @@ fn userspace_fingerprinting_inside_sgx() {
         77,
     );
     let own = VirtAddr::new_truncate(0x5400_0000_0000);
-    space.map(own, PageSize::Size4K, PteFlags::user_ro()).unwrap();
+    space
+        .map(own, PageSize::Size4K, PteFlags::user_ro())
+        .unwrap();
     let machine = Machine::new(CpuProfile::ice_lake_i7_1065g7(), space, 77);
     let mut p = SimProber::with_context(machine, ExecutionContext::sgx2());
     let perm = PermissionAttack::calibrate(&mut p, own);

@@ -2,9 +2,7 @@
 //! and against defense-hardened layouts.
 
 use avx_aslr::channel::countermeasures::evaluate_flare;
-use avx_aslr::channel::{
-    KernelBaseFinder, ProbeStrategy, Prober, SimProber, Threshold,
-};
+use avx_aslr::channel::{KernelBaseFinder, ProbeStrategy, Prober, SimProber, Threshold};
 use avx_aslr::os::linux::{LinuxConfig, LinuxSystem};
 use avx_aslr::os::ExecutionContext;
 use avx_aslr::uarch::{CpuProfile, NoiseModel};
@@ -21,7 +19,11 @@ fn spike_storm_defeated_by_min_filtering() {
     let th = Threshold::calibrate(&mut p, truth.user.calibration, 64);
     let robust = KernelBaseFinder::new(th).with_strategy(ProbeStrategy::MinOf(6));
     let scan = robust.scan(&mut p);
-    assert_eq!(scan.base, Some(truth.kernel_base), "min-of-6 survives 25% spikes");
+    assert_eq!(
+        scan.base,
+        Some(truth.kernel_base),
+        "min-of-6 survives 25% spikes"
+    );
 }
 
 /// A wildly miscalibrated threshold fails closed: everything looks
@@ -97,7 +99,11 @@ fn scans_of_empty_systems_return_none_gracefully() {
     let mut space = avx_aslr::mmu::AddressSpace::new();
     let calib = avx_aslr::mmu::VirtAddr::new_truncate(0x5555_5555_4000);
     space
-        .map(calib, avx_aslr::mmu::PageSize::Size4K, avx_aslr::mmu::PteFlags::user_rw())
+        .map(
+            calib,
+            avx_aslr::mmu::PageSize::Size4K,
+            avx_aslr::mmu::PteFlags::user_rw(),
+        )
         .unwrap();
     let machine = avx_aslr::uarch::Machine::new(CpuProfile::alder_lake_i5_12400f(), space, 1);
     let mut p = SimProber::new(machine);

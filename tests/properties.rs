@@ -4,9 +4,7 @@ use proptest::prelude::*;
 
 use avx_aslr::channel::{ProbeStrategy, SimProber, Threshold};
 use avx_aslr::mmu::{AddressSpace, PageSize, PteFlags, VirtAddr, Walker};
-use avx_aslr::uarch::{
-    CpuProfile, ElemWidth, Machine, Mask, MaskedOp, NoiseModel, OpKind,
-};
+use avx_aslr::uarch::{CpuProfile, ElemWidth, Machine, Mask, MaskedOp, NoiseModel, OpKind};
 
 /// Arbitrary canonical virtual addresses (both halves).
 fn arb_vaddr() -> impl Strategy<Value = VirtAddr> {
