@@ -1,0 +1,112 @@
+//! Adaptive sequential sampling vs the fixed repetition budget.
+//!
+//! The adaptive engine's claim (ISSUE 2 acceptance): on the quiet
+//! profile it reaches the same campaign accuracy as the noise-robust
+//! fixed-repetition path with ≥2x fewer total probes — and under the
+//! noisy presets it keeps accuracy the cheap fixed schedule loses.
+//! This bench prints the probes-per-address × accuracy grid and then
+//! measures the wall-clock of the three policies on the Fig. 4 kernel
+//! sweep.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use avx_bench::quiet_linux_prober;
+use avx_channel::adaptive::AdaptiveSampler;
+use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+use avx_channel::{calibrate::Threshold, KernelBaseFinder, ProbeStrategy, Sampling};
+use avx_uarch::{CpuProfile, NoiseProfile};
+
+/// One-off printed comparison so the bench output leads with the
+/// headline numbers: probes/address and accuracy per policy × noise.
+fn print_probe_economy_grid() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let profile = CpuProfile::alder_lake_i5_12400f();
+        let trials = 8u64;
+        println!("kernel-base cell, {trials} trials per entry (i5-12400F):");
+        println!(
+            "  {:<8} {:<13} {:>12} {:>10}",
+            "noise", "sampling", "probes/addr", "accuracy"
+        );
+        let mut quiet_adaptive = 0u64;
+        let mut quiet_robust = 0u64;
+        for noise in NoiseProfile::ALL {
+            for sampling in [
+                Sampling::Fixed,
+                Sampling::fixed_budget(),
+                Sampling::adaptive(),
+            ] {
+                let row = Scenario::KernelBase.campaign(
+                    &profile,
+                    CampaignConfig::new(trials, 0)
+                        .with_noise(noise)
+                        .with_sampling(sampling),
+                );
+                if noise == NoiseProfile::Quiet {
+                    match sampling {
+                        Sampling::Adaptive(_) => quiet_adaptive = row.probes,
+                        Sampling::FixedBudget(_) => quiet_robust = row.probes,
+                        Sampling::Fixed => {}
+                    }
+                }
+                println!(
+                    "  {:<8} {:<13} {:>12.2} {:>9.2} %",
+                    row.noise,
+                    row.sampling,
+                    row.probes_per_address,
+                    row.accuracy.percent()
+                );
+            }
+        }
+        assert!(
+            quiet_adaptive * 2 <= quiet_robust,
+            "headline claim lost: adaptive {quiet_adaptive} vs fixed-budget {quiet_robust}"
+        );
+        println!(
+            "  => quiet-profile probe economy vs the robust budget: {:.2}x fewer\n",
+            quiet_robust as f64 / quiet_adaptive as f64
+        );
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_probe_economy_grid();
+
+    let mut group = c.benchmark_group("adaptive_vs_fixed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let profile = CpuProfile::alder_lake_i5_12400f();
+
+    group.bench_function("fixed_second_of_two_sweep", |b| {
+        let (mut p, truth) = quiet_linux_prober(profile.clone(), 1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let finder = KernelBaseFinder::new(th);
+        b.iter(|| black_box(finder.scan(&mut p).probes))
+    });
+
+    group.bench_function("fixed_budget_min_of_8_sweep", |b| {
+        let (mut p, truth) = quiet_linux_prober(profile.clone(), 1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let finder = KernelBaseFinder::new(th).with_strategy(ProbeStrategy::MinOf(8));
+        b.iter(|| black_box(finder.scan(&mut p).probes))
+    });
+
+    group.bench_function("adaptive_sprt_sweep", |b| {
+        let (mut p, truth) = quiet_linux_prober(profile.clone(), 1);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+        let finder =
+            KernelBaseFinder::new(th).with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0));
+        b.iter(|| black_box(finder.scan(&mut p).probes))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

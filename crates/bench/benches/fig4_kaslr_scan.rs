@@ -93,10 +93,7 @@ fn bench(c: &mut Criterion) {
             seed += 100;
             let row = Scenario::KernelBase.campaign(
                 &CpuProfile::alder_lake_i5_12400f(),
-                CampaignConfig {
-                    trials: 8,
-                    seed0: seed,
-                },
+                CampaignConfig::new(8, seed),
             );
             assert_eq!(row.accuracy.total, 8);
             row.accuracy.successes

@@ -81,10 +81,7 @@ fn bench(c: &mut Criterion) {
             seed += 100;
             let row = Scenario::Modules.campaign(
                 &CpuProfile::ice_lake_i7_1065g7(),
-                CampaignConfig {
-                    trials: 4,
-                    seed0: seed,
-                },
+                CampaignConfig::new(4, seed),
             );
             assert_eq!(row.accuracy.total, 4 * 125);
             row.accuracy.successes

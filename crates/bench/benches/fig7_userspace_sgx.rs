@@ -130,7 +130,11 @@ fn bench(c: &mut Criterion) {
         let mut seed = 70_000u64;
         b.iter(|| {
             seed += 1;
-            let outcome = Scenario::UserSpace.run_trial(&CpuProfile::ice_lake_i7_1065g7(), seed);
+            let outcome = Scenario::UserSpace.run_trial(
+                &CpuProfile::ice_lake_i7_1065g7(),
+                seed,
+                avx_channel::attacks::campaign::CampaignConfig::default(),
+            );
             assert!(outcome.accuracy.total > 0);
             outcome.accuracy.successes
         })

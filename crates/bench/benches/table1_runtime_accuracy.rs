@@ -23,7 +23,7 @@ fn print_table1() {
     ONCE.call_once(|| {
         let trials = accuracy_trials();
         let rows = avx_channel::attacks::campaign::table1(
-            avx_channel::attacks::campaign::CampaignConfig { trials, seed0: 0 },
+            avx_channel::attacks::campaign::CampaignConfig::new(trials, 0),
         );
         let mut table = Table::new([
             "CPU",

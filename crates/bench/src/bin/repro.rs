@@ -3,11 +3,19 @@
 //! ```text
 //! cargo run -p avx-bench --release --bin repro            # default trials
 //! AVX_TRIALS=10000 cargo run -p avx-bench --release --bin repro   # paper-scale n
+//! cargo run -p avx-bench --release --bin repro -- --noise smt --adaptive
 //! ```
 //!
-//! The output of this binary is what `EXPERIMENTS.md` records.
+//! `--noise quiet|smt|laptop|cloud` selects the victim's noise
+//! environment for the campaign sections, and `--adaptive` /
+//! `--fixed-budget` select the probe-budget policy — together they
+//! reproduce the probes-per-address numbers of the noise-scenario
+//! matrix. The output of this binary is what `EXPERIMENTS.md` records.
 
-use avx_bench::{accuracy_trials, calibrate, linux_prober, linux_prober_with, paper};
+use avx_bench::{
+    accuracy_trials, calibrate, linux_prober, linux_prober_with, noise_profile, paper,
+    sampling_policy,
+};
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
 use avx_channel::attacks::modules::score;
@@ -55,6 +63,7 @@ fn main() {
     cloud();
     countermeasures();
     survey();
+    adaptive_economy();
     full_campaign();
     println!("\ndone.");
 }
@@ -64,22 +73,70 @@ fn main() {
 fn full_campaign() {
     use avx_channel::attacks::campaign::{Campaign, CampaignConfig};
     let trials = accuracy_trials().min(12);
+    let noise = noise_profile();
+    let sampling = sampling_policy();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, rayon-parallel)"
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, rayon-parallel)",
+        sampling.name()
     ));
-    let campaign = Campaign::full(CampaignConfig { trials, seed0: 0 });
-    let mut table = Table::new(["CPU", "Target", "Probing", "Total", "Accuracy", "Records"]);
+    let campaign = Campaign::full(
+        CampaignConfig::new(trials, 0)
+            .with_noise(noise)
+            .with_sampling(sampling),
+    );
+    let mut table = Table::new([
+        "CPU", "Target", "Probing", "Total", "p/addr", "Accuracy", "Records",
+    ]);
     for row in campaign.run() {
         table.row([
             row.cpu.clone(),
             row.target.to_string(),
             fmt_seconds(row.probing_seconds),
             fmt_seconds(row.total_seconds),
+            format!("{:.2}", row.probes_per_address),
             format!("{:.2} %", row.accuracy.percent()),
             format!("{}", row.accuracy.total),
         ]);
     }
     println!("{table}");
+}
+
+/// The adaptive engine's probe economy: the kernel-base cell across
+/// every noise preset, fixed vs fixed-budget vs adaptive.
+fn adaptive_economy() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::Sampling;
+    use avx_uarch::NoiseProfile;
+    let trials = accuracy_trials().min(8);
+    heading(&format!(
+        "Adaptive vs fixed — probes/address x accuracy across the noise matrix (n={trials})"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let mut table = Table::new(["Noise", "Sampling", "p/addr", "Accuracy"]);
+    for noise in NoiseProfile::ALL {
+        for sampling in [
+            Sampling::Fixed,
+            Sampling::fixed_budget(),
+            Sampling::adaptive(),
+        ] {
+            let row = Scenario::KernelBase.campaign(
+                &profile,
+                CampaignConfig::new(trials, 0)
+                    .with_noise(noise)
+                    .with_sampling(sampling),
+            );
+            table.row([
+                noise.to_string(),
+                row.sampling.to_string(),
+                format!("{:.2}", row.probes_per_address),
+                format!("{:.2} %", row.accuracy.percent()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "  (reproduce under any environment: repro --noise <quiet|smt|laptop|cloud> [--adaptive])"
+    );
 }
 
 fn quiet_machine(profile: CpuProfile, space: AddressSpace, seed: u64) -> Machine {
@@ -346,19 +403,24 @@ fn fig4() {
 
 fn table1() {
     let trials = accuracy_trials();
-    heading(&format!("Table I — runtime and accuracy (n={trials})"));
-    let rows =
-        avx_channel::attacks::campaign::table1(avx_channel::attacks::campaign::CampaignConfig {
-            trials,
-            seed0: 0,
-        });
-    let mut table = Table::new(["CPU", "Target", "Probing", "Total", "Accuracy"]);
+    let noise = noise_profile();
+    let sampling = sampling_policy();
+    heading(&format!(
+        "Table I — runtime and accuracy (n={trials}, noise={noise}, sampling={})",
+        sampling.name()
+    ));
+    let config = avx_channel::attacks::campaign::CampaignConfig::new(trials, 0)
+        .with_noise(noise)
+        .with_sampling(sampling);
+    let rows = avx_channel::attacks::campaign::table1(config);
+    let mut table = Table::new(["CPU", "Target", "Probing", "Total", "p/addr", "Accuracy"]);
     for row in &rows {
         table.row([
             row.cpu.clone(),
             row.target.to_string(),
             fmt_seconds(row.probing_seconds),
             fmt_seconds(row.total_seconds),
+            format!("{:.2}", row.probes_per_address),
             format!("{:.2} %", row.accuracy.percent()),
         ]);
     }

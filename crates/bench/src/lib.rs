@@ -7,9 +7,9 @@
 //! The `paper` module records the published values so every bench can
 //! print a paper-vs-measured comparison next to its timing output.
 
-use avx_channel::{SimProber, Threshold};
+use avx_channel::{Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
-use avx_uarch::{CpuProfile, NoiseModel};
+use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};
 
 /// The paper's published numbers, used for side-by-side reporting.
 pub mod paper {
@@ -120,6 +120,49 @@ pub fn accuracy_trials() -> u64 {
         .unwrap_or(60)
 }
 
+/// Noise environment for the campaign sections: `--noise <name>` (or
+/// `--noise=<name>`) on the command line, else the `AVX_NOISE`
+/// environment variable, else the quiet host. Unknown names fall back
+/// to quiet rather than aborting a long repro run.
+#[must_use]
+pub fn noise_profile() -> NoiseProfile {
+    let mut args = std::env::args();
+    let mut from_args = None;
+    while let Some(arg) = args.next() {
+        if arg == "--noise" {
+            from_args = args.next();
+            break;
+        }
+        if let Some(value) = arg.strip_prefix("--noise=") {
+            from_args = Some(value.to_string());
+            break;
+        }
+    }
+    from_args
+        .or_else(|| std::env::var("AVX_NOISE").ok())
+        .and_then(|v| NoiseProfile::parse(&v))
+        .unwrap_or(NoiseProfile::Quiet)
+}
+
+/// Probe-budget policy for the campaign sections: `--adaptive` (or
+/// `AVX_ADAPTIVE=1`) switches from the paper's fixed schedule to the
+/// SPRT engine; `--fixed-budget` selects the noise-robust fixed
+/// comparator.
+#[must_use]
+pub fn sampling_policy() -> Sampling {
+    let args: Vec<String> = std::env::args().collect();
+    let env_adaptive = std::env::var("AVX_ADAPTIVE")
+        .map(|v| !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")))
+        .unwrap_or(false);
+    if args.iter().any(|a| a == "--adaptive") || env_adaptive {
+        Sampling::adaptive()
+    } else if args.iter().any(|a| a == "--fixed-budget") {
+        Sampling::fixed_budget()
+    } else {
+        Sampling::Fixed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +180,21 @@ mod tests {
     fn trials_default_and_override() {
         std::env::remove_var("AVX_TRIALS");
         assert_eq!(accuracy_trials(), 60);
+    }
+
+    #[test]
+    fn noise_and_sampling_defaults_are_the_paper_setup() {
+        std::env::remove_var("AVX_NOISE");
+        std::env::remove_var("AVX_ADAPTIVE");
+        assert_eq!(noise_profile(), NoiseProfile::Quiet);
+        assert_eq!(sampling_policy(), Sampling::Fixed);
+        // Explicitly-off values of the env knob stay off.
+        for off in ["0", "", "false", "FALSE"] {
+            std::env::set_var("AVX_ADAPTIVE", off);
+            assert_eq!(sampling_policy(), Sampling::Fixed, "AVX_ADAPTIVE={off:?}");
+        }
+        std::env::set_var("AVX_ADAPTIVE", "1");
+        assert_eq!(sampling_policy(), Sampling::adaptive());
+        std::env::remove_var("AVX_ADAPTIVE");
     }
 }

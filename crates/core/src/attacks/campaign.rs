@@ -5,10 +5,11 @@
 //! reports average probing/total runtime plus accuracy. This module
 //! generalizes that loop to *every* attack of §IV: a [`Scenario`] knows
 //! how to build one fresh victim system, run one attack against it and
-//! score the outcome; a [`Campaign`] fans a scenario × CPU-profile
-//! matrix out over seed-numbered trials — in parallel via rayon, since
-//! trials are independent by construction — and aggregates each cell
-//! into one Table I-style [`CampaignRow`].
+//! score the outcome; a [`Campaign`] fans a scenario × CPU-profile ×
+//! noise-profile matrix out over seed-numbered trials — in parallel via
+//! rayon, since trials are independent by construction — and aggregates
+//! each cell into one Table I-style [`CampaignRow`], including the
+//! probes-per-address budget the cell actually spent.
 //!
 //! ```
 //! use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
@@ -16,10 +17,11 @@
 //!
 //! let row = Scenario::KernelBase.campaign(
 //!     &CpuProfile::alder_lake_i5_12400f(),
-//!     CampaignConfig { trials: 4, seed0: 1 },
+//!     CampaignConfig::new(4, 1),
 //! );
 //! assert_eq!(row.accuracy.total, 4);
-//! let _ = Campaign::full(CampaignConfig { trials: 2, seed0: 0 });
+//! assert!(row.probes_per_address > 0.0);
+//! let _ = Campaign::full(CampaignConfig::new(2, 0));
 //! ```
 
 use core::fmt;
@@ -29,11 +31,12 @@ use rayon::prelude::*;
 use avx_mmu::{AddressSpace, PageSize, PteFlags, VirtAddr};
 use avx_os::activity::{apply_activity, ActivityTimeline, Behaviour};
 use avx_os::cloud::CloudScenario;
-use avx_os::linux::{LinuxConfig, LinuxSystem, KPTI_TRAMPOLINE_OFFSET};
+use avx_os::linux::{LinuxConfig, LinuxSystem, KERNEL_SLOTS, KPTI_TRAMPOLINE_OFFSET, MODULE_SLOTS};
 use avx_os::process::{build_process, ImageSignature};
 use avx_os::windows::{WindowsConfig, WindowsSystem};
-use avx_uarch::{CpuProfile, Machine, Vendor};
+use avx_uarch::{CpuProfile, Machine, NoiseProfile, Vendor};
 
+use crate::adaptive::Sampling;
 use crate::calibrate::Threshold;
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
@@ -41,7 +44,7 @@ use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario;
+use super::cloud::run_scenario_with;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -55,6 +58,10 @@ pub struct CampaignConfig {
     pub trials: u64,
     /// First layout seed; trial *i* uses `seed0 + i`.
     pub seed0: u64,
+    /// Noise environment the victim machines run in.
+    pub noise: NoiseProfile,
+    /// Probe-budget policy of the attacks.
+    pub sampling: Sampling,
 }
 
 impl Default for CampaignConfig {
@@ -62,21 +69,59 @@ impl Default for CampaignConfig {
         Self {
             trials: 100,
             seed0: 0,
+            noise: NoiseProfile::Quiet,
+            sampling: Sampling::Fixed,
         }
     }
 }
 
-/// One Table I row: averaged runtimes and the success rate.
+impl CampaignConfig {
+    /// A quiet-host, fixed-sampling config — the paper's setup.
+    #[must_use]
+    pub fn new(trials: u64, seed0: u64) -> Self {
+        Self {
+            trials,
+            seed0,
+            ..Self::default()
+        }
+    }
+
+    /// Same config under a different noise environment.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseProfile) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Same config under a different probe-budget policy.
+    #[must_use]
+    pub fn with_sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+}
+
+/// One Table I row: averaged runtimes, the probe budget and the success
+/// rate of one attack × CPU × noise cell.
 #[derive(Clone, Debug)]
 pub struct CampaignRow {
     /// CPU description.
     pub cpu: String,
     /// Attack target label ("Base", "Modules", …).
     pub target: &'static str,
+    /// Noise environment the cell ran in.
+    pub noise: NoiseProfile,
+    /// Probe-budget policy label ("fixed", "fixed-budget", "adaptive").
+    pub sampling: &'static str,
     /// Mean seconds inside the timed masked ops.
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
     pub total_seconds: f64,
+    /// Raw probes issued across all trials of the cell.
+    pub probes: u64,
+    /// Mean raw probes per candidate address — the budget metric the
+    /// adaptive engine economizes.
+    pub probes_per_address: f64,
     /// Success tracker; what one record means is scenario-specific
     /// (per trial for bases, per module/library/sample otherwise).
     pub accuracy: Trials,
@@ -86,11 +131,14 @@ impl fmt::Display for CampaignRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {}: {} probing / {} total / {:.2} %",
+            "{} {} [{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
             self.cpu,
             self.target,
+            self.noise,
+            self.sampling,
             fmt_seconds(self.probing_seconds),
             fmt_seconds(self.total_seconds),
+            self.probes_per_address,
             self.accuracy.percent()
         )
     }
@@ -103,6 +151,10 @@ pub struct TrialOutcome {
     pub probing_seconds: f64,
     /// Seconds including overhead.
     pub total_seconds: f64,
+    /// Raw probes the trial issued (calibration included).
+    pub probes: u64,
+    /// Candidate addresses the trial's sweeps covered.
+    pub addresses: u64,
     /// Success records of this trial (one per trial for base attacks,
     /// one per module/library/sample for the others).
     pub accuracy: Trials,
@@ -200,18 +252,34 @@ impl Scenario {
         }
     }
 
-    /// Runs one trial against a freshly randomized system.
+    /// Whether the scenario's probing loop is sweep-shaped and honors
+    /// the campaign's [`Sampling`] policy. The Fig. 6 TLB spy is the
+    /// exception: its per-sample evict/trigger/probe schedule is fixed
+    /// by the behaviour-inference protocol, so its rows always report
+    /// the fixed policy.
     #[must_use]
-    pub fn run_trial(self, profile: &CpuProfile, seed: u64) -> TrialOutcome {
+    pub fn honors_sampling(self) -> bool {
+        !matches!(self, Scenario::Behaviour)
+    }
+
+    /// Runs one trial against a freshly randomized system under the
+    /// config's noise environment and sampling policy.
+    #[must_use]
+    pub fn run_trial(
+        self,
+        profile: &CpuProfile,
+        seed: u64,
+        config: CampaignConfig,
+    ) -> TrialOutcome {
         match self {
-            Scenario::KernelBase => kernel_base_trial(profile, seed),
-            Scenario::AmdKernelBase => amd_base_trial(profile, seed),
-            Scenario::Modules => modules_trial(profile, seed),
-            Scenario::Kpti => kpti_trial(profile, seed),
-            Scenario::Behaviour => behaviour_trial(profile, seed),
-            Scenario::UserSpace => userspace_trial(profile, seed),
-            Scenario::WindowsKaslr => windows_trial(profile, seed),
-            Scenario::Cloud => cloud_trial(seed),
+            Scenario::KernelBase => kernel_base_trial(profile, seed, config),
+            Scenario::AmdKernelBase => amd_base_trial(profile, seed, config),
+            Scenario::Modules => modules_trial(profile, seed, config),
+            Scenario::Kpti => kpti_trial(profile, seed, config),
+            Scenario::Behaviour => behaviour_trial(profile, seed, config),
+            Scenario::UserSpace => userspace_trial(profile, seed, config),
+            Scenario::WindowsKaslr => windows_trial(profile, seed, config),
+            Scenario::Cloud => cloud_trial(seed, config),
         }
     }
 
@@ -225,14 +293,17 @@ impl Scenario {
         let trials = config.trials.max(1);
         let outcomes: Vec<TrialOutcome> = (0..trials)
             .into_par_iter()
-            .map(|i| self.run_trial(profile, config.seed0 + self.seed_salt() + i))
+            .map(|i| self.run_trial(profile, config.seed0 + self.seed_salt() + i, config))
             .collect();
 
         let mut accuracy = Trials::new();
         let (mut probing, mut total) = (0.0f64, 0.0f64);
+        let (mut probes, mut addresses) = (0u64, 0u64);
         for outcome in &outcomes {
             probing += outcome.probing_seconds;
             total += outcome.total_seconds;
+            probes += outcome.probes;
+            addresses += outcome.addresses;
             accuracy.successes += outcome.accuracy.successes;
             accuracy.total += outcome.accuracy.total;
         }
@@ -245,8 +316,20 @@ impl Scenario {
                 profile.model.to_string()
             },
             target: self.target(),
+            noise: config.noise,
+            sampling: if self.honors_sampling() {
+                config.sampling.name()
+            } else {
+                Sampling::Fixed.name()
+            },
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
+            probes,
+            probes_per_address: if addresses == 0 {
+                0.0
+            } else {
+                probes as f64 / addresses as f64
+            },
             accuracy,
         }
     }
@@ -258,19 +341,22 @@ impl fmt::Display for Scenario {
     }
 }
 
-/// A scenario × profile campaign matrix.
+/// A scenario × profile × noise campaign matrix.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     /// CPU profiles to attack on.
     pub profiles: Vec<CpuProfile>,
     /// Scenarios to run.
     pub scenarios: Vec<Scenario>,
+    /// Noise environments to run each cell under.
+    pub noises: Vec<NoiseProfile>,
     /// Trial parameters.
     pub config: CampaignConfig,
 }
 
 impl Campaign {
-    /// A campaign over an explicit matrix.
+    /// A campaign over an explicit matrix (single noise environment:
+    /// the config's).
     #[must_use]
     pub fn new(
         profiles: Vec<CpuProfile>,
@@ -280,8 +366,17 @@ impl Campaign {
         Self {
             profiles,
             scenarios,
+            noises: vec![config.noise],
             config,
         }
+    }
+
+    /// Replaces the noise axis of the matrix.
+    #[must_use]
+    pub fn with_noises(mut self, noises: Vec<NoiseProfile>) -> Self {
+        assert!(!noises.is_empty(), "noise axis must be non-empty");
+        self.noises = noises;
+        self
     }
 
     /// The full paper evaluation: all eight §IV attacks across the two
@@ -300,31 +395,43 @@ impl Campaign {
         )
     }
 
-    /// Runs every supported scenario × profile cell; rows come back
-    /// scenario-major in the order of `self.scenarios`.
+    /// The full attack × CPU × noise grid: [`Campaign::full`] repeated
+    /// across every [`NoiseProfile`] preset.
+    #[must_use]
+    pub fn noise_grid(config: CampaignConfig) -> Self {
+        Self::full(config).with_noises(NoiseProfile::ALL.to_vec())
+    }
+
+    /// Runs every supported noise × scenario × profile cell; rows come
+    /// back noise-major, then scenario-major in the order of
+    /// `self.scenarios`.
     ///
     /// Heavyweight scenarios are bounded to [`Scenario::max_trials`]
     /// trials per cell (call [`Scenario::campaign`] directly for
     /// uncapped paper-scale runs). [`Scenario::Cloud`] runs once per
-    /// campaign, not once per profile — its presets pin their own host
-    /// CPUs, so per-profile repetition would duplicate identical work.
+    /// campaign noise, not once per profile — its presets pin their own
+    /// host CPUs, so per-profile repetition would duplicate identical
+    /// work.
     #[must_use]
     pub fn run(&self) -> Vec<CampaignRow> {
         let mut rows = Vec::new();
-        for &scenario in &self.scenarios {
-            let config = CampaignConfig {
-                trials: self.config.trials.clamp(1, scenario.max_trials()),
-                ..self.config
-            };
-            if scenario == Scenario::Cloud {
-                if let Some(profile) = self.profiles.iter().find(|p| scenario.supported_on(p)) {
-                    rows.push(scenario.campaign(profile, config));
+        for &noise in &self.noises {
+            for &scenario in &self.scenarios {
+                let config = CampaignConfig {
+                    trials: self.config.trials.clamp(1, scenario.max_trials()),
+                    noise,
+                    ..self.config
+                };
+                if scenario == Scenario::Cloud {
+                    if let Some(profile) = self.profiles.iter().find(|p| scenario.supported_on(p)) {
+                        rows.push(scenario.campaign(profile, config));
+                    }
+                    continue;
                 }
-                continue;
-            }
-            for profile in &self.profiles {
-                if scenario.supported_on(profile) {
-                    rows.push(scenario.campaign(profile, config));
+                for profile in &self.profiles {
+                    if scenario.supported_on(profile) {
+                        rows.push(scenario.campaign(profile, config));
+                    }
                 }
             }
         }
@@ -335,14 +442,17 @@ impl Campaign {
 // ---------------------------------------------------------------------
 // Per-scenario trial implementations.
 
-/// Fresh Linux machine + calibrated prober for trial `seed`.
+/// Fresh Linux machine + calibrated prober for trial `seed`, running
+/// under the campaign's noise environment.
 fn linux_prober(
     profile: &CpuProfile,
     config: LinuxConfig,
     seed: u64,
+    noise: NoiseProfile,
 ) -> (SimProber, avx_os::LinuxTruth, Threshold) {
     let sys = LinuxSystem::build(config);
-    let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    machine.set_noise_profile(noise);
     let mut p = SimProber::new(machine);
     let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
     (p, truth, th)
@@ -352,35 +462,63 @@ fn seconds(profile_ghz: f64, cycles: u64) -> f64 {
     cycles as f64 / (profile_ghz * 1e9)
 }
 
-fn kernel_base_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed);
-    let scan = KernelBaseFinder::new(th).scan(&mut p);
+fn kernel_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
+    let mut finder = KernelBaseFinder::new(th);
+    let sigma = config.noise.effective_sigma(&profile.timing);
+    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+        finder = finder.with_adaptive(sampler);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        finder = finder.with_strategy(strategy);
+    }
+    let scan = finder.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), scan.probing_cycles),
         total_seconds: seconds(p.clock_ghz(), scan.total_cycles),
+        probes: p.probes_issued(),
+        addresses: KERNEL_SLOTS,
         accuracy,
     }
 }
 
-fn amd_base_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
+fn amd_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
     let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
-    let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
-    let scan = AmdKernelBaseFinder::for_default_kernel().scan(&mut p);
+    let mut finder = AmdKernelBaseFinder::for_default_kernel();
+    if let Some(filter) = config.sampling.min_filter() {
+        finder = finder.with_early_stop(filter);
+    }
+    if let Sampling::FixedBudget(n) = config.sampling {
+        finder = finder.with_repeats(n.max(1));
+    }
+    let scan = finder.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), scan.probing_cycles),
         total_seconds: seconds(p.clock_ghz(), scan.total_cycles),
+        probes: p.probes_issued(),
+        addresses: KERNEL_SLOTS,
         accuracy,
     }
 }
 
-fn modules_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed);
-    let scan = ModuleScanner::new(th).scan(&mut p);
+fn modules_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
+    let mut scanner = ModuleScanner::new(th);
+    let sigma = config.noise.effective_sigma(&profile.timing);
+    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+        scanner = scanner.with_adaptive(sampler);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        scanner = scanner.with_strategy(strategy);
+    }
+    let scan = scanner.scan(&mut p);
     let mut accuracy = Trials::new();
     for m in &truth.modules {
         accuracy.record(
@@ -392,22 +530,34 @@ fn modules_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), scan.probing_cycles),
         total_seconds: seconds(p.clock_ghz(), scan.total_cycles),
+        probes: p.probes_issued(),
+        addresses: MODULE_SLOTS,
         accuracy,
     }
 }
 
-fn kpti_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
-    let config = LinuxConfig {
+fn kpti_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
+    let linux = LinuxConfig {
         kpti: true,
         ..LinuxConfig::seeded(seed)
     };
-    let (mut p, truth, th) = linux_prober(profile, config, seed);
-    let scan = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+    let (mut p, truth, th) = linux_prober(profile, linux, seed, config.noise);
+    let mut attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
+    let sigma = config.noise.effective_sigma(&profile.timing);
+    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+        attack = attack.with_adaptive(sampler);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        attack = attack.with_strategy(strategy);
+    }
+    let scan = attack.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), scan.probing_cycles),
         total_seconds: seconds(p.clock_ghz(), scan.total_cycles),
+        probes: p.probes_issued(),
+        addresses: KERNEL_SLOTS,
         accuracy,
     }
 }
@@ -416,8 +566,8 @@ fn kpti_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
 /// than the paper's 100 s plot window to keep campaign trials cheap.
 const BEHAVIOUR_TRIAL_SECONDS: f64 = 30.0;
 
-fn behaviour_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed);
+fn behaviour_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
     let timeline =
         ActivityTimeline::random(Behaviour::BluetoothAudio, BEHAVIOUR_TRIAL_SECONDS, 3, seed);
     let module = truth
@@ -448,11 +598,15 @@ fn behaviour_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), probing),
         total_seconds: seconds(p.clock_ghz(), total),
+        // Whole-prober count, calibration included — the same metric
+        // every other scenario reports.
+        probes: p.probes_issued(),
+        addresses: trace.samples.len() as u64,
         accuracy,
     }
 }
 
-fn userspace_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
+fn userspace_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
     let mut space = AddressSpace::new();
     let truth = build_process(
         &mut space,
@@ -465,10 +619,18 @@ fn userspace_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
     space
         .map(own, PageSize::Size4K, PteFlags::user_ro())
         .expect("calibration page free");
-    let machine = Machine::new(profile.clone(), space, seed ^ 0xabcd);
+    let mut machine = Machine::new(profile.clone(), space, seed ^ 0xabcd);
+    machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
     let perm = PermissionAttack::calibrate(&mut p, own);
-    let scanner = UserSpaceScanner::new(perm);
+    let mut scanner = UserSpaceScanner::new(perm);
+    if let Sampling::Adaptive(adaptive) = config.sampling {
+        let sigma = config.noise.effective_sigma(&profile.timing);
+        scanner = scanner.with_adaptive(sigma, adaptive);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        scanner.permission.strategy = strategy;
+    }
 
     let first = truth.libraries.first().expect("standard set non-empty");
     let last = truth.libraries.last().expect("standard set non-empty");
@@ -492,40 +654,60 @@ fn userspace_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), probing),
         total_seconds: seconds(p.clock_ghz(), total),
+        // Whole-prober count, calibration included — the same metric
+        // every other scenario reports.
+        probes: p.probes_issued(),
+        addresses: span / 4096,
         accuracy,
     }
 }
 
-fn windows_trial(profile: &CpuProfile, seed: u64) -> TrialOutcome {
+fn windows_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
     let sys = WindowsSystem::build(WindowsConfig {
         seed,
         ..WindowsConfig::default()
     });
-    let (machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
     let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
-    let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+    let mut attack = WindowsKaslrAttack::new(th);
+    let sigma = config.noise.effective_sigma(&profile.timing);
+    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+        attack = attack.with_adaptive(sampler);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        attack = attack.with_strategy(strategy);
+    }
+    let scan = attack.find_kernel_region(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
     TrialOutcome {
         probing_seconds: seconds(p.clock_ghz(), scan.probing_cycles),
         total_seconds: seconds(p.clock_ghz(), scan.total_cycles),
+        probes: p.probes_issued(),
+        addresses: scan.candidates,
         accuracy,
     }
 }
 
-fn cloud_trial(seed: u64) -> TrialOutcome {
+fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let mut accuracy = Trials::new();
     let (mut probing, mut total) = (0.0f64, 0.0f64);
+    let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario(&scenario, seed ^ 0xabcd);
+        let report = run_scenario_with(&scenario, seed ^ 0xabcd, config.noise, config.sampling);
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;
         total += report.base_seconds + report.modules_seconds.unwrap_or(0.0);
+        probes += report.probes;
+        addresses += report.addresses;
     }
     TrialOutcome {
         probing_seconds: probing,
         total_seconds: total,
+        probes,
+        addresses,
         accuracy,
     }
 }
@@ -577,10 +759,7 @@ mod tests {
     use super::*;
 
     fn small() -> CampaignConfig {
-        CampaignConfig {
-            trials: 6,
-            seed0: 77,
-        }
+        CampaignConfig::new(6, 77)
     }
 
     #[test]
@@ -595,13 +774,8 @@ mod tests {
 
     #[test]
     fn module_campaign_counts_per_module() {
-        let row = intel_modules_campaign(
-            &CpuProfile::ice_lake_i7_1065g7(),
-            CampaignConfig {
-                trials: 2,
-                seed0: 3,
-            },
-        );
+        let row =
+            intel_modules_campaign(&CpuProfile::ice_lake_i7_1065g7(), CampaignConfig::new(2, 3));
         assert_eq!(row.accuracy.total, 2 * 125);
         assert!(row.accuracy.rate() > 0.95);
     }
@@ -616,10 +790,7 @@ mod tests {
 
     #[test]
     fn table1_has_five_rows_in_paper_order() {
-        let rows = table1(CampaignConfig {
-            trials: 2,
-            seed0: 0,
-        });
+        let rows = table1(CampaignConfig::new(2, 0));
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].target, "Base");
         assert_eq!(rows[1].target, "Modules");
@@ -630,10 +801,7 @@ mod tests {
 
     #[test]
     fn every_scenario_succeeds_on_a_supported_profile() {
-        let config = CampaignConfig {
-            trials: 2,
-            seed0: 11,
-        };
+        let config = CampaignConfig::new(2, 11);
         for scenario in Scenario::ALL {
             let profile = if scenario == Scenario::AmdKernelBase {
                 CpuProfile::zen3_ryzen5_5600x()
@@ -654,10 +822,7 @@ mod tests {
 
     #[test]
     fn full_campaign_covers_all_scenarios_and_three_profiles() {
-        let campaign = Campaign::full(CampaignConfig {
-            trials: 1,
-            seed0: 5,
-        });
+        let campaign = Campaign::full(CampaignConfig::new(1, 5));
         let rows = campaign.run();
         // Six Intel-only scenarios run on 2 profiles, AMD base on 1,
         // Cloud once per campaign: 6 × 2 + 1 + 1 rows.
@@ -688,10 +853,7 @@ mod tests {
         // not silently cap (Campaign::run is the capping layer).
         let row = Scenario::Modules.campaign(
             &CpuProfile::alder_lake_i5_12400f(),
-            CampaignConfig {
-                trials: Scenario::Modules.max_trials() + 2,
-                seed0: 9,
-            },
+            CampaignConfig::new(Scenario::Modules.max_trials() + 2, 9),
         );
         assert_eq!(
             row.accuracy.total,
@@ -700,10 +862,7 @@ mod tests {
         let capped = Campaign::new(
             vec![CpuProfile::alder_lake_i5_12400f()],
             vec![Scenario::WindowsKaslr],
-            CampaignConfig {
-                trials: 1000,
-                seed0: 9,
-            },
+            CampaignConfig::new(1000, 9),
         )
         .run();
         assert_eq!(
@@ -721,20 +880,89 @@ mod tests {
         let campaign = Campaign::new(
             vec![CpuProfile::zen3_ryzen5_5600x()],
             vec![Scenario::KernelBase],
-            CampaignConfig {
-                trials: 1,
-                seed0: 0,
-            },
+            CampaignConfig::new(1, 0),
         );
         assert!(campaign.run().is_empty());
     }
 
     #[test]
+    fn rows_report_probes_per_address() {
+        let row = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        // Fixed second-of-two on 512 slots plus the 17 calibration
+        // probes per trial: a little above 2 probes per address.
+        assert!(row.probes > 0);
+        assert!(
+            row.probes_per_address > 2.0 && row.probes_per_address < 2.2,
+            "ppa {}",
+            row.probes_per_address
+        );
+        assert_eq!(row.noise, NoiseProfile::Quiet);
+        assert_eq!(row.sampling, "fixed");
+        assert!(row.to_string().contains("probes/addr"));
+    }
+
+    #[test]
+    fn adaptive_campaign_keeps_accuracy_and_beats_the_robust_budget() {
+        // The acceptance claim: same quiet-profile campaign accuracy as
+        // the fixed-repetition (noise-robust) path, ≥2x fewer probes.
+        let base = small();
+        let fixed = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            base.with_sampling(Sampling::fixed_budget()),
+        );
+        let adaptive = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            base.with_sampling(Sampling::adaptive()),
+        );
+        assert_eq!(adaptive.accuracy.rate(), fixed.accuracy.rate());
+        assert!(adaptive.accuracy.rate() > 0.8);
+        assert!(
+            adaptive.probes * 2 <= fixed.probes,
+            "adaptive {} vs fixed-budget {}",
+            adaptive.probes,
+            fixed.probes
+        );
+        assert_eq!(adaptive.sampling, "adaptive");
+        assert_eq!(fixed.sampling, "fixed-budget");
+    }
+
+    #[test]
+    fn noisy_cell_spends_more_probes_per_address_than_quiet() {
+        let base = CampaignConfig::new(6, 19).with_sampling(Sampling::adaptive());
+        let quiet = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), base);
+        let noisy = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            base.with_noise(NoiseProfile::LaptopDvfs),
+        );
+        assert!(
+            noisy.probes_per_address > quiet.probes_per_address,
+            "adaptive engine must buy more evidence in noise: {} vs {}",
+            noisy.probes_per_address,
+            quiet.probes_per_address
+        );
+        assert_eq!(noisy.noise, NoiseProfile::LaptopDvfs);
+    }
+
+    #[test]
+    fn noise_grid_covers_every_preset() {
+        let campaign = Campaign::new(
+            vec![CpuProfile::alder_lake_i5_12400f()],
+            vec![Scenario::KernelBase],
+            CampaignConfig::new(1, 3),
+        )
+        .with_noises(NoiseProfile::ALL.to_vec());
+        let rows = campaign.run();
+        assert_eq!(rows.len(), NoiseProfile::ALL.len());
+        let noises: Vec<NoiseProfile> = rows.iter().map(|r| r.noise).collect();
+        assert_eq!(noises, NoiseProfile::ALL.to_vec());
+        let grid = Campaign::noise_grid(CampaignConfig::new(1, 3));
+        assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
+        assert_eq!(grid.scenarios.len(), 8);
+    }
+
+    #[test]
     fn campaign_trials_run_in_parallel_and_stay_deterministic() {
-        let config = CampaignConfig {
-            trials: 8,
-            seed0: 42,
-        };
+        let config = CampaignConfig::new(8, 42);
         let a = Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
         let b = Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
         assert_eq!(a.accuracy, b.accuracy);

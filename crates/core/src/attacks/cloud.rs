@@ -10,9 +10,11 @@ use core::fmt;
 
 use avx_mmu::VirtAddr;
 use avx_os::cloud::{CloudProvider, CloudScenario, GuestOs};
-use avx_os::linux::LinuxSystem;
+use avx_os::linux::{LinuxSystem, KERNEL_SLOTS, MODULE_SLOTS};
 use avx_os::windows::WindowsSystem;
+use avx_uarch::NoiseProfile;
 
+use crate::adaptive::Sampling;
 use crate::calibrate::Threshold;
 use crate::prober::{Prober, SimProber};
 
@@ -39,6 +41,10 @@ pub struct CloudBreakReport {
     pub modules_detected: Option<usize>,
     /// Seconds spent on the module scan.
     pub modules_seconds: Option<f64>,
+    /// Raw probes issued across the whole chain (calibration included).
+    pub probes: u64,
+    /// Candidate addresses the chain's sweeps covered.
+    pub addresses: u64,
     /// Human-readable method description.
     pub method: &'static str,
 }
@@ -66,18 +72,41 @@ impl fmt::Display for CloudBreakReport {
     }
 }
 
-/// Runs the full attack chain against one provider preset.
+/// Runs the full attack chain against one provider preset on a quiet
+/// host with the paper's fixed probe schedule.
 #[must_use]
 pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakReport {
+    run_scenario_with(scenario, machine_seed, NoiseProfile::Quiet, Sampling::Fixed)
+}
+
+/// Runs the full attack chain against one provider preset under an
+/// explicit noise environment and sampling policy — the cloud leg of
+/// the campaign's attack × noise grid.
+#[must_use]
+pub fn run_scenario_with(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+) -> CloudBreakReport {
+    let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
         GuestOs::Linux(cfg) => {
             let sys = LinuxSystem::build(cfg.clone());
-            let (machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            machine.set_noise_profile(noise);
             let mut p = SimProber::new(machine);
             let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+            let sampler = sampling.sampler(&th, sigma);
 
             if cfg.kpti {
-                let attack = KptiAttack::new(th, cfg.trampoline_offset);
+                let mut attack = KptiAttack::new(th, cfg.trampoline_offset);
+                if let Some(sampler) = sampler {
+                    attack = attack.with_adaptive(sampler);
+                }
+                if let Some(strategy) = sampling.strategy_override() {
+                    attack = attack.with_strategy(strategy);
+                }
                 let scan = attack.scan(&mut p);
                 let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
                 CloudBreakReport {
@@ -91,12 +120,24 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                     // (see EXPERIMENTS.md for the deviation note).
                     modules_detected: None,
                     modules_seconds: None,
+                    probes: p.probes_issued(),
+                    addresses: KERNEL_SLOTS,
                     method: "KPTI trampoline",
                 }
             } else {
-                let scan = KernelBaseFinder::new(th).scan(&mut p);
+                let mut base_finder = KernelBaseFinder::new(th);
+                let mut module_scanner = ModuleScanner::new(th);
+                if let Some(sampler) = sampler {
+                    base_finder = base_finder.with_adaptive(sampler);
+                    module_scanner = module_scanner.with_adaptive(sampler);
+                }
+                if let Some(strategy) = sampling.strategy_override() {
+                    base_finder = base_finder.with_strategy(strategy);
+                    module_scanner = module_scanner.with_strategy(strategy);
+                }
+                let scan = base_finder.scan(&mut p);
                 let base_seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
-                let module_scan = ModuleScanner::new(th).scan(&mut p);
+                let module_scan = module_scanner.scan(&mut p);
                 let modules_seconds = module_scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
                 CloudBreakReport {
                     provider: scenario.provider,
@@ -107,16 +148,26 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                         / (p.clock_ghz() * 1e9),
                     modules_detected: Some(module_scan.detected.len()),
                     modules_seconds: Some(modules_seconds),
+                    probes: p.probes_issued(),
+                    addresses: KERNEL_SLOTS + MODULE_SLOTS,
                     method: "mapped/unmapped scan",
                 }
             }
         }
         GuestOs::Windows(cfg) => {
             let sys = WindowsSystem::build(cfg.clone());
-            let (machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
+            machine.set_noise_profile(noise);
             let mut p = SimProber::new(machine);
             let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
-            let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+            let mut attack = WindowsKaslrAttack::new(th);
+            if let Some(sampler) = sampling.sampler(&th, sigma) {
+                attack = attack.with_adaptive(sampler);
+            }
+            if let Some(strategy) = sampling.strategy_override() {
+                attack = attack.with_strategy(strategy);
+            }
+            let scan = attack.find_kernel_region(&mut p);
             let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
             CloudBreakReport {
                 provider: scenario.provider,
@@ -126,6 +177,8 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
                 probing_seconds: scan.probing_cycles as f64 / (p.clock_ghz() * 1e9),
                 modules_detected: None,
                 modules_seconds: None,
+                probes: p.probes_issued(),
+                addresses: scan.candidates,
                 method: "18-bit Windows region scan",
             }
         }
@@ -172,6 +225,34 @@ mod tests {
         assert!(
             azure.base_seconds > gce.base_seconds,
             "18-bit scan dominates"
+        );
+    }
+
+    #[test]
+    fn adaptive_cloud_chain_stays_correct_and_spends_fewer_probes() {
+        // The comparator is the noise-robust fixed budget: what the
+        // fixed path must spend per address to survive noisy profiles.
+        let fixed = run_scenario_with(
+            &CloudScenario::google_gce(41),
+            8,
+            NoiseProfile::Quiet,
+            Sampling::fixed_budget(),
+        );
+        let adaptive = run_scenario_with(
+            &CloudScenario::google_gce(41),
+            8,
+            NoiseProfile::Quiet,
+            Sampling::adaptive(),
+        );
+        assert!(fixed.base_correct, "{fixed}");
+        assert!(adaptive.base_correct, "{adaptive}");
+        assert_eq!(adaptive.modules_detected, fixed.modules_detected);
+        assert_eq!(adaptive.addresses, fixed.addresses);
+        assert!(
+            adaptive.probes * 2 <= fixed.probes,
+            "adaptive {} vs fixed-budget {}",
+            adaptive.probes,
+            fixed.probes
         );
     }
 

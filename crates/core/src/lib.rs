@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adaptive;
 pub mod attacks;
 pub mod calibrate;
 pub mod countermeasures;
@@ -58,6 +59,7 @@ pub mod report;
 pub mod stats;
 pub mod sweep;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveMinFilter, AdaptiveSampler, Sampling};
 pub use attacks::{
     AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, TlbSpy,
     UserSpaceScanner, WindowsKaslrAttack,

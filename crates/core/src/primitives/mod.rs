@@ -13,7 +13,7 @@ pub mod permission;
 pub mod template;
 pub mod tlb;
 
-pub use page_table::{LevelAttack, PageTableAttack};
+pub use page_table::{LevelAttack, PageTableAttack, SweepClassification};
 pub use permission::{PermissionAttack, ProbedPerm};
 pub use template::TlbTemplateAttack;
 pub use tlb::{TlbAttack, TlbState};

@@ -7,10 +7,36 @@
 use avx_mmu::VirtAddr;
 use avx_uarch::OpKind;
 
+use crate::adaptive::{AdaptiveMinFilter, AdaptiveSampler};
 use crate::calibrate::Threshold;
 use crate::prober::{ProbeStrategy, Prober};
 use crate::stats::two_means_threshold;
 use crate::sweep::AddrRange;
+
+/// One classified sweep over a candidate set: the raw series, the
+/// per-candidate verdicts and the probe budget it actually consumed.
+#[derive(Clone, Debug)]
+pub struct SweepClassification {
+    /// Representative latency per candidate (raw measurement on the
+    /// fixed path, spike-filtered floor on the adaptive path).
+    pub samples: Vec<u64>,
+    /// Mapped/unmapped verdict per candidate.
+    pub mapped: Vec<bool>,
+    /// Raw probes issued across the sweep, warm-ups included.
+    pub probes: u64,
+}
+
+impl SweepClassification {
+    /// Mean probes per candidate (0 for an empty sweep).
+    #[must_use]
+    pub fn probes_per_address(&self) -> f64 {
+        if self.mapped.is_empty() {
+            0.0
+        } else {
+            self.probes as f64 / self.mapped.len() as f64
+        }
+    }
+}
 
 /// P2: mapped/unmapped classification of arbitrary (incl. kernel) pages.
 #[derive(Clone, Copy, Debug)]
@@ -22,6 +48,9 @@ pub struct PageTableAttack {
     /// Which op to time (loads by default; stores are ~17 cycles faster
     /// and equally usable, P6).
     pub op: OpKind,
+    /// When set, [`PageTableAttack::sweep`] routes through the
+    /// SPRT-based early-stopping engine instead of the fixed strategy.
+    pub sampler: Option<AdaptiveSampler>,
 }
 
 impl PageTableAttack {
@@ -32,7 +61,15 @@ impl PageTableAttack {
             threshold,
             strategy: ProbeStrategy::SecondOfTwo,
             op: OpKind::Load,
+            sampler: None,
         }
+    }
+
+    /// Switches the sweep path to adaptive sequential sampling.
+    #[must_use]
+    pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
+        self.sampler = Some(sampler);
+        self
     }
 
     /// Times one candidate page.
@@ -73,6 +110,37 @@ impl PageTableAttack {
             .map(|&s| self.threshold.is_mapped(s))
             .collect()
     }
+
+    /// Measures *and* classifies `addrs` through whichever sampling
+    /// engine is configured — the one entry point every sweep-shaped
+    /// attack (Fig. 4/5, KPTI, Windows, cloud) routes through.
+    ///
+    /// Fixed path: [`PageTableAttack::measure_addrs`] followed by
+    /// [`PageTableAttack::classify`], spending the full per-address
+    /// strategy budget. Adaptive path:
+    /// [`AdaptiveSampler::classify_batch`], which stops probing each
+    /// address as soon as its classification is statistically settled.
+    pub fn sweep<P: Prober + ?Sized>(&self, p: &mut P, addrs: &[VirtAddr]) -> SweepClassification {
+        match self.sampler {
+            None => {
+                let samples = self.measure_addrs(p, addrs);
+                let mapped = self.classify(&samples);
+                SweepClassification {
+                    samples,
+                    mapped,
+                    probes: addrs.len() as u64 * u64::from(self.strategy.probes_per_measurement()),
+                }
+            }
+            Some(sampler) => {
+                let batch = sampler.classify_batch(p, self.op, addrs);
+                SweepClassification {
+                    probes: batch.total_probes(),
+                    samples: batch.samples,
+                    mapped: batch.mapped,
+                }
+            }
+        }
+    }
 }
 
 /// P3: walk-termination-level leakage, the signal used against AMD
@@ -81,19 +149,54 @@ impl PageTableAttack {
 pub struct LevelAttack {
     /// Probes per candidate (minimum taken; spikes only add latency).
     pub repeats: u8,
+    /// When set, the min-filter stops early once a candidate's floor
+    /// has stabilized instead of always spending the full width.
+    pub early_stop: Option<AdaptiveMinFilter>,
 }
 
 impl Default for LevelAttack {
     fn default() -> Self {
-        Self { repeats: 6 }
+        Self {
+            repeats: 6,
+            early_stop: None,
+        }
     }
 }
 
 impl LevelAttack {
+    /// Switches the sweep to the early-stopping min-filter.
+    #[must_use]
+    pub fn with_early_stop(mut self, filter: AdaptiveMinFilter) -> Self {
+        self.early_stop = Some(filter);
+        self
+    }
+
     /// Measures every candidate of `addrs` with a min-filter through the
     /// batched probe pipeline.
     pub fn measure_addrs<P: Prober + ?Sized>(&self, p: &mut P, addrs: &[VirtAddr]) -> Vec<u64> {
-        ProbeStrategy::MinOf(self.repeats).measure_batch(p, OpKind::Load, addrs)
+        self.measure_counted(p, addrs).0
+    }
+
+    /// Like [`LevelAttack::measure_addrs`], additionally returning the
+    /// raw probe count the sweep consumed.
+    pub fn measure_counted<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        addrs: &[VirtAddr],
+    ) -> (Vec<u64>, u64) {
+        match self.early_stop {
+            None => {
+                let strategy = ProbeStrategy::MinOf(self.repeats);
+                let samples = strategy.measure_batch(p, OpKind::Load, addrs);
+                let probes = addrs.len() as u64 * u64::from(strategy.probes_per_measurement());
+                (samples, probes)
+            }
+            Some(filter) => {
+                let batch = filter.measure_batch(p, OpKind::Load, addrs);
+                let probes = batch.total_probes();
+                (batch.mins, probes)
+            }
+        }
     }
 
     /// Measures each candidate with a min-filter.

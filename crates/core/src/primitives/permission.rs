@@ -10,6 +10,7 @@ use core::fmt;
 use avx_mmu::VirtAddr;
 use avx_uarch::OpKind;
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveSampler};
 use crate::prober::{ProbeStrategy, Prober};
 
 /// What the timing channel can say about a user page's permissions.
@@ -45,6 +46,10 @@ impl fmt::Display for ProbedPerm {
     }
 }
 
+/// Half-width of the calibrated decision corridor: the boundary sits 30
+/// cycles above the fast path and the assist level ≥ 30 above that.
+const BOUNDARY_SLACK: f64 = 30.0;
+
 /// P5: permission classifier.
 #[derive(Clone, Copy, Debug)]
 pub struct PermissionAttack {
@@ -54,6 +59,10 @@ pub struct PermissionAttack {
     pub store_boundary: f64,
     /// Measurement strategy per probe.
     pub strategy: ProbeStrategy,
+    /// When set, the batched *load pass* (readable vs none/unmapped)
+    /// runs through the adaptive sequential engine; the store pass only
+    /// touches the readable minority and stays on the fixed strategy.
+    pub sampler: Option<AdaptiveSampler>,
 }
 
 impl PermissionAttack {
@@ -63,9 +72,10 @@ impl PermissionAttack {
         let strategy = ProbeStrategy::SecondOfTwo;
         let fast = strategy.measure(p, OpKind::Load, own_readable_page);
         Self {
-            load_boundary: fast as f64 + 30.0,
-            store_boundary: fast as f64 + 30.0,
+            load_boundary: fast as f64 + BOUNDARY_SLACK,
+            store_boundary: fast as f64 + BOUNDARY_SLACK,
             strategy,
+            sampler: None,
         }
     }
 
@@ -76,7 +86,22 @@ impl PermissionAttack {
             load_boundary,
             store_boundary,
             strategy: ProbeStrategy::SecondOfTwo,
+            sampler: None,
         }
+    }
+
+    /// Switches the load pass to adaptive sequential sampling: the two
+    /// hypotheses straddle the calibrated load boundary symmetrically,
+    /// so forced decisions coincide with the fixed boundary rule.
+    #[must_use]
+    pub fn with_adaptive(mut self, sigma: f64, config: AdaptiveConfig) -> Self {
+        self.sampler = Some(AdaptiveSampler {
+            mapped_mean: self.load_boundary - BOUNDARY_SLACK,
+            unmapped_mean: self.load_boundary + BOUNDARY_SLACK,
+            sigma,
+            config,
+        });
+        self
     }
 
     /// Classifies one page with a load probe and, when readable, a
@@ -104,11 +129,22 @@ impl PermissionAttack {
         p: &mut P,
         pages: &[VirtAddr],
     ) -> Vec<ProbedPerm> {
-        let loads = self.strategy.measure_batch(p, OpKind::Load, pages);
-        let readable: Vec<(usize, VirtAddr)> = loads
+        let load_readable: Vec<bool> = match self.sampler {
+            None => {
+                let loads = self.strategy.measure_batch(p, OpKind::Load, pages);
+                loads
+                    .iter()
+                    .map(|&cycles| cycles as f64 <= self.load_boundary)
+                    .collect()
+            }
+            // Adaptive load pass: "mapped" in SPRT terms = fast =
+            // readable.
+            Some(sampler) => sampler.classify_batch(p, OpKind::Load, pages).mapped,
+        };
+        let readable: Vec<(usize, VirtAddr)> = load_readable
             .iter()
             .enumerate()
-            .filter(|&(_, &cycles)| cycles as f64 <= self.load_boundary)
+            .filter(|&(_, &is_readable)| is_readable)
             .map(|(i, _)| (i, pages[i]))
             .collect();
         let store_addrs: Vec<VirtAddr> = readable.iter().map(|&(_, page)| page).collect();
@@ -199,6 +235,28 @@ mod tests {
         let (mut p, [.., own]) = fig3_prober();
         let attack = PermissionAttack::calibrate(&mut p, own);
         assert!(attack.load_boundary > 16.0 && attack.load_boundary < 60.0);
+    }
+
+    #[test]
+    fn adaptive_load_pass_classifies_identically_with_fewer_probes() {
+        let (mut p, pages) = fig3_prober();
+        let attack = PermissionAttack::calibrate(&mut p, pages[4]);
+        let mut fixed_attack = attack;
+        fixed_attack.strategy = ProbeStrategy::MinOf(8);
+        let adaptive_attack = attack.with_adaptive(1.0, AdaptiveConfig::default());
+
+        let candidates: Vec<VirtAddr> = pages[..4].to_vec();
+        let fixed_before = p.probes_issued();
+        let fixed = fixed_attack.classify_batch(&mut p, &candidates);
+        let fixed_probes = p.probes_issued() - fixed_before;
+        let adaptive_before = p.probes_issued();
+        let adaptive = adaptive_attack.classify_batch(&mut p, &candidates);
+        let adaptive_probes = p.probes_issued() - adaptive_before;
+        assert_eq!(adaptive, fixed);
+        assert!(
+            adaptive_probes < fixed_probes,
+            "adaptive {adaptive_probes} vs fixed {fixed_probes}"
+        );
     }
 
     #[test]

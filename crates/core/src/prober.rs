@@ -46,6 +46,10 @@ pub trait Prober {
     /// Books non-probe overhead cycles (loop logic, record-keeping).
     fn spend(&mut self, cycles: u64);
 
+    /// Raw probes issued so far — the budget metric of the adaptive
+    /// engine and the "probes per address" column of campaign reports.
+    fn probes_issued(&self) -> u64;
+
     /// Cycles spent inside the timed masked operations ("Probing" in
     /// Table I).
     fn probing_cycles(&self) -> u64;
@@ -166,6 +170,7 @@ pub struct SimProber {
     machine: Machine,
     context: ExecutionContext,
     overhead: u64,
+    probes: u64,
 }
 
 impl SimProber {
@@ -191,6 +196,7 @@ impl SimProber {
             machine,
             context,
             overhead: 0,
+            probes: 0,
         }
     }
 
@@ -222,11 +228,13 @@ impl SimProber {
 impl Prober for SimProber {
     fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64 {
         self.overhead += self.machine.profile().probe_overhead as u64;
+        self.probes += 1;
         self.machine.probe(kind, addr)
     }
 
     fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
         self.overhead += self.machine.profile().probe_overhead as u64 * addrs.len() as u64;
+        self.probes += addrs.len() as u64;
         self.machine.execute_batch(kind, addrs)
     }
 
@@ -237,6 +245,10 @@ impl Prober for SimProber {
 
     fn spend(&mut self, cycles: u64) {
         self.overhead += cycles;
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.probes
     }
 
     fn probing_cycles(&self) -> u64 {
@@ -326,6 +338,21 @@ mod tests {
         assert_eq!(ProbeStrategy::Single.probes_per_measurement(), 1);
         assert_eq!(ProbeStrategy::SecondOfTwo.probes_per_measurement(), 2);
         assert_eq!(ProbeStrategy::MinOf(4).probes_per_measurement(), 5);
+    }
+
+    #[test]
+    fn probes_issued_counts_scalar_and_batched_probes() {
+        let mut p = SimProber::new(machine());
+        assert_eq!(p.probes_issued(), 0);
+        let _ = p.probe(OpKind::Load, VirtAddr::new_truncate(KERNEL));
+        assert_eq!(p.probes_issued(), 1);
+        let addrs: Vec<VirtAddr> = (0..5)
+            .map(|i| VirtAddr::new_truncate(KERNEL + i * 0x20_0000))
+            .collect();
+        let _ = p.probe_batch(OpKind::Store, &addrs);
+        assert_eq!(p.probes_issued(), 6);
+        let _ = ProbeStrategy::MinOf(3).measure(&mut p, OpKind::Load, addrs[0]);
+        assert_eq!(p.probes_issued(), 6 + 4, "warm-up + 3 repeats");
     }
 
     #[test]

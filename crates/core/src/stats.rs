@@ -2,7 +2,9 @@
 //!
 //! Everything the attacks and benches need: running mean/σ (Welford),
 //! order statistics, a 1-D two-means split for automatic thresholding,
-//! and accuracy bookkeeping.
+//! a sequential probability-ratio accumulator ([`SequentialLlr`], the
+//! decision core of the adaptive probing engine), and accuracy
+//! bookkeeping.
 
 use core::fmt;
 
@@ -153,6 +155,133 @@ pub fn two_means_threshold(samples: &[u64]) -> Option<f64> {
         hi = new_hi;
     }
     Some((lo + hi) / 2.0)
+}
+
+/// Which hypothesis a [`SequentialLlr`] has settled on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeqDecision {
+    /// The samples support the mapped (low-latency) hypothesis.
+    Mapped,
+    /// The samples support the unmapped (high-latency) hypothesis.
+    Unmapped,
+    /// Neither boundary crossed yet — keep sampling.
+    Undecided,
+}
+
+/// Wald's sequential probability-ratio test over the two calibrated
+/// timing hypotheses of the mapped/unmapped channel.
+///
+/// Each probe latency `x` updates the accumulated log-likelihood ratio
+/// between two Gaussians `N(μ_unmapped, σ²)` and `N(μ_mapped, σ²)`:
+///
+/// ```text
+/// Λ += (μ₁ − μ₀) · (2x − μ₀ − μ₁) / (2σ²)      (μ₀ mapped, μ₁ unmapped)
+/// ```
+///
+/// Sampling stops as soon as `Λ` escapes `(−A, +A)` with
+/// `A = ln((1−ε)/ε)` for the target per-address error rate `ε` — on a
+/// quiet machine that is after one or two samples, while a noisy
+/// environment automatically buys more evidence. Interrupt spikes are
+/// arbitrarily far into the "unmapped" tail, so the per-sample increment
+/// is clamped to `±A/2`: no single disturbed reading can decide alone,
+/// which is the sequential analogue of the min-filter's spike rejection.
+#[derive(Clone, Copy, Debug)]
+pub struct SequentialLlr {
+    mapped_mean: f64,
+    unmapped_mean: f64,
+    sigma: f64,
+    threshold: f64,
+    clamp: f64,
+    llr: f64,
+    n: u64,
+}
+
+/// σ floor: a noiseless machine would otherwise make the per-sample
+/// increment infinite and the test degenerate.
+const SIGMA_FLOOR: f64 = 0.5;
+
+impl SequentialLlr {
+    /// Builds the accumulator for the two hypothesis means, the noise
+    /// σ of the environment and a per-address error-rate target
+    /// (clamped into `[1e-12, 0.25]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mapped_mean < unmapped_mean` — the channel's
+    /// polarity (mapped is faster) is a structural invariant.
+    #[must_use]
+    pub fn new(mapped_mean: f64, unmapped_mean: f64, sigma: f64, error_rate: f64) -> Self {
+        assert!(
+            mapped_mean < unmapped_mean,
+            "mapped hypothesis must be the faster one ({mapped_mean} vs {unmapped_mean})"
+        );
+        let error = error_rate.clamp(1e-12, 0.25);
+        let threshold = ((1.0 - error) / error).ln();
+        Self {
+            mapped_mean,
+            unmapped_mean,
+            sigma: sigma.max(SIGMA_FLOOR),
+            threshold,
+            clamp: threshold / 2.0,
+            llr: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Adds one probe latency; returns the updated decision state.
+    pub fn push(&mut self, cycles: u64) -> SeqDecision {
+        let x = cycles as f64;
+        let gap = self.unmapped_mean - self.mapped_mean;
+        let raw = gap * (2.0 * x - self.mapped_mean - self.unmapped_mean)
+            / (2.0 * self.sigma * self.sigma);
+        self.llr += raw.clamp(-self.clamp, self.clamp);
+        self.n += 1;
+        self.decision()
+    }
+
+    /// Current decision state against the SPRT boundaries.
+    #[must_use]
+    pub fn decision(&self) -> SeqDecision {
+        if self.llr >= self.threshold {
+            SeqDecision::Unmapped
+        } else if self.llr <= -self.threshold {
+            SeqDecision::Mapped
+        } else {
+            SeqDecision::Undecided
+        }
+    }
+
+    /// Forced call once the probe budget is exhausted: the sign of the
+    /// accumulated evidence. `Λ = 0` (e.g. a sample pinned exactly on
+    /// the midpoint) resolves to mapped, matching the `≤`-boundary
+    /// convention of [`crate::Threshold::is_mapped`].
+    #[must_use]
+    pub fn forced(&self) -> SeqDecision {
+        if self.llr <= 0.0 {
+            SeqDecision::Mapped
+        } else {
+            SeqDecision::Unmapped
+        }
+    }
+
+    /// Accumulated log-likelihood ratio (positive favors unmapped).
+    #[must_use]
+    pub fn llr(&self) -> f64 {
+        self.llr
+    }
+
+    /// Samples consumed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The decision midpoint `(μ₀ + μ₁)/2` — where a single sample
+    /// contributes zero evidence.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        (self.mapped_mean + self.unmapped_mean) / 2.0
+    }
 }
 
 /// Fraction of positions where `detected` matches `truth`.
@@ -314,5 +443,127 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("93"));
         assert!(text.contains("n=3"));
+    }
+
+    #[test]
+    fn welford_zero_and_one_sample_moments_are_exact() {
+        // 0 samples: everything is 0, not NaN.
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert!(!w.variance().is_nan());
+        // 1 sample: mean is the sample, variance is defined as 0.
+        let mut w = Welford::new();
+        w.push(-17.5);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), -17.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+        // The transition 1 → 2 samples turns variance on.
+        w.push(-17.5);
+        assert_eq!(w.variance(), 0.0, "two equal samples: zero variance");
+        w.push(-11.5);
+        assert!(w.variance() > 0.0);
+    }
+
+    fn sprt() -> SequentialLlr {
+        // Alder Lake-style channel: mapped 93, unmapped 107, σ 1.
+        SequentialLlr::new(93.0, 107.0, 1.0, 1e-4)
+    }
+
+    #[test]
+    fn sequential_llr_decides_fast_on_clean_samples() {
+        let mut acc = sprt();
+        assert_eq!(acc.decision(), SeqDecision::Undecided);
+        // Clamping means one sample is never enough on its own...
+        assert_eq!(acc.push(93), SeqDecision::Undecided);
+        // ...but two concordant samples decide.
+        assert_eq!(acc.push(93), SeqDecision::Mapped);
+        assert_eq!(acc.count(), 2);
+
+        let mut acc = sprt();
+        acc.push(107);
+        assert_eq!(acc.push(107), SeqDecision::Unmapped);
+    }
+
+    #[test]
+    fn sequential_llr_single_spike_cannot_decide_unmapped() {
+        let mut acc = sprt();
+        // A 900-cycle interrupt spike on a mapped page: clamped to +A/2.
+        assert_eq!(acc.push(900), SeqDecision::Undecided);
+        // Honest mapped samples outvote it (spike +A/2 takes three
+        // −A/2 samples to reach the −A boundary).
+        assert_eq!(acc.push(93), SeqDecision::Undecided);
+        assert_eq!(acc.push(93), SeqDecision::Undecided);
+        assert_eq!(acc.push(93), SeqDecision::Mapped);
+    }
+
+    #[test]
+    fn sequential_llr_forced_matches_midpoint_rule() {
+        // Forced decision at budget exhaustion = threshold comparison.
+        for x in [90u64, 99, 100, 101, 110] {
+            let mut acc = sprt();
+            acc.push(x);
+            let expect = if (x as f64) <= acc.midpoint() {
+                SeqDecision::Mapped
+            } else {
+                SeqDecision::Unmapped
+            };
+            assert_eq!(acc.forced(), expect, "sample {x}");
+        }
+        assert_eq!(sprt().midpoint(), 100.0);
+    }
+
+    #[test]
+    fn sequential_llr_is_order_invariant_in_accumulated_evidence() {
+        // Λ is a sum of per-sample terms: any permutation of the same
+        // multiset ends at the same Λ (and thus the same forced call).
+        let samples = [93u64, 107, 95, 600, 94, 108, 93];
+        let mut fwd = sprt();
+        let mut rev = sprt();
+        for &s in &samples {
+            fwd.push(s);
+        }
+        for &s in samples.iter().rev() {
+            rev.push(s);
+        }
+        assert!((fwd.llr() - rev.llr()).abs() < 1e-12);
+        assert_eq!(fwd.forced(), rev.forced());
+    }
+
+    #[test]
+    fn sequential_llr_noisier_sigma_needs_more_samples() {
+        let mut quiet = SequentialLlr::new(93.0, 107.0, 1.0, 1e-4);
+        let mut noisy = SequentialLlr::new(93.0, 107.0, 6.0, 1e-4);
+        let mut quiet_n = 0;
+        let mut noisy_n = 0;
+        for n in 1..=64 {
+            if quiet_n == 0 && quiet.push(93) != SeqDecision::Undecided {
+                quiet_n = n;
+            }
+            if noisy_n == 0 && noisy.push(93) != SeqDecision::Undecided {
+                noisy_n = n;
+            }
+        }
+        assert!(quiet_n > 0 && noisy_n > 0);
+        assert!(
+            noisy_n > quiet_n,
+            "σ=6 must demand more evidence: {noisy_n} vs {quiet_n}"
+        );
+    }
+
+    #[test]
+    fn sequential_llr_degenerate_sigma_is_floored() {
+        let mut acc = SequentialLlr::new(93.0, 107.0, 0.0, 1e-4);
+        acc.push(93);
+        assert!(acc.llr().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "faster")]
+    fn sequential_llr_rejects_inverted_hypotheses() {
+        let _ = SequentialLlr::new(107.0, 93.0, 1.0, 1e-4);
     }
 }

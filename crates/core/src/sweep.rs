@@ -117,5 +117,81 @@ mod tests {
         let r = AddrRange::pages(VirtAddr::new_truncate(0), 0);
         assert!(r.is_empty());
         assert_eq!(r.chunks(8).count(), 0);
+        assert!(r.to_vec().is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn chunk_sizes_at_and_above_count_yield_one_chunk() {
+        let r = AddrRange::pages(VirtAddr::new_truncate(0x1000), 5);
+        // chunk == count: exactly one full chunk.
+        let exact: Vec<AddrRange> = r.chunks(5).collect();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].count, 5);
+        // chunk > count: one short chunk, nothing invented.
+        let over: Vec<AddrRange> = r.chunks(64).collect();
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].count, 5);
+        assert_eq!(over[0].to_vec(), r.to_vec());
+        // chunk == 1: count chunks of one candidate each.
+        assert_eq!(r.chunks(1).count(), 5);
+    }
+
+    #[test]
+    fn non_dividing_chunks_partition_without_overlap() {
+        // Every (count, chunk) pair must partition the range exactly —
+        // the Windows streaming scan depends on no candidate being
+        // probed twice or skipped at chunk seams.
+        for count in [1u64, 2, 7, 16, 17, 31] {
+            for chunk in [1u64, 2, 3, 5, 16] {
+                let r = AddrRange::new(VirtAddr::new_truncate(0x7f00_0000_0000), 0x2000, count);
+                let chunks: Vec<AddrRange> = r.chunks(chunk).collect();
+                assert_eq!(
+                    chunks.len() as u64,
+                    count.div_ceil(chunk),
+                    "{count}/{chunk}"
+                );
+                let flat: Vec<VirtAddr> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+                assert_eq!(flat, r.to_vec(), "{count}/{chunk}");
+                assert!(chunks.iter().all(|c| c.count > 0), "{count}/{chunk}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_size_is_rejected() {
+        let r = AddrRange::pages(VirtAddr::new_truncate(0x1000), 4);
+        let _ = r.chunks(0).count();
+    }
+
+    #[test]
+    fn stride_across_the_canonical_boundary_sign_extends() {
+        // A sweep that runs past the top of the user half lands on
+        // canonical kernel-half addresses (bit 47 sign-extended), not on
+        // non-canonical garbage — and chunking still covers the range
+        // exactly once.
+        let r = AddrRange::pages(VirtAddr::new_truncate(0x0000_7fff_ffff_e000), 4);
+        let addrs: Vec<u64> = r.iter().map(VirtAddr::as_u64).collect();
+        assert_eq!(addrs[0], 0x0000_7fff_ffff_e000);
+        assert_eq!(addrs[1], 0x0000_7fff_ffff_f000);
+        assert_eq!(addrs[2], 0xffff_8000_0000_0000, "sign-extended");
+        assert_eq!(addrs[3], 0xffff_8000_0000_1000);
+        assert!(VirtAddr::new_truncate(addrs[2]).is_kernel_half());
+        let flat: Vec<VirtAddr> = r.chunks(3).flat_map(|c| c.to_vec()).collect();
+        assert_eq!(flat, r.to_vec());
+    }
+
+    #[test]
+    fn index_times_stride_overflow_wraps_instead_of_panicking() {
+        // i × stride can exceed u64 for pathological strides; addr() is
+        // documented as wrapping, so the sweep stays total.
+        let r = AddrRange::new(VirtAddr::new_truncate(0x1000), u64::MAX / 2, 5);
+        let addrs: Vec<VirtAddr> = r.iter().collect();
+        assert_eq!(addrs.len(), 5);
+        // Explicit wrap check: 2 × (u64::MAX/2) wraps to u64::MAX - 1.
+        let expected =
+            VirtAddr::new_truncate(0x1000u64.wrapping_add((u64::MAX / 2).wrapping_mul(2)));
+        assert_eq!(r.addr(2), expected);
     }
 }

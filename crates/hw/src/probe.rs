@@ -50,6 +50,7 @@ const EVICTION_BUFFER_BYTES: usize = 16 * 1024 * 1024;
 pub struct HwProber {
     eviction_buffer: Vec<u8>,
     probing_cycles: u64,
+    probes: u64,
     total_start: u64,
     clock_ghz: f64,
 }
@@ -103,6 +104,7 @@ impl HwProber {
             Ok(Self {
                 eviction_buffer: vec![1u8; EVICTION_BUFFER_BYTES],
                 probing_cycles: 0,
+                probes: 0,
                 total_start: crate::tsc::rdtsc_serialized(),
                 clock_ghz,
             })
@@ -154,6 +156,7 @@ impl Prober for HwProber {
                 OpKind::Store => Self::timed_masked_store(addr.as_u64()),
             };
             self.probing_cycles += cycles;
+            self.probes += 1;
             cycles
         }
         #[cfg(not(all(target_arch = "x86_64", feature = "real-avx2")))]
@@ -189,6 +192,7 @@ impl Prober for HwProber {
                 }
             }
             self.probing_cycles += batch_cycles;
+            self.probes += addrs.len() as u64;
             out
         }
         #[cfg(not(all(target_arch = "x86_64", feature = "real-avx2")))]
@@ -211,6 +215,10 @@ impl Prober for HwProber {
 
     fn spend(&mut self, _cycles: u64) {
         // Real time passes by itself on hardware.
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.probes
     }
 
     fn probing_cycles(&self) -> u64 {

@@ -199,6 +199,18 @@ impl Machine {
         self.noise = noise;
     }
 
+    /// The active noise model.
+    #[must_use]
+    pub fn noise(&self) -> NoiseModel {
+        self.noise
+    }
+
+    /// Switches to a named noise environment: the preset's factors are
+    /// applied to this machine's profile baseline anchors.
+    pub fn set_noise_profile(&mut self, profile: crate::noise::NoiseProfile) {
+        self.noise = profile.model_for(&self.profile.timing);
+    }
+
     /// Flushes the whole TLB (CR3 reload). Global entries survive when
     /// `keep_global`.
     pub fn flush_tlb(&mut self, keep_global: bool) {

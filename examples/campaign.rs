@@ -1,13 +1,17 @@
 //! The Table I methodology, generalized: run every §IV attack scenario
-//! across several CPU profiles, with trials parallelized via rayon.
+//! across several CPU profiles, with trials parallelized via rayon —
+//! and, with `--grid`, across the named noise environments comparing
+//! fixed vs adaptive probe budgets.
 //!
 //! ```text
 //! cargo run --release --example campaign            # 4 trials/cell
 //! cargo run --release --example campaign -- 12      # 12 trials/cell
+//! cargo run --release --example campaign -- 4 --grid   # + noise grid
 //! ```
 
 use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
 use avx_channel::report::fmt_seconds;
+use avx_channel::Sampling;
 use avx_uarch::CpuProfile;
 
 fn main() {
@@ -15,17 +19,18 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4u64);
+    let grid = std::env::args().any(|a| a == "--grid");
 
     // One cell: a single scenario on a single CPU.
     let row = Scenario::KernelBase.campaign(
         &CpuProfile::alder_lake_i5_12400f(),
-        CampaignConfig { trials, seed0: 7 },
+        CampaignConfig::new(trials, 7),
     );
     println!("single cell: {row}\n");
 
     // The full matrix: all eight paper attacks on every profile whose
     // probing primitive supports them.
-    let campaign = Campaign::full(CampaignConfig { trials, seed0: 7 });
+    let campaign = Campaign::full(CampaignConfig::new(trials, 7));
     println!(
         "full campaign: {} scenarios x {} profiles, {trials} trials per cell",
         campaign.scenarios.len(),
@@ -33,13 +38,38 @@ fn main() {
     );
     for row in campaign.run() {
         println!(
-            "  {:<34} {:<11} probing {:>9}  total {:>9}  accuracy {:>7.2} % ({} records)",
+            "  {:<34} {:<11} probing {:>9}  total {:>9}  {:>6.1} p/addr  accuracy {:>7.2} % ({} records)",
             row.cpu,
             row.target,
             fmt_seconds(row.probing_seconds),
             fmt_seconds(row.total_seconds),
+            row.probes_per_address,
             row.accuracy.percent(),
             row.accuracy.total,
         );
+    }
+
+    if grid {
+        // The noise-scenario matrix: one attack across every noise
+        // preset, fixed-budget vs adaptive sampling.
+        println!("\nnoise grid (kernel base, i5-12400F):");
+        for sampling in [Sampling::fixed_budget(), Sampling::adaptive()] {
+            let campaign =
+                Campaign::noise_grid(CampaignConfig::new(trials, 7).with_sampling(sampling));
+            let campaign = Campaign {
+                scenarios: vec![Scenario::KernelBase],
+                profiles: vec![CpuProfile::alder_lake_i5_12400f()],
+                ..campaign
+            };
+            for row in campaign.run() {
+                println!(
+                    "  {:<8} {:<13} {:>6.1} p/addr  accuracy {:>7.2} %",
+                    row.noise,
+                    row.sampling,
+                    row.probes_per_address,
+                    row.accuracy.percent(),
+                );
+            }
+        }
     }
 }

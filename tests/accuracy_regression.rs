@@ -1,0 +1,297 @@
+//! Statistical regression suite: golden Table I campaign rows.
+//!
+//! Every row of the generalized Table I is pinned to checked-in golden
+//! values — accuracy within ±0.5 % and probes-per-address within a
+//! recorded envelope — so a future change cannot silently trade signal
+//! quality (or probe budget) away. The campaign engine is
+//! deterministic for a fixed `CampaignConfig`, so these bounds are
+//! tight in practice; the tolerances only absorb intentional,
+//! re-goldened changes.
+//!
+//! The quick suite runs in tier-1 CI. The `#[ignore]`d tests are the
+//! stat-heavy tier-2 grid (`cargo test --test accuracy_regression --
+//! --include-ignored`): the adaptive and fixed-budget Table I variants
+//! plus the kernel-base × noise-profile matrix.
+
+use avx_aslr::channel::attacks::campaign::{table1, CampaignConfig, CampaignRow, Scenario};
+use avx_aslr::channel::Sampling;
+use avx_aslr::uarch::{CpuProfile, NoiseProfile};
+
+/// The pinned campaign shape. Changing TRIALS or SEED0 invalidates
+/// every golden below — regenerate them deliberately if you do.
+const TRIALS: u64 = 10;
+const SEED0: u64 = 0;
+
+fn config() -> CampaignConfig {
+    CampaignConfig::new(TRIALS, SEED0)
+}
+
+/// One golden Table I row.
+struct Golden {
+    cpu_contains: &'static str,
+    target: &'static str,
+    /// Expected accuracy, percent.
+    accuracy_pct: f64,
+    /// Allowed probes-per-address envelope `[lo, hi]`.
+    ppa: (f64, f64),
+}
+
+/// Golden values for `table1(CampaignConfig::new(10, 0))`, recorded at
+/// the introduction of the adaptive engine. At n = 10 the fixed-seed
+/// trials are all clean (the paper's 99.3–99.8 % emerges at n = 10000).
+const GOLDEN_TABLE1_FIXED: [Golden; 5] = [
+    Golden {
+        cpu_contains: "12400F",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (2.00, 2.07), // second-of-two + calibration overhead
+    },
+    Golden {
+        cpu_contains: "12400F",
+        target: "Modules",
+        accuracy_pct: 100.0,
+        ppa: (2.99, 3.02), // min-of-2 (3 raw probes per page)
+    },
+    Golden {
+        cpu_contains: "1065G7",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (2.00, 2.07),
+    },
+    Golden {
+        cpu_contains: "1065G7",
+        target: "Modules",
+        accuracy_pct: 100.0,
+        ppa: (2.99, 3.02),
+    },
+    Golden {
+        cpu_contains: "5600X",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (6.95, 7.05), // min-of-6 (7 raw probes per slot)
+    },
+];
+
+/// Adaptive-engine goldens for the same rows: equal accuracy, bounded
+/// probes-per-address (quiet host: the SPRT settles in 2 samples, so
+/// ~3 probes per address including the warm-up).
+const GOLDEN_TABLE1_ADAPTIVE: [Golden; 5] = [
+    Golden {
+        cpu_contains: "12400F",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (2.9, 3.2),
+    },
+    Golden {
+        cpu_contains: "12400F",
+        target: "Modules",
+        accuracy_pct: 100.0,
+        ppa: (2.9, 3.2),
+    },
+    Golden {
+        cpu_contains: "1065G7",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (2.9, 3.2),
+    },
+    Golden {
+        cpu_contains: "1065G7",
+        target: "Modules",
+        accuracy_pct: 100.0,
+        ppa: (2.9, 3.2),
+    },
+    Golden {
+        cpu_contains: "5600X",
+        target: "Base",
+        accuracy_pct: 100.0,
+        ppa: (4.0, 5.0), // early-stopping min-filter: ~4 of max 9
+    },
+];
+
+const ACCURACY_TOLERANCE_PCT: f64 = 0.5;
+
+fn assert_rows_match(rows: &[CampaignRow], golden: &[Golden]) {
+    assert_eq!(rows.len(), golden.len(), "row count drifted");
+    for (row, gold) in rows.iter().zip(golden) {
+        assert!(
+            row.cpu.contains(gold.cpu_contains),
+            "row order drifted: {} vs {}",
+            row.cpu,
+            gold.cpu_contains
+        );
+        assert_eq!(row.target, gold.target, "{}", row.cpu);
+        let acc = row.accuracy.percent();
+        assert!(
+            (acc - gold.accuracy_pct).abs() <= ACCURACY_TOLERANCE_PCT,
+            "{} {}: accuracy {acc:.3} % drifted from golden {:.3} % (±{ACCURACY_TOLERANCE_PCT})",
+            row.cpu,
+            row.target,
+            gold.accuracy_pct
+        );
+        assert!(
+            row.probes_per_address >= gold.ppa.0 && row.probes_per_address <= gold.ppa.1,
+            "{} {}: probes/address {:.4} outside golden envelope [{}, {}]",
+            row.cpu,
+            row.target,
+            row.probes_per_address,
+            gold.ppa.0,
+            gold.ppa.1
+        );
+        assert!(row.probes > 0);
+        assert!(row.total_seconds >= row.probing_seconds);
+    }
+}
+
+#[test]
+fn table1_fixed_rows_match_goldens() {
+    assert_rows_match(&table1(config()), &GOLDEN_TABLE1_FIXED);
+}
+
+#[test]
+fn adaptive_base_attack_matches_robust_budget_accuracy_at_half_the_probes() {
+    // The acceptance claim of the adaptive engine, pinned as a quick
+    // regression on the cheapest sweep: on the quiet profile the
+    // adaptive path reaches the accuracy of the noise-robust
+    // fixed-repetition path with ≥2x fewer total probes.
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let fixed =
+        Scenario::KernelBase.campaign(&profile, config().with_sampling(Sampling::fixed_budget()));
+    let adaptive =
+        Scenario::KernelBase.campaign(&profile, config().with_sampling(Sampling::adaptive()));
+    assert!(
+        (adaptive.accuracy.percent() - fixed.accuracy.percent()).abs() <= ACCURACY_TOLERANCE_PCT,
+        "accuracy parity lost: adaptive {:.3} % vs fixed-budget {:.3} %",
+        adaptive.accuracy.percent(),
+        fixed.accuracy.percent()
+    );
+    assert!(
+        adaptive.probes * 2 <= fixed.probes,
+        "probe economy lost: adaptive {} vs fixed-budget {}",
+        adaptive.probes,
+        fixed.probes
+    );
+}
+
+#[test]
+#[ignore = "tier-2: stat-heavy full-table regression"]
+fn table1_adaptive_rows_match_goldens() {
+    let rows = table1(config().with_sampling(Sampling::adaptive()));
+    assert_rows_match(&rows, &GOLDEN_TABLE1_ADAPTIVE);
+
+    // Whole-table probe economy vs the noise-robust budget.
+    let robust = table1(config().with_sampling(Sampling::fixed_budget()));
+    let adaptive_total: u64 = rows.iter().map(|r| r.probes).sum();
+    let robust_total: u64 = robust.iter().map(|r| r.probes).sum();
+    assert!(
+        adaptive_total * 2 <= robust_total,
+        "adaptive {adaptive_total} vs fixed-budget {robust_total}"
+    );
+    for (a, f) in rows.iter().zip(&robust) {
+        assert!(
+            (a.accuracy.percent() - f.accuracy.percent()).abs() <= ACCURACY_TOLERANCE_PCT,
+            "{} {}: adaptive {:.3} % vs fixed-budget {:.3} %",
+            a.cpu,
+            a.target,
+            a.accuracy.percent(),
+            f.accuracy.percent()
+        );
+    }
+}
+
+#[test]
+#[ignore = "tier-2: stat-heavy noise-grid regression"]
+fn noise_grid_adaptive_dominates_fixed_and_scales_its_budget() {
+    // The kernel-base cell across every noise preset: the adaptive
+    // engine must (a) never be less accurate than the paper's fixed
+    // schedule under the same noise, (b) spend more probes per address
+    // as the noise grows, and (c) stay within its hard budget.
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let cell = |noise: NoiseProfile, sampling: Sampling| {
+        Scenario::KernelBase.campaign(
+            &profile,
+            CampaignConfig::new(8, 0)
+                .with_noise(noise)
+                .with_sampling(sampling),
+        )
+    };
+
+    // Iterate in effective-σ order (quiet 1×, smt 3×, cloud 4×,
+    // laptop 6×) so the budget-growth check follows the noise level,
+    // not the declaration order.
+    let by_sigma = [
+        NoiseProfile::Quiet,
+        NoiseProfile::SmtSibling,
+        NoiseProfile::NoisyNeighbor,
+        NoiseProfile::LaptopDvfs,
+    ];
+    let mut last_ppa = 0.0;
+    for noise in by_sigma {
+        let fixed = cell(noise, Sampling::Fixed);
+        let adaptive = cell(noise, Sampling::adaptive());
+        assert!(
+            adaptive.accuracy.rate() + 1e-9 >= fixed.accuracy.rate(),
+            "{noise}: adaptive {:.3} % must not trail fixed {:.3} %",
+            adaptive.accuracy.percent(),
+            fixed.accuracy.percent()
+        );
+        assert!(
+            adaptive.probes_per_address <= 9.1,
+            "{noise}: budget cap violated ({:.3})",
+            adaptive.probes_per_address
+        );
+        if noise == NoiseProfile::Quiet {
+            assert!(
+                adaptive.accuracy.percent() >= 99.5,
+                "quiet adaptive accuracy regressed: {:.3} %",
+                adaptive.accuracy.percent()
+            );
+        }
+        assert!(
+            adaptive.probes_per_address > last_ppa - 0.35,
+            "{noise}: probe budget should broadly grow with noise \
+             ({:.3} after {last_ppa:.3})",
+            adaptive.probes_per_address
+        );
+        last_ppa = adaptive.probes_per_address;
+    }
+
+    // Endpoints of the scaling claim, pinned hard: the noisiest preset
+    // demands strictly more evidence than the quiet host.
+    let quiet = cell(NoiseProfile::Quiet, Sampling::adaptive());
+    let laptop = cell(NoiseProfile::LaptopDvfs, Sampling::adaptive());
+    assert!(
+        laptop.probes_per_address > quiet.probes_per_address + 0.5,
+        "laptop {:.3} vs quiet {:.3}",
+        laptop.probes_per_address,
+        quiet.probes_per_address
+    );
+}
+
+#[test]
+#[ignore = "tier-2: stat-heavy full-campaign smoke"]
+fn full_campaign_grid_runs_with_probe_reporting_on_every_row() {
+    use avx_aslr::channel::attacks::campaign::Campaign;
+    let campaign =
+        Campaign::noise_grid(CampaignConfig::new(1, 5).with_sampling(Sampling::adaptive()));
+    let rows = campaign.run();
+    // 14 rows per noise preset (6 Intel scenarios × 2 profiles + AMD +
+    // cloud), times the 4 presets.
+    assert_eq!(rows.len(), 14 * NoiseProfile::ALL.len());
+    for row in &rows {
+        assert!(row.accuracy.total > 0, "{}: empty row", row.target);
+        assert!(row.probes > 0, "{}: no probes recorded", row.target);
+        assert!(
+            row.probes_per_address > 0.0,
+            "{} [{}]: no probes-per-address",
+            row.target,
+            row.noise
+        );
+        // Sweep-shaped scenarios honor the campaign policy; the TLB
+        // spy's schedule is protocol-fixed and must say so.
+        if row.target == "Behaviour" {
+            assert_eq!(row.sampling, "fixed");
+        } else {
+            assert_eq!(row.sampling, "adaptive");
+        }
+    }
+}
