@@ -44,6 +44,25 @@ fn heading(text: &str) {
 }
 
 fn main() {
+    // `repro --bench-json <path>`: standardized end-to-end throughput
+    // measurement only (probes/sec + trials/sec of the full noise grid,
+    // plus the Fig. 4 sweep), written as machine-readable JSON so the
+    // perf trajectory is tracked across PRs in `BENCH_campaign.json`.
+    if let Some(path) = avx_bench::throughput::bench_json_path() {
+        let (grid, sweep) = avx_bench::throughput::run_bench_json(&path).expect("write bench json");
+        println!(
+            "campaign throughput: {:.0} probes/s, {:.1} trials/s over {} rows in {:.2} s; \
+             fig4 sweep {:.0} probes/s → {}",
+            grid.probes_per_sec,
+            grid.trials_per_sec,
+            grid.rows,
+            grid.wall_seconds,
+            sweep.probes_per_sec,
+            path.display()
+        );
+        return;
+    }
+
     println!("# AVX timing side-channel reproduction — full experiment run");
     println!("(simulated substrate; see DESIGN.md for the substitution statement)");
 

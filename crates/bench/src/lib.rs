@@ -7,6 +7,8 @@
 //! The `paper` module records the published values so every bench can
 //! print a paper-vs-measured comparison next to its timing output.
 
+pub mod throughput;
+
 use avx_channel::{Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};

@@ -1,0 +1,187 @@
+//! End-to-end campaign throughput measurement.
+//!
+//! The paper's headline numbers are wall-clock (Table I, Fig. 4/5
+//! sweeps), so *simulator* throughput — probes per second and trials per
+//! second of the full attack × CPU × noise grid — is what gates scaling
+//! the campaign matrix. This module is the standardized measurement the
+//! `campaign_throughput` bench, the `repro --bench-json` flag and the CI
+//! throughput smoke all share, so every recorded number is comparable
+//! across PRs.
+
+use std::time::Instant;
+
+use avx_channel::attacks::campaign::{Campaign, CampaignConfig};
+use avx_channel::{KernelBaseFinder, Prober, Threshold};
+use avx_uarch::CpuProfile;
+
+/// One end-to-end measurement of the full noise-grid campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignThroughput {
+    /// Requested trials per cell (heavyweight cells are capped by
+    /// [`avx_channel::attacks::campaign::Scenario::max_trials`]).
+    pub trials_per_cell: u64,
+    /// Wall-clock seconds of the whole grid run.
+    pub wall_seconds: f64,
+    /// Campaign rows produced.
+    pub rows: usize,
+    /// Raw simulated probes issued across all rows.
+    pub probes: u64,
+    /// Trials executed across all rows (success records of the base
+    /// scenarios; per-module/sample records count their trial once).
+    pub trials: u64,
+    /// Probes per wall-clock second — the headline throughput metric.
+    pub probes_per_sec: f64,
+    /// Trials per wall-clock second.
+    pub trials_per_sec: f64,
+}
+
+/// Runs the full attack × CPU × noise grid once and reports throughput.
+#[must_use]
+pub fn measure_noise_grid(trials: u64) -> CampaignThroughput {
+    let campaign = Campaign::noise_grid(CampaignConfig::new(trials, 0));
+    let start = Instant::now();
+    let rows = campaign.run();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let probes: u64 = rows.iter().map(|r| r.probes).sum();
+    // The rows report their own trial counts, so the metric can never
+    // drift from the engine's cell-selection/clamping rules.
+    let trials_total: u64 = rows.iter().map(|r| r.trials).sum();
+    CampaignThroughput {
+        trials_per_cell: trials,
+        wall_seconds,
+        rows: rows.len(),
+        probes,
+        trials: trials_total,
+        probes_per_sec: probes as f64 / wall_seconds.max(1e-9),
+        trials_per_sec: trials_total as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// One measurement of the quiet-profile Fig. 4 sweep (the paper's
+/// 512 × 2 MiB kernel scan), repeated until ~`min_probes` probes ran.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepThroughput {
+    /// Raw probes issued.
+    pub probes: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Probes per wall-clock second.
+    pub probes_per_sec: f64,
+}
+
+/// Measures the quiet-profile Fig. 4 sweep throughput: one fresh system,
+/// then repeated full 512-slot scans until at least `min_probes` raw
+/// probes have been issued.
+#[must_use]
+pub fn measure_fig4_sweep(min_probes: u64) -> SweepThroughput {
+    let (mut p, truth) = crate::quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 4);
+    let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+    let finder = KernelBaseFinder::new(th);
+    let start = Instant::now();
+    let before = p.probes_issued();
+    let mut scans = 0u64;
+    while p.probes_issued() - before < min_probes {
+        let scan = finder.scan(&mut p);
+        assert_eq!(
+            scan.base,
+            Some(truth.kernel_base),
+            "sweep must stay correct"
+        );
+        scans += 1;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let probes = p.probes_issued() - before;
+    let _ = scans;
+    SweepThroughput {
+        probes,
+        wall_seconds,
+        probes_per_sec: probes as f64 / wall_seconds.max(1e-9),
+    }
+}
+
+/// Serializes the two measurements as the machine-readable
+/// `BENCH_campaign.json` record (hand-rolled JSON; the build is
+/// air-gapped, so no serde).
+#[must_use]
+pub fn bench_json(grid: &CampaignThroughput, sweep: &SweepThroughput) -> String {
+    format!(
+        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v1\",\n  \
+         \"grid\": {{\n    \"trials_per_cell\": {},\n    \"rows\": {},\n    \
+         \"trials\": {},\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
+         \"probes_per_sec\": {:.1},\n    \"trials_per_sec\": {:.3}\n  }},\n  \
+         \"fig4_sweep\": {{\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
+         \"probes_per_sec\": {:.1}\n  }}\n}}\n",
+        grid.trials_per_cell,
+        grid.rows,
+        grid.trials,
+        grid.probes,
+        grid.wall_seconds,
+        grid.probes_per_sec,
+        grid.trials_per_sec,
+        sweep.probes,
+        sweep.wall_seconds,
+        sweep.probes_per_sec,
+    )
+}
+
+/// `--bench-json <path>` (or `--bench-json=<path>`) on the command
+/// line: where the machine-readable throughput record should go.
+#[must_use]
+pub fn bench_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--bench-json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(value) = arg.strip_prefix("--bench-json=") {
+            return Some(std::path::PathBuf::from(value));
+        }
+    }
+    None
+}
+
+/// Runs the standardized throughput measurement and writes the JSON
+/// record to `path` (the `repro --bench-json` entry point). Returns the
+/// measurements for console reporting.
+pub fn run_bench_json(
+    path: &std::path::Path,
+) -> std::io::Result<(CampaignThroughput, SweepThroughput)> {
+    let grid = measure_noise_grid(2);
+    let sweep = measure_fig4_sweep(64 * 1024);
+    std::fs::write(path, bench_json(&grid, &sweep))?;
+    Ok((grid, sweep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measurement_reports_positive_throughput() {
+        let sweep = measure_fig4_sweep(1024);
+        assert!(sweep.probes >= 1024);
+        assert!(sweep.probes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let grid = CampaignThroughput {
+            trials_per_cell: 2,
+            wall_seconds: 1.5,
+            rows: 56,
+            probes: 1_000_000,
+            trials: 100,
+            probes_per_sec: 666_666.7,
+            trials_per_sec: 66.7,
+        };
+        let sweep = SweepThroughput {
+            probes: 2048,
+            wall_seconds: 0.01,
+            probes_per_sec: 204_800.0,
+        };
+        let json = bench_json(&grid, &sweep);
+        assert!(json.contains("\"probes_per_sec\""));
+        assert!(json.contains("campaign-throughput/v1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,41 @@
+//! Release-mode throughput smoke (tier-1 CI, `--include-ignored`).
+//!
+//! Guards the probe hot path against silent regressions: the
+//! quiet-profile Fig. 4 sweep must stay above a conservative probes/sec
+//! floor. Absolute throughput is machine-dependent, so the floor is set
+//! well below the recording machine's numbers (`BENCH_campaign.json`:
+//! ~13.5M probes/s; the pre-PR-3 pipeline did ~7.2M on the same box) to
+//! tolerate slower shared CI runners — it therefore catches
+//! *catastrophic* regressions (per-probe allocation storms, quadratic
+//! cache scans, debug-mode benches), not a subtle partial revert; the
+//! recorded trajectory in `BENCH_campaign.json` is the fine-grained
+//! cross-PR signal.
+
+use avx_bench::throughput::measure_fig4_sweep;
+
+/// Conservative floor in probes per second (see module docs for what
+/// this can and cannot catch).
+const FLOOR_PROBES_PER_SEC: f64 = 3_000_000.0;
+
+#[test]
+#[ignore = "release-mode perf gate; debug builds are expected to be slower (CI runs with --release --include-ignored)"]
+fn fig4_sweep_throughput_stays_above_floor() {
+    // Two measurements; keep the better one to shrug off scheduler
+    // hiccups on shared runners.
+    let best = (0..2)
+        .map(|_| measure_fig4_sweep(128 * 1024).probes_per_sec)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= FLOOR_PROBES_PER_SEC,
+        "Fig. 4 sweep throughput regressed: {best:.0} probes/s < floor {FLOOR_PROBES_PER_SEC:.0}"
+    );
+}
+
+#[test]
+fn bench_json_flag_produces_valid_record() {
+    // The measurement machinery behind `repro --bench-json` works end
+    // to end (small n; runs in debug CI too).
+    let sweep = measure_fig4_sweep(2048);
+    assert!(sweep.probes >= 2048);
+    assert!(sweep.wall_seconds > 0.0);
+}

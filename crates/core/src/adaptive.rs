@@ -30,6 +30,7 @@ use avx_uarch::OpKind;
 use crate::calibrate::Threshold;
 use crate::prober::{ProbeStrategy, Prober};
 use crate::stats::{SeqDecision, SequentialLlr};
+use crate::sweep::AddrRange;
 
 /// Probe budgets and the confidence target of the sequential test.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -169,6 +170,17 @@ pub struct AdaptiveBatch {
 }
 
 impl AdaptiveBatch {
+    /// An empty batch with room for `n` addresses.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            mapped: Vec::with_capacity(n),
+            samples: Vec::with_capacity(n),
+            probes: Vec::with_capacity(n),
+            settled: Vec::with_capacity(n),
+        }
+    }
+
     /// Total raw probes the sweep issued.
     #[must_use]
     pub fn total_probes(&self) -> u64 {
@@ -258,57 +270,109 @@ impl AdaptiveSampler {
         kind: OpKind,
         addrs: &[VirtAddr],
     ) -> AdaptiveBatch {
-        let max_probes = self.config.max_probes.max(1);
-        let mut out = AdaptiveBatch {
-            mapped: Vec::with_capacity(addrs.len()),
-            samples: Vec::with_capacity(addrs.len()),
-            probes: Vec::with_capacity(addrs.len()),
-            settled: Vec::with_capacity(addrs.len()),
-        };
-
+        let mut out = AdaptiveBatch::with_capacity(addrs.len());
+        let mut scratch = AdaptiveScratch::default();
         for tile in addrs.chunks(ProbeStrategy::BATCH_TILE) {
-            // Warm-up pass: same TLB-priming role as the fixed path's
-            // first probe; its reading is discarded.
-            let _ = p.probe_batch(kind, tile);
-
-            let mut acc: Vec<SequentialLlr> = tile.iter().map(|_| self.accumulator()).collect();
-            let mut floor = vec![u64::MAX; tile.len()];
-            let mut probes = vec![1u32; tile.len()];
-            let mut decision = vec![SeqDecision::Undecided; tile.len()];
-            let mut live: Vec<usize> = (0..tile.len()).collect();
-
-            for round in 1..=max_probes {
-                let subset: Vec<VirtAddr> = live.iter().map(|&i| tile[i]).collect();
-                let samples = p.probe_batch(kind, &subset);
-                for (&i, sample) in live.iter().zip(samples) {
-                    probes[i] += 1;
-                    floor[i] = floor[i].min(sample);
-                    let d = acc[i].push(sample);
-                    if round >= self.config.min_probes {
-                        decision[i] = d;
-                    }
-                }
-                live.retain(|&i| decision[i] == SeqDecision::Undecided);
-                if live.is_empty() {
-                    break;
-                }
-            }
-
-            for i in 0..tile.len() {
-                let settled = decision[i] != SeqDecision::Undecided;
-                let call = if settled {
-                    decision[i]
-                } else {
-                    acc[i].forced()
-                };
-                out.mapped.push(call == SeqDecision::Mapped);
-                out.samples.push(floor[i]);
-                out.probes.push(probes[i]);
-                out.settled.push(settled);
-            }
+            self.classify_tile(p, kind, tile, &mut out, &mut scratch);
         }
         out
     }
+
+    /// Streaming variant of [`AdaptiveSampler::classify_batch`] over an
+    /// [`AddrRange`]: candidate addresses are generated one tile at a
+    /// time into a reused buffer instead of materializing the full
+    /// range. Identical tile decomposition and probe order.
+    pub fn classify_range<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        range: &AddrRange,
+    ) -> AdaptiveBatch {
+        let mut out = AdaptiveBatch::with_capacity(range.len());
+        let mut scratch = AdaptiveScratch::default();
+        let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+        for chunk in range.chunks(ProbeStrategy::BATCH_TILE as u64) {
+            chunk.fill(&mut tile);
+            self.classify_tile(p, kind, &tile, &mut out, &mut scratch);
+        }
+        out
+    }
+
+    /// One warm-up + SPRT measurement rounds over a single tile,
+    /// appending the per-address calls to `out`. All intermediate state
+    /// lives in `scratch`, so the sweep loop allocates nothing.
+    fn classify_tile<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        tile: &[VirtAddr],
+        out: &mut AdaptiveBatch,
+        s: &mut AdaptiveScratch,
+    ) {
+        let max_probes = self.config.max_probes.max(1);
+
+        // Warm-up pass: same TLB-priming role as the fixed path's
+        // first probe; its reading is discarded.
+        s.warm.clear();
+        p.probe_batch_into(kind, tile, &mut s.warm);
+
+        s.acc.clear();
+        s.acc.extend(tile.iter().map(|_| self.accumulator()));
+        s.floor.clear();
+        s.floor.resize(tile.len(), u64::MAX);
+        s.probes.clear();
+        s.probes.resize(tile.len(), 1u32);
+        s.decision.clear();
+        s.decision.resize(tile.len(), SeqDecision::Undecided);
+        s.live.clear();
+        s.live.extend(0..tile.len());
+
+        for round in 1..=max_probes {
+            s.subset.clear();
+            s.subset.extend(s.live.iter().map(|&i| tile[i]));
+            s.samples.clear();
+            p.probe_batch_into(kind, &s.subset, &mut s.samples);
+            for (&i, &sample) in s.live.iter().zip(&s.samples) {
+                s.probes[i] += 1;
+                s.floor[i] = s.floor[i].min(sample);
+                let d = s.acc[i].push(sample);
+                if round >= self.config.min_probes {
+                    s.decision[i] = d;
+                }
+            }
+            let decision = &s.decision;
+            s.live.retain(|&i| decision[i] == SeqDecision::Undecided);
+            if s.live.is_empty() {
+                break;
+            }
+        }
+
+        for i in 0..tile.len() {
+            let settled = s.decision[i] != SeqDecision::Undecided;
+            let call = if settled {
+                s.decision[i]
+            } else {
+                s.acc[i].forced()
+            };
+            out.mapped.push(call == SeqDecision::Mapped);
+            out.samples.push(s.floor[i]);
+            out.probes.push(s.probes[i]);
+            out.settled.push(settled);
+        }
+    }
+}
+
+/// Reusable per-tile state of [`AdaptiveSampler::classify_tile`].
+#[derive(Clone, Debug, Default)]
+struct AdaptiveScratch {
+    warm: Vec<u64>,
+    acc: Vec<SequentialLlr>,
+    floor: Vec<u64>,
+    probes: Vec<u32>,
+    decision: Vec<SeqDecision>,
+    live: Vec<usize>,
+    subset: Vec<VirtAddr>,
+    samples: Vec<u64>,
 }
 
 /// Result of one adaptive min-filter sweep.
@@ -366,45 +430,98 @@ impl AdaptiveMinFilter {
         kind: OpKind,
         addrs: &[VirtAddr],
     ) -> MinFilterBatch {
-        let max_probes = self.max_probes.max(1);
-        let stable_target = self.stable_rounds.max(1);
         let mut out = MinFilterBatch {
             mins: Vec::with_capacity(addrs.len()),
             probes: Vec::with_capacity(addrs.len()),
         };
-
+        let mut scratch = MinFilterScratch::default();
         for tile in addrs.chunks(ProbeStrategy::BATCH_TILE) {
-            let _ = p.probe_batch(kind, tile); // warm-up, discarded
-            let mut min = vec![u64::MAX; tile.len()];
-            let mut stable = vec![0u8; tile.len()];
-            let mut probes = vec![1u32; tile.len()];
-            let mut live: Vec<usize> = (0..tile.len()).collect();
-
-            for _round in 1..=max_probes {
-                let subset: Vec<VirtAddr> = live.iter().map(|&i| tile[i]).collect();
-                let samples = p.probe_batch(kind, &subset);
-                for (&i, sample) in live.iter().zip(samples) {
-                    probes[i] += 1;
-                    if sample.saturating_add(self.epsilon) >= min[i] {
-                        stable[i] = stable[i].saturating_add(1);
-                    } else {
-                        stable[i] = 0;
-                    }
-                    min[i] = min[i].min(sample);
-                }
-                live.retain(|&i| stable[i] < stable_target);
-                if live.is_empty() {
-                    break;
-                }
-            }
-
-            for i in 0..tile.len() {
-                out.mins.push(min[i]);
-                out.probes.push(probes[i]);
-            }
+            self.measure_tile(p, kind, tile, &mut out, &mut scratch);
         }
         out
     }
+
+    /// Streaming variant of [`AdaptiveMinFilter::measure_batch`] over
+    /// an [`AddrRange`]: one reused tile buffer, identical probe order.
+    pub fn measure_range<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        range: &AddrRange,
+    ) -> MinFilterBatch {
+        let mut out = MinFilterBatch {
+            mins: Vec::with_capacity(range.len()),
+            probes: Vec::with_capacity(range.len()),
+        };
+        let mut scratch = MinFilterScratch::default();
+        let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+        for chunk in range.chunks(ProbeStrategy::BATCH_TILE as u64) {
+            chunk.fill(&mut tile);
+            self.measure_tile(p, kind, &tile, &mut out, &mut scratch);
+        }
+        out
+    }
+
+    fn measure_tile<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        tile: &[VirtAddr],
+        out: &mut MinFilterBatch,
+        s: &mut MinFilterScratch,
+    ) {
+        let max_probes = self.max_probes.max(1);
+        let stable_target = self.stable_rounds.max(1);
+
+        s.warm.clear();
+        p.probe_batch_into(kind, tile, &mut s.warm); // warm-up, discarded
+        s.min.clear();
+        s.min.resize(tile.len(), u64::MAX);
+        s.stable.clear();
+        s.stable.resize(tile.len(), 0u8);
+        s.probes.clear();
+        s.probes.resize(tile.len(), 1u32);
+        s.live.clear();
+        s.live.extend(0..tile.len());
+
+        for _round in 1..=max_probes {
+            s.subset.clear();
+            s.subset.extend(s.live.iter().map(|&i| tile[i]));
+            s.samples.clear();
+            p.probe_batch_into(kind, &s.subset, &mut s.samples);
+            for (&i, &sample) in s.live.iter().zip(&s.samples) {
+                s.probes[i] += 1;
+                if sample.saturating_add(self.epsilon) >= s.min[i] {
+                    s.stable[i] = s.stable[i].saturating_add(1);
+                } else {
+                    s.stable[i] = 0;
+                }
+                s.min[i] = s.min[i].min(sample);
+            }
+            let stable = &s.stable;
+            s.live.retain(|&i| stable[i] < stable_target);
+            if s.live.is_empty() {
+                break;
+            }
+        }
+
+        for i in 0..tile.len() {
+            out.mins.push(s.min[i]);
+            out.probes.push(s.probes[i]);
+        }
+    }
+}
+
+/// Reusable per-tile state of [`AdaptiveMinFilter::measure_tile`].
+#[derive(Clone, Debug, Default)]
+struct MinFilterScratch {
+    warm: Vec<u64>,
+    min: Vec<u64>,
+    stable: Vec<u8>,
+    probes: Vec<u32>,
+    live: Vec<usize>,
+    subset: Vec<VirtAddr>,
+    samples: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -117,6 +117,8 @@ pub struct CampaignRow {
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
     pub total_seconds: f64,
+    /// Independent trials the cell ran.
+    pub trials: u64,
     /// Raw probes issued across all trials of the cell.
     pub probes: u64,
     /// Mean raw probes per candidate address — the budget metric the
@@ -158,6 +160,33 @@ pub struct TrialOutcome {
     /// Success records of this trial (one per trial for base attacks,
     /// one per module/library/sample for the others).
     pub accuracy: Trials,
+}
+
+/// A prebuilt victim system for one (scenario, seed) pair.
+///
+/// Trial layouts depend only on the scenario's config and the trial
+/// seed — not on the CPU profile or the noise environment — so a
+/// campaign builds each layout **once** and every (profile, noise) cell
+/// runs its trials against copy-on-write snapshots
+/// ([`avx_mmu::AddressSpace`] clones share the paging-structure arena
+/// until first write). A fixture-driven trial is bit-exact with one
+/// that builds its own system: the snapshot is structurally identical
+/// to a fresh build from the same seed.
+#[derive(Clone, Debug)]
+pub enum TrialFixture {
+    /// A Linux victim (kernel base, modules, KPTI, behaviour).
+    Linux(LinuxSystem),
+    /// A Windows victim (§IV-G).
+    Windows(WindowsSystem),
+    /// A user-space process image (§IV-F).
+    Process {
+        /// The process address space (pre-attacker mappings).
+        space: AddressSpace,
+        /// Layout ground truth.
+        truth: avx_os::ProcessTruth,
+    },
+    /// The scenario builds its own systems per trial (cloud chains).
+    Inline,
 }
 
 /// The eight end-to-end attacks of §IV as campaign scenarios.
@@ -262,6 +291,39 @@ impl Scenario {
         !matches!(self, Scenario::Behaviour)
     }
 
+    /// Builds the victim system one trial of this scenario attacks —
+    /// the expensive, profile- and noise-independent part of a trial.
+    #[must_use]
+    pub fn build_fixture(self, seed: u64) -> TrialFixture {
+        match self {
+            Scenario::KernelBase
+            | Scenario::AmdKernelBase
+            | Scenario::Modules
+            | Scenario::Behaviour => {
+                TrialFixture::Linux(LinuxSystem::build(LinuxConfig::seeded(seed)))
+            }
+            Scenario::Kpti => TrialFixture::Linux(LinuxSystem::build(LinuxConfig {
+                kpti: true,
+                ..LinuxConfig::seeded(seed)
+            })),
+            Scenario::UserSpace => {
+                let mut space = AddressSpace::new();
+                let truth = build_process(
+                    &mut space,
+                    &ImageSignature::fig7_app(),
+                    &ImageSignature::standard_set(),
+                    seed,
+                );
+                TrialFixture::Process { space, truth }
+            }
+            Scenario::WindowsKaslr => TrialFixture::Windows(WindowsSystem::build(WindowsConfig {
+                seed,
+                ..WindowsConfig::default()
+            })),
+            Scenario::Cloud => TrialFixture::Inline,
+        }
+    }
+
     /// Runs one trial against a freshly randomized system under the
     /// config's noise environment and sampling policy.
     #[must_use]
@@ -271,15 +333,47 @@ impl Scenario {
         seed: u64,
         config: CampaignConfig,
     ) -> TrialOutcome {
-        match self {
-            Scenario::KernelBase => kernel_base_trial(profile, seed, config),
-            Scenario::AmdKernelBase => amd_base_trial(profile, seed, config),
-            Scenario::Modules => modules_trial(profile, seed, config),
-            Scenario::Kpti => kpti_trial(profile, seed, config),
-            Scenario::Behaviour => behaviour_trial(profile, seed, config),
-            Scenario::UserSpace => userspace_trial(profile, seed, config),
-            Scenario::WindowsKaslr => windows_trial(profile, seed, config),
-            Scenario::Cloud => cloud_trial(seed, config),
+        self.run_trial_with(profile, &self.build_fixture(seed), seed, config)
+    }
+
+    /// Runs one trial against a prebuilt fixture (obtained from
+    /// [`Scenario::build_fixture`] with the same seed). The fixture is
+    /// only snapshotted (copy-on-write), never mutated, so one fixture
+    /// serves arbitrarily many (profile, noise) cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fixture kind does not match the scenario.
+    #[must_use]
+    pub fn run_trial_with(
+        self,
+        profile: &CpuProfile,
+        fixture: &TrialFixture,
+        seed: u64,
+        config: CampaignConfig,
+    ) -> TrialOutcome {
+        match (self, fixture) {
+            (Scenario::KernelBase, TrialFixture::Linux(sys)) => {
+                kernel_base_trial(profile, sys, seed, config)
+            }
+            (Scenario::AmdKernelBase, TrialFixture::Linux(sys)) => {
+                amd_base_trial(profile, sys, seed, config)
+            }
+            (Scenario::Modules, TrialFixture::Linux(sys)) => {
+                modules_trial(profile, sys, seed, config)
+            }
+            (Scenario::Kpti, TrialFixture::Linux(sys)) => kpti_trial(profile, sys, seed, config),
+            (Scenario::Behaviour, TrialFixture::Linux(sys)) => {
+                behaviour_trial(profile, sys, seed, config)
+            }
+            (Scenario::UserSpace, TrialFixture::Process { space, truth }) => {
+                userspace_trial(profile, space, truth, seed, config)
+            }
+            (Scenario::WindowsKaslr, TrialFixture::Windows(sys)) => {
+                windows_trial(profile, sys, seed, config)
+            }
+            (Scenario::Cloud, TrialFixture::Inline) => cloud_trial(seed, config),
+            (scenario, _) => panic!("fixture kind does not match scenario {scenario}"),
         }
     }
 
@@ -295,7 +389,43 @@ impl Scenario {
             .into_par_iter()
             .map(|i| self.run_trial(profile, config.seed0 + self.seed_salt() + i, config))
             .collect();
+        self.aggregate(profile, config, outcomes, trials)
+    }
 
+    /// [`Scenario::campaign`] against prebuilt fixtures: `fixtures[i]`
+    /// must come from [`Scenario::build_fixture`] with seed
+    /// `config.seed0 + seed_salt() + i`. Identical results to
+    /// [`Scenario::campaign`] — the fixtures only hoist system
+    /// construction out of the (profile, noise) cells.
+    #[must_use]
+    pub fn campaign_with(
+        self,
+        profile: &CpuProfile,
+        config: CampaignConfig,
+        fixtures: &[TrialFixture],
+    ) -> CampaignRow {
+        let trials = fixtures.len() as u64;
+        let outcomes: Vec<TrialOutcome> = (0..fixtures.len())
+            .into_par_iter()
+            .map(|i| {
+                self.run_trial_with(
+                    profile,
+                    &fixtures[i],
+                    config.seed0 + self.seed_salt() + i as u64,
+                    config,
+                )
+            })
+            .collect();
+        self.aggregate(profile, config, outcomes, trials.max(1))
+    }
+
+    fn aggregate(
+        self,
+        profile: &CpuProfile,
+        config: CampaignConfig,
+        outcomes: Vec<TrialOutcome>,
+        trials: u64,
+    ) -> CampaignRow {
         let mut accuracy = Trials::new();
         let (mut probing, mut total) = (0.0f64, 0.0f64);
         let (mut probes, mut addresses) = (0u64, 0u64);
@@ -324,6 +454,7 @@ impl Scenario {
             },
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
+            trials,
             probes,
             probes_per_address: if addresses == 0 {
                 0.0
@@ -406,6 +537,12 @@ impl Campaign {
     /// back noise-major, then scenario-major in the order of
     /// `self.scenarios`.
     ///
+    /// Trial layouts depend only on (scenario, seed), so each
+    /// scenario's victim systems are built **once** up front
+    /// (rayon-parallel) and every (noise, profile) cell runs against
+    /// copy-on-write snapshots of that pool — the cells differ only in
+    /// the machine they wrap around the snapshot, not in the layout.
+    ///
     /// Heavyweight scenarios are bounded to [`Scenario::max_trials`]
     /// trials per cell (call [`Scenario::campaign`] directly for
     /// uncapped paper-scale runs). [`Scenario::Cloud`] runs once per
@@ -414,23 +551,41 @@ impl Campaign {
     /// work.
     #[must_use]
     pub fn run(&self) -> Vec<CampaignRow> {
+        // One fixture pool per scenario, shared across the whole grid.
+        // Scenarios no profile of this campaign supports produce no
+        // rows, so their (expensive) fixtures are never built.
+        let pools: Vec<Vec<TrialFixture>> = self
+            .scenarios
+            .iter()
+            .map(|&scenario| {
+                if !self.profiles.iter().any(|p| scenario.supported_on(p)) {
+                    return Vec::new();
+                }
+                let trials = self.config.trials.clamp(1, scenario.max_trials());
+                (0..trials)
+                    .into_par_iter()
+                    .map(|i| scenario.build_fixture(self.config.seed0 + scenario.seed_salt() + i))
+                    .collect()
+            })
+            .collect();
+
         let mut rows = Vec::new();
         for &noise in &self.noises {
-            for &scenario in &self.scenarios {
+            for (&scenario, pool) in self.scenarios.iter().zip(&pools) {
                 let config = CampaignConfig {
-                    trials: self.config.trials.clamp(1, scenario.max_trials()),
+                    trials: pool.len() as u64,
                     noise,
                     ..self.config
                 };
                 if scenario == Scenario::Cloud {
                     if let Some(profile) = self.profiles.iter().find(|p| scenario.supported_on(p)) {
-                        rows.push(scenario.campaign(profile, config));
+                        rows.push(scenario.campaign_with(profile, config, pool));
                     }
                     continue;
                 }
                 for profile in &self.profiles {
                     if scenario.supported_on(profile) {
-                        rows.push(scenario.campaign(profile, config));
+                        rows.push(scenario.campaign_with(profile, config, pool));
                     }
                 }
             }
@@ -442,16 +597,16 @@ impl Campaign {
 // ---------------------------------------------------------------------
 // Per-scenario trial implementations.
 
-/// Fresh Linux machine + calibrated prober for trial `seed`, running
-/// under the campaign's noise environment.
+/// Machine + calibrated prober over a copy-on-write snapshot of a
+/// prebuilt Linux system, running under the campaign's noise
+/// environment.
 fn linux_prober(
     profile: &CpuProfile,
-    config: LinuxConfig,
+    sys: &LinuxSystem,
     seed: u64,
     noise: NoiseProfile,
 ) -> (SimProber, avx_os::LinuxTruth, Threshold) {
-    let sys = LinuxSystem::build(config);
-    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(noise);
     let mut p = SimProber::new(machine);
     let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
@@ -462,8 +617,13 @@ fn seconds(profile_ghz: f64, cycles: u64) -> f64 {
     cycles as f64 / (profile_ghz * 1e9)
 }
 
-fn kernel_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
+fn kernel_base_trial(
+    profile: &CpuProfile,
+    sys: &LinuxSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
     let mut finder = KernelBaseFinder::new(th);
     let sigma = config.noise.effective_sigma(&profile.timing);
     if let Some(sampler) = config.sampling.sampler(&th, sigma) {
@@ -484,9 +644,13 @@ fn kernel_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) ->
     }
 }
 
-fn amd_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
-    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+fn amd_base_trial(
+    profile: &CpuProfile,
+    sys: &LinuxSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
     let mut finder = AmdKernelBaseFinder::for_default_kernel();
@@ -508,8 +672,13 @@ fn amd_base_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> Tr
     }
 }
 
-fn modules_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
+fn modules_trial(
+    profile: &CpuProfile,
+    sys: &LinuxSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
     let mut scanner = ModuleScanner::new(th);
     let sigma = config.noise.effective_sigma(&profile.timing);
     if let Some(sampler) = config.sampling.sampler(&th, sigma) {
@@ -536,12 +705,13 @@ fn modules_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> Tri
     }
 }
 
-fn kpti_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let linux = LinuxConfig {
-        kpti: true,
-        ..LinuxConfig::seeded(seed)
-    };
-    let (mut p, truth, th) = linux_prober(profile, linux, seed, config.noise);
+fn kpti_trial(
+    profile: &CpuProfile,
+    sys: &LinuxSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
     let mut attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
     let sigma = config.noise.effective_sigma(&profile.timing);
     if let Some(sampler) = config.sampling.sampler(&th, sigma) {
@@ -566,8 +736,13 @@ fn kpti_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialO
 /// than the paper's 100 s plot window to keep campaign trials cheap.
 const BEHAVIOUR_TRIAL_SECONDS: f64 = 30.0;
 
-fn behaviour_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, LinuxConfig::seeded(seed), seed, config.noise);
+fn behaviour_trial(
+    profile: &CpuProfile,
+    sys: &LinuxSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
     let timeline =
         ActivityTimeline::random(Behaviour::BluetoothAudio, BEHAVIOUR_TRIAL_SECONDS, 3, seed);
     let module = truth
@@ -606,15 +781,16 @@ fn behaviour_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> T
     }
 }
 
-fn userspace_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let mut space = AddressSpace::new();
-    let truth = build_process(
-        &mut space,
-        &ImageSignature::fig7_app(),
-        &ImageSignature::standard_set(),
-        seed,
-    );
-    // The attacker's own read-only page for calibration.
+fn userspace_trial(
+    profile: &CpuProfile,
+    space: &AddressSpace,
+    truth: &avx_os::ProcessTruth,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    // Copy-on-write snapshot of the prebuilt process image; the
+    // attacker's own calibration page is mapped into the snapshot only.
+    let mut space = space.clone();
     let own = VirtAddr::new_truncate(0x5400_0000_0000);
     space
         .map(own, PageSize::Size4K, PteFlags::user_ro())
@@ -662,12 +838,13 @@ fn userspace_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> T
     }
 }
 
-fn windows_trial(profile: &CpuProfile, seed: u64, config: CampaignConfig) -> TrialOutcome {
-    let sys = WindowsSystem::build(WindowsConfig {
-        seed,
-        ..WindowsConfig::default()
-    });
-    let (mut machine, truth) = sys.into_machine(profile.clone(), seed ^ 0xabcd);
+fn windows_trial(
+    profile: &CpuProfile,
+    sys: &WindowsSystem,
+    seed: u64,
+    config: CampaignConfig,
+) -> TrialOutcome {
+    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
     let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);

@@ -105,7 +105,7 @@ impl KernelBaseFinder {
         let total_before = p.total_cycles();
         let range = Self::candidate_range();
         let start = range.start;
-        let sweep = self.attack.sweep(p, &range.to_vec());
+        let sweep = self.attack.sweep_range(p, &range);
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let base = first_mapped_run(&sweep.mapped, 2)
             .map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
@@ -222,7 +222,7 @@ impl AmdKernelBaseFinder {
         let total_before = p.total_cycles();
         let range = KernelBaseFinder::candidate_range();
         let start = range.start;
-        let (samples, probes) = self.level.measure_counted(p, &range.to_vec());
+        let (samples, probes) = self.level.measure_range_counted(p, &range);
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
         let outliers = self.level.outliers(&samples);
         let base = self

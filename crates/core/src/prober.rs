@@ -29,15 +29,32 @@ pub trait Prober {
     /// order.
     ///
     /// Semantically equivalent to calling [`Prober::probe`] once per
-    /// address (the default implementation is exactly that loop);
-    /// backends override it with a fast path that amortizes per-probe
-    /// bookkeeping — [`SimProber`] forwards to
-    /// [`avx_uarch::Machine::execute_batch`], and the hardware prober
-    /// in `avx-hw` keeps the timed instructions in one tight loop.
-    /// Sweep-shaped attacks (Fig. 4/5/7 and the Windows region scan)
-    /// feed their candidate ranges through this entry point.
+    /// address; backends amortize per-probe bookkeeping. Prefer
+    /// [`Prober::probe_batch_into`] in loops — it reuses the caller's
+    /// buffer instead of allocating a fresh `Vec` per call.
     fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
-        addrs.iter().map(|&addr| self.probe(kind, addr)).collect()
+        let mut out = Vec::with_capacity(addrs.len());
+        self.probe_batch_into(kind, addrs, &mut out);
+        out
+    }
+
+    /// Allocation-free batched probe: appends one measurement per
+    /// address to `out` (existing contents are preserved).
+    ///
+    /// This is the hot entry point of every sweep-shaped attack
+    /// (Fig. 4/5/7, the Windows region scan): the sweep engines thread
+    /// one scratch buffer through all tiles, so the steady-state probe
+    /// loop allocates nothing. The default implementation is the probe
+    /// loop; [`SimProber`] forwards to
+    /// [`avx_uarch::Machine::execute_batch_into`], and the hardware
+    /// prober in `avx-hw` keeps the timed instructions in one tight
+    /// loop.
+    fn probe_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
+        out.reserve(addrs.len());
+        for &addr in addrs {
+            let cycles = self.probe(kind, addr);
+            out.push(cycles);
+        }
     }
 
     /// Evicts cached translation state for `addr` (TLB attack setup).
@@ -131,26 +148,48 @@ impl ProbeStrategy {
         addrs: &[VirtAddr],
     ) -> Vec<u64> {
         let mut out = Vec::with_capacity(addrs.len());
+        let mut scratch = ProbeScratch::default();
+        self.measure_batch_into(p, kind, addrs, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free variant of [`ProbeStrategy::measure_batch`]:
+    /// appends one measurement per address to `out`, keeping every
+    /// intermediate buffer (warm-up readings, min-filter rounds) in the
+    /// caller-provided `scratch`. Identical tile decomposition and
+    /// probe order to the allocating variant.
+    pub fn measure_batch_into<P: Prober + ?Sized>(
+        &self,
+        p: &mut P,
+        kind: OpKind,
+        addrs: &[VirtAddr],
+        out: &mut Vec<u64>,
+        scratch: &mut ProbeScratch,
+    ) {
+        out.reserve(addrs.len());
         for tile in addrs.chunks(Self::BATCH_TILE) {
             match *self {
-                ProbeStrategy::Single => out.extend(p.probe_batch(kind, tile)),
+                ProbeStrategy::Single => p.probe_batch_into(kind, tile, out),
                 ProbeStrategy::SecondOfTwo => {
-                    let _ = p.probe_batch(kind, tile);
-                    out.extend(p.probe_batch(kind, tile));
+                    scratch.warm.clear();
+                    p.probe_batch_into(kind, tile, &mut scratch.warm);
+                    p.probe_batch_into(kind, tile, out);
                 }
                 ProbeStrategy::MinOf(n) => {
-                    let _ = p.probe_batch(kind, tile);
-                    let mut mins = p.probe_batch(kind, tile);
+                    scratch.warm.clear();
+                    p.probe_batch_into(kind, tile, &mut scratch.warm);
+                    let start = out.len();
+                    p.probe_batch_into(kind, tile, out);
                     for _ in 1..n.max(1) {
-                        for (min, cycles) in mins.iter_mut().zip(p.probe_batch(kind, tile)) {
+                        scratch.round.clear();
+                        p.probe_batch_into(kind, tile, &mut scratch.round);
+                        for (min, &cycles) in out[start..].iter_mut().zip(&scratch.round) {
                             *min = (*min).min(cycles);
                         }
                     }
-                    out.append(&mut mins);
                 }
             }
         }
-        out
     }
 
     /// Raw probes issued per measurement.
@@ -162,6 +201,18 @@ impl ProbeStrategy {
             ProbeStrategy::MinOf(n) => 1 + u32::from(n.max(1)),
         }
     }
+}
+
+/// Reusable buffers for [`ProbeStrategy::measure_batch_into`]: the
+/// discarded warm-up readings and the min-filter round samples. One
+/// instance serves a whole sweep, so the steady-state measurement loop
+/// performs no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeScratch {
+    /// Warm-up pass readings (discarded).
+    pub warm: Vec<u64>,
+    /// Per-round samples of the min filter.
+    pub round: Vec<u64>,
 }
 
 /// Prober over the microarchitectural simulator.
@@ -232,10 +283,10 @@ impl Prober for SimProber {
         self.machine.probe(kind, addr)
     }
 
-    fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+    fn probe_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
         self.overhead += self.machine.profile().probe_overhead as u64 * addrs.len() as u64;
         self.probes += addrs.len() as u64;
-        self.machine.execute_batch(kind, addrs)
+        self.machine.execute_batch_into(kind, addrs, out);
     }
 
     fn evict(&mut self, addr: VirtAddr) {

@@ -60,11 +60,20 @@ impl AddrRange {
         (0..self.count).map(|i| self.addr(i))
     }
 
-    /// Materializes all candidates (what full-series scans feed to
-    /// [`crate::ProbeStrategy::measure_batch`]).
+    /// Materializes all candidates. Full-series scans no longer need
+    /// this — they stream tiles via [`AddrRange::fill`] — but tests and
+    /// ad-hoc callers keep the convenience.
     #[must_use]
     pub fn to_vec(&self) -> Vec<VirtAddr> {
         self.iter().collect()
+    }
+
+    /// Replaces the contents of `out` with the candidate addresses —
+    /// the streaming alternative to [`AddrRange::to_vec`]: sweeps reuse
+    /// one tile-sized buffer instead of materializing the whole range.
+    pub fn fill(&self, out: &mut Vec<VirtAddr>) {
+        out.clear();
+        out.extend(self.iter());
     }
 
     /// Splits the range into consecutive sub-ranges of at most

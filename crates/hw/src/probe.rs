@@ -166,14 +166,14 @@ impl Prober for HwProber {
         }
     }
 
-    fn probe_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+    fn probe_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
         #[cfg(all(target_arch = "x86_64", feature = "real-avx2"))]
         {
             // Keep the timed instructions in one monomorphic loop: one
-            // bounds-checked pass, one pre-sized allocation, no
-            // per-probe dynamic dispatch — the sweep-shaped attacks call
-            // this with whole candidate tiles.
-            let mut out = Vec::with_capacity(addrs.len());
+            // bounds-checked pass into the caller's reused buffer, no
+            // per-probe dynamic dispatch — the sweep-shaped attacks
+            // stream whole candidate tiles through this entry point.
+            out.reserve(addrs.len());
             let mut batch_cycles = 0u64;
             match kind {
                 OpKind::Load => {
@@ -193,11 +193,10 @@ impl Prober for HwProber {
             }
             self.probing_cycles += batch_cycles;
             self.probes += addrs.len() as u64;
-            out
         }
         #[cfg(not(all(target_arch = "x86_64", feature = "real-avx2")))]
         {
-            let _ = (kind, addrs);
+            let _ = (kind, addrs, out);
             unreachable!("HwProber cannot be constructed without real-avx2")
         }
     }

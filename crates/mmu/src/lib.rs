@@ -46,8 +46,10 @@ pub mod error;
 pub mod flags;
 pub mod psc;
 pub mod pte;
+pub mod shadow;
 pub mod space;
 pub mod table;
+mod tagidx;
 pub mod tlb;
 pub mod walk;
 
@@ -56,6 +58,7 @@ pub use error::MmuError;
 pub use flags::PteFlags;
 pub use psc::{PagingStructureCache, PscConfig};
 pub use pte::Pte;
+pub use shadow::{ShadowIndex, ShadowLookup, ShadowWalk};
 pub use space::{AddressSpace, MappedRegion, PageSize};
 pub use table::{FrameId, Level, PageTable, ENTRIES_PER_TABLE};
 pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbLookup};

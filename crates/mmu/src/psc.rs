@@ -48,59 +48,89 @@ pub struct PscEntry {
     pub perms: EffectivePerms,
 }
 
+/// One fully-associative PSC array.
+///
+/// The array sits inside every simulated walk, and region-scan attacks
+/// miss it on nearly every probe, so membership is answered by a small
+/// open-addressed hash index (tag → slot) instead of a linear scan.
+/// Replacement semantics are identical to the reference
+/// scan-and-min-stamp LRU: strictly increasing stamps, minimum-stamp
+/// (unique ⇒ least-recently-used) victim.
 #[derive(Clone, Debug)]
 struct AssocArray {
     capacity: usize,
-    /// (tag, payload, lru stamp)
-    slots: Vec<(u64, PscEntry, u64)>,
+    tags: Vec<u64>,
+    entries: Vec<PscEntry>,
+    stamps: Vec<u64>,
     clock: u64,
+    index: crate::tagidx::TagIndex,
 }
 
 impl AssocArray {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            slots: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             clock: 0,
+            index: crate::tagidx::TagIndex::with_capacity(capacity),
         }
+    }
+
+    fn position(&self, tag: u64) -> Option<usize> {
+        self.index.find(tag)
     }
 
     fn lookup(&mut self, tag: u64) -> Option<PscEntry> {
         self.clock += 1;
-        let clock = self.clock;
-        for slot in &mut self.slots {
-            if slot.0 == tag {
-                slot.2 = clock;
-                return Some(slot.1);
-            }
+        if let Some(i) = self.position(tag) {
+            self.stamps[i] = self.clock;
+            return Some(self.entries[i]);
         }
         None
     }
 
     fn insert(&mut self, tag: u64, entry: PscEntry) {
         self.clock += 1;
-        if let Some(slot) = self.slots.iter_mut().find(|s| s.0 == tag) {
-            slot.1 = entry;
-            slot.2 = self.clock;
+        if let Some(i) = self.position(tag) {
+            self.entries[i] = entry;
+            self.stamps[i] = self.clock;
             return;
         }
-        if self.slots.len() < self.capacity {
-            self.slots.push((tag, entry, self.clock));
-        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|s| s.2) {
-            *victim = (tag, entry, self.clock);
+        if self.tags.len() < self.capacity {
+            self.tags.push(tag);
+            self.entries.push(entry);
+            self.stamps.push(self.clock);
+            self.index.insert(tag, self.tags.len() - 1);
+        } else if let Some(victim) = (0..self.stamps.len()).min_by_key(|&i| self.stamps[i]) {
+            self.tags[victim] = tag;
+            self.entries[victim] = entry;
+            self.stamps[victim] = self.clock;
+            self.index.rebuild(&self.tags);
         }
     }
 
     fn invalidate_tag(&mut self, tag: u64) {
-        self.slots.retain(|s| s.0 != tag);
+        // Tags are unique (insert dedups), so at most one slot matches;
+        // `remove` keeps slot order identical to the reference retain.
+        if let Some(i) = self.position(tag) {
+            self.tags.remove(i);
+            self.entries.remove(i);
+            self.stamps.remove(i);
+            self.index.rebuild(&self.tags);
+        }
     }
 
     fn clear(&mut self) {
-        self.slots.clear();
+        self.tags.clear();
+        self.entries.clear();
+        self.stamps.clear();
+        self.index.clear();
     }
 
     fn len(&self) -> usize {
-        self.slots.len()
+        self.tags.len()
     }
 }
 
@@ -179,6 +209,20 @@ impl PagingStructureCache {
         let tag = Self::tag_for(va, level);
         if let Some(array) = self.array_for(level) {
             array.insert(tag, entry);
+        }
+    }
+
+    /// `true` when entries at `level` can actually be cached (non-zero
+    /// array capacity; always `false` for PT). The shadow index's
+    /// analytic-retry shortcut requires the deepest intermediate of a
+    /// walk to be cacheable.
+    #[must_use]
+    pub fn can_cache(&self, level: Level) -> bool {
+        match level {
+            Level::Pml4 => self.pml4e.capacity > 0,
+            Level::Pdpt => self.pdpte.capacity > 0,
+            Level::Pd => self.pde.capacity > 0,
+            Level::Pt => false,
         }
     }
 

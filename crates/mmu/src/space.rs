@@ -1,6 +1,7 @@
 //! The four-level page-table address space.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::addr::{PhysAddr, VirtAddr};
 use crate::error::MmuError;
@@ -112,13 +113,32 @@ impl MappedRegion {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// # Snapshots and copy-on-write
+///
+/// The paging-structure arena is reference-counted per table:
+/// [`Clone`]ing an `AddressSpace` is a cheap snapshot (one `Arc` bump
+/// per table, no page data copied), and the first write to any table in
+/// a clone copies just that 4 KiB structure. Campaign engines exploit
+/// this to build a randomized layout once and hand every trial its own
+/// isolated O(1) copy.
+///
+/// # Mutation epoch
+///
+/// Every *effective* PTE change (map, unmap, protect, A/D-bit update
+/// that actually flips bits) bumps [`AddressSpace::epoch`]. Derived
+/// structures — notably the shadow translation index the execution
+/// engine keeps — use the epoch to invalidate themselves; rewriting an
+/// entry with its current value is a no-op and leaves the epoch alone.
 #[derive(Clone)]
 pub struct AddressSpace {
-    tables: Vec<PageTable>,
+    tables: Vec<Arc<PageTable>>,
     root: FrameId,
     /// Next simulated physical frame number handed to data pages.
     next_data_frame: u64,
     mapped_pages: usize,
+    epoch: u64,
+    shape_epoch: u64,
 }
 
 /// Data-page physical frames are handed out from this base so they never
@@ -130,11 +150,63 @@ impl AddressSpace {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            tables: vec![PageTable::new()],
+            tables: vec![Arc::new(PageTable::new())],
             root: FrameId(0),
             next_data_frame: DATA_FRAME_BASE,
             mapped_pages: 0,
+            epoch: 0,
+            shape_epoch: 0,
         }
+    }
+
+    /// Monotonic mutation counter: bumped exactly when some PTE's raw
+    /// value actually changed (or a new paging structure was allocated).
+    /// Rewriting an entry with its current value is a no-op.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Monotonic *walk-shape* counter: bumped only by mutations that can
+    /// change where a walk goes or terminates — entry zero↔non-zero
+    /// transitions, Present flips, huge-leaf flips, and new paging
+    /// structures. Flags-only rewrites (Accessed/Dirty settling, `USER`
+    /// upgrades, `mprotect` permission changes that keep Present) leave
+    /// it alone, so shape-derived caches like
+    /// [`crate::ShadowIndex`] survive the A/D-bit churn of steady-state
+    /// probing.
+    #[must_use]
+    pub fn shape_epoch(&self) -> u64 {
+        self.shape_epoch
+    }
+
+    /// Number of paging structures physically shared with `other`
+    /// (diagnostics for the copy-on-write snapshot tests).
+    #[must_use]
+    pub fn shared_tables_with(&self, other: &Self) -> usize {
+        self.tables
+            .iter()
+            .zip(other.tables.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Writes `pte` into slot `idx` of table `id`, copy-on-write,
+    /// skipping the write (and the epoch bumps) when the slot already
+    /// holds exactly that raw value.
+    fn write_entry(&mut self, id: FrameId, idx: usize, pte: Pte) {
+        let old = self.tables[id.index()].entry(idx);
+        if old.raw() == pte.raw() {
+            return;
+        }
+        self.epoch += 1;
+        if (old.raw() == 0) != (pte.raw() == 0)
+            || old.is_present() != pte.is_present()
+            || old.is_huge_leaf() != pte.is_huge_leaf()
+        {
+            self.shape_epoch += 1;
+        }
+        Arc::make_mut(&mut self.tables[id.index()]).set_entry(idx, pte);
     }
 
     /// The root (PML4) table id.
@@ -167,7 +239,9 @@ impl AddressSpace {
 
     fn alloc_table(&mut self) -> Result<FrameId, MmuError> {
         let id = u32::try_from(self.tables.len()).map_err(|_| MmuError::OutOfFrames)?;
-        self.tables.push(PageTable::new());
+        self.tables.push(Arc::new(PageTable::new()));
+        self.epoch += 1;
+        self.shape_epoch += 1;
         Ok(FrameId(id))
     }
 
@@ -236,8 +310,7 @@ impl AddressSpace {
         for level in Level::WALK_ORDER {
             let idx = va.index_for(level);
             if level == leaf_level {
-                let table = &mut self.tables[table_id.index()];
-                let existing = table.entry(idx);
+                let existing = self.tables[table_id.index()].entry(idx);
                 if existing.raw() != 0 {
                     return Err(if existing.is_huge_leaf() || level == Level::Pt {
                         MmuError::AlreadyMapped { addr: va.as_u64() }
@@ -255,14 +328,18 @@ impl AddressSpace {
                     // silently mapping something surprising.
                     return Err(MmuError::HugePageConflict { addr: va.as_u64() });
                 }
-                table.set_entry(idx, Pte::new(pa, leaf_flags));
+                self.write_entry(table_id, idx, Pte::new(pa, leaf_flags));
                 self.mapped_pages += 1;
                 return Ok(());
             }
 
             // Descend, allocating or validating the intermediate entry.
             let entry = self.tables[table_id.index()].entry(idx);
-            if entry.is_huge_leaf() {
+            if entry.is_huge_leaf() || (entry.raw() != 0 && !entry.is_present()) {
+                // A present huge leaf — or a non-present guard left by
+                // mprotect(PROT_NONE) on a huge page, which keeps PS but
+                // clears Present and must not be dereferenced as a
+                // table pointer (its address is a data frame).
                 return Err(MmuError::HugePageConflict { addr: va.as_u64() });
             }
             let next_id = if entry.raw() == 0 {
@@ -271,7 +348,8 @@ impl AddressSpace {
                 if flags.is_user() {
                     inter |= PteFlags::USER;
                 }
-                self.tables[table_id.index()].set_entry(
+                self.write_entry(
+                    table_id,
                     idx,
                     Pte::new(PhysAddr::from_frame_number(new_id.0 as u64), inter),
                 );
@@ -279,8 +357,7 @@ impl AddressSpace {
             } else {
                 // Upgrade intermediate permissions if this mapping needs them.
                 if flags.is_user() && !entry.flags().is_user() {
-                    self.tables[table_id.index()]
-                        .set_entry(idx, entry.with_flags_set(PteFlags::USER));
+                    self.write_entry(table_id, idx, entry.with_flags_set(PteFlags::USER));
                 }
                 FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"))
             };
@@ -360,7 +437,7 @@ impl AddressSpace {
             });
         }
         let (table_id, idx) = self.locate_leaf_slot(va, size)?;
-        self.tables[table_id.index()].set_entry(idx, Pte::zero());
+        self.write_entry(table_id, idx, Pte::zero());
         self.mapped_pages -= 1;
         // Free empty paging structures, as OS kernels do on munmap —
         // otherwise a stale empty PT/PD would block a later huge-page
@@ -378,7 +455,11 @@ impl AddressSpace {
         for level in Level::WALK_ORDER {
             let idx = va.index_for(level);
             let entry = self.tables[table_id.index()].entry(idx);
-            if entry.raw() == 0 || entry.is_huge_leaf() || level == Level::Pt {
+            // Stop at anything that is not a present intermediate — a
+            // non-present guard leaf carries a data-frame address that
+            // must not be followed as a table link.
+            if entry.raw() == 0 || !entry.is_present() || entry.is_huge_leaf() || level == Level::Pt
+            {
                 break;
             }
             path.push((table_id, idx));
@@ -389,7 +470,7 @@ impl AddressSpace {
             let child =
                 FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame id"));
             if self.tables[child.index()].is_empty() {
-                self.tables[parent.index()].set_entry(idx, Pte::zero());
+                self.write_entry(parent, idx, Pte::zero());
             } else {
                 break;
             }
@@ -418,7 +499,7 @@ impl AddressSpace {
         if size != PageSize::Size4K {
             new_flags |= PteFlags::HUGE;
         }
-        self.tables[table_id.index()].set_entry(idx, entry.with_flags(new_flags));
+        self.write_entry(table_id, idx, entry.with_flags(new_flags));
         if flags.is_user() {
             self.upgrade_intermediates_to_user(va);
         }
@@ -436,7 +517,7 @@ impl AddressSpace {
                 return;
             }
             if !entry.flags().is_user() {
-                self.tables[table_id.index()].set_entry(idx, entry.with_flags_set(PteFlags::USER));
+                self.write_entry(table_id, idx, entry.with_flags_set(PteFlags::USER));
             }
             table_id = FrameId(u32::try_from(entry.addr().frame_number()).expect("table frame"));
         }
@@ -464,7 +545,9 @@ impl AddressSpace {
         if write {
             set |= PteFlags::DIRTY;
         }
-        self.tables[table_id.index()].set_entry(idx, entry.with_flags_set(set));
+        // Steady-state probes re-set already-set bits; `write_entry`
+        // recognizes the no-op and leaves the epoch untouched.
+        self.write_entry(table_id, idx, entry.with_flags_set(set));
         Ok(old)
     }
 
@@ -479,7 +562,8 @@ impl AddressSpace {
             .locate_any_leaf(va)
             .ok_or(MmuError::NotMapped { addr: va.as_u64() })?;
         let entry = self.tables[table_id.index()].entry(idx);
-        self.tables[table_id.index()].set_entry(
+        self.write_entry(
+            table_id,
             idx,
             entry.with_flags_cleared(PteFlags::ACCESSED | PteFlags::DIRTY),
         );
@@ -862,6 +946,32 @@ mod tests {
             assert!(s.lookup(a.wrapping_add(i * 4096)).is_none(), "page {i}");
         }
         assert_eq!(s.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn guarded_huge_page_is_not_mistaken_for_a_table() {
+        // mprotect(PROT_NONE) on a 2 MiB page keeps the PS bit but
+        // clears Present; a later 4 KiB map (or unmap-driven prune)
+        // below it must treat the slot as a conflict, not follow its
+        // data-frame address as a paging-structure pointer.
+        let mut s = AddressSpace::new();
+        let big = va(0x6000_0000_0000);
+        s.map(big, PageSize::Size2M, PteFlags::user_rw()).unwrap();
+        s.protect(big, PageSize::Size2M, PteFlags::none_guard())
+            .unwrap();
+        let small = va(0x6000_0000_3000);
+        assert_eq!(
+            s.map(small, PageSize::Size4K, PteFlags::user_rw()),
+            Err(MmuError::HugePageConflict {
+                addr: small.as_u64()
+            })
+        );
+        // Prune paths triggered by a sibling unmap stay on the tables.
+        let sibling = va(0x6000_0020_0000);
+        s.map(sibling, PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
+        s.unmap(sibling, PageSize::Size2M).unwrap();
+        assert!(s.lookup(big).is_none(), "guard stays non-present");
     }
 
     #[test]

@@ -73,12 +73,57 @@ pub enum TlbLookup {
     L2,
 }
 
+/// Packed lookup key: VPN in the high bits, a 2-bit page-size code in
+/// the low bits, so a way-scan is one dense `u64` compare per way.
+fn tlb_key(vpn: u64, size: PageSize) -> u64 {
+    let code = match size {
+        PageSize::Size4K => 0u64,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    };
+    (vpn << 2) | code
+}
+
+fn tlb_key_for_shift(va: VirtAddr, size_shift: u32) -> u64 {
+    let code = match size_shift {
+        12 => 0u64,
+        21 => 1,
+        30 => 2,
+        _ => unreachable!("architectural page shifts only"),
+    };
+    ((va.as_u64() >> size_shift) << 2) | code
+}
+
+/// A placeholder for invalid slots (parallel-array layout needs a value
+/// there; `stamp == 0` marks it dead and it is never read as an entry).
+const DEAD_ENTRY: TlbEntry = TlbEntry {
+    vpn: 0,
+    size: PageSize::Size4K,
+    pfn: 0,
+    perms: EffectivePerms {
+        user: false,
+        writable: false,
+        no_execute: false,
+        global: false,
+        dirty: false,
+    },
+};
+
+/// Set-associative array in a struct-of-arrays layout: the hot way-scan
+/// touches a dense stamp/key slice (the tuple-of-`Option` layout made
+/// every probe walk ~56 bytes per way). Replacement semantics are
+/// unchanged: strictly increasing stamps, minimum-stamp LRU victim.
 #[derive(Clone, Debug)]
 struct SetAssoc {
     sets: usize,
     ways: usize,
-    /// slots[set * ways + way] = (entry, lru stamp); stamp 0 = invalid.
-    slots: Vec<Option<(TlbEntry, u64)>>,
+    /// stamps[set * ways + way]; 0 = invalid.
+    stamps: Vec<u64>,
+    keys: Vec<u64>,
+    entries: Vec<TlbEntry>,
+    /// Live entries per set: region sweeps miss on almost every probe,
+    /// and most sets are empty, so the way-scan is skipped outright.
+    live: Vec<u16>,
     clock: u64,
 }
 
@@ -87,7 +132,10 @@ impl SetAssoc {
         Self {
             sets,
             ways,
-            slots: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            keys: vec![0; sets * ways],
+            entries: vec![DEAD_ENTRY; sets * ways],
+            live: vec![0; sets],
             clock: 0,
         }
     }
@@ -98,16 +146,17 @@ impl SetAssoc {
 
     fn lookup(&mut self, va: VirtAddr, size_shift: u32) -> Option<TlbEntry> {
         self.clock += 1;
-        let clock = self.clock;
         let vpn = va.as_u64() >> size_shift;
         let set = self.set_index(vpn);
-        for way in 0..self.ways {
-            let slot = &mut self.slots[set * self.ways + way];
-            if let Some((entry, stamp)) = slot {
-                if entry.vpn == vpn && entry.size.shift() == size_shift {
-                    *stamp = clock;
-                    return Some(*entry);
-                }
+        if self.live[set] == 0 {
+            return None;
+        }
+        let key = tlb_key_for_shift(va, size_shift);
+        let base = set * self.ways;
+        for slot in base..base + self.ways {
+            if self.stamps[slot] != 0 && self.keys[slot] == key {
+                self.stamps[slot] = self.clock;
+                return Some(self.entries[slot]);
             }
         }
         None
@@ -115,118 +164,206 @@ impl SetAssoc {
 
     fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         self.clock += 1;
+        let key = tlb_key(entry.vpn, entry.size);
         let set = self.set_index(entry.vpn);
         let base = set * self.ways;
         // Update in place if present.
-        for way in 0..self.ways {
-            if let Some((existing, stamp)) = &mut self.slots[base + way] {
-                if existing.vpn == entry.vpn && existing.size == entry.size {
-                    *existing = entry;
-                    *stamp = self.clock;
-                    return None;
-                }
-            }
-        }
-        // Free way?
-        for way in 0..self.ways {
-            if self.slots[base + way].is_none() {
-                self.slots[base + way] = Some((entry, self.clock));
+        for slot in base..base + self.ways {
+            if self.stamps[slot] != 0 && self.keys[slot] == key {
+                self.entries[slot] = entry;
+                self.stamps[slot] = self.clock;
                 return None;
             }
         }
-        // Evict LRU.
-        let victim_way = (0..self.ways)
-            .min_by_key(|&w| self.slots[base + w].map_or(0, |(_, s)| s))
+        // Free way?
+        for slot in base..base + self.ways {
+            if self.stamps[slot] == 0 {
+                self.stamps[slot] = self.clock;
+                self.keys[slot] = key;
+                self.entries[slot] = entry;
+                self.live[set] += 1;
+                return None;
+            }
+        }
+        // Evict LRU (stamps are unique and non-zero here).
+        let victim = (base..base + self.ways)
+            .min_by_key(|&slot| self.stamps[slot])
             .expect("ways > 0");
-        let evicted = self.slots[base + victim_way].take().map(|(e, _)| e);
-        self.slots[base + victim_way] = Some((entry, self.clock));
-        evicted
+        let evicted = self.entries[victim];
+        self.stamps[victim] = self.clock;
+        self.keys[victim] = key;
+        self.entries[victim] = entry;
+        Some(evicted)
     }
 
     fn invalidate(&mut self, va: VirtAddr) {
-        for slot in &mut self.slots {
-            if let Some((entry, _)) = slot {
-                if entry.covers(va) {
-                    *slot = None;
-                }
+        for slot in 0..self.stamps.len() {
+            if self.stamps[slot] != 0 && self.entries[slot].covers(va) {
+                self.stamps[slot] = 0;
+                self.live[slot / self.ways] -= 1;
             }
         }
     }
 
     fn flush(&mut self, keep_global: bool) {
-        for slot in &mut self.slots {
-            let keep = keep_global && slot.is_some_and(|(e, _)| e.perms.global);
+        for slot in 0..self.stamps.len() {
+            let keep = keep_global && self.stamps[slot] != 0 && self.entries[slot].perms.global;
             if !keep {
-                *slot = None;
+                if self.stamps[slot] != 0 {
+                    self.live[slot / self.ways] -= 1;
+                }
+                self.stamps[slot] = 0;
+            }
+        }
+    }
+
+    fn contains(&self, va: VirtAddr) -> bool {
+        (0..self.stamps.len()).any(|s| self.stamps[s] != 0 && self.entries[s].covers(va))
+    }
+
+    fn set_dirty(&mut self, va: VirtAddr) {
+        for slot in 0..self.stamps.len() {
+            if self.stamps[slot] != 0 && self.entries[slot].covers(va) {
+                self.entries[slot].perms.dirty = true;
             }
         }
     }
 
     fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.stamps.iter().filter(|&&s| s != 0).count()
     }
 }
 
+/// Fully-associative array with an open-addressed key index: probes
+/// miss it on nearly every sweep candidate, so membership must not cost
+/// a scan. Hit order (first matching slot) and LRU replacement are
+/// identical to the reference tuple-vector implementation — the index
+/// stores slot positions, and the (at most three) per-size candidates
+/// are resolved to the lowest position, which is exactly the first
+/// match of a slot-order scan.
 #[derive(Clone, Debug)]
 struct FullyAssoc {
     capacity: usize,
-    slots: Vec<(TlbEntry, u64)>,
+    keys: Vec<u64>,
+    entries: Vec<TlbEntry>,
+    stamps: Vec<u64>,
     clock: u64,
+    index: crate::tagidx::TagIndex,
 }
 
 impl FullyAssoc {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            slots: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             clock: 0,
+            index: crate::tagidx::TagIndex::with_capacity(capacity),
         }
+    }
+
+    /// Slot holding exactly `key`, via the shared tag index (keys are
+    /// unique: insert dedups by (vpn, size)).
+    fn key_position(&self, key: u64) -> Option<usize> {
+        self.index.find(key)
+    }
+
+    /// First slot whose entry covers `va` (scan order = slot order, as
+    /// in the reference implementation). An entry covers `va` iff its
+    /// packed key equals the key derived from `va` at the entry's page
+    /// size; distinct sizes may both cover `va` (stale entries), so the
+    /// lowest slot position wins — the first match of a linear scan.
+    fn covering_position(&self, va: VirtAddr) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        // Only 2 MiB / 1 GiB translations ever land here ([`Tlb`] routes
+        // 4 KiB entries to the D-TLB), so two candidate keys suffice.
+        let mut best: Option<usize> = None;
+        for shift in [21u32, 30] {
+            if let Some(pos) = self.key_position(tlb_key_for_shift(va, shift)) {
+                best = Some(best.map_or(pos, |b: usize| b.min(pos)));
+            }
+        }
+        best
     }
 
     fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
         self.clock += 1;
-        let clock = self.clock;
-        for (entry, stamp) in &mut self.slots {
-            if entry.covers(va) {
-                *stamp = clock;
-                return Some(*entry);
-            }
+        if let Some(i) = self.covering_position(va) {
+            self.stamps[i] = self.clock;
+            return Some(self.entries[i]);
         }
         None
     }
 
     fn insert(&mut self, entry: TlbEntry) {
         self.clock += 1;
-        if let Some((existing, stamp)) = self
-            .slots
-            .iter_mut()
-            .find(|(e, _)| e.vpn == entry.vpn && e.size == entry.size)
-        {
-            *existing = entry;
-            *stamp = self.clock;
+        let key = tlb_key(entry.vpn, entry.size);
+        if let Some(i) = self.key_position(key) {
+            self.entries[i] = entry;
+            self.stamps[i] = self.clock;
             return;
         }
-        if self.slots.len() < self.capacity {
-            self.slots.push((entry, self.clock));
-        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
-            *victim = (entry, self.clock);
+        if self.keys.len() < self.capacity {
+            self.keys.push(key);
+            self.entries.push(entry);
+            self.stamps.push(self.clock);
+            self.index.insert(key, self.keys.len() - 1);
+        } else if let Some(victim) = (0..self.stamps.len()).min_by_key(|&i| self.stamps[i]) {
+            self.keys[victim] = key;
+            self.entries[victim] = entry;
+            self.stamps[victim] = self.clock;
+            self.index.rebuild(&self.keys);
         }
     }
 
     fn invalidate(&mut self, va: VirtAddr) {
-        self.slots.retain(|(e, _)| !e.covers(va));
+        while let Some(i) = self.covering_position(va) {
+            self.keys.remove(i);
+            self.entries.remove(i);
+            self.stamps.remove(i);
+            // Positions shifted; rebuild before re-probing.
+            self.index.rebuild(&self.keys);
+        }
     }
 
     fn flush(&mut self, keep_global: bool) {
         if keep_global {
-            self.slots.retain(|(e, _)| e.perms.global);
+            let mut i = 0;
+            while i < self.keys.len() {
+                if self.entries[i].perms.global {
+                    i += 1;
+                } else {
+                    self.keys.remove(i);
+                    self.entries.remove(i);
+                    self.stamps.remove(i);
+                }
+            }
+            self.index.rebuild(&self.keys);
         } else {
-            self.slots.clear();
+            self.keys.clear();
+            self.entries.clear();
+            self.stamps.clear();
+            self.index.clear();
+        }
+    }
+
+    fn contains(&self, va: VirtAddr) -> bool {
+        self.covering_position(va).is_some()
+    }
+
+    fn set_dirty(&mut self, va: VirtAddr) {
+        for i in 0..self.keys.len() {
+            if self.entries[i].covers(va) {
+                self.entries[i].perms.dirty = true;
+            }
         }
     }
 
     fn len(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
     }
 }
 
@@ -317,10 +454,7 @@ impl Tlb {
     /// Peeks without touching replacement state or counters.
     #[must_use]
     pub fn contains(&self, va: VirtAddr) -> bool {
-        let in_dtlb = self.dtlb.slots.iter().flatten().any(|(e, _)| e.covers(va));
-        let in_huge = self.huge.slots.iter().any(|(e, _)| e.covers(va));
-        let in_stlb = self.stlb.slots.iter().flatten().any(|(e, _)| e.covers(va));
-        in_dtlb || in_huge || in_stlb
+        self.dtlb.contains(va) || self.huge.contains(va) || self.stlb.contains(va)
     }
 
     fn promote(&mut self, entry: TlbEntry) {
@@ -340,21 +474,9 @@ impl Tlb {
 
     /// Updates the cached dirty state for `va`, if cached (store fills).
     pub fn set_dirty(&mut self, va: VirtAddr) {
-        for slot in self.dtlb.slots.iter_mut().flatten() {
-            if slot.0.covers(va) {
-                slot.0.perms.dirty = true;
-            }
-        }
-        for slot in self.huge.slots.iter_mut() {
-            if slot.0.covers(va) {
-                slot.0.perms.dirty = true;
-            }
-        }
-        for slot in self.stlb.slots.iter_mut().flatten() {
-            if slot.0.covers(va) {
-                slot.0.perms.dirty = true;
-            }
-        }
+        self.dtlb.set_dirty(va);
+        self.huge.set_dirty(va);
+        self.stlb.set_dirty(va);
     }
 
     /// Invalidates any translation covering `va` (the `INVLPG` part that

@@ -83,7 +83,7 @@ pub struct WalkAccessList {
 }
 
 impl WalkAccessList {
-    fn push(&mut self, table: FrameId, index: usize) {
+    pub(crate) fn push(&mut self, table: FrameId, index: usize) {
         debug_assert!(self.len < 4, "a 4-level walk reads at most 4 entries");
         self.items[self.len as usize] = (table, index as u16);
         self.len += 1;
@@ -232,6 +232,34 @@ impl Walker {
             }
         }
 
+        self.walk_from(
+            space,
+            va,
+            start_level,
+            table_id,
+            perms,
+            psc_resume_level,
+            psc,
+        )
+    }
+
+    /// The walk continuation: descends from (`start_level`, `table_id`)
+    /// with `perms` already accumulated. This is the single source of
+    /// truth for walk semantics — the PSC-resume path above and the
+    /// shadow index's stale-PSC fallback both funnel through it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn walk_from(
+        &self,
+        space: &AddressSpace,
+        va: VirtAddr,
+        start_level: Level,
+        start_table: FrameId,
+        start_perms: EffectivePerms,
+        psc_resume_level: Option<Level>,
+        mut psc: Option<&mut PagingStructureCache>,
+    ) -> WalkOutcome {
+        let mut table_id = start_table;
+        let mut perms = start_perms;
         let mut accesses = 0u8;
         let mut access_list = WalkAccessList::default();
         let mut level = start_level;

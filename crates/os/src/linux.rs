@@ -392,6 +392,19 @@ impl LinuxSystem {
     pub fn into_machine(self, profile: CpuProfile, seed: u64) -> (Machine, LinuxTruth) {
         (Machine::new(profile, self.space, seed), self.truth)
     }
+
+    /// Builds a [`Machine`] from a copy-on-write snapshot of this
+    /// system, leaving the system reusable: the paging-structure arena
+    /// is shared until the machine first writes to it (A/D-bit
+    /// settling), so campaign engines construct one layout per seed and
+    /// hand every (CPU, noise) trial its own isolated O(1) copy.
+    #[must_use]
+    pub fn machine(&self, profile: CpuProfile, seed: u64) -> (Machine, LinuxTruth) {
+        (
+            Machine::new(profile, self.space.clone(), seed),
+            self.truth.clone(),
+        )
+    }
 }
 
 /// FLARE ([5]): map dummy pages over every unmapped kernel-text slot and

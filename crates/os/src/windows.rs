@@ -189,6 +189,14 @@ impl WindowsSystem {
     pub fn into_machine(self, profile: CpuProfile, seed: u64) -> (Machine, WindowsTruth) {
         (Machine::new(profile, self.space, seed), self.truth)
     }
+
+    /// Builds a [`Machine`] from a copy-on-write snapshot of this
+    /// system, leaving the system reusable across trials (see
+    /// [`crate::linux::LinuxSystem::machine`]).
+    #[must_use]
+    pub fn machine(&self, profile: CpuProfile, seed: u64) -> (Machine, WindowsTruth) {
+        (Machine::new(profile, self.space.clone(), seed), self.truth)
+    }
 }
 
 /// Simulates one victim syscall: the kernel executes its entry code,

@@ -7,17 +7,39 @@
 //! and [`cold`](crate::TimingParams::walk_step_cold) step costs — the
 //! difference behind the paper's P4 experiment (381 vs 147 cycles) and
 //! the Fig. 6 idle level.
+//!
+//! The cache sits on the probe hot path (every walk step touches it), so
+//! it is implemented as a true O(1) LRU: a dense direct index over the
+//! (frame, line) key space plus an intrusive recency list. Replacement
+//! behaviour is identical to the reference linear-scan/min-stamp LRU —
+//! stamps were strictly increasing, so the minimum-stamp victim *is* the
+//! least-recently-touched entry, i.e. the tail of the recency list.
 
 use avx_mmu::FrameId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct LruNode {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
 
 /// LRU cache keyed by (paging-structure frame, 64-byte line index).
 #[derive(Clone, Debug)]
 pub struct PteLineCache {
     capacity: usize,
-    /// (key, stamp); linear scan — capacity is small and probes are the
-    /// hot path, so locality beats hashing here.
-    slots: Vec<(u64, u64)>,
-    clock: u64,
+    /// Node arena; at most `capacity` nodes are ever allocated.
+    nodes: Vec<LruNode>,
+    /// Most-recently-touched node.
+    head: u32,
+    /// Least-recently-touched node (the eviction victim).
+    tail: u32,
+    /// Dense key → node-index+1 map (0 = absent). Keys combine a table
+    /// arena index with a 6-bit line index, so the space is small and
+    /// grows only when new paging structures are allocated.
+    index: Vec<u32>,
 }
 
 impl PteLineCache {
@@ -29,8 +51,10 @@ impl PteLineCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            slots: Vec::with_capacity(capacity.min(1024)),
-            clock: 0,
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            index: Vec::new(),
         }
     }
 
@@ -38,45 +62,108 @@ impl PteLineCache {
         ((table.index() as u64) << 6) | (entry_index as u64 >> 3)
     }
 
+    fn slot(&mut self, key: u64) -> &mut u32 {
+        let key = key as usize;
+        if key >= self.index.len() {
+            self.index.resize(key + 1, 0);
+        }
+        &mut self.index[key]
+    }
+
+    fn unlink(&mut self, node: u32) {
+        let LruNode { prev, next, .. } = self.nodes[node as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, node: u32) {
+        self.nodes[node as usize].prev = NIL;
+        self.nodes[node as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = node;
+        }
+        self.head = node;
+        if self.tail == NIL {
+            self.tail = node;
+        }
+    }
+
     /// Records an access to `entry_index` of `table`; returns `true` if
     /// the line was already cached (a *warm* access).
     pub fn touch(&mut self, table: FrameId, entry_index: usize) -> bool {
-        self.clock += 1;
+        if self.capacity == 0 {
+            // A disabled cache caches nothing: every access is cold
+            // (the reference min-stamp implementation degraded the same
+            // way).
+            return false;
+        }
         let key = Self::key(table, entry_index);
-        if let Some(slot) = self.slots.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = self.clock;
+        let mapped = *self.slot(key);
+        if mapped != 0 {
+            let node = mapped - 1;
+            if self.head != node {
+                self.unlink(node);
+                self.push_front(node);
+            }
             return true;
         }
-        if self.slots.len() < self.capacity {
-            self.slots.push((key, self.clock));
-        } else if let Some(victim) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
-            *victim = (key, self.clock);
-        }
+        let node = if self.nodes.len() < self.capacity {
+            self.nodes.push(LruNode {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        } else {
+            // Evict the least-recently-touched line and reuse its node.
+            let victim = self.tail;
+            let old_key = self.nodes[victim as usize].key;
+            self.unlink(victim);
+            *self.slot(old_key) = 0;
+            self.nodes[victim as usize].key = key;
+            victim
+        };
+        self.push_front(node);
+        *self.slot(key) = node + 1;
         false
     }
 
     /// Checks warmth without updating recency (diagnostics).
     #[must_use]
     pub fn contains(&self, table: FrameId, entry_index: usize) -> bool {
-        let key = Self::key(table, entry_index);
-        self.slots.iter().any(|(k, _)| *k == key)
+        let key = Self::key(table, entry_index) as usize;
+        self.index.get(key).is_some_and(|&m| m != 0)
     }
 
     /// Drops everything (models cache thrashing by an eviction loop).
     pub fn flush(&mut self) {
-        self.slots.clear();
+        for i in 0..self.nodes.len() {
+            let key = self.nodes[i].key as usize;
+            self.index[key] = 0;
+        }
+        self.nodes.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Number of cached lines.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.nodes.len()
     }
 
     /// `true` when empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.nodes.is_empty()
     }
 }
 
@@ -128,6 +215,14 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_cache_is_always_cold() {
+        let mut c = PteLineCache::new(0);
+        assert!(!c.touch(FrameId::new(1), 0));
+        assert!(!c.touch(FrameId::new(1), 0), "nothing is ever cached");
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn flush_empties() {
         let mut c = PteLineCache::default();
         c.touch(FrameId::new(1), 0);
@@ -135,5 +230,45 @@ mod tests {
         c.flush();
         assert!(c.is_empty());
         assert!(!c.touch(FrameId::new(1), 0), "cold again after flush");
+    }
+
+    #[test]
+    fn eviction_order_matches_reference_lru_under_churn() {
+        // Cross-check against a straightforward stamp-based LRU (the
+        // previous implementation) over a deterministic churn pattern.
+        struct Reference {
+            capacity: usize,
+            slots: Vec<(u64, u64)>,
+            clock: u64,
+        }
+        impl Reference {
+            fn touch(&mut self, key: u64) -> bool {
+                self.clock += 1;
+                if let Some(slot) = self.slots.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = self.clock;
+                    return true;
+                }
+                if self.slots.len() < self.capacity {
+                    self.slots.push((key, self.clock));
+                } else if let Some(victim) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
+                    *victim = (key, self.clock);
+                }
+                false
+            }
+        }
+        let mut fast = PteLineCache::new(8);
+        let mut reference = Reference {
+            capacity: 8,
+            slots: Vec::new(),
+            clock: 0,
+        };
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..4096 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let table = FrameId::new(((state >> 33) % 5) as u32);
+            let entry = ((state >> 13) % 512) as usize;
+            let key = ((table.index() as u64) << 6) | (entry as u64 >> 3);
+            assert_eq!(fast.touch(table, entry), reference.touch(key));
+        }
     }
 }

@@ -17,8 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use avx_mmu::{
-    AddressSpace, Level, PagingStructureCache, Tlb, TlbEntry, TlbLookup, VirtAddr, WalkOutcome,
-    Walker,
+    AddressSpace, Level, PagingStructureCache, ShadowIndex, ShadowWalk, Tlb, TlbEntry, TlbLookup,
+    VirtAddr, WalkOutcome, Walker,
 };
 
 use crate::lines::PteLineCache;
@@ -119,6 +119,18 @@ pub struct Machine {
     psc: PagingStructureCache,
     lines: PteLineCache,
     walker: Walker,
+    /// Epoch-cached shadow translation index; rebuilt lazily whenever
+    /// the address space's *walk shape* mutates (keyed on
+    /// [`AddressSpace::shape_epoch`] — flags-only PTE rewrites such as
+    /// A/D-bit settling deliberately do not invalidate it, because the
+    /// index reads entry values live).
+    shadow: Option<ShadowIndex>,
+    /// Interval cursor of the last shadow lookup — sweeps touch
+    /// consecutive intervals, making the common lookup O(1).
+    shadow_hint: usize,
+    /// `false` forces the reference walker (the bit-exactness property
+    /// suites compare the two paths).
+    shadow_enabled: bool,
     pmc: PmcBank,
     mem: SparseMemory,
     noise: NoiseModel,
@@ -144,6 +156,9 @@ impl Machine {
             psc,
             lines: PteLineCache::default(),
             walker: Walker::new(),
+            shadow: None,
+            shadow_hint: 0,
+            shadow_enabled: true,
             pmc: PmcBank::new(),
             mem: SparseMemory::new(),
             noise,
@@ -240,12 +255,59 @@ impl Machine {
         self.lines.flush();
     }
 
+    /// Disables (or re-enables) the shadow translation index, forcing
+    /// every walk through the reference [`Walker`]. The two paths are
+    /// observably identical — this switch exists so the property suites
+    /// can *prove* that by running both against the same op sequence.
+    pub fn set_shadow_enabled(&mut self, enabled: bool) {
+        self.shadow_enabled = enabled;
+    }
+
+    /// One page-table walk through the shadow fast path (rebuilding the
+    /// index if the space mutated) or the reference walker.
+    fn walk_shadowed(&mut self, va: VirtAddr, use_psc: bool) -> WalkOutcome {
+        if self.shadow_enabled {
+            let current = matches!(&self.shadow, Some(s) if s.is_current(&self.space));
+            if !current {
+                self.shadow = Some(ShadowIndex::build(&self.space));
+            }
+            let shadow = self.shadow.as_ref().expect("just built");
+            let psc = if use_psc { Some(&mut self.psc) } else { None };
+            shadow.walk_hinted(&self.space, va, psc, &mut self.shadow_hint)
+        } else if use_psc {
+            self.walker.walk_with_psc(&self.space, va, &mut self.psc)
+        } else {
+            self.walker.walk(&self.space, va)
+        }
+    }
+
+    /// Accessed/Dirty maintenance after a successful translation. The
+    /// slow path re-walks to the leaf on every probe; in steady state
+    /// the bits are already set, so consult the shadow index's terminal
+    /// slot first and skip the (no-op) write entirely.
+    fn mark_accessed_shadowed(&mut self, page: VirtAddr, write: bool) {
+        if self.shadow_enabled {
+            if let Some(shadow) = self.shadow.as_ref().filter(|s| s.is_current(&self.space)) {
+                let (table, idx) = shadow.terminal_slot(page, &mut self.shadow_hint);
+                let entry = self.space.table(table).entry(idx);
+                let mut need = avx_mmu::PteFlags::ACCESSED;
+                if write {
+                    need |= avx_mmu::PteFlags::DIRTY;
+                }
+                if entry.is_present() && entry.flags().contains(need) {
+                    return; // already set: the write below would no-op
+                }
+            }
+        }
+        let _ = self.space.mark_accessed(page, write);
+    }
+
     /// Simulates the *kernel itself* using the page at `va` (syscall,
     /// interrupt handler, driver code): the translation is walked and
     /// cached in the shared TLB with its true (supervisor) permissions.
     /// Drives the Fig. 6 user-behaviour signal and the FLARE bypass.
     pub fn touch_as_kernel(&mut self, va: VirtAddr) {
-        let walk = self.walker.walk_with_psc(&self.space, va, &mut self.psc);
+        let walk = self.walk_shadowed(va, true);
         for (table, idx) in walk.accesses.iter() {
             let _ = self.lines.touch(table, idx);
         }
@@ -280,6 +342,16 @@ impl Machine {
     /// all-zero mask moves no data), which is what makes large
     /// Fig. 4/5/7-style sweeps fast.
     pub fn execute_batch(&mut self, kind: OpKind, addrs: &[VirtAddr]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(addrs.len());
+        self.execute_batch_into(kind, addrs, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Machine::execute_batch`]: appends
+    /// one measurement per address to `out`, reusing its capacity.
+    /// Sweep engines thread one scratch buffer through every tile, so
+    /// the steady-state probe loop performs no heap allocation at all.
+    pub fn execute_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
         let t = self.profile.timing;
         let (retired_event, walk_event, base) = match kind {
             OpKind::Load => (
@@ -298,7 +370,7 @@ impl Machine {
         // past the base address.
         let last_lane_offset = 7 * ElemWidth::Dword.bytes();
 
-        let mut out = Vec::with_capacity(addrs.len());
+        out.reserve(addrs.len());
         for &addr in addrs {
             self.pmc.bump(retired_event);
             let mut acc = OpAccounting::new(base);
@@ -320,7 +392,6 @@ impl Machine {
             self.tsc += measured;
             out.push(measured);
         }
-        out
     }
 
     /// Translates and accounts one touched page of a masked op — the
@@ -361,7 +432,7 @@ impl Machine {
             }
             // A-bit maintenance; D only when lanes actually store.
             let writes = kind == OpKind::Store && has_unmasked;
-            let _ = self.space.mark_accessed(page, writes);
+            self.mark_accessed_shadowed(page, writes);
             if writes {
                 self.tlb.set_dirty(page);
             }
@@ -494,19 +565,35 @@ impl Machine {
 
         // Walk. Non-present translations are re-walked while the assist
         // decides suppression (Fig. 2: 2 completed walks per probe).
-        let first = self.perform_walk(page, bypass);
-        let mut cycles = first.1;
+        let (walk, mut cycles) = self.perform_walk(page, bypass);
         let mut walks: u8 = 1;
-        let outcome = first.0;
 
-        if !outcome.is_mapped() {
+        if !walk.present_leaf {
             // Intel's suppression assist re-walks the translation
             // (Fig. 2: 2 completed walks). AMD shows no such retry —
             // mapped and unmapped kernel pages time identically (§IV-B).
             if !bypass {
                 for _ in 1..t.nonpresent_retries.max(1) {
-                    let retry = self.perform_walk(page, bypass);
-                    cycles += retry.1;
+                    if walk.clean_replay {
+                        // The first walk ran through the clean shadow
+                        // replay, so the retry is fully determined (see
+                        // `ShadowWalk::clean_replay`): it resumes from
+                        // the deepest intermediate the first walk left
+                        // in the PSC and re-reads only the terminal
+                        // entry, whose line the first walk just made
+                        // warm. A PML4-terminated walk has no resume
+                        // point, so it alone pays the level extras.
+                        // PSC/line replacement *order* is untouched —
+                        // the retry would only refresh the entry that
+                        // is already the most recent of its array.
+                        cycles += t.walk_step_warm;
+                        if walk.terminal_level == Level::Pml4 {
+                            cycles += t.level_extra_pml4;
+                        }
+                    } else {
+                        let retry = self.perform_walk(page, bypass);
+                        cycles += retry.1;
+                    }
                     walks += 1;
                 }
             }
@@ -517,72 +604,110 @@ impl Machine {
                 dirty: false,
                 phys_frame: None,
                 tlb_hit: None,
-                terminal_level: Some(outcome.terminal_level),
+                terminal_level: Some(walk.terminal_level),
                 walks,
                 cycles,
             };
         }
 
-        let mapping = outcome.mapping.expect("mapped outcome has mapping");
         if !bypass {
             // Present translations are cached even when the permission
             // check will fail — the observable that keeps KERNEL-M at
             // zero walks in Fig. 2.
             self.tlb.insert(TlbEntry {
-                vpn: page.as_u64() >> mapping.size.shift(),
-                size: mapping.size,
-                pfn: mapping.phys.frame_number(),
-                perms: outcome.perms,
+                vpn: page.as_u64() >> walk.page_size.shift(),
+                size: walk.page_size,
+                pfn: walk.frame_number,
+                perms: walk.perms,
             });
         }
         PageVerdict {
             present: true,
-            user: outcome.perms.user,
-            writable: outcome.perms.writable,
-            dirty: outcome.perms.dirty,
-            phys_frame: Some(mapping.phys.frame_number()),
+            user: walk.perms.user,
+            writable: walk.perms.writable,
+            dirty: walk.perms.dirty,
+            phys_frame: Some(walk.frame_number),
             tlb_hit: None,
-            terminal_level: Some(outcome.terminal_level),
+            terminal_level: Some(walk.terminal_level),
             walks,
             cycles,
         }
     }
 
     /// One page-table walk with cycle accounting.
-    fn perform_walk(&mut self, page: VirtAddr, bypass_psc: bool) -> (WalkOutcome, f64) {
+    ///
+    /// The shadow path streams structure accesses straight into the
+    /// line-cache cost model (no access-list or [`WalkOutcome`]
+    /// materialization); the reference path produces the full outcome
+    /// and charges the identical costs from its access list.
+    fn perform_walk(&mut self, page: VirtAddr, bypass_psc: bool) -> (ShadowWalk, f64) {
         let t = self.profile.timing;
-        let outcome = if bypass_psc {
-            self.walker.walk(&self.space, page)
-        } else {
-            self.walker.walk_with_psc(&self.space, page, &mut self.psc)
-        };
-
         let mut cycles = 0.0;
-        for (table, idx) in outcome.accesses.iter() {
-            let warm = if bypass_psc {
-                // AMD kernel walks re-fetch structures each time.
-                false_warm_for_amd(&mut self.lines, table, idx)
-            } else {
-                self.lines.touch(table, idx)
+
+        let walk: ShadowWalk = if self.shadow_enabled {
+            let current = matches!(&self.shadow, Some(s) if s.is_current(&self.space));
+            if !current {
+                self.shadow = Some(ShadowIndex::build(&self.space));
+            }
+            let shadow = self.shadow.as_ref().expect("just built");
+            let lines = &mut self.lines;
+            let mut on_access = |table, idx| {
+                let warm = if bypass_psc {
+                    // AMD kernel walks re-fetch structures each time.
+                    false_warm_for_amd(lines, table, idx)
+                } else {
+                    lines.touch(table, idx)
+                };
+                cycles += if warm {
+                    t.walk_step_warm
+                } else {
+                    t.walk_step_cold
+                };
             };
-            cycles += if warm {
-                t.walk_step_warm
+            let psc = if bypass_psc {
+                None
             } else {
-                t.walk_step_cold
+                Some(&mut self.psc)
             };
-        }
+            shadow.walk_costed(
+                &self.space,
+                page,
+                psc,
+                &mut self.shadow_hint,
+                &mut on_access,
+            )
+        } else {
+            let outcome = if bypass_psc {
+                self.walker.walk(&self.space, page)
+            } else {
+                self.walker.walk_with_psc(&self.space, page, &mut self.psc)
+            };
+            for (table, idx) in outcome.accesses.iter() {
+                let warm = if bypass_psc {
+                    false_warm_for_amd(&mut self.lines, table, idx)
+                } else {
+                    self.lines.touch(table, idx)
+                };
+                cycles += if warm {
+                    t.walk_step_warm
+                } else {
+                    t.walk_step_cold
+                };
+            }
+            ShadowWalk::from(&outcome)
+        };
 
         // Termination-level extras apply to root walks only (see
         // `TimingParams::level_extra_pt` and DESIGN.md §5).
-        if outcome.psc_resume_level.is_none() || bypass_psc {
-            cycles += match outcome.terminal_level {
+        if !walk.resumed || bypass_psc {
+            cycles += match walk.terminal_level {
                 Level::Pt => t.level_extra_pt,
                 Level::Pd => t.level_extra_pd,
                 Level::Pdpt => t.level_extra_pdpt,
                 Level::Pml4 => t.level_extra_pml4,
             };
         }
-        (outcome, cycles)
+        (walk, cycles)
     }
 
     /// Moves bytes for unmasked lanes whose pages translated fine.
@@ -630,17 +755,30 @@ impl Machine {
 
     /// Reads bytes from simulated physical memory behind `va`.
     ///
+    /// Allocates a fresh buffer per call; assertion loops that peek in
+    /// a hot path should reuse one via [`Machine::peek_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `va` is not mapped.
     #[must_use]
     pub fn peek(&mut self, va: VirtAddr, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.peek_into(va, &mut buf);
+        buf
+    }
+
+    /// Reads `buf.len()` bytes from simulated physical memory behind
+    /// `va` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not mapped.
+    pub fn peek_into(&mut self, va: VirtAddr, buf: &mut [u8]) {
         let mapping = self.space.lookup(va).expect("peek target must be mapped");
         let offset = va.as_u64() - mapping.start.as_u64();
         let pa = mapping.phys.wrapping_add(offset);
-        let mut buf = vec![0u8; len];
-        self.mem.read(pa, &mut buf);
-        buf
+        self.mem.read(pa, buf);
     }
 }
 

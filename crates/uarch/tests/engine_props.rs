@@ -172,4 +172,129 @@ proptest! {
         let min = (0..64).map(|_| m.execute(probe).cycles).min().unwrap();
         prop_assert_eq!(min, 93);
     }
+
+    /// The shadow-index fast path is observably identical to the
+    /// reference walker at machine level: cycles, clock, PMCs, faults
+    /// and the evolving PTE state agree under randomized interleavings
+    /// of probes, batches, mutations, INVLPG and evictions — with the
+    /// full noise model consuming the same RNG stream on both paths.
+    #[test]
+    fn shadow_fast_path_is_bit_exact_with_reference_walker(
+        seed in any::<u64>(),
+        profile_idx in 0usize..3,
+    ) {
+        let profiles = [
+            CpuProfile::alder_lake_i5_12400f(), // Intel: PSC + retries
+            CpuProfile::zen3_ryzen5_5600x(),    // AMD: PSC-bypass kernel walks
+            CpuProfile::coffee_lake_i9_9900(),
+        ];
+        let build = || {
+            let mut space = AddressSpace::new();
+            space
+                .map(
+                    VirtAddr::new_truncate(USER_M),
+                    PageSize::Size4K,
+                    PteFlags::user_rw(),
+                )
+                .unwrap();
+            space
+                .map(
+                    VirtAddr::new_truncate(KERNEL_M),
+                    PageSize::Size2M,
+                    PteFlags::kernel_rx(),
+                )
+                .unwrap();
+            space
+                .map(
+                    VirtAddr::new_truncate(0xffff_ffff_c012_3000),
+                    PageSize::Size4K,
+                    PteFlags::kernel_rx(),
+                )
+                .unwrap();
+            Machine::new(profiles[profile_idx].clone(), space, seed ^ 0x5ade)
+        };
+        let mut fast = build();
+        let mut slow = build();
+        slow.set_shadow_enabled(false);
+
+        // A small deterministic op schedule derived from the seed.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let sites = [
+            USER_M,
+            USER_M + 0x1000,
+            KERNEL_M,
+            KERNEL_U,
+            0xffff_ffff_c012_3000,
+            0x1234_5678_9000,
+        ];
+        for step in 0..96 {
+            let addr = VirtAddr::new_truncate(
+                sites[(next() % sites.len() as u64) as usize]
+                    .wrapping_add((next() % 4) * 0x1000),
+            );
+            match next() % 8 {
+                0 => {
+                    let kind = if next() % 2 == 0 { OpKind::Load } else { OpKind::Store };
+                    let batch: Vec<VirtAddr> =
+                        (0..4).map(|i| addr.wrapping_add(i * 0x20_0000)).collect();
+                    let mut out_fast = Vec::new();
+                    let mut out_slow = Vec::new();
+                    fast.execute_batch_into(kind, &batch, &mut out_fast);
+                    slow.execute_batch_into(kind, &batch, &mut out_slow);
+                    prop_assert_eq!(out_fast, out_slow, "step {}", step);
+                }
+                1 => {
+                    fast.invlpg(addr);
+                    slow.invlpg(addr);
+                }
+                2 => {
+                    fast.evict_translation(addr);
+                    slow.evict_translation(addr);
+                }
+                3 => {
+                    fast.touch_as_kernel(addr);
+                    slow.touch_as_kernel(addr);
+                }
+                4 => {
+                    // Structural mutation mid-run: unmap/remap a page.
+                    let page = VirtAddr::new_truncate(USER_M + 0x1000);
+                    let _ = fast.space_mut().map(page, PageSize::Size4K, PteFlags::user_ro());
+                    let _ = slow.space_mut().map(page, PageSize::Size4K, PteFlags::user_ro());
+                    if next() % 2 == 0 {
+                        let _ = fast.space_mut().unmap(page, PageSize::Size4K);
+                        let _ = slow.space_mut().unmap(page, PageSize::Size4K);
+                    }
+                }
+                _ => {
+                    let op = if next() % 2 == 0 {
+                        MaskedOp::probe_load(addr)
+                    } else {
+                        MaskedOp::probe_store(addr)
+                    };
+                    let a = fast.execute(op);
+                    let b = slow.execute(op);
+                    prop_assert_eq!(a.cycles, b.cycles, "step {}", step);
+                    prop_assert_eq!(a.fault.is_some(), b.fault.is_some(), "step {}", step);
+                    prop_assert_eq!(a.assist, b.assist, "step {}", step);
+                    prop_assert_eq!(a.walks_completed, b.walks_completed, "step {}", step);
+                    prop_assert_eq!(a.tlb_hit, b.tlb_hit, "step {}", step);
+                    prop_assert_eq!(a.terminal_level, b.terminal_level, "step {}", step);
+                }
+            }
+        }
+        prop_assert_eq!(fast.elapsed_cycles(), slow.elapsed_cycles());
+        for event in Event::ALL {
+            prop_assert_eq!(
+                fast.pmc().read(event),
+                slow.pmc().read(event),
+                "{:?}",
+                event
+            );
+        }
+        prop_assert_eq!(fast.space().iter_regions(), slow.space().iter_regions());
+    }
 }
