@@ -13,8 +13,8 @@
 //! matrix. The output of this binary is what `EXPERIMENTS.md` records.
 
 use avx_bench::{
-    accuracy_trials, calibrate, linux_prober, linux_prober_with, noise_profile, paper,
-    sampling_policy,
+    accuracy_trials, calibrate, calibrator_kind, linux_prober, linux_prober_with, noise_profile,
+    paper, sampling_policy,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
@@ -83,6 +83,7 @@ fn main() {
     countermeasures();
     survey();
     adaptive_economy();
+    calibration_menu();
     full_campaign();
     println!("\ndone.");
 }
@@ -94,14 +95,16 @@ fn full_campaign() {
     let trials = accuracy_trials().min(12);
     let noise = noise_profile();
     let sampling = sampling_policy();
+    let calibrator = calibrator_kind();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, rayon-parallel)",
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, rayon-parallel)",
         sampling.name()
     ));
     let campaign = Campaign::full(
         CampaignConfig::new(trials, 0)
             .with_noise(noise)
-            .with_sampling(sampling),
+            .with_sampling(sampling)
+            .with_calibrator(calibrator),
     );
     let mut table = Table::new([
         "CPU", "Target", "Probing", "Total", "p/addr", "Accuracy", "Records",
@@ -142,7 +145,8 @@ fn adaptive_economy() {
                 &profile,
                 CampaignConfig::new(trials, 0)
                     .with_noise(noise)
-                    .with_sampling(sampling),
+                    .with_sampling(sampling)
+                    .with_calibrator(calibrator_kind()),
             );
             table.row([
                 noise.to_string(),
@@ -156,6 +160,42 @@ fn adaptive_economy() {
     println!(
         "  (reproduce under any environment: repro --noise <quiet|smt|laptop|cloud> [--adaptive])"
     );
+}
+
+/// The calibration-estimator menu on the row that motivated it: the
+/// laptop-DVFS kernel-base cell under adaptive sampling, where the
+/// min-pulled legacy floor drifts ≈ 8 cycles low and caps accuracy
+/// regardless of the probe budget. Quiet rows ride along to show the
+/// robust estimators cost nothing when the host is quiet.
+fn calibration_menu() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::{CalibratorKind, Sampling};
+    use avx_uarch::NoiseProfile;
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Calibration estimators — noise-aware floor fitting (n={trials}, adaptive sampling)"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let mut table = Table::new(["Noise", "Calibrator", "p/addr", "Accuracy"]);
+    for noise in [NoiseProfile::Quiet, NoiseProfile::LaptopDvfs] {
+        for calibrator in CalibratorKind::ALL {
+            let row = Scenario::KernelBase.campaign(
+                &profile,
+                CampaignConfig::new(trials, 0)
+                    .with_noise(noise)
+                    .with_sampling(Sampling::adaptive())
+                    .with_calibrator(calibrator),
+            );
+            table.row([
+                noise.to_string(),
+                row.calibrator.to_string(),
+                format!("{:.2}", row.probes_per_address),
+                format!("{:.2} %", row.accuracy.percent()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("  (select per run: repro --calibrator <legacy|trimmed|bimodal|noise-aware>)");
 }
 
 fn quiet_machine(profile: CpuProfile, space: AddressSpace, seed: u64) -> Machine {
@@ -424,13 +464,15 @@ fn table1() {
     let trials = accuracy_trials();
     let noise = noise_profile();
     let sampling = sampling_policy();
+    let calibrator = calibrator_kind();
     heading(&format!(
-        "Table I — runtime and accuracy (n={trials}, noise={noise}, sampling={})",
+        "Table I — runtime and accuracy (n={trials}, noise={noise}, sampling={}, calibrator={calibrator})",
         sampling.name()
     ));
     let config = avx_channel::attacks::campaign::CampaignConfig::new(trials, 0)
         .with_noise(noise)
-        .with_sampling(sampling);
+        .with_sampling(sampling)
+        .with_calibrator(calibrator);
     let rows = avx_channel::attacks::campaign::table1(config);
     let mut table = Table::new(["CPU", "Target", "Probing", "Total", "p/addr", "Accuracy"]);
     for row in &rows {

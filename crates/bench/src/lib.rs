@@ -9,7 +9,7 @@
 
 pub mod throughput;
 
-use avx_channel::{Sampling, SimProber, Threshold};
+use avx_channel::{CalibratorKind, Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};
 
@@ -146,6 +146,32 @@ pub fn noise_profile() -> NoiseProfile {
         .unwrap_or(NoiseProfile::Quiet)
 }
 
+/// Threshold estimator for the campaign sections:
+/// `--calibrator legacy|trimmed|bimodal|noise-aware` (or
+/// `--calibrator=<name>`) on the command line, else the
+/// `AVX_CALIBRATOR` environment variable, else the historical
+/// [`CalibratorKind::Legacy`] min-pulled floor. Unknown names fall
+/// back to legacy rather than aborting a long repro run.
+#[must_use]
+pub fn calibrator_kind() -> CalibratorKind {
+    let mut args = std::env::args();
+    let mut from_args = None;
+    while let Some(arg) = args.next() {
+        if arg == "--calibrator" {
+            from_args = args.next();
+            break;
+        }
+        if let Some(value) = arg.strip_prefix("--calibrator=") {
+            from_args = Some(value.to_string());
+            break;
+        }
+    }
+    from_args
+        .or_else(|| std::env::var("AVX_CALIBRATOR").ok())
+        .and_then(|v| CalibratorKind::parse(&v))
+        .unwrap_or(CalibratorKind::Legacy)
+}
+
 /// Probe-budget policy for the campaign sections: `--adaptive` (or
 /// `AVX_ADAPTIVE=1`) switches from the paper's fixed schedule to the
 /// SPRT engine; `--fixed-budget` selects the noise-robust fixed
@@ -198,5 +224,17 @@ mod tests {
         std::env::set_var("AVX_ADAPTIVE", "1");
         assert_eq!(sampling_policy(), Sampling::adaptive());
         std::env::remove_var("AVX_ADAPTIVE");
+    }
+
+    #[test]
+    fn calibrator_defaults_to_legacy_and_honors_the_env_knob() {
+        std::env::remove_var("AVX_CALIBRATOR");
+        assert_eq!(calibrator_kind(), CalibratorKind::Legacy);
+        std::env::set_var("AVX_CALIBRATOR", "noise-aware");
+        assert_eq!(calibrator_kind(), CalibratorKind::NoiseAware);
+        // Unknown names fall back instead of aborting a long repro run.
+        std::env::set_var("AVX_CALIBRATOR", "bogus");
+        assert_eq!(calibrator_kind(), CalibratorKind::Legacy);
+        std::env::remove_var("AVX_CALIBRATOR");
     }
 }

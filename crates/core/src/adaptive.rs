@@ -23,11 +23,37 @@
 //! per address changes. Under [`avx_uarch::NoiseModel::none`] the
 //! adaptive decisions are bit-exact with the fixed-threshold decisions
 //! (a property test pins this).
+//!
+//! # Example: an adaptive sweep over kernel candidates
+//!
+//! ```
+//! use avx_channel::adaptive::AdaptiveSampler;
+//! use avx_channel::{SimProber, Threshold};
+//! use avx_os::linux::{LinuxConfig, LinuxSystem};
+//! use avx_uarch::{CpuProfile, OpKind};
+//!
+//! let sys = LinuxSystem::build(LinuxConfig::seeded(3));
+//! let (machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 3);
+//! let mut p = SimProber::new(machine);
+//!
+//! // Calibrate, then let each address buy only the evidence it needs.
+//! let fit = Threshold::calibrate_with(
+//!     &mut p,
+//!     truth.user.calibration,
+//!     16,
+//!     avx_channel::CalibratorKind::NoiseAware,
+//! );
+//! let sampler = AdaptiveSampler::from_fit(&fit);
+//! let addrs = [truth.kernel_base, truth.kernel_base.wrapping_add(0x4000_0000)];
+//! let batch = sampler.classify_batch(&mut p, OpKind::Load, &addrs);
+//! assert_eq!(batch.mapped, vec![true, false]);
+//! assert!(batch.probes_per_address() <= 9.0, "hard budget respected");
+//! ```
 
 use avx_mmu::VirtAddr;
 use avx_uarch::OpKind;
 
-use crate::calibrate::Threshold;
+use crate::calibrate::{CalibrationFit, Threshold};
 use crate::prober::{ProbeStrategy, Prober};
 use crate::stats::{SeqDecision, SequentialLlr};
 use crate::sweep::AddrRange;
@@ -139,6 +165,42 @@ impl Sampling {
         }
     }
 
+    /// The sampler this policy induces for a full [`CalibrationFit`]:
+    /// hypotheses from the fitted threshold, likelihood σ from the
+    /// fit's own dispersion estimate — the no-oracle path, where the
+    /// attacker models the noise it *measured* during calibration
+    /// instead of being told [`avx_uarch::NoiseProfile::effective_sigma`].
+    /// `None` for the fixed policies.
+    #[must_use]
+    pub fn sampler_from_fit(&self, fit: &CalibrationFit) -> Option<AdaptiveSampler> {
+        match *self {
+            Sampling::Fixed | Sampling::FixedBudget(_) => None,
+            Sampling::Adaptive(config) => Some(AdaptiveSampler::from_fit(fit).with_config(config)),
+        }
+    }
+
+    /// The one place the estimator-dependent σ policy lives: under
+    /// [`crate::CalibratorKind::Legacy`] the SPRT keeps the historical
+    /// oracle σ (`oracle_sigma`, typically
+    /// [`avx_uarch::NoiseProfile::effective_sigma`] — preserving
+    /// bit-exact golden rows); any robust estimator switches to the
+    /// fit's own measured dispersion ([`Sampling::sampler_from_fit`]),
+    /// so threshold *and* noise model both come from the attacker's
+    /// measurements. Campaign, cloud and user-space paths must all
+    /// route through here rather than re-implementing the match.
+    #[must_use]
+    pub fn sampler_for_calibration(
+        &self,
+        calibrator: crate::CalibratorKind,
+        fit: &CalibrationFit,
+        oracle_sigma: f64,
+    ) -> Option<AdaptiveSampler> {
+        match calibrator {
+            crate::CalibratorKind::Legacy => self.sampler(&fit.threshold, oracle_sigma),
+            _ => self.sampler_from_fit(fit),
+        }
+    }
+
     /// The early-stopping min-filter this policy induces for the
     /// walk-level (P3) scans; `None` for the fixed policies.
     #[must_use]
@@ -236,6 +298,15 @@ impl AdaptiveSampler {
             sigma,
             config: AdaptiveConfig::default(),
         }
+    }
+
+    /// Builds the sampler from a [`CalibrationFit`]: hypotheses around
+    /// the fitted threshold, likelihood σ taken from the fit's own
+    /// (MAD- or EM-based) dispersion estimate, floored at 1 cycle so a
+    /// degenerate calibration series cannot make the SPRT overconfident.
+    #[must_use]
+    pub fn from_fit(fit: &CalibrationFit) -> Self {
+        Self::from_threshold(&fit.threshold, fit.sigma.max(1.0))
     }
 
     /// Replaces the budgets/confidence target.

@@ -36,15 +36,15 @@ use avx_os::process::{build_process, ImageSignature};
 use avx_os::windows::{WindowsConfig, WindowsSystem};
 use avx_uarch::{CpuProfile, Machine, NoiseProfile, Vendor};
 
-use crate::adaptive::Sampling;
-use crate::calibrate::Threshold;
+use crate::adaptive::{AdaptiveSampler, Sampling};
+use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
 use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_with;
+use super::cloud::run_scenario_calibrated;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -62,6 +62,11 @@ pub struct CampaignConfig {
     pub noise: NoiseProfile,
     /// Probe-budget policy of the attacks.
     pub sampling: Sampling,
+    /// Threshold estimator the attacks calibrate with. The default,
+    /// [`CalibratorKind::Legacy`], is bit-exact with the historical
+    /// calibration — golden rows only move when this is changed
+    /// deliberately.
+    pub calibrator: CalibratorKind,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +76,7 @@ impl Default for CampaignConfig {
             seed0: 0,
             noise: NoiseProfile::Quiet,
             sampling: Sampling::Fixed,
+            calibrator: CalibratorKind::Legacy,
         }
     }
 }
@@ -99,6 +105,29 @@ impl CampaignConfig {
         self.sampling = sampling;
         self
     }
+
+    /// Same config under a different threshold estimator.
+    #[must_use]
+    pub fn with_calibrator(mut self, calibrator: CalibratorKind) -> Self {
+        self.calibrator = calibrator;
+        self
+    }
+
+    /// The adaptive sampler this config induces for a calibration fit
+    /// on `profile`: [`Sampling::sampler_for_calibration`] with this
+    /// config's estimator and the profile's oracle σ.
+    #[must_use]
+    pub fn sampler_for(
+        &self,
+        profile: &CpuProfile,
+        fit: &CalibrationFit,
+    ) -> Option<AdaptiveSampler> {
+        self.sampling.sampler_for_calibration(
+            self.calibrator,
+            fit,
+            self.noise.effective_sigma(&profile.timing),
+        )
+    }
 }
 
 /// One Table I row: averaged runtimes, the probe budget and the success
@@ -113,6 +142,9 @@ pub struct CampaignRow {
     pub noise: NoiseProfile,
     /// Probe-budget policy label ("fixed", "fixed-budget", "adaptive").
     pub sampling: &'static str,
+    /// Threshold-estimator label ("legacy", "trimmed", "bimodal",
+    /// "noise-aware") the cell calibrated with.
+    pub calibrator: &'static str,
     /// Mean seconds inside the timed masked ops.
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
@@ -133,11 +165,12 @@ impl fmt::Display for CampaignRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {} [{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
+            "{} {} [{}/{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
             self.cpu,
             self.target,
             self.noise,
             self.sampling,
+            self.calibrator,
             fmt_seconds(self.probing_seconds),
             fmt_seconds(self.total_seconds),
             self.probes_per_address,
@@ -452,6 +485,7 @@ impl Scenario {
             } else {
                 Sampling::Fixed.name()
             },
+            calibrator: config.calibrator.name(),
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
             trials,
@@ -528,6 +562,17 @@ impl Campaign {
 
     /// The full attack × CPU × noise grid: [`Campaign::full`] repeated
     /// across every [`NoiseProfile`] preset.
+    ///
+    /// The whole paper evaluation, one line:
+    ///
+    /// ```
+    /// use avx_channel::attacks::campaign::{Campaign, CampaignConfig};
+    ///
+    /// let grid = Campaign::noise_grid(CampaignConfig::new(1, 0));
+    /// assert_eq!(grid.noises.len(), 4, "quiet/smt/laptop/cloud");
+    /// assert_eq!(grid.scenarios.len(), 8, "all §IV attacks");
+    /// // `grid.run()` yields 14 rows per noise preset.
+    /// ```
     #[must_use]
     pub fn noise_grid(config: CampaignConfig) -> Self {
         Self::full(config).with_noises(NoiseProfile::ALL.to_vec())
@@ -599,18 +644,18 @@ impl Campaign {
 
 /// Machine + calibrated prober over a copy-on-write snapshot of a
 /// prebuilt Linux system, running under the campaign's noise
-/// environment.
+/// environment and calibrating with the campaign's estimator.
 fn linux_prober(
     profile: &CpuProfile,
     sys: &LinuxSystem,
     seed: u64,
-    noise: NoiseProfile,
-) -> (SimProber, avx_os::LinuxTruth, Threshold) {
+    config: CampaignConfig,
+) -> (SimProber, avx_os::LinuxTruth, CalibrationFit) {
     let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
-    machine.set_noise_profile(noise);
+    machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
-    let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
-    (p, truth, th)
+    let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, config.calibrator);
+    (p, truth, fit)
 }
 
 fn seconds(profile_ghz: f64, cycles: u64) -> f64 {
@@ -623,10 +668,9 @@ fn kernel_base_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
-    let mut finder = KernelBaseFinder::new(th);
-    let sigma = config.noise.effective_sigma(&profile.timing);
-    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+    let (mut p, truth, fit) = linux_prober(profile, sys, seed, config);
+    let mut finder = KernelBaseFinder::new(fit.threshold);
+    if let Some(sampler) = config.sampler_for(profile, &fit) {
         finder = finder.with_adaptive(sampler);
     }
     if let Some(strategy) = config.sampling.strategy_override() {
@@ -678,10 +722,9 @@ fn modules_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
-    let mut scanner = ModuleScanner::new(th);
-    let sigma = config.noise.effective_sigma(&profile.timing);
-    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+    let (mut p, truth, fit) = linux_prober(profile, sys, seed, config);
+    let mut scanner = ModuleScanner::new(fit.threshold);
+    if let Some(sampler) = config.sampler_for(profile, &fit) {
         scanner = scanner.with_adaptive(sampler);
     }
     if let Some(strategy) = config.sampling.strategy_override() {
@@ -711,10 +754,9 @@ fn kpti_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
-    let mut attack = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET);
-    let sigma = config.noise.effective_sigma(&profile.timing);
-    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+    let (mut p, truth, fit) = linux_prober(profile, sys, seed, config);
+    let mut attack = KptiAttack::new(fit.threshold, KPTI_TRAMPOLINE_OFFSET);
+    if let Some(sampler) = config.sampler_for(profile, &fit) {
         attack = attack.with_adaptive(sampler);
     }
     if let Some(strategy) = config.sampling.strategy_override() {
@@ -742,7 +784,8 @@ fn behaviour_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut p, truth, th) = linux_prober(profile, sys, seed, config.noise);
+    let (mut p, truth, fit) = linux_prober(profile, sys, seed, config);
+    let th = fit.threshold;
     let timeline =
         ActivityTimeline::random(Behaviour::BluetoothAudio, BEHAVIOUR_TRIAL_SECONDS, 3, seed);
     let module = truth
@@ -798,11 +841,13 @@ fn userspace_trial(
     let mut machine = Machine::new(profile.clone(), space, seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
-    let perm = PermissionAttack::calibrate(&mut p, own);
+    let (perm, fit) = PermissionAttack::calibrate_with(&mut p, own, config.calibrator);
     let mut scanner = UserSpaceScanner::new(perm);
-    if let Sampling::Adaptive(adaptive) = config.sampling {
-        let sigma = config.noise.effective_sigma(&profile.timing);
-        scanner = scanner.with_adaptive(sigma, adaptive);
+    // The permission scanner centers its own hypotheses on the load
+    // boundary; only the σ policy and budgets come from the shared
+    // sampler selection.
+    if let Some(sampler) = config.sampler_for(profile, &fit) {
+        scanner = scanner.with_adaptive(sampler.sigma, sampler.config);
     }
     if let Some(strategy) = config.sampling.strategy_override() {
         scanner.permission.strategy = strategy;
@@ -847,10 +892,9 @@ fn windows_trial(
     let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
     let mut p = SimProber::new(machine);
-    let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
-    let mut attack = WindowsKaslrAttack::new(th);
-    let sigma = config.noise.effective_sigma(&profile.timing);
-    if let Some(sampler) = config.sampling.sampler(&th, sigma) {
+    let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, config.calibrator);
+    let mut attack = WindowsKaslrAttack::new(fit.threshold);
+    if let Some(sampler) = config.sampler_for(profile, &fit) {
         attack = attack.with_adaptive(sampler);
     }
     if let Some(strategy) = config.sampling.strategy_override() {
@@ -873,7 +917,13 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_with(&scenario, seed ^ 0xabcd, config.noise, config.sampling);
+        let report = run_scenario_calibrated(
+            &scenario,
+            seed ^ 0xabcd,
+            config.noise,
+            config.sampling,
+            config.calibrator,
+        );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;
         total += report.base_seconds + report.modules_seconds.unwrap_or(0.0);

@@ -15,7 +15,7 @@ use avx_os::windows::WindowsSystem;
 use avx_uarch::NoiseProfile;
 
 use crate::adaptive::Sampling;
-use crate::calibrate::Threshold;
+use crate::calibrate::{CalibratorKind, Threshold};
 use crate::prober::{Prober, SimProber};
 
 use super::kaslr::KernelBaseFinder;
@@ -81,13 +81,34 @@ pub fn run_scenario(scenario: &CloudScenario, machine_seed: u64) -> CloudBreakRe
 
 /// Runs the full attack chain against one provider preset under an
 /// explicit noise environment and sampling policy — the cloud leg of
-/// the campaign's attack × noise grid.
+/// the campaign's attack × noise grid. Calibrates with the default
+/// [`CalibratorKind::Legacy`] estimator.
 #[must_use]
 pub fn run_scenario_with(
     scenario: &CloudScenario,
     machine_seed: u64,
     noise: NoiseProfile,
     sampling: Sampling,
+) -> CloudBreakReport {
+    run_scenario_calibrated(
+        scenario,
+        machine_seed,
+        noise,
+        sampling,
+        CalibratorKind::Legacy,
+    )
+}
+
+/// [`run_scenario_with`] under an explicit threshold estimator — what
+/// [`crate::attacks::campaign::CampaignConfig::calibrator`] threads
+/// into the cloud scenario rows.
+#[must_use]
+pub fn run_scenario_calibrated(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
 ) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
@@ -96,8 +117,9 @@ pub fn run_scenario_with(
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
             let mut p = SimProber::new(machine);
-            let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
-            let sampler = sampling.sampler(&th, sigma);
+            let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, calibrator);
+            let th = fit.threshold;
+            let sampler = sampling.sampler_for_calibration(calibrator, &fit, sigma);
 
             if cfg.kpti {
                 let mut attack = KptiAttack::new(th, cfg.trampoline_offset);
@@ -159,9 +181,9 @@ pub fn run_scenario_with(
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
             let mut p = SimProber::new(machine);
-            let th = Threshold::calibrate(&mut p, truth.user_scratch, 16);
-            let mut attack = WindowsKaslrAttack::new(th);
-            if let Some(sampler) = sampling.sampler(&th, sigma) {
+            let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, calibrator);
+            let mut attack = WindowsKaslrAttack::new(fit.threshold);
+            if let Some(sampler) = sampling.sampler_for_calibration(calibrator, &fit, sigma) {
                 attack = attack.with_adaptive(sampler);
             }
             if let Some(strategy) = sampling.strategy_override() {

@@ -1,0 +1,102 @@
+//! The original min-pulled floor estimator, preserved bit-exact.
+
+use crate::stats::Welford;
+
+use super::{CalibrationFit, Calibrator, Threshold, DEFAULT_MARGIN};
+
+/// The historical `Threshold::calibrate` estimator: the sample mean,
+/// pulled down to `min + 2` once at least four samples exist.
+///
+/// Rationale (unchanged from the seed implementation): the mean is
+/// spike-sensitive, the minimum is not, so use the median-ish floor and
+/// pull the value toward the minimum. This is exactly right on a quiet
+/// host, where the Gaussian jitter is ≈ 1 cycle and the minimum of a
+/// 16-sample series sits on the true level. It is exactly *wrong* on a
+/// wide-σ machine: the expected minimum of n Gaussian samples lies
+/// ≈ σ·Φ⁻¹(1/n) below the mean (1.7 σ at n = 16), so at the laptop
+/// preset's σ×6 the fitted floor — and with it the decision boundary
+/// and both SPRT hypotheses — drifts ≈ 8 cycles low. Keep this
+/// estimator for quiet-host work and golden-value continuity; reach for
+/// [`super::Trimmed`] or [`super::NoiseAware`] anywhere σ is not small.
+///
+/// The arithmetic below must not be re-ordered or refactored: golden
+/// accuracy rows and a bit-exactness property test
+/// (`crates/core/tests/calibrator_props.rs`) pin its output to the
+/// pre-subsystem function, f64 operation for f64 operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Legacy;
+
+impl Calibrator for Legacy {
+    fn name(&self) -> &'static str {
+        "legacy"
+    }
+
+    fn fit(&self, samples: &[u64]) -> CalibrationFit {
+        let mut w = Welford::new();
+        let mut min = u64::MAX;
+        for &t in samples {
+            min = min.min(t);
+            w.push(t as f64);
+        }
+        // Use the median-ish floor: the mean is spike-sensitive, the
+        // minimum is not. Pull the value toward the minimum.
+        let value = if w.count() >= 4 {
+            f64::min(w.mean(), min as f64 + 2.0)
+        } else {
+            w.mean()
+        };
+        CalibrationFit {
+            threshold: Threshold {
+                value,
+                margin: DEFAULT_MARGIN,
+            },
+            sigma: w.stddev(),
+            estimator: "legacy",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seed-era implementation, verbatim, as the reference.
+    fn reference(samples: &[u64]) -> f64 {
+        let mut w = Welford::new();
+        let mut min = u64::MAX;
+        for &t in samples {
+            min = min.min(t);
+            w.push(t as f64);
+        }
+        if w.count() >= 4 {
+            f64::min(w.mean(), min as f64 + 2.0)
+        } else {
+            w.mean()
+        }
+    }
+
+    #[test]
+    fn fit_is_bit_exact_with_the_reference_on_edge_shapes() {
+        for samples in [
+            vec![],
+            vec![93],
+            vec![93, 95, 91],           // < 4 samples: plain mean
+            vec![93, 95, 91, 97],       // exactly 4: min-pull engages
+            vec![93, 93, 93, 93, 2093], // spike
+            vec![80, 120, 93, 93, 93, 93],
+        ] {
+            let fit = Legacy.fit(&samples);
+            assert_eq!(fit.threshold.value.to_bits(), reference(&samples).to_bits());
+            assert_eq!(fit.threshold.margin, DEFAULT_MARGIN);
+        }
+    }
+
+    #[test]
+    fn min_pull_engages_at_four_samples() {
+        // Mean 100, min 90: three samples keep the mean, four pull.
+        let three = Legacy.fit(&[90, 100, 110]);
+        assert_eq!(three.threshold.value, 100.0);
+        let four = Legacy.fit(&[90, 100, 110, 100]);
+        assert_eq!(four.threshold.value, 92.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Robust floor estimation: trimmed-mean location, MAD scale.
+
+use crate::stats::{mad_sigma, trimmed_mean, Welford};
+
+use super::{CalibrationFit, Calibrator, Threshold, DEFAULT_MARGIN};
+
+/// Fraction trimmed from each tail: the midmean (interquartile mean).
+pub const TRIM_FRACTION: f64 = 0.25;
+
+/// Midmean/MAD floor estimator.
+///
+/// Location: the 25 %-per-tail trimmed mean. Under symmetric Gaussian
+/// jitter of *any* width this is an unbiased estimate of the reference
+/// level (the min-pulled [`super::Legacy`] floor is biased low by
+/// ≈ 1.7 σ at n = 16), and the one-sided interrupt-spike tail of timing
+/// data falls entirely inside the trimmed upper quartile, so spikes up
+/// to 25 % contamination cannot move it.
+///
+/// Scale: the normal-consistent MAD ([`crate::stats::mad_sigma`]),
+/// reported through [`CalibrationFit::sigma`] so the adaptive engine's
+/// SPRT can model the environment it actually measured
+/// ([`crate::AdaptiveSampler::from_fit`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Trimmed;
+
+impl Calibrator for Trimmed {
+    fn name(&self) -> &'static str {
+        "trimmed"
+    }
+
+    fn fit(&self, samples: &[u64]) -> CalibrationFit {
+        // Empty input mirrors Legacy's empty-Welford behaviour (mean 0)
+        // so the two estimators stay interchangeable on degenerate data.
+        let value = trimmed_mean(samples, TRIM_FRACTION).unwrap_or_else(|| Welford::new().mean());
+        CalibrationFit {
+            threshold: Threshold {
+                value,
+                margin: DEFAULT_MARGIN,
+            },
+            sigma: mad_sigma(samples).unwrap_or(0.0),
+            estimator: "trimmed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_series_lands_on_the_mean() {
+        let fit = Trimmed.fit(&[91, 92, 93, 94, 95]);
+        assert!((fit.threshold.value - 93.0).abs() < 1e-12);
+        assert_eq!(fit.threshold.margin, DEFAULT_MARGIN);
+        assert!(fit.sigma > 0.0);
+    }
+
+    #[test]
+    fn spikes_cannot_move_the_floor() {
+        // 2 interrupt spikes in 16 samples (12.5 % contamination).
+        let mut samples = vec![92u64, 93, 94, 93, 92, 93, 94, 93, 92, 93, 94, 93, 92, 93];
+        samples.push(1500);
+        samples.push(2900);
+        let fit = Trimmed.fit(&samples);
+        assert!((fit.threshold.value - 93.0).abs() < 1.0, "{fit:?}");
+        // The MAD scale ignores the spikes too.
+        assert!(fit.sigma < 3.0, "{fit:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_defined() {
+        assert_eq!(Trimmed.fit(&[]).threshold.value, 0.0);
+        assert_eq!(Trimmed.fit(&[]).sigma, 0.0);
+        assert_eq!(Trimmed.fit(&[93]).threshold.value, 93.0);
+        let constant = Trimmed.fit(&[93, 93, 93, 93]);
+        assert_eq!(constant.threshold.value, 93.0);
+        assert_eq!(constant.sigma, 0.0);
+    }
+}

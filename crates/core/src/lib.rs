@@ -64,7 +64,7 @@ pub use attacks::{
     AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, TlbSpy,
     UserSpaceScanner, WindowsKaslrAttack,
 };
-pub use calibrate::Threshold;
+pub use calibrate::{CalibrationFit, Calibrator, CalibratorKind, Threshold};
 pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,
 };

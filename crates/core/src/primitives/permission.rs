@@ -79,6 +79,57 @@ impl PermissionAttack {
         }
     }
 
+    /// Number of timed samples [`PermissionAttack::calibrate_with`]
+    /// collects for the robust estimators.
+    pub const ROBUST_CALIBRATION_SAMPLES: usize = 16;
+
+    /// Calibrates with an explicit threshold estimator, also returning
+    /// the [`crate::CalibrationFit`] behind the boundaries (its σ is
+    /// the environment dispersion the adaptive load pass should
+    /// assume, via [`crate::Sampling::sampler_for_calibration`]).
+    ///
+    /// This is the one calibration path that does NOT share
+    /// [`crate::Threshold::calibrate_with`]'s probe schedule: the
+    /// permission corridor is anchored on the *fast* load level, not
+    /// the dirty-assist level. [`crate::CalibratorKind::Legacy`]
+    /// reproduces [`PermissionAttack::calibrate`] bit-exactly (one
+    /// second-of-two fast-path measurement, σ reported as 0); the
+    /// robust estimators time [`Self::ROBUST_CALIBRATION_SAMPLES`]
+    /// loads after one warm-up and fit the floor from the series, so a
+    /// wide-σ environment cannot drag the corridor down via an unlucky
+    /// single measurement.
+    pub fn calibrate_with<P: Prober + ?Sized>(
+        p: &mut P,
+        own_readable_page: VirtAddr,
+        calibrator: crate::CalibratorKind,
+    ) -> (Self, crate::CalibrationFit) {
+        use crate::calibrate::Calibrator;
+        if calibrator == crate::CalibratorKind::Legacy {
+            let attack = Self::calibrate(p, own_readable_page);
+            let fit = crate::CalibrationFit {
+                threshold: crate::Threshold::new(
+                    attack.load_boundary - BOUNDARY_SLACK,
+                    BOUNDARY_SLACK,
+                ),
+                sigma: 0.0,
+                estimator: "legacy",
+            };
+            return (attack, fit);
+        }
+        let _ = p.probe(OpKind::Load, own_readable_page); // warm the TLB
+        let series: Vec<u64> = (0..Self::ROBUST_CALIBRATION_SAMPLES)
+            .map(|_| p.probe(OpKind::Load, own_readable_page))
+            .collect();
+        let fit = calibrator.fit(&series);
+        let attack = Self {
+            load_boundary: fit.threshold.value + BOUNDARY_SLACK,
+            store_boundary: fit.threshold.value + BOUNDARY_SLACK,
+            strategy: ProbeStrategy::SecondOfTwo,
+            sampler: None,
+        };
+        (attack, fit)
+    }
+
     /// Builds with explicit boundaries.
     #[must_use]
     pub fn with_boundaries(load_boundary: f64, store_boundary: f64) -> Self {

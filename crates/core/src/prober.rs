@@ -6,6 +6,22 @@
 //! and `HwProber` over real AVX2 hardware (the `avx-hw` crate). The
 //! attacks cannot tell them apart, which is the point: the same code is
 //! both the reproduction harness and the proof-of-concept.
+//!
+//! ```
+//! use avx_channel::{ProbeStrategy, Prober, SimProber};
+//! use avx_os::linux::{LinuxConfig, LinuxSystem};
+//! use avx_uarch::{CpuProfile, NoiseModel, OpKind};
+//!
+//! let sys = LinuxSystem::build(LinuxConfig::seeded(1));
+//! let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 1);
+//! machine.set_noise(NoiseModel::none());
+//! let mut p = SimProber::new(machine);
+//!
+//! // The paper's second-of-two schedule: warm-up probe, keep the second.
+//! let cycles = ProbeStrategy::SecondOfTwo.measure(&mut p, OpKind::Load, truth.kernel_base);
+//! assert_eq!(cycles, 93, "kernel-mapped masked load, TLB warm");
+//! assert_eq!(p.probes_issued(), 2, "raw probes are accounted");
+//! ```
 
 use avx_mmu::VirtAddr;
 use avx_os::ExecutionContext;

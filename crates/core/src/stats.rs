@@ -1,10 +1,25 @@
 //! Small statistics toolkit for timing samples.
 //!
 //! Everything the attacks and benches need: running mean/σ (Welford),
-//! order statistics, a 1-D two-means split for automatic thresholding,
-//! a sequential probability-ratio accumulator ([`SequentialLlr`], the
+//! order statistics, robust location/scale estimators (median, MAD,
+//! trimmed mean — the numeric core of the [`crate::calibrate`]
+//! subsystem), a 1-D two-means split for automatic thresholding, a
+//! sequential probability-ratio accumulator ([`SequentialLlr`], the
 //! decision core of the adaptive probing engine), and accuracy
 //! bookkeeping.
+//!
+//! # Example: sequential decisions over a calibrated channel
+//!
+//! ```
+//! use avx_channel::stats::{SeqDecision, SequentialLlr};
+//!
+//! // Alder Lake-style channel: mapped ≈ 93 cycles, unmapped ≈ 107,
+//! // Gaussian jitter σ = 1, target error rate 1e-4.
+//! let mut acc = SequentialLlr::new(93.0, 107.0, 1.0, 1e-4);
+//! assert_eq!(acc.push(93), SeqDecision::Undecided); // one sample never decides
+//! assert_eq!(acc.push(93), SeqDecision::Mapped);    // two concordant ones do
+//! assert_eq!(acc.count(), 2);
+//! ```
 
 use core::fmt;
 
@@ -117,6 +132,73 @@ impl fmt::Display for Summary {
             self.mean, self.stddev, self.min, self.median, self.max, self.n
         )
     }
+}
+
+/// Median of an `f64` slice that is already sorted ascending; averages
+/// the two mid elements for even counts. `None` when empty.
+fn median_of_sorted(sorted: &[f64]) -> Option<f64> {
+    match sorted.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(sorted[n / 2]),
+        n => Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0),
+    }
+}
+
+/// Median of a sample set (mean of the two mid elements for even n —
+/// note [`Summary::of`] reports the *lower* mid instead, a deliberately
+/// cheaper convention for display purposes). `None` when empty.
+///
+/// ```
+/// assert_eq!(avx_channel::stats::median(&[9, 1, 5]), Some(5.0));
+/// assert_eq!(avx_channel::stats::median(&[1, 2, 3, 4]), Some(2.5));
+/// assert_eq!(avx_channel::stats::median(&[]), None);
+/// ```
+#[must_use]
+pub fn median(samples: &[u64]) -> Option<f64> {
+    let mut sorted: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+    sorted.sort_unstable_by(f64::total_cmp);
+    median_of_sorted(&sorted)
+}
+
+/// Consistency factor making the MAD an unbiased σ estimator under a
+/// Gaussian: `1 / Φ⁻¹(3/4)`.
+pub const MAD_CONSISTENCY: f64 = 1.4826;
+
+/// Robust Gaussian-σ estimate via the median absolute deviation:
+/// `MAD_CONSISTENCY × median(|x − median(x)|)`.
+///
+/// Unlike the sample standard deviation, the MAD has a 50 % breakdown
+/// point: interrupt spikes in up to half the samples cannot move it.
+/// The [`crate::calibrate::NoiseAware`] selector keys off this number
+/// to decide whether the environment needs a robust floor estimator.
+/// `None` when empty.
+#[must_use]
+pub fn mad_sigma(samples: &[u64]) -> Option<f64> {
+    let center = median(samples)?;
+    let mut devs: Vec<f64> = samples.iter().map(|&x| (x as f64 - center).abs()).collect();
+    devs.sort_unstable_by(f64::total_cmp);
+    median_of_sorted(&devs).map(|d| MAD_CONSISTENCY * d)
+}
+
+/// Symmetrically trimmed mean: sorts the samples, drops the `trim`
+/// fraction from *each* tail (at least keeping one sample) and averages
+/// the rest. `trim = 0.25` yields the midmean (interquartile mean),
+/// which is unbiased for symmetric distributions yet immune to the
+/// one-sided interrupt-spike contamination of timing data. `None` when
+/// empty; `trim` is clamped into `[0, 0.5)`.
+#[must_use]
+pub fn trimmed_mean(samples: &[u64], trim: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let trim = trim.clamp(0.0, 0.499);
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let drop_each = ((sorted.len() as f64) * trim).floor() as usize;
+    let kept = &sorted[drop_each..sorted.len() - drop_each];
+    let mut w = Welford::new();
+    w.extend(kept.iter().map(|&x| x as f64));
+    Some(w.mean())
 }
 
 /// Splits 1-D samples into two clusters (Lloyd's algorithm, k = 2) and
@@ -396,6 +478,47 @@ mod tests {
     #[should_panic(expected = "empty sample set")]
     fn summary_empty_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn median_interpolates_even_counts() {
+        assert_eq!(median(&[3]), Some(3.0));
+        assert_eq!(median(&[93, 107]), Some(100.0));
+        assert_eq!(median(&[9, 1, 5, 3, 7]), Some(5.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_sigma_matches_gaussian_scale_and_resists_spikes() {
+        // ±k around a center: MAD is exactly k × 1.4826.
+        let samples = [90u64, 93, 93, 93, 96];
+        let mad = mad_sigma(&samples).unwrap();
+        assert!(mad.abs() < 1e-12, "tight cluster: {mad}");
+        let spread = [87u64, 90, 93, 96, 99];
+        let mad = mad_sigma(&spread).unwrap();
+        assert!((mad - 3.0 * MAD_CONSISTENCY).abs() < 1e-9, "{mad}");
+        // A 2000-cycle interrupt spike cannot move the estimate.
+        let spiked = [87u64, 90, 93, 96, 2099];
+        let mad = mad_sigma(&spiked).unwrap();
+        assert!((mad - 3.0 * MAD_CONSISTENCY).abs() < 1e-9, "{mad}");
+        assert_eq!(mad_sigma(&[]), None);
+    }
+
+    #[test]
+    fn trimmed_mean_sheds_tail_contamination() {
+        // Midmean of a clean symmetric set is the mean.
+        let clean = [91u64, 92, 93, 94, 95];
+        assert!((trimmed_mean(&clean, 0.25).unwrap() - 93.0).abs() < 1e-12);
+        // One interrupt spike among eight samples: the mean moves by
+        // 250 cycles, the midmean does not move at all.
+        let spiked = [92u64, 92, 93, 93, 93, 94, 94, 2093];
+        let mm = trimmed_mean(&spiked, 0.25).unwrap();
+        assert!((mm - 93.0).abs() < 0.5, "midmean {mm}");
+        // trim = 0 is the plain mean; extreme trims are clamped sane.
+        assert!((trimmed_mean(&clean, 0.0).unwrap() - 93.0).abs() < 1e-12);
+        assert!(trimmed_mean(&clean, 0.9).unwrap().is_finite());
+        assert_eq!(trimmed_mean(&[], 0.25), None);
+        assert_eq!(trimmed_mean(&[42], 0.25), Some(42.0));
     }
 
     #[test]

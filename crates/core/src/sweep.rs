@@ -6,6 +6,22 @@
 //! masked op per candidate. [`AddrRange`] describes such a progression;
 //! its iterators feed [`crate::ProbeStrategy::measure_batch`] so the
 //! probe backend sees whole batches instead of one address at a time.
+//!
+//! ```
+//! use avx_channel::AddrRange;
+//! use avx_mmu::VirtAddr;
+//!
+//! // The Fig. 4 candidate set: 512 slots at 2 MiB stride.
+//! let range = AddrRange::new(
+//!     VirtAddr::new_truncate(0xffff_ffff_8000_0000),
+//!     2 * 1024 * 1024,
+//!     512,
+//! );
+//! assert_eq!(range.len(), 512);
+//! assert_eq!(range.addr(1).as_u64() - range.addr(0).as_u64(), 0x20_0000);
+//! // Chunked iteration is what the batched probe pipeline consumes.
+//! assert_eq!(range.chunks(16).count(), 32);
+//! ```
 
 use avx_mmu::VirtAddr;
 

@@ -1,0 +1,200 @@
+//! Property tests for the calibration subsystem.
+//!
+//! Three contracts: (1) [`Legacy`] is bit-exact with the pre-subsystem
+//! `Threshold::calibrate` arithmetic on *any* sample series, (2) the
+//! EM re-fit accepts every degenerate input (tiny n, zero variance,
+//! single mode) without panicking and never fabricates separation from
+//! single-mode data, and (3) the trimmed floor is invariant to injected
+//! interrupt-spike contamination where the legacy mean-based floor is
+//! not.
+
+use proptest::prelude::*;
+
+use avx_channel::calibrate::{
+    fit_two_gaussians, Bimodal, Calibrator, CalibratorKind, Legacy, NoiseAware, Trimmed,
+    DEFAULT_MARGIN,
+};
+use avx_channel::stats::Welford;
+use avx_channel::{Prober, SimProber, Threshold};
+use avx_os::linux::{LinuxConfig, LinuxSystem};
+use avx_uarch::{CpuProfile, NoiseProfile, OpKind};
+
+/// The seed-era `Threshold::calibrate` measurement loop, verbatim:
+/// warm-up load, then interleaved min/Welford over the timed stores.
+fn pre_refactor_calibrate(p: &mut SimProber, page: avx_mmu::VirtAddr, samples: usize) -> Threshold {
+    let _ = p.probe(OpKind::Load, page);
+    let mut w = Welford::new();
+    let mut min = u64::MAX;
+    for _ in 0..samples.max(1) {
+        let t = p.probe(OpKind::Store, page);
+        min = min.min(t);
+        w.push(t as f64);
+    }
+    let value = if w.count() >= 4 {
+        f64::min(w.mean(), min as f64 + 2.0)
+    } else {
+        w.mean()
+    };
+    Threshold {
+        value,
+        margin: DEFAULT_MARGIN,
+    }
+}
+
+fn noisy_prober(seed: u64, noise: NoiseProfile) -> (SimProber, avx_os::LinuxTruth) {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+    machine.set_noise_profile(noise);
+    (SimProber::new(machine), truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (1a) On arbitrary sample series, `Legacy::fit` reproduces the
+    /// pre-refactor arithmetic to the bit.
+    #[test]
+    fn legacy_fit_is_bit_exact_on_arbitrary_series(
+        samples in prop::collection::vec(1u64..5_000, 0..64),
+    ) {
+        let fit = Legacy.fit(&samples);
+        let mut w = Welford::new();
+        let mut min = u64::MAX;
+        for &t in &samples {
+            min = min.min(t);
+            w.push(t as f64);
+        }
+        let expect = if w.count() >= 4 {
+            f64::min(w.mean(), min as f64 + 2.0)
+        } else {
+            w.mean()
+        };
+        prop_assert_eq!(fit.threshold.value.to_bits(), expect.to_bits());
+        prop_assert_eq!(fit.threshold.margin.to_bits(), DEFAULT_MARGIN.to_bits());
+    }
+
+    /// (1b) End to end: `Threshold::calibrate` (and `calibrate_with`
+    /// under every estimator kind) issues the exact probe schedule of
+    /// the pre-refactor loop, and the Legacy threshold is bit-equal —
+    /// across noise environments, so the equivalence is not an artifact
+    /// of quiet timings.
+    #[test]
+    fn calibrate_matches_pre_refactor_probe_for_probe(
+        seed in 0u64..500,
+        samples in 1usize..24,
+        noise_idx in 0usize..4,
+    ) {
+        let noise = NoiseProfile::ALL[noise_idx];
+        let (mut p_old, truth_old) = noisy_prober(seed, noise);
+        let reference = pre_refactor_calibrate(&mut p_old, truth_old.user.calibration, samples);
+        let issued = p_old.probes_issued();
+
+        let (mut p_new, truth_new) = noisy_prober(seed, noise);
+        let th = Threshold::calibrate(&mut p_new, truth_new.user.calibration, samples);
+        prop_assert_eq!(th.value.to_bits(), reference.value.to_bits());
+        prop_assert_eq!(p_new.probes_issued(), issued, "probe schedule drifted");
+
+        // Every estimator consumes the identical probe schedule; only
+        // the arithmetic on the collected series differs.
+        for kind in CalibratorKind::ALL {
+            let (mut p, truth) = noisy_prober(seed, noise);
+            let _ = Threshold::calibrate_with(&mut p, truth.user.calibration, samples, kind);
+            prop_assert_eq!(p.probes_issued(), issued, "{} probe schedule", kind);
+        }
+    }
+
+    /// (2a) EM total function: arbitrary input (including adversarial
+    /// near-constant and tiny series) never panics, and a returned fit
+    /// is internally ordered with finite parameters.
+    #[test]
+    fn em_never_panics_and_fits_are_well_formed(
+        samples in prop::collection::vec(1u64..10_000, 0..128),
+    ) {
+        if let Some(mix) = fit_two_gaussians(&samples) {
+            prop_assert!(mix.lo_mean <= mix.hi_mean);
+            prop_assert!(mix.sigma > 0.0 && mix.sigma.is_finite());
+            prop_assert!((0.0..=1.0).contains(&mix.lo_weight));
+            prop_assert!(mix.lo_mean.is_finite() && mix.hi_mean.is_finite());
+            prop_assert_eq!(mix.n, samples.len());
+        } else {
+            // Refusals only on the documented degeneracies.
+            let distinct = {
+                let mut s = samples.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            };
+            prop_assert!(samples.len() < 4 || distinct < 2);
+        }
+        // Every estimator kind is total on the same inputs.
+        for kind in CalibratorKind::ALL {
+            let fit = kind.fit(&samples);
+            prop_assert!(fit.threshold.value.is_finite(), "{}", kind);
+            prop_assert!(fit.sigma.is_finite(), "{}", kind);
+        }
+    }
+
+    /// (2b) Single-mode data must never pass the separation check: the
+    /// Bimodal calibrator has to fall back to the trimmed floor rather
+    /// than split one band in half.
+    #[test]
+    fn em_single_mode_always_falls_back(
+        center in 50u64..500,
+        width in 1u64..6,
+        n in 8usize..64,
+    ) {
+        let samples: Vec<u64> = (0..n as u64).map(|i| center + i % width).collect();
+        let fit = Bimodal.fit(&samples);
+        prop_assert_eq!(fit.estimator, "trimmed", "split {:?}", fit);
+        if let Some(mix) = fit_two_gaussians(&samples) {
+            prop_assert!(!mix.is_separated(), "{:?}", mix);
+        }
+    }
+
+    /// (3) Spike robustness: up to 3 injected interrupt spikes in a
+    /// 16-sample series cannot move the trimmed floor by even one
+    /// cycle, while the legacy value is allowed to do whatever it does
+    /// (its min-pull bounds the damage from above, not from below).
+    #[test]
+    fn trimmed_floor_ignores_injected_spikes(
+        base in prop::collection::vec(90u64..97, 13..16),
+        spikes in prop::collection::vec(500u64..5_000, 1..4),
+    ) {
+        let clean_value = Trimmed.fit(&base).threshold.value;
+        let mut contaminated = base.to_vec();
+        contaminated.extend_from_slice(&spikes);
+        let spiked_value = Trimmed.fit(&contaminated).threshold.value;
+        prop_assert!(
+            (spiked_value - clean_value).abs() <= 1.0,
+            "clean {clean_value} vs spiked {spiked_value}"
+        );
+        // NoiseAware inherits the robustness whenever it selects the
+        // trimmed path; when it selects legacy the dispersion was small
+        // enough that the spikes were absent anyway.
+        let na = NoiseAware.fit(&contaminated);
+        if na.estimator == "trimmed" {
+            prop_assert_eq!(na.threshold.value.to_bits(), spiked_value.to_bits());
+        }
+    }
+}
+
+/// Non-proptest spot check: the NoiseAware cutoff routes the presets
+/// the way the campaign relies on (quiet → legacy, laptop → trimmed).
+#[test]
+fn noise_aware_routes_presets_as_documented() {
+    for (seed, noise, expect) in [
+        (3u64, NoiseProfile::Quiet, "legacy"),
+        (3, NoiseProfile::LaptopDvfs, "trimmed"),
+        (7, NoiseProfile::Quiet, "legacy"),
+        (7, NoiseProfile::LaptopDvfs, "trimmed"),
+    ] {
+        let (mut p, truth) = noisy_prober(seed, noise);
+        let fit = Threshold::calibrate_with(
+            &mut p,
+            truth.user.calibration,
+            16,
+            CalibratorKind::NoiseAware,
+        );
+        assert_eq!(fit.estimator, expect, "seed {seed} noise {noise}");
+    }
+}

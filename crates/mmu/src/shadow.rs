@@ -35,7 +35,7 @@
 //!   invalidated — exactly like hardware without `INVLPG`) may resume
 //!   the walk somewhere the current tables do not reach. When the
 //!   cached resume point disagrees with the stored chain, the index
-//!   falls back to [`Walker::walk_from`] *continuing from the PSC state
+//!   falls back to `Walker::walk_from` *continuing from the PSC state
 //!   already obtained*, which is precisely what the slow walker does.
 //!
 //! The property suite in `tests/shadow_props.rs` pins this equivalence
@@ -403,7 +403,7 @@ impl From<&WalkOutcome> for ShadowWalk {
 /// `start_idx` with the cached perms; a stale resume point (mutation
 /// since the entry was cached, never `INVLPG`ed — exactly like
 /// hardware) yields `Err` with the completed live walk, continued from
-/// the already-obtained PSC state via [`Walker::walk_from`].
+/// the already-obtained PSC state via `Walker::walk_from`.
 fn resume_from_psc(
     iv: &ShadowInterval,
     space: &AddressSpace,

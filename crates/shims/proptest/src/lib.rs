@@ -274,7 +274,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Acceptable size arguments for [`vec`].
+        /// Acceptable size arguments for [`vec()`].
         #[derive(Clone, Copy, Debug)]
         pub struct SizeRange {
             lo: usize,

@@ -222,6 +222,22 @@ impl Machine {
 
     /// Switches to a named noise environment: the preset's factors are
     /// applied to this machine's profile baseline anchors.
+    ///
+    /// ```
+    /// use avx_mmu::AddressSpace;
+    /// use avx_uarch::{CpuProfile, Machine, NoiseProfile};
+    ///
+    /// let mut machine = Machine::new(
+    ///     CpuProfile::alder_lake_i5_12400f(),
+    ///     AddressSpace::new(),
+    ///     7,
+    /// );
+    /// machine.set_noise_profile(NoiseProfile::LaptopDvfs);
+    /// assert_eq!(
+    ///     machine.noise(),
+    ///     NoiseProfile::LaptopDvfs.model_for(&machine.profile().timing),
+    /// );
+    /// ```
     pub fn set_noise_profile(&mut self, profile: crate::noise::NoiseProfile) {
         self.noise = profile.model_for(&self.profile.timing);
     }

@@ -13,6 +13,18 @@
 //! campaigns can treat "how noisy is the machine" as a first-class
 //! scenario axis (NetSpectre showed the required probe budget moves by
 //! orders of magnitude with exactly this axis).
+//!
+//! ```
+//! use avx_uarch::{CpuProfile, NoiseProfile};
+//!
+//! let timing = CpuProfile::alder_lake_i5_12400f().timing;
+//! let laptop = NoiseProfile::parse("laptop").unwrap();
+//! // The preset is a fixed multiplier over the profile's baseline σ...
+//! assert_eq!(laptop.effective_sigma(&timing), timing.noise_sigma * 6.0);
+//! // ...and induces a concrete generator for the machine to sample.
+//! let model = laptop.model_for(&timing);
+//! assert_eq!(model.sigma, laptop.effective_sigma(&timing));
+//! ```
 
 use core::fmt;
 
