@@ -6,15 +6,18 @@
 //! cargo run -p avx-bench --release --bin repro -- --noise smt --adaptive
 //! ```
 //!
-//! `--noise quiet|smt|laptop|cloud` selects the victim's noise
-//! environment for the campaign sections, and `--adaptive` /
-//! `--fixed-budget` select the probe-budget policy — together they
-//! reproduce the probes-per-address numbers of the noise-scenario
-//! matrix. The output of this binary is what `EXPERIMENTS.md` records.
+//! `--noise quiet|smt|laptop|cloud|drift` selects the victim's noise
+//! environment for the campaign sections (`drift` is the quiet→laptop
+//! mid-scan ramp), `--adaptive` / `--fixed-budget` select the
+//! probe-budget policy, and `--recalibrate` runs every sweep attack
+//! under the closed-loop recalibration driver — together they reproduce
+//! the probes-per-address numbers of the noise-scenario matrix and the
+//! drifting-noise recovery row. The output of this binary is what
+//! `EXPERIMENTS.md` records.
 
 use avx_bench::{
     accuracy_trials, calibrate, calibrator_kind, linux_prober, linux_prober_with, noise_profile,
-    paper, sampling_policy,
+    paper, recal_config, sampling_policy,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
@@ -49,15 +52,18 @@ fn main() {
     // plus the Fig. 4 sweep), written as machine-readable JSON so the
     // perf trajectory is tracked across PRs in `BENCH_campaign.json`.
     if let Some(path) = avx_bench::throughput::bench_json_path() {
-        let (grid, sweep) = avx_bench::throughput::run_bench_json(&path).expect("write bench json");
+        let (grid, sweep, drift) =
+            avx_bench::throughput::run_bench_json(&path).expect("write bench json");
         println!(
             "campaign throughput: {:.0} probes/s, {:.1} trials/s over {} rows in {:.2} s; \
-             fig4 sweep {:.0} probes/s → {}",
+             fig4 sweep {:.0} probes/s; drift row {:.0} probes/s at {:.1} % → {}",
             grid.probes_per_sec,
             grid.trials_per_sec,
             grid.rows,
             grid.wall_seconds,
             sweep.probes_per_sec,
+            drift.probes_per_sec,
+            drift.accuracy_pct,
             path.display()
         );
         return;
@@ -84,6 +90,7 @@ fn main() {
     survey();
     adaptive_economy();
     calibration_menu();
+    recalibration();
     full_campaign();
     println!("\ndone.");
 }
@@ -96,16 +103,20 @@ fn full_campaign() {
     let noise = noise_profile();
     let sampling = sampling_policy();
     let calibrator = calibrator_kind();
+    let recal = recal_config();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, rayon-parallel)",
-        sampling.name()
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, rayon-parallel)",
+        sampling.name(),
+        if recal.is_some() { "on" } else { "off" },
     ));
-    let campaign = Campaign::full(
-        CampaignConfig::new(trials, 0)
-            .with_noise(noise)
-            .with_sampling(sampling)
-            .with_calibrator(calibrator),
-    );
+    let mut config = CampaignConfig::new(trials, 0)
+        .with_noise(noise)
+        .with_sampling(sampling)
+        .with_calibrator(calibrator);
+    if let Some(recal) = recal {
+        config = config.with_recalibration(recal);
+    }
+    let campaign = Campaign::full(config);
     let mut table = Table::new([
         "CPU", "Target", "Probing", "Total", "p/addr", "Accuracy", "Records",
     ]);
@@ -196,6 +207,45 @@ fn calibration_menu() {
     }
     println!("{table}");
     println!("  (select per run: repro --calibrator <legacy|trimmed|bimodal|noise-aware>)");
+}
+
+/// The closed-loop story: the kernel-base cell under the quiet→laptop
+/// drift ramp, one-shot calibration vs the self-recalibrating scan.
+/// One-shot calibration goes stale mid-sweep (the SPRT keeps trusting
+/// the quiet-phase σ); the closed loop detects the dispersion shift,
+/// re-fits via the EM threshold re-fit and recovers.
+fn recalibration() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::{CalibratorKind, RecalConfig, Sampling};
+    use avx_uarch::NoiseProfile;
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Closed-loop recalibration — quiet→laptop drift mid-scan (n={trials}, adaptive sampling)"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let base = CampaignConfig::new(trials, 0)
+        .with_noise(NoiseProfile::drift_quiet_to_laptop())
+        .with_sampling(Sampling::adaptive())
+        .with_calibrator(CalibratorKind::NoiseAware);
+    let mut table = Table::new(["Calibration", "p/addr", "Accuracy"]);
+    for (label, config) in [
+        ("one-shot", base),
+        (
+            "closed-loop",
+            base.with_recalibration(RecalConfig::default()),
+        ),
+    ] {
+        let row = Scenario::KernelBase.campaign(&profile, config);
+        table.row([
+            label.to_string(),
+            format!("{:.2}", row.probes_per_address),
+            format!("{:.2} %", row.accuracy.percent()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "  (reproduce: repro --noise drift --adaptive --calibrator noise-aware [--recalibrate])"
+    );
 }
 
 fn quiet_machine(profile: CpuProfile, space: AddressSpace, seed: u64) -> Machine {
@@ -469,10 +519,13 @@ fn table1() {
         "Table I — runtime and accuracy (n={trials}, noise={noise}, sampling={}, calibrator={calibrator})",
         sampling.name()
     ));
-    let config = avx_channel::attacks::campaign::CampaignConfig::new(trials, 0)
+    let mut config = avx_channel::attacks::campaign::CampaignConfig::new(trials, 0)
         .with_noise(noise)
         .with_sampling(sampling)
         .with_calibrator(calibrator);
+    if let Some(recal) = recal_config() {
+        config = config.with_recalibration(recal);
+    }
     let rows = avx_channel::attacks::campaign::table1(config);
     let mut table = Table::new(["CPU", "Target", "Probing", "Total", "p/addr", "Accuracy"]);
     for row in &rows {

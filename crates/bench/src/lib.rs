@@ -9,7 +9,7 @@
 
 pub mod throughput;
 
-use avx_channel::{CalibratorKind, Sampling, SimProber, Threshold};
+use avx_channel::{CalibratorKind, RecalConfig, Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};
 
@@ -172,6 +172,19 @@ pub fn calibrator_kind() -> CalibratorKind {
         .unwrap_or(CalibratorKind::Legacy)
 }
 
+/// Closed-loop recalibration for the campaign sections: `--recalibrate`
+/// (or `AVX_RECALIBRATE=1`) runs every sweep attack under the
+/// [`avx_channel::recal::Recalibrating`] driver with the pinned default
+/// [`RecalConfig`]. Off by default — the paper's one-shot calibration.
+#[must_use]
+pub fn recal_config() -> Option<RecalConfig> {
+    let from_args = std::env::args().any(|a| a == "--recalibrate");
+    let from_env = std::env::var("AVX_RECALIBRATE")
+        .map(|v| !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")))
+        .unwrap_or(false);
+    (from_args || from_env).then(RecalConfig::default)
+}
+
 /// Probe-budget policy for the campaign sections: `--adaptive` (or
 /// `AVX_ADAPTIVE=1`) switches from the paper's fixed schedule to the
 /// SPRT engine; `--fixed-budget` selects the noise-robust fixed
@@ -224,6 +237,17 @@ mod tests {
         std::env::set_var("AVX_ADAPTIVE", "1");
         assert_eq!(sampling_policy(), Sampling::adaptive());
         std::env::remove_var("AVX_ADAPTIVE");
+    }
+
+    #[test]
+    fn recalibration_defaults_off_and_honors_the_env_knob() {
+        std::env::remove_var("AVX_RECALIBRATE");
+        assert_eq!(recal_config(), None);
+        std::env::set_var("AVX_RECALIBRATE", "1");
+        assert_eq!(recal_config(), Some(RecalConfig::default()));
+        std::env::set_var("AVX_RECALIBRATE", "0");
+        assert_eq!(recal_config(), None);
+        std::env::remove_var("AVX_RECALIBRATE");
     }
 
     #[test]

@@ -10,9 +10,9 @@
 
 use std::time::Instant;
 
-use avx_channel::attacks::campaign::{Campaign, CampaignConfig};
-use avx_channel::{KernelBaseFinder, Prober, Threshold};
-use avx_uarch::CpuProfile;
+use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
+use avx_channel::{CalibratorKind, KernelBaseFinder, Prober, RecalConfig, Sampling, Threshold};
+use avx_uarch::{CpuProfile, NoiseProfile};
 
 /// One end-to-end measurement of the full noise-grid campaign.
 #[derive(Clone, Copy, Debug)]
@@ -99,18 +99,65 @@ pub fn measure_fig4_sweep(min_probes: u64) -> SweepThroughput {
     }
 }
 
+/// One measurement of the drifting-noise recalibration row: the
+/// kernel-base campaign under the quiet→laptop ramp with the
+/// closed-loop driver on — the tentpole scenario of the recalibration
+/// engine, recorded so its cost (the loop re-probes its drift window
+/// after a refit) stays on the perf trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftRowThroughput {
+    /// Trials the row ran.
+    pub trials: u64,
+    /// Raw probes issued (calibration + rescans included).
+    pub probes: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Probes per wall-clock second.
+    pub probes_per_sec: f64,
+    /// Accuracy of the closed-loop row, percent.
+    pub accuracy_pct: f64,
+}
+
+/// Measures the closed-loop drift row (`repro --noise drift --adaptive
+/// --calibrator noise-aware --recalibrate` as a campaign cell).
+#[must_use]
+pub fn measure_drift_row(trials: u64) -> DriftRowThroughput {
+    let config = CampaignConfig::new(trials, 0)
+        .with_noise(NoiseProfile::drift_quiet_to_laptop())
+        .with_sampling(Sampling::adaptive())
+        .with_calibrator(CalibratorKind::NoiseAware)
+        .with_recalibration(RecalConfig::default());
+    let start = Instant::now();
+    let row = Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    DriftRowThroughput {
+        trials,
+        probes: row.probes,
+        wall_seconds,
+        probes_per_sec: row.probes as f64 / wall_seconds.max(1e-9),
+        accuracy_pct: row.accuracy.percent(),
+    }
+}
+
 /// Serializes the two measurements as the machine-readable
 /// `BENCH_campaign.json` record (hand-rolled JSON; the build is
 /// air-gapped, so no serde).
 #[must_use]
-pub fn bench_json(grid: &CampaignThroughput, sweep: &SweepThroughput) -> String {
+pub fn bench_json(
+    grid: &CampaignThroughput,
+    sweep: &SweepThroughput,
+    drift: &DriftRowThroughput,
+) -> String {
     format!(
-        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v1\",\n  \
+        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v2\",\n  \
          \"grid\": {{\n    \"trials_per_cell\": {},\n    \"rows\": {},\n    \
          \"trials\": {},\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
          \"probes_per_sec\": {:.1},\n    \"trials_per_sec\": {:.3}\n  }},\n  \
          \"fig4_sweep\": {{\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
-         \"probes_per_sec\": {:.1}\n  }}\n}}\n",
+         \"probes_per_sec\": {:.1}\n  }},\n  \
+         \"drift_row\": {{\n    \"trials\": {},\n    \"probes\": {},\n    \
+         \"wall_seconds\": {:.6},\n    \"probes_per_sec\": {:.1},\n    \
+         \"accuracy_pct\": {:.2}\n  }}\n}}\n",
         grid.trials_per_cell,
         grid.rows,
         grid.trials,
@@ -121,6 +168,11 @@ pub fn bench_json(grid: &CampaignThroughput, sweep: &SweepThroughput) -> String 
         sweep.probes,
         sweep.wall_seconds,
         sweep.probes_per_sec,
+        drift.trials,
+        drift.probes,
+        drift.wall_seconds,
+        drift.probes_per_sec,
+        drift.accuracy_pct,
     )
 }
 
@@ -145,11 +197,12 @@ pub fn bench_json_path() -> Option<std::path::PathBuf> {
 /// measurements for console reporting.
 pub fn run_bench_json(
     path: &std::path::Path,
-) -> std::io::Result<(CampaignThroughput, SweepThroughput)> {
+) -> std::io::Result<(CampaignThroughput, SweepThroughput, DriftRowThroughput)> {
     let grid = measure_noise_grid(2);
     let sweep = measure_fig4_sweep(64 * 1024);
-    std::fs::write(path, bench_json(&grid, &sweep))?;
-    Ok((grid, sweep))
+    let drift = measure_drift_row(8);
+    std::fs::write(path, bench_json(&grid, &sweep, &drift))?;
+    Ok((grid, sweep, drift))
 }
 
 #[cfg(test)]
@@ -179,9 +232,27 @@ mod tests {
             wall_seconds: 0.01,
             probes_per_sec: 204_800.0,
         };
-        let json = bench_json(&grid, &sweep);
+        let drift = DriftRowThroughput {
+            trials: 8,
+            probes: 20_000,
+            wall_seconds: 0.02,
+            probes_per_sec: 1_000_000.0,
+            accuracy_pct: 100.0,
+        };
+        let json = bench_json(&grid, &sweep, &drift);
         assert!(json.contains("\"probes_per_sec\""));
-        assert!(json.contains("campaign-throughput/v1"));
+        assert!(json.contains("campaign-throughput/v2"));
+        assert!(json.contains("\"drift_row\""));
+        assert!(json.contains("\"accuracy_pct\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn drift_row_measurement_recovers_and_reports_throughput() {
+        let drift = measure_drift_row(2);
+        assert_eq!(drift.trials, 2);
+        assert!(drift.probes > 0);
+        assert!(drift.probes_per_sec > 0.0);
+        assert!(drift.accuracy_pct >= 50.0, "{}", drift.accuracy_pct);
     }
 }

@@ -40,11 +40,12 @@ use crate::adaptive::{AdaptiveSampler, Sampling};
 use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
+use crate::recal::RecalConfig;
 use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_calibrated;
+use super::cloud::run_scenario_configured;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -67,6 +68,11 @@ pub struct CampaignConfig {
     /// calibration — golden rows only move when this is changed
     /// deliberately.
     pub calibrator: CalibratorKind,
+    /// Closed-loop recalibration of the sweep attacks
+    /// ([`crate::recal::Recalibrating`]). `None` — the default — is the
+    /// paper's one-shot calibration; every pre-recalibration golden row
+    /// is unchanged by construction.
+    pub recal: Option<RecalConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -77,6 +83,7 @@ impl Default for CampaignConfig {
             noise: NoiseProfile::Quiet,
             sampling: Sampling::Fixed,
             calibrator: CalibratorKind::Legacy,
+            recal: None,
         }
     }
 }
@@ -110,6 +117,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_calibrator(mut self, calibrator: CalibratorKind) -> Self {
         self.calibrator = calibrator;
+        self
+    }
+
+    /// Same config with closed-loop recalibration enabled for every
+    /// sweep-shaped attack (what `repro --recalibrate` selects).
+    #[must_use]
+    pub fn with_recalibration(mut self, recal: RecalConfig) -> Self {
+        self.recal = Some(recal);
         self
     }
 
@@ -676,6 +691,9 @@ fn kernel_base_trial(
     if let Some(strategy) = config.sampling.strategy_override() {
         finder = finder.with_strategy(strategy);
     }
+    if let Some(recal) = config.recal {
+        finder = finder.with_recalibration(recal);
+    }
     let scan = finder.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
@@ -704,6 +722,9 @@ fn amd_base_trial(
     if let Sampling::FixedBudget(n) = config.sampling {
         finder = finder.with_repeats(n.max(1));
     }
+    if let Some(recal) = config.recal {
+        finder = finder.with_recalibration(recal);
+    }
     let scan = finder.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
@@ -729,6 +750,9 @@ fn modules_trial(
     }
     if let Some(strategy) = config.sampling.strategy_override() {
         scanner = scanner.with_strategy(strategy);
+    }
+    if let Some(recal) = config.recal {
+        scanner = scanner.with_recalibration(recal);
     }
     let scan = scanner.scan(&mut p);
     let mut accuracy = Trials::new();
@@ -761,6 +785,9 @@ fn kpti_trial(
     }
     if let Some(strategy) = config.sampling.strategy_override() {
         attack = attack.with_strategy(strategy);
+    }
+    if let Some(recal) = config.recal {
+        attack = attack.with_recalibration(recal);
     }
     let scan = attack.scan(&mut p);
     let mut accuracy = Trials::new();
@@ -900,6 +927,9 @@ fn windows_trial(
     if let Some(strategy) = config.sampling.strategy_override() {
         attack = attack.with_strategy(strategy);
     }
+    if let Some(recal) = config.recal {
+        attack = attack.with_recalibration(recal);
+    }
     let scan = attack.find_kernel_region(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
@@ -917,12 +947,13 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_calibrated(
+        let report = run_scenario_configured(
             &scenario,
             seed ^ 0xabcd,
             config.noise,
             config.sampling,
             config.calibrator,
+            config.recal,
         );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;

@@ -17,6 +17,7 @@ use avx_uarch::NoiseProfile;
 use crate::adaptive::Sampling;
 use crate::calibrate::{CalibratorKind, Threshold};
 use crate::prober::{Prober, SimProber};
+use crate::recal::RecalConfig;
 
 use super::kaslr::KernelBaseFinder;
 use super::kpti::KptiAttack;
@@ -110,6 +111,24 @@ pub fn run_scenario_calibrated(
     sampling: Sampling,
     calibrator: CalibratorKind,
 ) -> CloudBreakReport {
+    run_scenario_configured(scenario, machine_seed, noise, sampling, calibrator, None)
+}
+
+/// [`run_scenario_calibrated`] plus the closed-loop recalibration
+/// switch — the full set of knobs
+/// [`crate::attacks::campaign::CampaignConfig`] threads into the cloud
+/// rows. With `recal` set, every sweep of the chain (KPTI trampoline,
+/// GCE base + modules, Azure region scan) runs under
+/// [`crate::recal::Recalibrating`].
+#[must_use]
+pub fn run_scenario_configured(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
+    recal: Option<RecalConfig>,
+) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
         GuestOs::Linux(cfg) => {
@@ -128,6 +147,9 @@ pub fn run_scenario_calibrated(
                 }
                 if let Some(strategy) = sampling.strategy_override() {
                     attack = attack.with_strategy(strategy);
+                }
+                if let Some(recal) = recal {
+                    attack = attack.with_recalibration(recal);
                 }
                 let scan = attack.scan(&mut p);
                 let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
@@ -156,6 +178,10 @@ pub fn run_scenario_calibrated(
                 if let Some(strategy) = sampling.strategy_override() {
                     base_finder = base_finder.with_strategy(strategy);
                     module_scanner = module_scanner.with_strategy(strategy);
+                }
+                if let Some(recal) = recal {
+                    base_finder = base_finder.with_recalibration(recal);
+                    module_scanner = module_scanner.with_recalibration(recal);
                 }
                 let scan = base_finder.scan(&mut p);
                 let base_seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
@@ -188,6 +214,9 @@ pub fn run_scenario_calibrated(
             }
             if let Some(strategy) = sampling.strategy_override() {
                 attack = attack.with_strategy(strategy);
+            }
+            if let Some(recal) = recal {
+                attack = attack.with_recalibration(recal);
             }
             let scan = attack.find_kernel_region(&mut p);
             let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);

@@ -16,6 +16,7 @@ use crate::adaptive::{AdaptiveMinFilter, AdaptiveSampler};
 use crate::calibrate::Threshold;
 use crate::primitives::{LevelAttack, PageTableAttack};
 use crate::prober::{ProbeStrategy, Prober};
+use crate::recal::RecalConfig;
 use crate::sweep::AddrRange;
 
 /// Per-candidate record-keeping cost outside the timed probes (loop,
@@ -38,6 +39,9 @@ pub struct KaslrScan {
     /// Raw probes the sweep issued (warm-ups included) — the budget the
     /// adaptive engine economizes.
     pub probes: u64,
+    /// In-scan recalibrations the closed loop performed (0 unless
+    /// [`KernelBaseFinder::with_recalibration`] was set).
+    pub refits: u32,
 }
 
 impl KaslrScan {
@@ -79,6 +83,16 @@ impl KernelBaseFinder {
         self
     }
 
+    /// Runs the sweep under the closed-loop recalibration driver
+    /// ([`crate::recal::Recalibrating`]): threshold and σ are re-fitted
+    /// mid-scan when the noise environment drifts away from the
+    /// one-shot calibration.
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.attack = self.attack.with_recalibration(config);
+        self
+    }
+
     /// Probes with masked stores instead of loads. Stores run 16–18
     /// cycles faster under assist (P6), which §IV-F uses to shorten
     /// full-range scans; pair with [`crate::Threshold::calibrate_store`].
@@ -116,6 +130,7 @@ impl KernelBaseFinder {
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
             probes: sweep.probes,
+            refits: sweep.refits,
         }
     }
 }
@@ -211,6 +226,15 @@ impl AmdKernelBaseFinder {
     #[must_use]
     pub fn with_early_stop(mut self, filter: AdaptiveMinFilter) -> Self {
         self.level = self.level.with_early_stop(filter);
+        self
+    }
+
+    /// Runs the sweep under the closed-loop escalating min-filter
+    /// ([`crate::recal::RecalibratingMinFilter`]): a dispersion shift of
+    /// the latency floors buys later slots a wider probe budget.
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.level = self.level.with_recalibration(config);
         self
     }
 

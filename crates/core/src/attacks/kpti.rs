@@ -14,6 +14,7 @@ use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::Prober;
+use crate::recal::RecalConfig;
 
 use super::kaslr::PER_SLOT_OVERHEAD_CYCLES;
 
@@ -33,6 +34,8 @@ pub struct KptiScan {
     pub total_cycles: u64,
     /// Raw probes the sweep issued (warm-ups included).
     pub probes: u64,
+    /// In-scan recalibrations the closed loop performed.
+    pub refits: u32,
 }
 
 /// The KPTI-trampoline attack.
@@ -67,6 +70,14 @@ impl KptiAttack {
         self
     }
 
+    /// Runs the sweep under the closed-loop recalibration driver
+    /// ([`crate::recal::Recalibrating`]).
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.attack = self.attack.with_recalibration(config);
+        self
+    }
+
     /// Scans the kernel region and derives the base from the first
     /// mapped slot. The candidates are fed through the batched probe
     /// pipeline.
@@ -96,6 +107,7 @@ impl KptiAttack {
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
             probes: sweep.probes,
+            refits: sweep.refits,
         }
     }
 }

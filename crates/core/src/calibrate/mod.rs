@@ -317,15 +317,22 @@ impl Threshold {
         calibrator.fit(&collect_reference_series(p, read_only_page, samples))
     }
 
-    /// Automatic fallback: split a bimodal sample set (e.g. one full
-    /// 512-slot scan) into two clusters and threshold at the midpoint.
-    /// Useful when no clean calibration page exists (Windows guests).
+    /// The historical k-means bootstrap: split a bimodal sample set
+    /// (e.g. one full 512-slot scan) into two clusters and threshold at
+    /// the midpoint.
+    ///
+    /// **Superseded** by [`Threshold::refit_bimodal`] for the
+    /// no-calibration-page path (Windows guests) and for in-scan
+    /// recalibration ([`crate::recal::Recalibrating`]): the EM re-fit
+    /// places the boundary at the same midpoint on clean input (pinned
+    /// within tolerance by `crates/core/tests/recal_props.rs`) and
+    /// additionally recovers the environment σ the adaptive engine
+    /// needs. Kept as a fallback for landscapes the EM
+    /// separation-honesty check rejects.
     ///
     /// Interrupt spikes would otherwise form their own far-away cluster
     /// and swallow both real bands, so the top few percent of samples
-    /// are trimmed before clustering. See
-    /// [`Threshold::refit_bimodal`] for the EM-based variant that also
-    /// recovers the environment σ.
+    /// are trimmed before clustering.
     #[must_use]
     pub fn from_bimodal_samples(samples: &[u64]) -> Option<Self> {
         if samples.is_empty() {
@@ -347,6 +354,32 @@ impl Threshold {
     /// mean, margin on half the fitted mode gap, and the returned fit
     /// carries the recovered environment σ. `None` when the samples do
     /// not separate into two modes (see [`fit_two_gaussians`]).
+    ///
+    /// This is the in-scan re-estimation primitive: a sweep's own raw
+    /// series contains both timing populations, so an attack can keep
+    /// its calibration honest without ever revisiting a calibration
+    /// page — the closed-loop [`crate::recal::Recalibrating`] driver
+    /// calls this on its drift window, and a Windows guest with no
+    /// clean calibration page can bootstrap from a first blind pass:
+    ///
+    /// ```
+    /// use avx_channel::{KernelBaseFinder, SimProber, Threshold};
+    /// use avx_os::linux::{LinuxConfig, LinuxSystem};
+    /// use avx_uarch::CpuProfile;
+    ///
+    /// let sys = LinuxSystem::build(LinuxConfig::seeded(62));
+    /// let (machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 62);
+    /// let mut p = SimProber::new(machine);
+    ///
+    /// // A blind first pass (threshold irrelevant) just collects the series...
+    /// let bootstrap = KernelBaseFinder::new(Threshold::new(0.0, 0.0)).scan(&mut p);
+    /// // ...and the EM re-fit recovers threshold, margin and live σ from it.
+    /// let fit = Threshold::refit_bimodal(&bootstrap.samples).expect("two bands");
+    /// assert!(fit.threshold.is_mapped(93) && !fit.threshold.is_mapped(107));
+    /// assert!(fit.sigma > 0.0);
+    /// let scan = KernelBaseFinder::new(fit.threshold).scan(&mut p);
+    /// assert_eq!(scan.base, Some(truth.kernel_base));
+    /// ```
     #[must_use]
     pub fn refit_bimodal(samples: &[u64]) -> Option<CalibrationFit> {
         let mix = fit_two_gaussians(samples)?;

@@ -55,6 +55,7 @@ pub mod calibrate;
 pub mod countermeasures;
 pub mod primitives;
 pub mod prober;
+pub mod recal;
 pub mod report;
 pub mod stats;
 pub mod sweep;
@@ -69,4 +70,5 @@ pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,
 };
 pub use prober::{ProbeStrategy, Prober, SimProber};
+pub use recal::{DriftMonitor, DriftSignal, RecalConfig, RecalEvent, Recalibrating};
 pub use sweep::AddrRange;

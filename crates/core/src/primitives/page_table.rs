@@ -10,6 +10,7 @@ use avx_uarch::OpKind;
 use crate::adaptive::{AdaptiveMinFilter, AdaptiveSampler};
 use crate::calibrate::Threshold;
 use crate::prober::{ProbeStrategy, Prober};
+use crate::recal::{RecalConfig, Recalibrating, RecalibratingMinFilter};
 use crate::stats::two_means_threshold;
 use crate::sweep::AddrRange;
 
@@ -24,6 +25,9 @@ pub struct SweepClassification {
     pub mapped: Vec<bool>,
     /// Raw probes issued across the sweep, warm-ups included.
     pub probes: u64,
+    /// In-scan recalibrations the closed loop performed (always 0 on
+    /// the open-loop paths; see [`crate::recal::Recalibrating`]).
+    pub refits: u32,
 }
 
 impl SweepClassification {
@@ -51,6 +55,12 @@ pub struct PageTableAttack {
     /// When set, [`PageTableAttack::sweep`] routes through the
     /// SPRT-based early-stopping engine instead of the fixed strategy.
     pub sampler: Option<AdaptiveSampler>,
+    /// When set, sweeps run under the closed-loop recalibration driver
+    /// ([`crate::recal::Recalibrating`]): a drift monitor watches the
+    /// stream and re-fits threshold + σ mid-scan when the environment
+    /// shifts. `None` (the default) is the one-shot-calibration paper
+    /// methodology, bit-exact with the pre-recalibration engine.
+    pub recal: Option<RecalConfig>,
 }
 
 impl PageTableAttack {
@@ -62,6 +72,7 @@ impl PageTableAttack {
             strategy: ProbeStrategy::SecondOfTwo,
             op: OpKind::Load,
             sampler: None,
+            recal: None,
         }
     }
 
@@ -69,6 +80,13 @@ impl PageTableAttack {
     #[must_use]
     pub fn with_adaptive(mut self, sampler: AdaptiveSampler) -> Self {
         self.sampler = Some(sampler);
+        self
+    }
+
+    /// Switches sweeps to the closed-loop recalibration driver.
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        self.recal = Some(config);
         self
     }
 
@@ -140,6 +158,9 @@ impl PageTableAttack {
     /// [`AdaptiveSampler::classify_batch`], which stops probing each
     /// address as soon as its classification is statistically settled.
     pub fn sweep<P: Prober + ?Sized>(&self, p: &mut P, addrs: &[VirtAddr]) -> SweepClassification {
+        if let Some(config) = self.recal {
+            return Recalibrating::new(*self, config).sweep(p, addrs);
+        }
         match self.sampler {
             None => {
                 let samples = self.measure_addrs(p, addrs);
@@ -148,6 +169,7 @@ impl PageTableAttack {
                     samples,
                     mapped,
                     probes: addrs.len() as u64 * u64::from(self.strategy.probes_per_measurement()),
+                    refits: 0,
                 }
             }
             Some(sampler) => {
@@ -156,6 +178,7 @@ impl PageTableAttack {
                     probes: batch.total_probes(),
                     samples: batch.samples,
                     mapped: batch.mapped,
+                    refits: 0,
                 }
             }
         }
@@ -171,6 +194,9 @@ impl PageTableAttack {
         p: &mut P,
         range: &AddrRange,
     ) -> SweepClassification {
+        if let Some(config) = self.recal {
+            return Recalibrating::new(*self, config).sweep_range(p, range);
+        }
         match self.sampler {
             None => {
                 let samples = self.measure_range_streamed(p, range);
@@ -179,6 +205,7 @@ impl PageTableAttack {
                     samples,
                     mapped,
                     probes: range.count * u64::from(self.strategy.probes_per_measurement()),
+                    refits: 0,
                 }
             }
             Some(sampler) => {
@@ -187,6 +214,7 @@ impl PageTableAttack {
                     probes: batch.total_probes(),
                     samples: batch.samples,
                     mapped: batch.mapped,
+                    refits: 0,
                 }
             }
         }
@@ -202,6 +230,11 @@ pub struct LevelAttack {
     /// When set, the min-filter stops early once a candidate's floor
     /// has stabilized instead of always spending the full width.
     pub early_stop: Option<AdaptiveMinFilter>,
+    /// When set (together with `early_stop`), range sweeps run under
+    /// the closed-loop [`crate::recal::RecalibratingMinFilter`]: a
+    /// dispersion shift of the latency floors escalates the min-filter
+    /// budget mid-scan. `None` (the default) is the open-loop path.
+    pub recal: Option<RecalConfig>,
 }
 
 impl Default for LevelAttack {
@@ -209,6 +242,7 @@ impl Default for LevelAttack {
         Self {
             repeats: 6,
             early_stop: None,
+            recal: None,
         }
     }
 }
@@ -218,6 +252,18 @@ impl LevelAttack {
     #[must_use]
     pub fn with_early_stop(mut self, filter: AdaptiveMinFilter) -> Self {
         self.early_stop = Some(filter);
+        self
+    }
+
+    /// Switches range sweeps to the closed-loop escalating min-filter
+    /// (implies the early-stopping filter; a default one is installed
+    /// if none was configured).
+    #[must_use]
+    pub fn with_recalibration(mut self, config: RecalConfig) -> Self {
+        if self.early_stop.is_none() {
+            self.early_stop = Some(AdaptiveMinFilter::default());
+        }
+        self.recal = Some(config);
         self
     }
 
@@ -256,6 +302,9 @@ impl LevelAttack {
         p: &mut P,
         range: &AddrRange,
     ) -> (Vec<u64>, u64) {
+        if let (Some(config), Some(filter)) = (self.recal, self.early_stop) {
+            return RecalibratingMinFilter::new(filter, config).measure_range(p, range);
+        }
         match self.early_stop {
             None => {
                 let strategy = ProbeStrategy::MinOf(self.repeats);

@@ -1,0 +1,891 @@
+//! Closed-loop self-recalibration: keep the calibration honest while
+//! the environment drifts.
+//!
+//! Every attack of §IV calibrates once and then trusts that fit for the
+//! whole scan. That is the paper's quiet-host methodology — and exactly
+//! what breaks when DVFS kicks in or a co-tenant lands on the core
+//! mid-sweep: the threshold stays roughly right (the band *means* do
+//! not move), but the fitted σ the SPRT's likelihoods assume goes stale,
+//! so an [`crate::AdaptiveSampler`] built during the quiet phase settles
+//! wrong answers with great confidence. NetSpectre-style remote attacks
+//! live or die on continuous threshold re-estimation; Oreo argues ASLR
+//! defenses must be evaluated against attackers that adapt online. This
+//! module supplies that attacker:
+//!
+//! * [`DriftMonitor`] streams each probed tile's representative samples
+//!   into a sliding window and watches two signals: the per-band
+//!   MAD-dispersion (did the Gaussian widen past what the current fit
+//!   claims?) and the SPRT forced-decision rate (is the sampler running
+//!   out of budget without crossing a boundary?).
+//! * [`Recalibrating`] drives a [`PageTableAttack`] sweep tile by tile;
+//!   when the monitor trips it re-fits from the window via
+//!   [`Threshold::refit_bimodal`] (the EM re-fit recovers both band
+//!   means *and* the live σ from in-scan data — no second calibration
+//!   page visit needed), rebuilds the sampler through the
+//!   [`Sampling::sampler_from_fit`] single-σ-policy chokepoint, and
+//!   re-classifies the suspicious window under the new fit.
+//! * [`RecalibratingMinFilter`] is the level-signal analogue for the
+//!   AMD path (no threshold to re-fit): on a dispersion shift it
+//!   escalates the min-filter's probe budget so the latency floors stay
+//!   trustworthy.
+//!
+//! Recalibration is **off by default** everywhere
+//! ([`PageTableAttack::recal`], `CampaignConfig::recal` are `None`), and
+//! with the trigger never firing the driver is bit-exact with the
+//! non-recalibrating sweep — both properties are pinned by
+//! `crates/core/tests/recal_props.rs`, which is what keeps every
+//! pre-existing golden row untouched.
+//!
+//! # Example: a drifting scan that recalibrates itself
+//!
+//! ```
+//! use avx_channel::recal::{RecalConfig, Recalibrating};
+//! use avx_channel::{
+//!     AdaptiveSampler, CalibratorKind, PageTableAttack, SimProber, Threshold,
+//! };
+//! use avx_channel::attacks::kaslr::KernelBaseFinder;
+//! use avx_os::linux::{LinuxConfig, LinuxSystem};
+//! use avx_uarch::{CpuProfile, NoiseProfile};
+//!
+//! let sys = LinuxSystem::build(LinuxConfig::seeded(5));
+//! let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 5);
+//! // A quiet host whose environment ramps to laptop-DVFS mid-scan.
+//! machine.set_noise_profile(NoiseProfile::drift_quiet_to_laptop());
+//! let mut p = SimProber::new(machine);
+//!
+//! // One-shot calibration happens in the quiet phase and measures σ ≈ 1.
+//! let fit = Threshold::calibrate_with(
+//!     &mut p,
+//!     truth.user.calibration,
+//!     16,
+//!     CalibratorKind::NoiseAware,
+//! );
+//! let attack = PageTableAttack::new(fit.threshold)
+//!     .with_adaptive(AdaptiveSampler::from_fit(&fit));
+//! let mut driver = Recalibrating::new(attack, RecalConfig::default());
+//! let sweep = driver.sweep_range(&mut p, &KernelBaseFinder::candidate_range());
+//! // The dispersion monitor notices the drift and re-fits in-scan.
+//! assert!(sweep.refits >= 1);
+//! assert!(driver.threshold().is_mapped(93));
+//! assert_eq!(sweep.mapped.len(), 512);
+//! ```
+
+use std::collections::VecDeque;
+
+use avx_mmu::VirtAddr;
+
+use crate::adaptive::{AdaptiveMinFilter, Sampling};
+use crate::calibrate::{CalibrationFit, Threshold};
+use crate::primitives::{PageTableAttack, SweepClassification};
+use crate::prober::{ProbeStrategy, Prober};
+use crate::stats::mad_sigma_scratch;
+use crate::sweep::AddrRange;
+
+/// Tuning knobs of the closed loop. The defaults are the pinned
+/// campaign configuration (`repro --recalibrate`); `docs/CALIBRATION.md`
+/// discusses when to move each one.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RecalConfig {
+    /// Sliding-window length in representative samples (one per probed
+    /// candidate address).
+    pub window: usize,
+    /// Minimum window fill before the triggers arm.
+    pub min_samples: usize,
+    /// Dispersion trigger: fires when a band's windowed MAD-σ exceeds
+    /// `dispersion_ratio ×` the current fit's σ.
+    pub dispersion_ratio: f64,
+    /// Floor under the fit σ when forming the dispersion limit, so a
+    /// near-zero quiet fit cannot make single-cycle jitter look like
+    /// drift.
+    pub sigma_floor: f64,
+    /// SPRT trigger: fires when the fraction of forced (budget-
+    /// exhausted) decisions in the window exceeds this rate. Only the
+    /// adaptive sampling path produces forced decisions.
+    pub unsettled_rate: f64,
+    /// Samples to observe after a refit before the triggers re-arm.
+    pub cooldown: usize,
+    /// Re-classify the window's addresses under the new fit after a
+    /// refit (the samples that accumulated while the stale fit was
+    /// still deciding). Bounded by `window` extra measurements per
+    /// refit.
+    pub rescan: bool,
+    /// Hard cap on refits per driver, a runaway-loop backstop.
+    pub max_refits: u32,
+}
+
+impl Default for RecalConfig {
+    fn default() -> Self {
+        Self {
+            window: 128,
+            min_samples: 64,
+            dispersion_ratio: 2.0,
+            sigma_floor: 1.0,
+            unsettled_rate: 0.25,
+            cooldown: 64,
+            rescan: true,
+            max_refits: 8,
+        }
+    }
+}
+
+/// Why the monitor tripped.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DriftSignal {
+    /// A band's windowed MAD-σ exceeded the fit's claim.
+    Dispersion {
+        /// The measured windowed band MAD-σ.
+        measured: f64,
+        /// The limit it exceeded (`dispersion_ratio × fit σ`).
+        limit: f64,
+    },
+    /// Too many SPRT decisions were forced at the budget.
+    Unsettled {
+        /// Fraction of forced decisions in the window.
+        rate: f64,
+    },
+}
+
+/// One recalibration the driver performed.
+#[derive(Clone, Copy, Debug)]
+pub struct RecalEvent {
+    /// Global candidate index (within this driver's lifetime) at which
+    /// the trigger fired.
+    pub at_address: usize,
+    /// The signal that fired.
+    pub signal: DriftSignal,
+    /// The threshold in effect before the refit.
+    pub threshold_before: Threshold,
+    /// The fit the window produced.
+    pub fit: CalibrationFit,
+}
+
+/// One window entry: a candidate's representative sample plus how its
+/// decision was reached.
+#[derive(Clone, Copy, Debug)]
+struct WindowEntry {
+    index: usize,
+    addr: VirtAddr,
+    sample: u64,
+    settled: bool,
+}
+
+/// The sliding-window drift detector.
+///
+/// Samples in a sweep are *bimodal* (mapped and unmapped candidates
+/// interleave), so a window-wide dispersion estimate would read the
+/// band gap as noise. The monitor therefore splits the window at the
+/// current decision boundary and measures each band's MAD-σ separately;
+/// under a stationary environment that matches the fit's σ, and under
+/// `NoiseModel::none()` it is exactly zero, so the trigger can never
+/// fire on a noiseless scan (property-pinned).
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    config: RecalConfig,
+    /// σ the current fit claims; the dispersion limit scales from it.
+    baseline_sigma: f64,
+    entries: VecDeque<WindowEntry>,
+    since_refit: usize,
+    /// Reused MAD buffer — the monitor runs once per probe tile and
+    /// must not put allocations back on the zero-alloc sweep path.
+    scratch: Vec<f64>,
+}
+
+/// Band entries below this count are too thin for a MAD estimate.
+pub const MIN_BAND_SAMPLES: usize = 8;
+
+impl DriftMonitor {
+    /// A monitor against the σ of the calibration currently in effect.
+    #[must_use]
+    pub fn new(config: RecalConfig, baseline_sigma: f64) -> Self {
+        Self {
+            config,
+            baseline_sigma,
+            entries: VecDeque::with_capacity(config.window.max(1)),
+            // The initial fit needs no cooldown: trigger as soon as the
+            // window has evidence.
+            since_refit: config.cooldown,
+            scratch: Vec::with_capacity(config.window.max(1)),
+        }
+    }
+
+    /// Streams one candidate's representative sample into the window.
+    pub fn observe(&mut self, index: usize, addr: VirtAddr, sample: u64, settled: bool) {
+        if self.entries.len() >= self.config.window.max(1) {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(WindowEntry {
+            index,
+            addr,
+            sample,
+            settled,
+        });
+        self.since_refit = self.since_refit.saturating_add(1);
+    }
+
+    /// The one band-partition rule of the monitor: split the window
+    /// (skipping the oldest `skip` entries) at `boundary` and return
+    /// the larger per-band MAD-σ (bands with fewer than
+    /// [`MIN_BAND_SAMPLES`] entries read as 0). Both the dispersion
+    /// trigger and the σ-refresh route through here so the band
+    /// convention cannot fork; the reused scratch buffer keeps the
+    /// per-tile check allocation-free.
+    fn band_mad(&mut self, skip: usize, boundary: f64) -> f64 {
+        let Self {
+            entries, scratch, ..
+        } = self;
+        let mut band = |fast: bool| {
+            let samples = entries
+                .iter()
+                .skip(skip)
+                .map(|e| e.sample as f64)
+                .filter(|&s| (s <= boundary) == fast);
+            match mad_sigma_scratch(samples, scratch) {
+                Some(mad) if scratch.len() >= MIN_BAND_SAMPLES => mad,
+                _ => 0.0,
+            }
+        };
+        band(true).max(band(false))
+    }
+
+    /// The windowed per-band dispersion: the larger MAD-σ of the two
+    /// bands the decision boundary splits the window into (bands with
+    /// fewer than [`MIN_BAND_SAMPLES`] entries are skipped).
+    #[must_use]
+    pub fn band_dispersion(&mut self, boundary: f64) -> f64 {
+        self.band_mad(0, boundary)
+    }
+
+    /// Fraction of window entries whose decision was forced at the
+    /// probe budget.
+    #[must_use]
+    pub fn unsettled_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let forced = self.entries.iter().filter(|e| !e.settled).count();
+        forced as f64 / self.entries.len() as f64
+    }
+
+    /// Checks the triggers against the current decision boundary.
+    #[must_use]
+    pub fn check(&mut self, boundary: f64) -> Option<DriftSignal> {
+        if self.entries.len() < self.config.min_samples.max(1)
+            || self.since_refit < self.config.cooldown
+        {
+            return None;
+        }
+        let limit = self.config.dispersion_ratio * self.baseline_sigma.max(self.config.sigma_floor);
+        let measured = self.band_dispersion(boundary);
+        if measured > limit {
+            return Some(DriftSignal::Dispersion { measured, limit });
+        }
+        let rate = self.unsettled_fraction();
+        if rate > self.config.unsettled_rate {
+            return Some(DriftSignal::Unsettled { rate });
+        }
+        None
+    }
+
+    /// The window's samples in arrival order (what the re-fit consumes).
+    #[must_use]
+    pub fn samples(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.sample).collect()
+    }
+
+    /// Per-band MAD-σ of the *freshest half* of the window. While a
+    /// ramp is still in progress the window mixes noise levels, so a
+    /// full-window estimate lags the live σ; the freshest half tracks
+    /// it, and a continuing ramp simply re-trips the (re-based) trigger
+    /// and walks the estimate up step by step.
+    #[must_use]
+    pub fn fresh_sigma(&mut self, boundary: f64) -> f64 {
+        let half = self.entries.len().div_ceil(2);
+        let skip = self.entries.len() - half;
+        let per_band = self.band_mad(skip, boundary);
+        if per_band > 0.0 {
+            per_band
+        } else {
+            // Both bands too thin to split: fall back to the half's
+            // overall MAD (still spike-robust).
+            let Self {
+                entries, scratch, ..
+            } = self;
+            mad_sigma_scratch(entries.iter().skip(skip).map(|e| e.sample as f64), scratch)
+                .unwrap_or(0.0)
+        }
+    }
+
+    /// Resets the window around a fresh fit: the old samples were drawn
+    /// under the stale calibration and must not re-trip the new one.
+    pub fn note_refit(&mut self, new_sigma: f64) {
+        self.baseline_sigma = new_sigma;
+        self.entries.clear();
+        self.since_refit = 0;
+    }
+
+    /// Window addresses at or past `floor_index`, for the post-refit
+    /// rescan (arrival order).
+    fn rescan_targets(&self, floor_index: usize) -> Vec<(usize, VirtAddr)> {
+        self.entries
+            .iter()
+            .filter(|e| e.index >= floor_index)
+            .map(|e| (e.index, e.addr))
+            .collect()
+    }
+}
+
+/// The closed-loop sweep driver.
+///
+/// Wraps a [`PageTableAttack`] and sweeps with the identical tile
+/// decomposition as the open-loop paths
+/// ([`PageTableAttack::sweep_range`] /
+/// [`crate::AdaptiveSampler::classify_range`]), feeding every tile's
+/// representative samples through a [`DriftMonitor`]. State persists
+/// across calls, so chunked scans (the Windows §IV-G region loop) keep
+/// one threshold trajectory for the whole region.
+#[derive(Clone, Debug)]
+pub struct Recalibrating {
+    attack: PageTableAttack,
+    config: RecalConfig,
+    monitor: DriftMonitor,
+    /// The threshold the attack was *calibrated* with — the fixed
+    /// anchor of the EM re-centering gate. The live threshold may be
+    /// refit many times on a long scan; gating each refit against this
+    /// anchor (not the previous refit) keeps the accepted moves inside
+    /// one tolerance of the reference level, so successive mid-ramp EM
+    /// artifacts cannot random-walk the boundary into a band tail.
+    reference: Threshold,
+    events: Vec<RecalEvent>,
+    /// Candidates processed across the driver's lifetime.
+    processed: usize,
+}
+
+impl Recalibrating {
+    /// Builds the driver around an attack. The monitor's baseline σ is
+    /// the sampler's fitted σ on the adaptive path and the
+    /// [`RecalConfig::sigma_floor`] on the fixed path (the fixed path
+    /// carries no σ model to compare against).
+    #[must_use]
+    pub fn new(attack: PageTableAttack, config: RecalConfig) -> Self {
+        let baseline_sigma = attack
+            .sampler
+            .map_or(config.sigma_floor, |s| s.sigma)
+            .max(config.sigma_floor);
+        let mut attack = attack;
+        // The driver owns the loop; the inner attack must not recurse.
+        attack.recal = None;
+        Self {
+            reference: attack.threshold,
+            attack,
+            config,
+            monitor: DriftMonitor::new(config, baseline_sigma),
+            events: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    /// The threshold currently in effect (moves across refits).
+    #[must_use]
+    pub fn threshold(&self) -> Threshold {
+        self.attack.threshold
+    }
+
+    /// Recalibrations performed so far.
+    #[must_use]
+    pub fn refits(&self) -> u32 {
+        self.events.len() as u32
+    }
+
+    /// The recalibration log.
+    #[must_use]
+    pub fn events(&self) -> &[RecalEvent] {
+        &self.events
+    }
+
+    /// Sweeps a candidate slice under the closed loop.
+    pub fn sweep<P: Prober + ?Sized>(
+        &mut self,
+        p: &mut P,
+        addrs: &[VirtAddr],
+    ) -> SweepClassification {
+        let mut out = SweepClassification {
+            samples: Vec::with_capacity(addrs.len()),
+            mapped: Vec::with_capacity(addrs.len()),
+            probes: 0,
+            refits: 0,
+        };
+        let call_base = self.processed;
+        for tile in addrs.chunks(ProbeStrategy::BATCH_TILE) {
+            self.sweep_tile(p, tile, call_base, &mut out);
+        }
+        out
+    }
+
+    /// Sweeps an [`AddrRange`] under the closed loop, streaming one
+    /// reused tile buffer (the [`AddrRange::tiles`] decomposition the
+    /// open-loop paths use).
+    pub fn sweep_range<P: Prober + ?Sized>(
+        &mut self,
+        p: &mut P,
+        range: &AddrRange,
+    ) -> SweepClassification {
+        let mut out = SweepClassification {
+            samples: Vec::with_capacity(range.len()),
+            mapped: Vec::with_capacity(range.len()),
+            probes: 0,
+            refits: 0,
+        };
+        let call_base = self.processed;
+        let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+        for chunk in range.tiles() {
+            chunk.fill(&mut tile);
+            self.sweep_tile(p, &tile, call_base, &mut out);
+        }
+        out
+    }
+
+    /// One tile: classify with the current fit, feed the monitor,
+    /// possibly refit.
+    fn sweep_tile<P: Prober + ?Sized>(
+        &mut self,
+        p: &mut P,
+        tile: &[VirtAddr],
+        call_base: usize,
+        out: &mut SweepClassification,
+    ) {
+        match self.attack.sampler {
+            Some(sampler) => {
+                let batch = sampler.classify_batch(p, self.attack.op, tile);
+                out.probes += batch.total_probes();
+                for (i, &addr) in tile.iter().enumerate() {
+                    self.monitor
+                        .observe(self.processed, addr, batch.samples[i], batch.settled[i]);
+                    out.samples.push(batch.samples[i]);
+                    out.mapped.push(batch.mapped[i]);
+                    self.processed += 1;
+                }
+            }
+            None => {
+                let samples = self.attack.strategy.measure_batch(p, self.attack.op, tile);
+                out.probes +=
+                    tile.len() as u64 * u64::from(self.attack.strategy.probes_per_measurement());
+                for (i, &addr) in tile.iter().enumerate() {
+                    self.monitor.observe(self.processed, addr, samples[i], true);
+                    out.samples.push(samples[i]);
+                    out.mapped.push(self.attack.threshold.is_mapped(samples[i]));
+                    self.processed += 1;
+                }
+            }
+        }
+        if self.events.len() < self.config.max_refits as usize {
+            if let Some(signal) = self.monitor.check(self.attack.threshold.boundary()) {
+                self.refit(p, signal, call_base, out);
+            }
+        }
+    }
+
+    /// Re-fits from the window, rebuilds the sampler, and (optionally)
+    /// re-classifies the window's addresses under the new fit.
+    fn refit<P: Prober + ?Sized>(
+        &mut self,
+        p: &mut P,
+        signal: DriftSignal,
+        call_base: usize,
+        out: &mut SweepClassification,
+    ) {
+        let window = self.monitor.samples();
+        // The EM re-fit recovers both band means and the live σ when
+        // the window genuinely straddles both populations. Mid-ramp,
+        // though, EM can "discover" two modes *inside* one noise band
+        // (early tight samples vs late wide ones) and drag the
+        // threshold into the unmapped band's tail — so the fit is only
+        // trusted when its mapped mean lands near the *calibrated*
+        // reference level (`self.reference`, never the previous refit:
+        // successive artifacts must not compound into a random walk),
+        // which is a stable microarchitectural constant: environment
+        // drift widens the bands, it does not move them. Otherwise
+        // (including the single-band window of a thin scan like the
+        // KPTI trampoline hunt) the threshold stays put and only the σ
+        // model is refreshed, from the freshest half of the window so
+        // a still-running ramp is tracked rather than averaged away.
+        let tolerance = (self.reference.margin / 2.0).max(2.0);
+        let fit = Threshold::refit_bimodal(&window)
+            .filter(|f| (f.threshold.value - self.reference.value).abs() <= tolerance)
+            .unwrap_or(CalibrationFit {
+                threshold: self.attack.threshold,
+                sigma: self
+                    .monitor
+                    .fresh_sigma(self.attack.threshold.boundary())
+                    .max(self.config.sigma_floor),
+                estimator: "drift-sigma",
+            });
+        self.events.push(RecalEvent {
+            at_address: self.processed,
+            signal,
+            threshold_before: self.attack.threshold,
+            fit,
+        });
+        out.refits += 1;
+        let targets = if self.config.rescan {
+            self.monitor.rescan_targets(call_base)
+        } else {
+            Vec::new()
+        };
+
+        self.attack.threshold = fit.threshold;
+        if let Some(old) = self.attack.sampler {
+            // The single-σ-policy chokepoint: hypotheses *and*
+            // likelihood σ both come from the new fit, budgets carry
+            // over from the old sampler.
+            self.attack.sampler = Sampling::Adaptive(old.config).sampler_from_fit(&fit);
+        }
+        self.monitor
+            .note_refit(fit.sigma.max(self.config.sigma_floor));
+
+        if targets.is_empty() {
+            return;
+        }
+        // Rescan: the window's candidates were decided under the stale
+        // fit while the drift built up — re-classify them with the
+        // fresh one. Only entries of the *current* call can be patched
+        // (earlier chunks of a streaming scan are already consumed).
+        let addrs: Vec<VirtAddr> = targets.iter().map(|&(_, a)| a).collect();
+        let redo = self.attack.sweep(p, &addrs);
+        out.probes += redo.probes;
+        for (t, &(index, _)) in targets.iter().enumerate() {
+            let local = index - call_base;
+            out.samples[local] = redo.samples[t];
+            out.mapped[local] = redo.mapped[t];
+        }
+    }
+}
+
+/// Closed-loop companion for the level-signal (P3 / AMD) sweeps.
+///
+/// The AMD path has no threshold to re-fit — its post-hoc outlier split
+/// happens after the sweep — but its min-filtered latency floors stop
+/// being floors when the environment widens mid-scan. This driver
+/// watches the windowed dispersion of the floors against the quietest
+/// window seen so far and, on a shift, escalates the min-filter budget
+/// (double `max_probes`, one more stable round) so later candidates buy
+/// the extra evidence the noise demands.
+#[derive(Clone, Debug)]
+pub struct RecalibratingMinFilter {
+    filter: AdaptiveMinFilter,
+    config: RecalConfig,
+    window: VecDeque<u64>,
+    /// Quiet-phase reference dispersion, established from the first
+    /// full window.
+    baseline: Option<f64>,
+    since_escalation: usize,
+    escalations: u32,
+    /// Reused MAD buffer (one dispersion check per probe tile).
+    scratch: Vec<f64>,
+}
+
+/// Hard cap on the escalated min-filter width.
+const MAX_ESCALATED_PROBES: u8 = 32;
+
+impl RecalibratingMinFilter {
+    /// Wraps a min-filter in the escalation loop.
+    #[must_use]
+    pub fn new(filter: AdaptiveMinFilter, config: RecalConfig) -> Self {
+        Self {
+            filter,
+            config,
+            window: VecDeque::with_capacity(config.window.max(1)),
+            baseline: None,
+            since_escalation: config.cooldown,
+            escalations: 0,
+            scratch: Vec::with_capacity(config.window.max(1)),
+        }
+    }
+
+    /// Budget escalations performed so far.
+    #[must_use]
+    pub fn escalations(&self) -> u32 {
+        self.escalations
+    }
+
+    /// The min-filter currently in effect.
+    #[must_use]
+    pub fn filter(&self) -> AdaptiveMinFilter {
+        self.filter
+    }
+
+    /// Sweeps an [`AddrRange`] with the escalating min-filter; returns
+    /// the floors and the raw probe count, like
+    /// [`crate::LevelAttack::measure_range_counted`].
+    pub fn measure_range<P: Prober + ?Sized>(
+        &mut self,
+        p: &mut P,
+        range: &AddrRange,
+    ) -> (Vec<u64>, u64) {
+        let mut floors = Vec::with_capacity(range.len());
+        let mut probes = 0u64;
+        let mut tile = Vec::with_capacity(ProbeStrategy::BATCH_TILE);
+        for chunk in range.tiles() {
+            chunk.fill(&mut tile);
+            let batch = self.filter.measure_batch(p, avx_uarch::OpKind::Load, &tile);
+            probes += batch.total_probes();
+            for &floor in &batch.mins {
+                if self.window.len() >= self.config.window.max(1) {
+                    self.window.pop_front();
+                }
+                self.window.push_back(floor);
+                self.since_escalation = self.since_escalation.saturating_add(1);
+            }
+            floors.extend_from_slice(&batch.mins);
+            self.maybe_escalate();
+        }
+        (floors, probes)
+    }
+
+    /// Establishes the baseline from the first full window, then
+    /// escalates when a later window's dispersion exceeds the ratio.
+    fn maybe_escalate(&mut self) {
+        if self.window.len() < self.config.min_samples.max(1) {
+            return;
+        }
+        let dispersion =
+            mad_sigma_scratch(self.window.iter().map(|&x| x as f64), &mut self.scratch)
+                .unwrap_or(0.0);
+        let Some(baseline) = self.baseline else {
+            if self.window.len() >= self.config.window.max(1) {
+                self.baseline = Some(dispersion);
+            }
+            return;
+        };
+        if self.since_escalation < self.config.cooldown
+            || self.escalations >= self.config.max_refits
+        {
+            return;
+        }
+        let limit = self.config.dispersion_ratio * baseline.max(self.config.sigma_floor);
+        if dispersion > limit {
+            self.filter.max_probes = self
+                .filter
+                .max_probes
+                .saturating_mul(2)
+                .min(MAX_ESCALATED_PROBES);
+            self.filter.stable_rounds = self.filter.stable_rounds.saturating_add(1);
+            self.baseline = Some(dispersion);
+            self.since_escalation = 0;
+            self.escalations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveSampler;
+    use crate::primitives::PageTableAttack;
+    use crate::prober::SimProber;
+    use avx_os::linux::{LinuxConfig, LinuxSystem};
+    use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile, OpKind};
+
+    fn addr(i: u64) -> VirtAddr {
+        VirtAddr::new_truncate(0xffff_ffff_8000_0000 + i * 0x20_0000)
+    }
+
+    #[test]
+    fn monitor_never_trips_on_constant_bands() {
+        let mut monitor = DriftMonitor::new(RecalConfig::default(), 1.0);
+        // A noiseless sweep: constant 107 unmapped with a constant 93
+        // mapped run in the middle — both bands have zero MAD.
+        for i in 0..400usize {
+            let sample = if (180..205).contains(&i) { 93 } else { 107 };
+            monitor.observe(i, addr(i as u64), sample, true);
+            assert_eq!(monitor.check(100.0), None, "index {i}");
+        }
+        assert_eq!(monitor.band_dispersion(100.0), 0.0);
+    }
+
+    #[test]
+    fn monitor_trips_within_one_window_of_a_sigma_step() {
+        let config = RecalConfig::default();
+        let mut monitor = DriftMonitor::new(config, 1.0);
+        // Quiet phase: tight unmapped band.
+        for i in 0..200usize {
+            monitor.observe(i, addr(i as u64), 107 + (i as u64 % 3), true);
+        }
+        assert_eq!(monitor.check(100.0), None, "quiet phase must stay calm");
+        // σ×6 step: the same band suddenly spreads ±12 cycles.
+        let mut fired_at = None;
+        for i in 200..200 + config.window {
+            let wobble = (i as i64 * 7919) % 25 - 12; // deterministic ±12 spread
+            let sample = (107 + wobble).max(101) as u64;
+            monitor.observe(i, addr(i as u64), sample, true);
+            if monitor.check(100.0).is_some() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let fired = fired_at.expect("σ×6 step must trip within one window");
+        assert!(fired < 200 + config.window, "fired at {fired}");
+        assert!(matches!(
+            monitor.check(100.0),
+            Some(DriftSignal::Dispersion { .. })
+        ));
+    }
+
+    #[test]
+    fn monitor_trips_on_forced_decision_pileup() {
+        let config = RecalConfig::default();
+        let mut monitor = DriftMonitor::new(config, 1.0);
+        for i in 0..config.window {
+            // Constant samples (no dispersion signal), but 40 % forced.
+            monitor.observe(i, addr(i as u64), 107, i % 5 >= 2);
+        }
+        assert!(matches!(
+            monitor.check(100.0),
+            Some(DriftSignal::Unsettled { rate }) if rate > 0.25
+        ));
+    }
+
+    #[test]
+    fn refit_resets_the_window_and_baseline() {
+        let mut monitor = DriftMonitor::new(RecalConfig::default(), 1.0);
+        for i in 0..150usize {
+            monitor.observe(i, addr(i as u64), 107 + (i as u64 % 13), true);
+        }
+        assert!(monitor.check(100.0).is_some());
+        monitor.note_refit(6.0);
+        assert_eq!(monitor.samples().len(), 0);
+        // Fresh samples at the new σ stay inside the new baseline.
+        for i in 150..320usize {
+            monitor.observe(i, addr(i as u64), 107 + (i as u64 % 13), true);
+            assert_eq!(monitor.check(100.0), None, "index {i}");
+        }
+    }
+
+    #[test]
+    fn noiseless_driver_is_bit_exact_with_the_open_loop() {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(9));
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 9);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let range = crate::attacks::kaslr::KernelBaseFinder::candidate_range();
+
+        let attack = PageTableAttack::new(th);
+        let open = attack.sweep_range(&mut p, &range);
+        let mut driver = Recalibrating::new(attack, RecalConfig::default());
+        let closed = driver.sweep_range(&mut p, &range);
+        assert_eq!(closed.refits, 0, "noiseless: trigger must not fire");
+        assert_eq!(closed.samples, open.samples);
+        assert_eq!(closed.mapped, open.mapped);
+        assert_eq!(closed.probes, open.probes);
+        assert!(driver.events().is_empty());
+    }
+
+    #[test]
+    fn drifting_adaptive_scan_refits_and_recovers_the_base() {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(33));
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 33);
+        m.set_noise_profile(NoiseProfile::drift_quiet_to_laptop());
+        let mut p = SimProber::new(m);
+        let fit = Threshold::calibrate_with(
+            &mut p,
+            truth.user.calibration,
+            16,
+            crate::CalibratorKind::NoiseAware,
+        );
+        let attack =
+            PageTableAttack::new(fit.threshold).with_adaptive(AdaptiveSampler::from_fit(&fit));
+        let mut driver = Recalibrating::new(attack, RecalConfig::default());
+        let sweep = driver.sweep_range(
+            &mut p,
+            &crate::attacks::kaslr::KernelBaseFinder::candidate_range(),
+        );
+        assert!(sweep.refits >= 1, "drift must trigger a refit");
+        assert_eq!(sweep.refits, driver.refits());
+        let event = driver.events()[0];
+        assert!(matches!(event.signal, DriftSignal::Dispersion { .. }));
+        // The new σ model reflects the drifted environment.
+        assert!(
+            event.fit.sigma > 2.0,
+            "refit σ should see the widened noise: {}",
+            event.fit.sigma
+        );
+        let _ = truth;
+    }
+
+    #[test]
+    fn min_filter_driver_escalates_under_a_step_and_not_when_quiet() {
+        // Quiet: floors are constant → never escalate.
+        let sys = LinuxSystem::build(LinuxConfig::seeded(11));
+        let (mut m, _) = sys.into_machine(CpuProfile::zen3_ryzen5_5600x(), 11);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let mut driver =
+            RecalibratingMinFilter::new(AdaptiveMinFilter::default(), RecalConfig::default());
+        let range = crate::attacks::kaslr::KernelBaseFinder::candidate_range();
+        let (floors, probes) = driver.measure_range(&mut p, &range);
+        assert_eq!(floors.len(), 512);
+        assert!(probes > 0);
+        assert_eq!(driver.escalations(), 0);
+
+        // A σ step mid-scan escalates the budget.
+        let sys = LinuxSystem::build(LinuxConfig::seeded(11));
+        let (mut m, _) = sys.into_machine(CpuProfile::zen3_ryzen5_5600x(), 11);
+        m.set_noise_profile(NoiseProfile::drift_with(
+            NoiseProfile::Quiet,
+            NoiseProfile::LaptopDvfs,
+            1024,
+            1024,
+        ));
+        let mut p = SimProber::new(m);
+        let before = AdaptiveMinFilter::default();
+        let mut driver = RecalibratingMinFilter::new(before, RecalConfig::default());
+        let _ = driver.measure_range(&mut p, &range);
+        assert!(driver.escalations() >= 1, "step must escalate the budget");
+        assert!(driver.filter().max_probes > before.max_probes);
+    }
+
+    #[test]
+    fn rescan_patches_only_the_current_call() {
+        // Chunked driving (the Windows shape): state persists across
+        // calls, and a refit in chunk 2 cannot touch chunk 1's output.
+        let sys = LinuxSystem::build(LinuxConfig::seeded(44));
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 44);
+        m.set_noise_profile(NoiseProfile::drift_quiet_to_laptop());
+        let mut p = SimProber::new(m);
+        let fit = Threshold::calibrate_with(
+            &mut p,
+            truth.user.calibration,
+            16,
+            crate::CalibratorKind::NoiseAware,
+        );
+        let attack =
+            PageTableAttack::new(fit.threshold).with_adaptive(AdaptiveSampler::from_fit(&fit));
+        let mut driver = Recalibrating::new(attack, RecalConfig::default());
+        let range = crate::attacks::kaslr::KernelBaseFinder::candidate_range();
+        let mut total = 0u32;
+        for chunk in range.chunks(128) {
+            let sweep = driver.sweep_range(&mut p, &chunk);
+            assert_eq!(sweep.mapped.len(), 128);
+            total += sweep.refits;
+        }
+        assert_eq!(total, driver.refits());
+        assert!(driver.refits() >= 1);
+    }
+
+    #[test]
+    fn sweep_slice_and_range_agree() {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(7));
+        let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 7);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let range = AddrRange::new(addr(0), 0x20_0000, 64);
+        let attack = PageTableAttack::new(th);
+        let a = Recalibrating::new(attack, RecalConfig::default()).sweep_range(&mut p, &range);
+        let b = Recalibrating::new(attack, RecalConfig::default()).sweep(&mut p, &range.to_vec());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.mapped, b.mapped);
+        assert_eq!(a.probes, b.probes);
+        let _ = OpKind::Load;
+    }
+}

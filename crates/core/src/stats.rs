@@ -174,10 +174,28 @@ pub const MAD_CONSISTENCY: f64 = 1.4826;
 /// `None` when empty.
 #[must_use]
 pub fn mad_sigma(samples: &[u64]) -> Option<f64> {
-    let center = median(samples)?;
-    let mut devs: Vec<f64> = samples.iter().map(|&x| (x as f64 - center).abs()).collect();
-    devs.sort_unstable_by(f64::total_cmp);
-    median_of_sorted(&devs).map(|d| MAD_CONSISTENCY * d)
+    mad_sigma_scratch(samples.iter().map(|&x| x as f64), &mut Vec::new())
+}
+
+/// Allocation-free variant of [`mad_sigma`] for per-tile hot paths
+/// (the recalibration [`crate::recal::DriftMonitor`] runs one of these
+/// per probe tile): identical result, with all intermediate values
+/// kept in the caller's reused `scratch` buffer. On return `scratch`
+/// holds the sorted absolute deviations; its length is the sample
+/// count, which callers use for minimum-band-size checks.
+pub fn mad_sigma_scratch(
+    samples: impl Iterator<Item = f64>,
+    scratch: &mut Vec<f64>,
+) -> Option<f64> {
+    scratch.clear();
+    scratch.extend(samples);
+    scratch.sort_unstable_by(f64::total_cmp);
+    let center = median_of_sorted(scratch)?;
+    for v in scratch.iter_mut() {
+        *v = (*v - center).abs();
+    }
+    scratch.sort_unstable_by(f64::total_cmp);
+    median_of_sorted(scratch).map(|d| MAD_CONSISTENCY * d)
 }
 
 /// Symmetrically trimmed mean: sorts the samples, drops the `trim`
@@ -502,6 +520,27 @@ mod tests {
         let mad = mad_sigma(&spiked).unwrap();
         assert!((mad - 3.0 * MAD_CONSISTENCY).abs() < 1e-9, "{mad}");
         assert_eq!(mad_sigma(&[]), None);
+    }
+
+    #[test]
+    fn mad_sigma_scratch_is_bit_identical_and_reports_the_count() {
+        let mut scratch = Vec::new();
+        for samples in [
+            vec![],
+            vec![93u64],
+            vec![90, 93, 93, 93, 96],
+            vec![87, 90, 93, 96, 2099],
+            (0..257u64).map(|i| 100 + (i * 7919) % 37).collect(),
+        ] {
+            let reference = mad_sigma(&samples);
+            let scratched = mad_sigma_scratch(samples.iter().map(|&x| x as f64), &mut scratch);
+            assert_eq!(
+                reference.map(f64::to_bits),
+                scratched.map(f64::to_bits),
+                "{samples:?}"
+            );
+            assert_eq!(scratch.len(), samples.len(), "count reported via scratch");
+        }
     }
 
     #[test]

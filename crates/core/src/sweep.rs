@@ -103,6 +103,17 @@ impl AddrRange {
             AddrRange::new(self.addr(first), self.stride, chunk.min(self.count - first))
         })
     }
+
+    /// The probe-pipeline tile decomposition:
+    /// [`AddrRange::chunks`] at
+    /// [`crate::ProbeStrategy::BATCH_TILE`]-sized steps. Every sweep
+    /// engine — fixed, adaptive, and the closed-loop
+    /// [`crate::recal::Recalibrating`] driver — iterates this exact
+    /// shape, which is what makes their probe orders (and therefore
+    /// their noise streams) interchangeable.
+    pub fn tiles(&self) -> impl Iterator<Item = AddrRange> + '_ {
+        self.chunks(crate::prober::ProbeStrategy::BATCH_TILE as u64)
+    }
 }
 
 impl IntoIterator for &AddrRange {

@@ -1,0 +1,268 @@
+//! Property tests for the closed-loop recalibration engine.
+//!
+//! Three contracts:
+//!
+//! 1. **Silence under silence** — with `NoiseModel::none()` the drift
+//!    trigger can never fire, and the [`Recalibrating`] driver is
+//!    bit-exact with the open-loop sweep (samples, verdicts and probe
+//!    counts), on both the fixed and the adaptive path. This is what
+//!    keeps every pre-recalibration golden row untouched when the
+//!    feature is threaded through the campaign engine.
+//! 2. **A σ×6 step fires within one window** — once at least
+//!    `min_samples` post-step samples have been observed, the
+//!    dispersion trigger trips no later than `window` samples after the
+//!    step, at the monitor level for arbitrary band levels and
+//!    end-to-end through a drifting machine.
+//! 3. **The k-means → EM retirement is value-preserving** — on clean
+//!    (non-drifting) bimodal sweep data, [`Threshold::refit_bimodal`]
+//!    places its decision boundary where the retired
+//!    [`Threshold::from_bimodal_samples`] k-means split placed it,
+//!    within tolerance, while additionally recovering the environment
+//!    σ the k-means path never produced.
+
+use proptest::prelude::*;
+
+use avx_channel::attacks::kaslr::KernelBaseFinder;
+use avx_channel::attacks::modules::ModuleScanner;
+use avx_channel::recal::{DriftMonitor, RecalConfig, Recalibrating};
+use avx_channel::{AdaptiveSampler, PageTableAttack, ProbeStrategy, SimProber, Threshold};
+use avx_mmu::VirtAddr;
+use avx_os::linux::{LinuxConfig, LinuxSystem};
+use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};
+
+fn quiet_prober(seed: u64) -> (SimProber, avx_os::LinuxTruth) {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+    let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+    machine.set_noise(NoiseModel::none());
+    (SimProber::new(machine), truth)
+}
+
+fn va(i: u64) -> VirtAddr {
+    VirtAddr::new_truncate(0xffff_ffff_8000_0000 + i * 0x1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (1) Noiseless fixed-path sweeps: driver == open loop, bit for
+    /// bit, and the trigger never fires — across seeds and strategies.
+    #[test]
+    fn noiseless_fixed_sweep_is_bit_exact_and_never_refits(
+        seed in 0u64..500,
+        strategy_pick in 0u8..3,
+    ) {
+        let strategy = match strategy_pick {
+            0 => ProbeStrategy::Single,
+            1 => ProbeStrategy::SecondOfTwo,
+            _ => ProbeStrategy::MinOf(4),
+        };
+        // Two identically-built machines: translation-cache state must
+        // match probe for probe (the no-warm-up `Single` strategy is
+        // cache-state sensitive).
+        let (mut p_open, truth) = quiet_prober(seed);
+        let (mut p_closed, _) = quiet_prober(seed);
+        let th = Threshold::calibrate(&mut p_open, truth.user.calibration, 8);
+        let th2 = Threshold::calibrate(&mut p_closed, truth.user.calibration, 8);
+        prop_assert_eq!(th, th2);
+        let mut attack = PageTableAttack::new(th);
+        attack.strategy = strategy;
+        let range = KernelBaseFinder::candidate_range();
+
+        let open = attack.sweep_range(&mut p_open, &range);
+        let mut driver = Recalibrating::new(attack, RecalConfig::default());
+        let closed = driver.sweep_range(&mut p_closed, &range);
+
+        prop_assert_eq!(closed.refits, 0);
+        prop_assert_eq!(closed.samples, open.samples);
+        prop_assert_eq!(closed.mapped, open.mapped);
+        prop_assert_eq!(closed.probes, open.probes);
+        prop_assert_eq!(driver.threshold(), th, "threshold must not move");
+    }
+
+    /// (1) Noiseless adaptive-path sweeps: same contract through the
+    /// SPRT engine (the path the campaign's adaptive golden rows use).
+    #[test]
+    fn noiseless_adaptive_sweep_is_bit_exact_and_never_refits(seed in 0u64..500) {
+        let (mut p, truth) = quiet_prober(seed);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let attack = PageTableAttack::new(th)
+            .with_adaptive(AdaptiveSampler::from_threshold(&th, 1.0));
+        let range = KernelBaseFinder::candidate_range();
+
+        let open = attack.sweep_range(&mut p, &range);
+        let mut driver = Recalibrating::new(attack, RecalConfig::default());
+        let closed = driver.sweep_range(&mut p, &range);
+
+        prop_assert_eq!(closed.refits, 0);
+        prop_assert_eq!(closed.samples, open.samples);
+        prop_assert_eq!(closed.mapped, open.mapped);
+        prop_assert_eq!(closed.probes, open.probes);
+    }
+
+    /// (2) Monitor level: after a σ×6 step of the band dispersion, the
+    /// trigger fires within one window of the step, for arbitrary band
+    /// levels and pre-step jitter.
+    #[test]
+    fn sigma_step_fires_within_one_window(
+        level in 60u64..500,
+        pre_jitter in 0u64..2,
+        phase in 0u64..7919,
+    ) {
+        let config = RecalConfig::default();
+        // Baseline σ covers the pre-step jitter (a correct fit).
+        let mut monitor = DriftMonitor::new(config, pre_jitter.max(1) as f64);
+        let boundary = level as f64 - 10.0; // all samples in the slow band
+        for i in 0..300usize {
+            monitor.observe(i, va(i as u64), level + (i as u64 % (pre_jitter + 1)), true);
+            prop_assert_eq!(monitor.check(boundary), None, "pre-step at {}", i);
+        }
+        // The step: spread jumps to ±6×(pre-step σ ∨ 1) — a σ×6 shift.
+        let spread = 6 * pre_jitter.max(1);
+        let mut fired = None;
+        for i in 300..300 + config.window {
+            let wobble = ((i as u64 * 7919 + phase) % (2 * spread + 1)) as i64 - spread as i64;
+            let sample = (level as i64 + wobble).max(1) as u64;
+            monitor.observe(i, va(i as u64), sample, true);
+            if monitor.check(boundary).is_some() {
+                fired = Some(i);
+                break;
+            }
+        }
+        let fired = fired.expect("σ×6 step must fire within one window");
+        prop_assert!(fired < 300 + config.window, "fired at {}", fired);
+    }
+
+    /// (3) The k-means retirement: on clean two-band data the EM re-fit
+    /// and the retired k-means split agree on the decision boundary
+    /// within 2 cycles (≈ the band quantization), classify both band
+    /// means identically, and the EM fit recovers a σ consistent with
+    /// the injected wobble.
+    #[test]
+    fn em_refit_matches_retired_kmeans_boundary_on_clean_input(
+        lo in 60u64..120,
+        gap in 12u64..40,
+        wobble in 1u64..4,
+        per_band in 60usize..220,
+    ) {
+        let hi = lo + gap;
+        let mut samples = Vec::with_capacity(per_band * 2);
+        for i in 0..per_band as u64 {
+            samples.push(lo + (i % (2 * wobble + 1)));
+            samples.push(hi + (i % (2 * wobble + 1)));
+        }
+        let kmeans = Threshold::from_bimodal_samples(&samples)
+            .expect("k-means splits clean bimodal data");
+        let em = Threshold::refit_bimodal(&samples)
+            .expect("EM refit splits clean bimodal data");
+        prop_assert!(
+            (em.threshold.boundary() - kmeans.boundary()).abs() <= 2.0,
+            "boundaries diverged: em {} vs k-means {}",
+            em.threshold.boundary(),
+            kmeans.boundary()
+        );
+        // Identical verdicts on both band centers (the contract the
+        // Windows-guest bootstrap needs).
+        let center = |b: u64| b + wobble;
+        prop_assert_eq!(em.threshold.is_mapped(center(lo)), kmeans.is_mapped(center(lo)));
+        prop_assert_eq!(em.threshold.is_mapped(center(hi)), kmeans.is_mapped(center(hi)));
+        prop_assert!(em.threshold.is_mapped(center(lo)));
+        prop_assert!(!em.threshold.is_mapped(center(hi)));
+        // And the EM path adds what k-means never had: a σ estimate.
+        prop_assert!(em.sigma > 0.0 && em.sigma <= 2.0 * wobble as f64 + 1.0);
+    }
+}
+
+/// (1) The module-area scan (a different range shape: 16384 × 4 KiB)
+/// under the noiseless contract, driven chunk by chunk like the
+/// streaming Windows scan.
+#[test]
+fn noiseless_chunked_sweep_is_bit_exact_and_never_refits() {
+    let (mut p, truth) = quiet_prober(77);
+    let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+    let scanner_range = ModuleScanner::candidate_range();
+    let mut attack = PageTableAttack::new(th);
+    attack.strategy = ProbeStrategy::MinOf(2);
+
+    let open = attack.sweep_range(&mut p, &scanner_range);
+    let mut driver = Recalibrating::new(attack, RecalConfig::default());
+    let mut samples = Vec::new();
+    let mut mapped = Vec::new();
+    let mut probes = 0u64;
+    for chunk in scanner_range.chunks(1024) {
+        let sweep = driver.sweep_range(&mut p, &chunk);
+        assert_eq!(sweep.refits, 0);
+        samples.extend(sweep.samples);
+        mapped.extend(sweep.mapped);
+        probes += sweep.probes;
+    }
+    assert_eq!(samples, open.samples);
+    assert_eq!(mapped, open.mapped);
+    assert_eq!(probes, open.probes);
+}
+
+/// (2) End-to-end: a machine whose noise steps quiet → laptop (σ×6)
+/// mid-scan must trip the driver, and no later than one window of
+/// addresses past the step (each address costs at least one probe, so
+/// the step's probe index bounds its address index).
+#[test]
+fn sigma_step_fires_within_one_window_end_to_end() {
+    const STEP_AT_PROBE: u64 = 600;
+    let sys = LinuxSystem::build(LinuxConfig::seeded(21));
+    let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 21);
+    machine.set_noise_profile(NoiseProfile::drift_with(
+        NoiseProfile::Quiet,
+        NoiseProfile::LaptopDvfs,
+        STEP_AT_PROBE,
+        STEP_AT_PROBE,
+    ));
+    let mut p = SimProber::new(machine);
+    let fit = Threshold::calibrate_with(
+        &mut p,
+        truth.user.calibration,
+        16,
+        avx_channel::CalibratorKind::NoiseAware,
+    );
+    let config = RecalConfig::default();
+    let attack = PageTableAttack::new(fit.threshold).with_adaptive(AdaptiveSampler::from_fit(&fit));
+    let mut driver = Recalibrating::new(attack, config);
+    let sweep = driver.sweep_range(&mut p, &KernelBaseFinder::candidate_range());
+    assert!(sweep.refits >= 1, "σ×6 step must trigger the loop");
+    let first = driver.events()[0];
+    assert!(
+        (first.at_address as u64) <= STEP_AT_PROBE + config.window as u64,
+        "trigger lagged more than one window past the step: address {}",
+        first.at_address
+    );
+}
+
+/// The recovered fit feeds the σ-policy chokepoint: after a refit the
+/// driver's sampler hypotheses stay centred on the (unchanged)
+/// calibrated boundary while the σ model widens — which is exactly
+/// what `Sampling::sampler_from_fit` produces from the new fit.
+#[test]
+fn refit_rebuilds_the_sampler_through_the_fit() {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(5));
+    let (mut machine, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), 5);
+    machine.set_noise_profile(NoiseProfile::drift_quiet_to_laptop());
+    let mut p = SimProber::new(machine);
+    let fit = Threshold::calibrate_with(
+        &mut p,
+        truth.user.calibration,
+        16,
+        avx_channel::CalibratorKind::NoiseAware,
+    );
+    let sampler = AdaptiveSampler::from_fit(&fit);
+    let attack = PageTableAttack::new(fit.threshold).with_adaptive(sampler);
+    let mut driver = Recalibrating::new(attack, RecalConfig::default());
+    let _ = driver.sweep_range(&mut p, &KernelBaseFinder::candidate_range());
+    assert!(driver.refits() >= 1);
+    let last = driver.events().last().unwrap();
+    assert!(
+        last.fit.sigma > sampler.sigma,
+        "the refit must widen the σ model: {} vs initial {}",
+        last.fit.sigma,
+        sampler.sigma
+    );
+    // The boundary survives the refits (band means are stable).
+    assert!((driver.threshold().boundary() - fit.threshold.boundary()).abs() <= 4.0);
+}

@@ -51,6 +51,6 @@ pub use lines::PteLineCache;
 pub use machine::{Machine, MaskedOutcome};
 pub use masked::{ElemWidth, Fault, Mask, MaskedOp, OpKind};
 pub use memory::SparseMemory;
-pub use noise::{NoiseModel, NoiseProfile};
+pub use noise::{DriftRamp, NoiseModel, NoiseProfile, NoiseSchedule};
 pub use pmc::{Event, PmcBank, PmcDelta, PmcSnapshot};
 pub use profile::{CpuModel, CpuProfile, TimingParams, Vendor};

@@ -24,7 +24,7 @@ use avx_mmu::{
 use crate::lines::PteLineCache;
 use crate::masked::{ElemWidth, Fault, MaskedOp, OpKind};
 use crate::memory::SparseMemory;
-use crate::noise::NoiseModel;
+use crate::noise::{NoiseModel, NoiseSchedule};
 use crate::pmc::{Event, PmcBank};
 use crate::profile::CpuProfile;
 
@@ -134,6 +134,12 @@ pub struct Machine {
     pmc: PmcBank,
     mem: SparseMemory,
     noise: NoiseModel,
+    /// Probe-indexed noise trajectory ([`crate::NoiseProfile::Drift`]):
+    /// when set, each executed op draws its noise from
+    /// [`NoiseSchedule::model_at`] instead of the stationary model.
+    schedule: Option<NoiseSchedule>,
+    /// Ops executed so far — the index the schedule interpolates on.
+    probe_seq: u64,
     rng: StdRng,
     tsc: u64,
 }
@@ -162,6 +168,8 @@ impl Machine {
             pmc: PmcBank::new(),
             mem: SparseMemory::new(),
             noise,
+            schedule: None,
+            probe_seq: 0,
             rng: StdRng::seed_from_u64(seed),
             tsc: 0,
         }
@@ -209,19 +217,52 @@ impl Machine {
         self.tsc += cycles;
     }
 
-    /// Replaces the noise model (tests use [`NoiseModel::none`]).
+    /// Replaces the noise model (tests use [`NoiseModel::none`]) and
+    /// clears any drift schedule: an explicit model is stationary.
     pub fn set_noise(&mut self, noise: NoiseModel) {
         self.noise = noise;
+        self.schedule = None;
     }
 
-    /// The active noise model.
+    /// The active stationary noise model (for a drifting environment,
+    /// the model in effect before the ramp's onset).
     #[must_use]
     pub fn noise(&self) -> NoiseModel {
         self.noise
     }
 
+    /// Installs (or clears) a probe-indexed noise trajectory. The
+    /// schedule interpolates on the machine's op counter, so a freshly
+    /// built victim drifts at the same point of every identically-seeded
+    /// attack run.
+    pub fn set_noise_schedule(&mut self, schedule: Option<NoiseSchedule>) {
+        self.schedule = schedule;
+    }
+
+    /// The installed noise trajectory, if the environment drifts.
+    #[must_use]
+    pub fn noise_schedule(&self) -> Option<NoiseSchedule> {
+        self.schedule
+    }
+
+    /// The noise model for the op about to execute, advancing the
+    /// probe-sequence counter. With no schedule this is exactly the
+    /// stationary model — same draws, same RNG stream, bit-exact with
+    /// the pre-drift engine.
+    fn next_noise(&mut self) -> NoiseModel {
+        let model = match &self.schedule {
+            Some(s) => s.model_at(self.probe_seq),
+            None => self.noise,
+        };
+        self.probe_seq += 1;
+        model
+    }
+
     /// Switches to a named noise environment: the preset's factors are
-    /// applied to this machine's profile baseline anchors.
+    /// applied to this machine's profile baseline anchors. A
+    /// [`crate::NoiseProfile::Drift`] profile additionally installs its
+    /// probe-indexed [`NoiseSchedule`] (see
+    /// [`Machine::set_noise_schedule`]); stationary presets clear it.
     ///
     /// ```
     /// use avx_mmu::AddressSpace;
@@ -240,6 +281,7 @@ impl Machine {
     /// ```
     pub fn set_noise_profile(&mut self, profile: crate::noise::NoiseProfile) {
         self.noise = profile.model_for(&self.profile.timing);
+        self.schedule = profile.schedule_for(&self.profile.timing);
     }
 
     /// Flushes the whole TLB (CR3 reload). Global entries survive when
@@ -404,7 +446,7 @@ impl Machine {
                 acc.cycles += t.user_nonpresent_load_extra;
             }
             self.pmc.add(walk_event, u64::from(acc.walks_total));
-            let measured = self.noise.perturb(&mut self.rng, acc.cycles);
+            let measured = self.next_noise().perturb(&mut self.rng, acc.cycles);
             self.tsc += measured;
             out.push(measured);
         }
@@ -511,7 +553,7 @@ impl Machine {
         if let Some(f) = fault {
             acc.cycles += t.fault_cost;
             self.pmc.bump(Event::PageFault);
-            let measured = self.noise.perturb(&mut self.rng, acc.cycles);
+            let measured = self.next_noise().perturb(&mut self.rng, acc.cycles);
             self.tsc += measured;
             return MaskedOutcome {
                 cycles: measured,
@@ -534,7 +576,7 @@ impl Machine {
         // Move the data for unmasked lanes on good pages.
         let data = self.transfer(&op, &ok_pages);
 
-        let measured = self.noise.perturb(&mut self.rng, acc.cycles);
+        let measured = self.next_noise().perturb(&mut self.rng, acc.cycles);
         self.tsc += measured;
         MaskedOutcome {
             cycles: measured,
@@ -1284,6 +1326,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drift_schedule_widens_noise_mid_run() {
+        use crate::noise::NoiseProfile;
+        let mut space = AddressSpace::new();
+        space
+            .map(va(KERNEL_M), PageSize::Size2M, PteFlags::kernel_rx())
+            .unwrap();
+        let mut m = Machine::new(CpuProfile::alder_lake_i5_12400f(), space, 21);
+        m.set_noise_profile(NoiseProfile::drift_with(
+            NoiseProfile::Quiet,
+            NoiseProfile::LaptopDvfs,
+            64,
+            64,
+        ));
+        assert!(m.noise_schedule().is_some());
+        let probe = MaskedOp::probe_load(va(KERNEL_M));
+        let _ = m.execute(probe); // warm the translation
+        let spread = |m: &mut Machine, n: usize| {
+            let samples: Vec<f64> = (0..n).map(|_| m.execute(probe).cycles as f64).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt()
+        };
+        let early = spread(&mut m, 60); // probes 1..61: quiet phase
+        for _ in 0..64 {
+            let _ = m.execute(probe); // cross the step
+        }
+        let late = spread(&mut m, 200); // fully drifted
+        assert!(
+            late > early * 2.0,
+            "post-step spread must widen: early {early:.2} vs late {late:.2}"
+        );
+        // set_noise clears the trajectory again (stationary override).
+        m.set_noise(NoiseModel::none());
+        assert!(m.noise_schedule().is_none());
+        assert_eq!(m.execute(probe).cycles, m.execute(probe).cycles);
     }
 
     #[test]

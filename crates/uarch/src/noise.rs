@@ -99,10 +99,11 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// A named noise environment: fixed multipliers applied on top of a CPU
 /// profile's baseline [`TimingParams`] noise anchors.
 ///
-/// The presets are *pinned distributions*, not free-form config blobs:
-/// each maps a profile's `(noise_sigma, spike_prob, spike_range)` to a
-/// concrete [`NoiseModel`] through constant factors, and the unit tests
-/// assert the resulting moments, so a preset cannot silently drift.
+/// The four *static* presets are *pinned distributions*, not free-form
+/// config blobs: each maps a profile's `(noise_sigma, spike_prob,
+/// spike_range)` to a concrete [`NoiseModel`] through constant factors,
+/// and the unit tests assert the resulting moments, so a preset cannot
+/// silently drift.
 ///
 /// | preset | σ factor | spike-rate factor | spike-magnitude factor |
 /// |---|---|---|---|
@@ -110,6 +111,12 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// | [`NoiseProfile::SmtSibling`] | 3 | 6 | 0.5 |
 /// | [`NoiseProfile::LaptopDvfs`] | 6 | 3 | 2 |
 /// | [`NoiseProfile::NoisyNeighbor`] | 4 | 12 | 1.5 |
+///
+/// [`NoiseProfile::Drift`] is the non-stationary exception: the
+/// environment *ramps* from one static preset to another mid-scan
+/// (probe-indexed, see [`DriftRamp`]) — the DVFS-transition /
+/// co-tenant-arrival scenario in which a one-shot calibration silently
+/// goes stale.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum NoiseProfile {
     /// A quiescent host — the paper's measurement setup. Baseline
@@ -125,10 +132,113 @@ pub enum NoiseProfile {
     /// A noisy-neighbor cloud tenant: scheduler steal time makes
     /// interrupt-style spikes an order of magnitude more frequent.
     NoisyNeighbor,
+    /// A mid-scan environment ramp between two static presets (e.g.
+    /// quiet → laptop when DVFS kicks in). Built via
+    /// [`NoiseProfile::drift`]; the victim machine interpolates the two
+    /// induced models over the ramp's probe-index span.
+    Drift(DriftRamp),
+}
+
+/// Probe index at which the default [`NoiseProfile::drift`] ramp starts
+/// leaving its `from` preset. 256 probes sits safely after the §IV-B
+/// calibration series (17 probes) but early enough that the bulk of a
+/// 512-slot sweep runs in the drifted environment.
+pub const DRIFT_DEFAULT_ONSET: u64 = 256;
+
+/// Probe index at which the default [`NoiseProfile::drift`] ramp has
+/// fully reached its `to` preset.
+pub const DRIFT_DEFAULT_FULL: u64 = 512;
+
+/// The probe-indexed ramp of a [`NoiseProfile::Drift`] environment.
+///
+/// Endpoints are two *static* presets; the ramp linearly interpolates
+/// their induced [`NoiseModel`]s between the `onset`-th and `full`-th
+/// probe the victim machine executes (`onset == full` is a step).
+/// Probe-indexed rather than wall-clock so campaign trials stay
+/// deterministic and independent of the sampling policy's runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DriftRamp {
+    /// Index of the starting preset in [`NoiseProfile::ALL`].
+    from: u8,
+    /// Index of the target preset in [`NoiseProfile::ALL`].
+    to: u8,
+    /// Probe index where the environment starts leaving `from`.
+    onset: u64,
+    /// Probe index from which `to` fully applies.
+    full: u64,
+}
+
+impl DriftRamp {
+    /// The static preset the environment starts in.
+    #[must_use]
+    pub fn from_profile(self) -> NoiseProfile {
+        NoiseProfile::ALL[self.from as usize]
+    }
+
+    /// The static preset the environment ramps to.
+    #[must_use]
+    pub fn to_profile(self) -> NoiseProfile {
+        NoiseProfile::ALL[self.to as usize]
+    }
+
+    /// Probe index where the ramp starts.
+    #[must_use]
+    pub fn onset(self) -> u64 {
+        self.onset
+    }
+
+    /// Probe index from which the target preset fully applies.
+    #[must_use]
+    pub fn full(self) -> u64 {
+        self.full
+    }
+}
+
+/// A probe-indexed noise trajectory: the concrete per-machine form of a
+/// [`DriftRamp`] (endpoint presets already resolved against one CPU's
+/// timing anchors).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseSchedule {
+    /// Model in effect before `onset`.
+    pub from: NoiseModel,
+    /// Model in effect from `full` on.
+    pub to: NoiseModel,
+    /// Probe index where interpolation starts.
+    pub onset: u64,
+    /// Probe index where `to` fully applies.
+    pub full: u64,
+}
+
+impl NoiseSchedule {
+    /// The noise model in effect for the `probe_index`-th probe:
+    /// `from` before `onset`, `to` from `full` on, linear interpolation
+    /// of σ, spike rate and spike magnitudes in between.
+    #[must_use]
+    pub fn model_at(&self, probe_index: u64) -> NoiseModel {
+        if probe_index < self.onset {
+            return self.from;
+        }
+        if probe_index >= self.full {
+            return self.to;
+        }
+        let t = (probe_index - self.onset) as f64 / (self.full - self.onset) as f64;
+        let lerp = |a: f64, b: f64| a + (b - a) * t;
+        NoiseModel::new(
+            lerp(self.from.sigma, self.to.sigma),
+            lerp(self.from.spike_prob, self.to.spike_prob),
+            (
+                lerp(self.from.spike_range.0, self.to.spike_range.0),
+                lerp(self.from.spike_range.1, self.to.spike_range.1),
+            ),
+        )
+    }
 }
 
 impl NoiseProfile {
-    /// All presets, quietest first.
+    /// The four static presets, quietest first. [`NoiseProfile::Drift`]
+    /// is deliberately absent: it is a scenario *modifier* built from
+    /// two of these, not a fifth stationary environment — grid code
+    /// iterating `ALL` keeps its historical row counts.
     pub const ALL: [NoiseProfile; 4] = [
         NoiseProfile::Quiet,
         NoiseProfile::SmtSibling,
@@ -136,7 +246,70 @@ impl NoiseProfile {
         NoiseProfile::NoisyNeighbor,
     ];
 
+    /// A drifting environment ramping from one static preset to another
+    /// over the default probe-index span
+    /// ([`DRIFT_DEFAULT_ONSET`]..[`DRIFT_DEFAULT_FULL`]).
+    ///
+    /// ```
+    /// use avx_uarch::{CpuProfile, NoiseProfile};
+    ///
+    /// let timing = CpuProfile::alder_lake_i5_12400f().timing;
+    /// let drift = NoiseProfile::drift(NoiseProfile::Quiet, NoiseProfile::LaptopDvfs);
+    /// // One-shot calibration (the first ~17 probes) sees the quiet σ...
+    /// assert_eq!(drift.effective_sigma(&timing), timing.noise_sigma);
+    /// // ...but the machine's schedule ends on the laptop model.
+    /// let schedule = drift.schedule_for(&timing).unwrap();
+    /// assert_eq!(schedule.model_at(0), NoiseProfile::Quiet.model_for(&timing));
+    /// assert_eq!(
+    ///     schedule.model_at(u64::MAX),
+    ///     NoiseProfile::LaptopDvfs.model_for(&timing),
+    /// );
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is itself a drift (ramps do not nest).
+    #[must_use]
+    pub fn drift(from: NoiseProfile, to: NoiseProfile) -> Self {
+        Self::drift_with(from, to, DRIFT_DEFAULT_ONSET, DRIFT_DEFAULT_FULL)
+    }
+
+    /// [`NoiseProfile::drift`] with an explicit probe-index ramp;
+    /// `onset == full` models an abrupt step (e.g. a co-tenant landing
+    /// on the core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is a drift or `full < onset`.
+    #[must_use]
+    pub fn drift_with(from: NoiseProfile, to: NoiseProfile, onset: u64, full: u64) -> Self {
+        let index = |p: NoiseProfile| {
+            Self::ALL
+                .iter()
+                .position(|&s| s == p)
+                .expect("drift endpoints must be static presets") as u8
+        };
+        assert!(full >= onset, "ramp must not end before it starts");
+        NoiseProfile::Drift(DriftRamp {
+            from: index(from),
+            to: index(to),
+            onset,
+            full,
+        })
+    }
+
+    /// The pinned drifting-noise scenario of the campaign matrix: a
+    /// quiet host whose environment ramps to the laptop-DVFS preset
+    /// mid-scan (what `repro --noise drift` selects).
+    #[must_use]
+    pub fn drift_quiet_to_laptop() -> Self {
+        Self::drift(NoiseProfile::Quiet, NoiseProfile::LaptopDvfs)
+    }
+
     /// `(sigma, spike_prob, spike_magnitude)` multipliers of the preset.
+    /// For [`NoiseProfile::Drift`] these are the *starting* preset's
+    /// factors — what the environment looks like while the attacker
+    /// calibrates.
     #[must_use]
     pub const fn factors(self) -> (f64, f64, f64) {
         match self {
@@ -144,10 +317,16 @@ impl NoiseProfile {
             NoiseProfile::SmtSibling => (3.0, 6.0, 0.5),
             NoiseProfile::LaptopDvfs => (6.0, 3.0, 2.0),
             NoiseProfile::NoisyNeighbor => (4.0, 12.0, 1.5),
+            // One level of recursion at most: ALL holds only static
+            // presets (DriftRamp endpoints are constructed from it),
+            // so the table above is the single source of the factors.
+            NoiseProfile::Drift(ramp) => Self::ALL[ramp.from as usize].factors(),
         }
     }
 
     /// Stable identifier (also what [`NoiseProfile::parse`] accepts).
+    /// All drift ramps report `"drift"`; the endpoints show up in
+    /// [`fmt::Display`].
     #[must_use]
     pub const fn name(self) -> &'static str {
         match self {
@@ -155,11 +334,13 @@ impl NoiseProfile {
             NoiseProfile::SmtSibling => "smt",
             NoiseProfile::LaptopDvfs => "laptop",
             NoiseProfile::NoisyNeighbor => "cloud",
+            NoiseProfile::Drift(_) => "drift",
         }
     }
 
     /// Parses a preset name (`quiet`, `smt`, `laptop`, `cloud`, plus
-    /// the long aliases `smt-sibling`, `dvfs`, `noisy-neighbor`).
+    /// the long aliases `smt-sibling`, `dvfs`, `noisy-neighbor`, and
+    /// `drift` for the pinned quiet→laptop ramp).
     #[must_use]
     pub fn parse(name: &str) -> Option<Self> {
         match name.trim().to_ascii_lowercase().as_str() {
@@ -167,6 +348,7 @@ impl NoiseProfile {
             "smt" | "smt-sibling" => Some(NoiseProfile::SmtSibling),
             "laptop" | "dvfs" => Some(NoiseProfile::LaptopDvfs),
             "cloud" | "noisy-neighbor" => Some(NoiseProfile::NoisyNeighbor),
+            "drift" | "quiet-laptop" => Some(NoiseProfile::drift_quiet_to_laptop()),
             _ => None,
         }
     }
@@ -174,9 +356,14 @@ impl NoiseProfile {
     /// The concrete noise model this preset induces on a CPU whose
     /// baseline anchors are `timing`. Spike probability is capped at
     /// 0.5 — past that the "spike" is the common case and the model
-    /// stops being a spike model.
+    /// stops being a spike model. For [`NoiseProfile::Drift`] this is
+    /// the *starting* model; [`NoiseProfile::schedule_for`] carries the
+    /// trajectory.
     #[must_use]
     pub fn model_for(self, timing: &TimingParams) -> NoiseModel {
+        if let NoiseProfile::Drift(ramp) = self {
+            return ramp.from_profile().model_for(timing);
+        }
         let (sigma_f, spike_f, magnitude_f) = self.factors();
         let (lo, hi) = timing.spike_range;
         NoiseModel::new(
@@ -186,8 +373,28 @@ impl NoiseProfile {
         )
     }
 
+    /// The probe-indexed noise trajectory this profile induces: `None`
+    /// for the stationary presets, the resolved ramp for
+    /// [`NoiseProfile::Drift`].
+    #[must_use]
+    pub fn schedule_for(self, timing: &TimingParams) -> Option<NoiseSchedule> {
+        match self {
+            NoiseProfile::Drift(ramp) => Some(NoiseSchedule {
+                from: ramp.from_profile().model_for(timing),
+                to: ramp.to_profile().model_for(timing),
+                onset: ramp.onset,
+                full: ramp.full,
+            }),
+            _ => None,
+        }
+    }
+
     /// Effective Gaussian σ of this preset on `timing` — what the
-    /// adaptive sampler's likelihood model should assume.
+    /// adaptive sampler's likelihood model should assume. For
+    /// [`NoiseProfile::Drift`] this is the *starting* σ: exactly what a
+    /// one-shot calibration phase observes (and why it goes stale — the
+    /// closed-loop recalibration engine in `avx-channel` exists to
+    /// re-estimate it mid-scan).
     #[must_use]
     pub fn effective_sigma(self, timing: &TimingParams) -> f64 {
         timing.noise_sigma * self.factors().0
@@ -196,7 +403,14 @@ impl NoiseProfile {
 
 impl fmt::Display for NoiseProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.pad(self.name())
+        match self {
+            NoiseProfile::Drift(ramp) => f.pad(&format!(
+                "drift({}→{})",
+                ramp.from_profile().name(),
+                ramp.to_profile().name()
+            )),
+            _ => f.pad(self.name()),
+        }
     }
 }
 
@@ -381,6 +595,68 @@ mod tests {
         );
         assert_eq!(NoiseProfile::parse("bogus"), None);
         assert_eq!(NoiseProfile::default(), NoiseProfile::Quiet);
+    }
+
+    #[test]
+    fn drift_ramp_interpolates_between_its_endpoints() {
+        let t = reference_timing();
+        let drift =
+            NoiseProfile::drift_with(NoiseProfile::Quiet, NoiseProfile::LaptopDvfs, 100, 300);
+        let schedule = drift.schedule_for(&t).expect("drift has a schedule");
+        let quiet = NoiseProfile::Quiet.model_for(&t);
+        let laptop = NoiseProfile::LaptopDvfs.model_for(&t);
+        assert_eq!(schedule.model_at(0), quiet);
+        assert_eq!(schedule.model_at(99), quiet);
+        assert_eq!(schedule.model_at(300), laptop);
+        assert_eq!(schedule.model_at(u64::MAX), laptop);
+        // Halfway through the ramp the σ sits halfway between.
+        let mid = schedule.model_at(200);
+        assert!((mid.sigma - (quiet.sigma + laptop.sigma) / 2.0).abs() < 1e-12);
+        assert!(mid.spike_prob > quiet.spike_prob && mid.spike_prob < laptop.spike_prob);
+        // The profile's one-shot view is the starting preset.
+        assert_eq!(drift.model_for(&t), quiet);
+        assert_eq!(drift.effective_sigma(&t), quiet.sigma);
+        assert_eq!(drift.name(), "drift");
+        assert_eq!(drift.to_string(), "drift(quiet→laptop)");
+    }
+
+    #[test]
+    fn drift_step_switches_at_the_onset() {
+        let t = reference_timing();
+        let step = NoiseProfile::drift_with(NoiseProfile::Quiet, NoiseProfile::LaptopDvfs, 50, 50);
+        let schedule = step.schedule_for(&t).unwrap();
+        assert_eq!(schedule.model_at(49), NoiseProfile::Quiet.model_for(&t));
+        assert_eq!(
+            schedule.model_at(50),
+            NoiseProfile::LaptopDvfs.model_for(&t)
+        );
+    }
+
+    #[test]
+    fn drift_parses_and_static_presets_have_no_schedule() {
+        let t = reference_timing();
+        assert_eq!(
+            NoiseProfile::parse("drift"),
+            Some(NoiseProfile::drift_quiet_to_laptop())
+        );
+        let drift = NoiseProfile::drift_quiet_to_laptop();
+        let NoiseProfile::Drift(ramp) = drift else {
+            panic!("drift constructor must build the Drift variant");
+        };
+        assert_eq!(ramp.from_profile(), NoiseProfile::Quiet);
+        assert_eq!(ramp.to_profile(), NoiseProfile::LaptopDvfs);
+        assert_eq!(ramp.onset(), DRIFT_DEFAULT_ONSET);
+        assert_eq!(ramp.full(), DRIFT_DEFAULT_FULL);
+        for profile in NoiseProfile::ALL {
+            assert_eq!(profile.schedule_for(&t), None, "{profile}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "static presets")]
+    fn nested_drift_endpoints_are_rejected() {
+        let inner = NoiseProfile::drift_quiet_to_laptop();
+        let _ = NoiseProfile::drift(inner, NoiseProfile::Quiet);
     }
 
     #[test]

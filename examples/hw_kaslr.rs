@@ -54,7 +54,13 @@ fn main() {
     let min = *samples.iter().min().unwrap() as f64;
     println!("{}", ascii_plot_clamped(&series, 100, 12, min + 60.0));
 
-    match Threshold::from_bimodal_samples(&samples) {
+    // EM threshold re-fit (recovers both bands and the live σ); the
+    // historical k-means split remains as the fallback for landscapes
+    // the separation-honesty check rejects.
+    let refit = Threshold::refit_bimodal(&samples)
+        .map(|fit| fit.threshold)
+        .or_else(|| Threshold::from_bimodal_samples(&samples));
+    match refit {
         Some(th) => {
             let mapped: Vec<usize> = samples
                 .iter()

@@ -53,7 +53,10 @@ fn miscalibrated_thresholds_fail_predictably() {
 }
 
 /// The bimodal fallback calibration recovers a usable threshold from
-/// one scan's raw samples when no calibration page exists.
+/// one scan's raw samples when no calibration page exists (the
+/// Windows-guest bootstrap). The EM re-fit replaced the historical
+/// k-means split here; it additionally recovers the environment σ, so
+/// the bootstrapped attack can feed an adaptive sampler too.
 #[test]
 fn bimodal_fallback_calibration_works() {
     let system = LinuxSystem::build(LinuxConfig::seeded(62));
@@ -61,8 +64,9 @@ fn bimodal_fallback_calibration_works() {
     let mut p = SimProber::new(machine);
     // First pass with an arbitrary threshold just to collect samples.
     let bootstrap = KernelBaseFinder::new(Threshold::new(0.0, 0.0)).scan(&mut p);
-    let th = Threshold::from_bimodal_samples(&bootstrap.samples).expect("bimodal");
-    let scan = KernelBaseFinder::new(th).scan(&mut p);
+    let fit = Threshold::refit_bimodal(&bootstrap.samples).expect("bimodal");
+    assert!(fit.sigma > 0.0, "EM re-fit measures the environment");
+    let scan = KernelBaseFinder::new(fit.threshold).scan(&mut p);
     assert_eq!(scan.base, Some(truth.kernel_base));
 }
 
