@@ -9,15 +9,17 @@
 //! `--noise quiet|smt|laptop|cloud|drift` selects the victim's noise
 //! environment for the campaign sections (`drift` is the quiet→laptop
 //! mid-scan ramp), `--adaptive` / `--fixed-budget` select the
-//! probe-budget policy, and `--recalibrate` runs every sweep attack
-//! under the closed-loop recalibration driver — together they reproduce
-//! the probes-per-address numbers of the noise-scenario matrix and the
-//! drifting-noise recovery row. The output of this binary is what
-//! `EXPERIMENTS.md` records.
+//! probe-budget policy, `--recalibrate` runs every sweep attack
+//! under the closed-loop recalibration driver, and
+//! `--observables v1|v2` selects the noise-observables regime (v1 is
+//! the bit-exact paper stream, v2 the batched ziggurat kernel) —
+//! together they reproduce the probes-per-address numbers of the
+//! noise-scenario matrix and the drifting-noise recovery row. The
+//! output of this binary is what `EXPERIMENTS.md` records.
 
 use avx_bench::{
     accuracy_trials, calibrate, calibrator_kind, linux_prober, linux_prober_with, noise_profile,
-    paper, recal_config, sampling_policy,
+    observables_version, paper, recal_config, sampling_policy,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
@@ -52,19 +54,27 @@ fn main() {
     // plus the Fig. 4 sweep), written as machine-readable JSON so the
     // perf trajectory is tracked across PRs in `BENCH_campaign.json`.
     if let Some(path) = avx_bench::throughput::bench_json_path() {
-        let (grid, sweep, drift) =
-            avx_bench::throughput::run_bench_json(&path).expect("write bench json");
+        let m = avx_bench::throughput::run_bench_json(&path).expect("write bench json");
         println!(
             "campaign throughput: {:.0} probes/s, {:.1} trials/s over {} rows in {:.2} s; \
              fig4 sweep {:.0} probes/s; drift row {:.0} probes/s at {:.1} % → {}",
-            grid.probes_per_sec,
-            grid.trials_per_sec,
-            grid.rows,
-            grid.wall_seconds,
-            sweep.probes_per_sec,
-            drift.probes_per_sec,
-            drift.accuracy_pct,
+            m.grid.probes_per_sec,
+            m.grid.trials_per_sec,
+            m.grid.rows,
+            m.grid.wall_seconds,
+            m.sweep.probes_per_sec,
+            m.drift.probes_per_sec,
+            m.drift.accuracy_pct,
             path.display()
+        );
+        println!(
+            "observables v2: grid {:.0} probes/s in {:.2} s; fig4 sweep {:.0} probes/s; \
+             drift row {:.0} probes/s at {:.1} %",
+            m.grid_v2.probes_per_sec,
+            m.grid_v2.wall_seconds,
+            m.sweep_v2.probes_per_sec,
+            m.drift_v2.probes_per_sec,
+            m.drift_v2.accuracy_pct,
         );
         return;
     }
@@ -104,15 +114,17 @@ fn full_campaign() {
     let sampling = sampling_policy();
     let calibrator = calibrator_kind();
     let recal = recal_config();
+    let observables = observables_version();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, rayon-parallel)",
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, observables={observables}, rayon-parallel)",
         sampling.name(),
         if recal.is_some() { "on" } else { "off" },
     ));
     let mut config = CampaignConfig::new(trials, 0)
         .with_noise(noise)
         .with_sampling(sampling)
-        .with_calibrator(calibrator);
+        .with_calibrator(calibrator)
+        .with_observables(observables);
     if let Some(recal) = recal {
         config = config.with_recalibration(recal);
     }
@@ -157,7 +169,8 @@ fn adaptive_economy() {
                 CampaignConfig::new(trials, 0)
                     .with_noise(noise)
                     .with_sampling(sampling)
-                    .with_calibrator(calibrator_kind()),
+                    .with_calibrator(calibrator_kind())
+                    .with_observables(observables_version()),
             );
             table.row([
                 noise.to_string(),
@@ -195,7 +208,8 @@ fn calibration_menu() {
                 CampaignConfig::new(trials, 0)
                     .with_noise(noise)
                     .with_sampling(Sampling::adaptive())
-                    .with_calibrator(calibrator),
+                    .with_calibrator(calibrator)
+                    .with_observables(observables_version()),
             );
             table.row([
                 noise.to_string(),
@@ -226,7 +240,8 @@ fn recalibration() {
     let base = CampaignConfig::new(trials, 0)
         .with_noise(NoiseProfile::drift_quiet_to_laptop())
         .with_sampling(Sampling::adaptive())
-        .with_calibrator(CalibratorKind::NoiseAware);
+        .with_calibrator(CalibratorKind::NoiseAware)
+        .with_observables(observables_version());
     let mut table = Table::new(["Calibration", "p/addr", "Accuracy"]);
     for (label, config) in [
         ("one-shot", base),

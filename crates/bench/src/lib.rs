@@ -11,7 +11,7 @@ pub mod throughput;
 
 use avx_channel::{CalibratorKind, RecalConfig, Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
-use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile};
+use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile, ObservablesVersion};
 
 /// The paper's published numbers, used for side-by-side reporting.
 pub mod paper {
@@ -185,6 +185,31 @@ pub fn recal_config() -> Option<RecalConfig> {
     (from_args || from_env).then(RecalConfig::default)
 }
 
+/// Observables regime for the campaign sections:
+/// `--observables v1|v2` (or `--observables=<name>`) on the command
+/// line, else the `AVX_OBSERVABLES` environment variable, else the
+/// bit-exact [`ObservablesVersion::V1`] stream. Unknown names fall back
+/// to v1 rather than aborting a long repro run.
+#[must_use]
+pub fn observables_version() -> ObservablesVersion {
+    let mut args = std::env::args();
+    let mut from_args = None;
+    while let Some(arg) = args.next() {
+        if arg == "--observables" {
+            from_args = args.next();
+            break;
+        }
+        if let Some(value) = arg.strip_prefix("--observables=") {
+            from_args = Some(value.to_string());
+            break;
+        }
+    }
+    from_args
+        .or_else(|| std::env::var("AVX_OBSERVABLES").ok())
+        .and_then(|v| ObservablesVersion::parse(&v))
+        .unwrap_or(ObservablesVersion::V1)
+}
+
 /// Probe-budget policy for the campaign sections: `--adaptive` (or
 /// `AVX_ADAPTIVE=1`) switches from the paper's fixed schedule to the
 /// SPRT engine; `--fixed-budget` selects the noise-robust fixed
@@ -248,6 +273,18 @@ mod tests {
         std::env::set_var("AVX_RECALIBRATE", "0");
         assert_eq!(recal_config(), None);
         std::env::remove_var("AVX_RECALIBRATE");
+    }
+
+    #[test]
+    fn observables_default_to_v1_and_honor_the_env_knob() {
+        std::env::remove_var("AVX_OBSERVABLES");
+        assert_eq!(observables_version(), ObservablesVersion::V1);
+        std::env::set_var("AVX_OBSERVABLES", "v2");
+        assert_eq!(observables_version(), ObservablesVersion::V2);
+        // Unknown names fall back instead of aborting a long repro run.
+        std::env::set_var("AVX_OBSERVABLES", "v9");
+        assert_eq!(observables_version(), ObservablesVersion::V1);
+        std::env::remove_var("AVX_OBSERVABLES");
     }
 
     #[test]

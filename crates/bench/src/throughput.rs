@@ -12,11 +12,13 @@ use std::time::Instant;
 
 use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
 use avx_channel::{CalibratorKind, KernelBaseFinder, Prober, RecalConfig, Sampling, Threshold};
-use avx_uarch::{CpuProfile, NoiseProfile};
+use avx_uarch::{CpuProfile, NoiseProfile, ObservablesVersion};
 
 /// One end-to-end measurement of the full noise-grid campaign.
 #[derive(Clone, Copy, Debug)]
 pub struct CampaignThroughput {
+    /// Observables regime the grid ran under.
+    pub observables: ObservablesVersion,
     /// Requested trials per cell (heavyweight cells are capped by
     /// [`avx_channel::attacks::campaign::Scenario::max_trials`]).
     pub trials_per_cell: u64,
@@ -35,10 +37,20 @@ pub struct CampaignThroughput {
     pub trials_per_sec: f64,
 }
 
-/// Runs the full attack × CPU × noise grid once and reports throughput.
+/// Runs the full attack × CPU × noise grid once under the default
+/// (v1, bit-exact) observables regime and reports throughput.
 #[must_use]
 pub fn measure_noise_grid(trials: u64) -> CampaignThroughput {
-    let campaign = Campaign::noise_grid(CampaignConfig::new(trials, 0));
+    measure_noise_grid_with(trials, ObservablesVersion::V1)
+}
+
+/// [`measure_noise_grid`] under an explicit observables regime — the
+/// v2 measurement is the perf target the batched ziggurat kernel is
+/// accountable to.
+#[must_use]
+pub fn measure_noise_grid_with(trials: u64, observables: ObservablesVersion) -> CampaignThroughput {
+    let campaign =
+        Campaign::noise_grid(CampaignConfig::new(trials, 0).with_observables(observables));
     let start = Instant::now();
     let rows = campaign.run();
     let wall_seconds = start.elapsed().as_secs_f64();
@@ -47,6 +59,7 @@ pub fn measure_noise_grid(trials: u64) -> CampaignThroughput {
     // drift from the engine's cell-selection/clamping rules.
     let trials_total: u64 = rows.iter().map(|r| r.trials).sum();
     CampaignThroughput {
+        observables,
         trials_per_cell: trials,
         wall_seconds,
         rows: rows.len(),
@@ -61,6 +74,8 @@ pub fn measure_noise_grid(trials: u64) -> CampaignThroughput {
 /// 512 × 2 MiB kernel scan), repeated until ~`min_probes` probes ran.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepThroughput {
+    /// Observables regime the sweep ran under.
+    pub observables: ObservablesVersion,
     /// Raw probes issued.
     pub probes: u64,
     /// Wall-clock seconds.
@@ -74,7 +89,19 @@ pub struct SweepThroughput {
 /// probes have been issued.
 #[must_use]
 pub fn measure_fig4_sweep(min_probes: u64) -> SweepThroughput {
+    measure_fig4_sweep_with(min_probes, ObservablesVersion::V1)
+}
+
+/// [`measure_fig4_sweep`] under an explicit observables regime. The
+/// sweep runs noise-free either way (quiet prober), so this isolates
+/// the batched block plumbing's overhead from the sampler speedup.
+#[must_use]
+pub fn measure_fig4_sweep_with(
+    min_probes: u64,
+    observables: ObservablesVersion,
+) -> SweepThroughput {
     let (mut p, truth) = crate::quiet_linux_prober(CpuProfile::alder_lake_i5_12400f(), 4);
+    p.machine_mut().set_observables(observables);
     let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
     let finder = KernelBaseFinder::new(th);
     let start = Instant::now();
@@ -93,6 +120,7 @@ pub fn measure_fig4_sweep(min_probes: u64) -> SweepThroughput {
     let probes = p.probes_issued() - before;
     let _ = scans;
     SweepThroughput {
+        observables,
         probes,
         wall_seconds,
         probes_per_sec: probes as f64 / wall_seconds.max(1e-9),
@@ -106,6 +134,8 @@ pub fn measure_fig4_sweep(min_probes: u64) -> SweepThroughput {
 /// after a refit) stays on the perf trajectory.
 #[derive(Clone, Copy, Debug)]
 pub struct DriftRowThroughput {
+    /// Observables regime the row ran under.
+    pub observables: ObservablesVersion,
     /// Trials the row ran.
     pub trials: u64,
     /// Raw probes issued (calibration + rescans included).
@@ -122,15 +152,25 @@ pub struct DriftRowThroughput {
 /// --calibrator noise-aware --recalibrate` as a campaign cell).
 #[must_use]
 pub fn measure_drift_row(trials: u64) -> DriftRowThroughput {
+    measure_drift_row_with(trials, ObservablesVersion::V1)
+}
+
+/// [`measure_drift_row`] under an explicit observables regime. The
+/// drift ramp is resolved per probe index in both regimes (v2 blocks
+/// never quantize the ramp), so accuracy is comparable across them.
+#[must_use]
+pub fn measure_drift_row_with(trials: u64, observables: ObservablesVersion) -> DriftRowThroughput {
     let config = CampaignConfig::new(trials, 0)
         .with_noise(NoiseProfile::drift_quiet_to_laptop())
         .with_sampling(Sampling::adaptive())
         .with_calibrator(CalibratorKind::NoiseAware)
-        .with_recalibration(RecalConfig::default());
+        .with_recalibration(RecalConfig::default())
+        .with_observables(observables);
     let start = Instant::now();
     let row = Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
     let wall_seconds = start.elapsed().as_secs_f64();
     DriftRowThroughput {
+        observables,
         trials,
         probes: row.probes,
         wall_seconds,
@@ -139,25 +179,32 @@ pub fn measure_drift_row(trials: u64) -> DriftRowThroughput {
     }
 }
 
-/// Serializes the two measurements as the machine-readable
-/// `BENCH_campaign.json` record (hand-rolled JSON; the build is
-/// air-gapped, so no serde).
-#[must_use]
-pub fn bench_json(
-    grid: &CampaignThroughput,
-    sweep: &SweepThroughput,
-    drift: &DriftRowThroughput,
-) -> String {
+/// The full standardized measurement set: every workload under both
+/// observables regimes. The v1 entries are what every pre-v3 record
+/// held; the v2 entries are the batched-ziggurat counterparts.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchMeasurements {
+    /// Noise-grid campaign, v1 regime.
+    pub grid: CampaignThroughput,
+    /// Fig. 4 sweep, v1 regime.
+    pub sweep: SweepThroughput,
+    /// Closed-loop drift row, v1 regime.
+    pub drift: DriftRowThroughput,
+    /// Noise-grid campaign, v2 regime.
+    pub grid_v2: CampaignThroughput,
+    /// Fig. 4 sweep, v2 regime.
+    pub sweep_v2: SweepThroughput,
+    /// Closed-loop drift row, v2 regime.
+    pub drift_v2: DriftRowThroughput,
+}
+
+fn grid_json(grid: &CampaignThroughput) -> String {
     format!(
-        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v2\",\n  \
-         \"grid\": {{\n    \"trials_per_cell\": {},\n    \"rows\": {},\n    \
-         \"trials\": {},\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
-         \"probes_per_sec\": {:.1},\n    \"trials_per_sec\": {:.3}\n  }},\n  \
-         \"fig4_sweep\": {{\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
-         \"probes_per_sec\": {:.1}\n  }},\n  \
-         \"drift_row\": {{\n    \"trials\": {},\n    \"probes\": {},\n    \
+        "{{\n    \"observables\": \"{}\",\n    \"trials_per_cell\": {},\n    \
+         \"rows\": {},\n    \"trials\": {},\n    \"probes\": {},\n    \
          \"wall_seconds\": {:.6},\n    \"probes_per_sec\": {:.1},\n    \
-         \"accuracy_pct\": {:.2}\n  }}\n}}\n",
+         \"trials_per_sec\": {:.3}\n  }}",
+        grid.observables,
         grid.trials_per_cell,
         grid.rows,
         grid.trials,
@@ -165,14 +212,49 @@ pub fn bench_json(
         grid.wall_seconds,
         grid.probes_per_sec,
         grid.trials_per_sec,
-        sweep.probes,
-        sweep.wall_seconds,
-        sweep.probes_per_sec,
+    )
+}
+
+fn sweep_json(sweep: &SweepThroughput) -> String {
+    format!(
+        "{{\n    \"observables\": \"{}\",\n    \"probes\": {},\n    \
+         \"wall_seconds\": {:.6},\n    \"probes_per_sec\": {:.1}\n  }}",
+        sweep.observables, sweep.probes, sweep.wall_seconds, sweep.probes_per_sec,
+    )
+}
+
+fn drift_json(drift: &DriftRowThroughput) -> String {
+    format!(
+        "{{\n    \"observables\": \"{}\",\n    \"trials\": {},\n    \
+         \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
+         \"probes_per_sec\": {:.1},\n    \"accuracy_pct\": {:.2}\n  }}",
+        drift.observables,
         drift.trials,
         drift.probes,
         drift.wall_seconds,
         drift.probes_per_sec,
         drift.accuracy_pct,
+    )
+}
+
+/// Serializes the measurements as the machine-readable
+/// `BENCH_campaign.json` record (hand-rolled JSON; the build is
+/// air-gapped, so no serde). Schema v3: every entry carries its
+/// observables tag, the historical `grid`/`fig4_sweep`/`drift_row`
+/// keys stay the v1 regime, and the `*_v2` keys hold the batched
+/// ziggurat counterparts.
+#[must_use]
+pub fn bench_json(m: &BenchMeasurements) -> String {
+    format!(
+        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v3\",\n  \
+         \"grid\": {},\n  \"fig4_sweep\": {},\n  \"drift_row\": {},\n  \
+         \"grid_v2\": {},\n  \"fig4_sweep_v2\": {},\n  \"drift_row_v2\": {}\n}}\n",
+        grid_json(&m.grid),
+        sweep_json(&m.sweep),
+        drift_json(&m.drift),
+        grid_json(&m.grid_v2),
+        sweep_json(&m.sweep_v2),
+        drift_json(&m.drift_v2),
     )
 }
 
@@ -195,14 +277,17 @@ pub fn bench_json_path() -> Option<std::path::PathBuf> {
 /// Runs the standardized throughput measurement and writes the JSON
 /// record to `path` (the `repro --bench-json` entry point). Returns the
 /// measurements for console reporting.
-pub fn run_bench_json(
-    path: &std::path::Path,
-) -> std::io::Result<(CampaignThroughput, SweepThroughput, DriftRowThroughput)> {
-    let grid = measure_noise_grid(2);
-    let sweep = measure_fig4_sweep(64 * 1024);
-    let drift = measure_drift_row(8);
-    std::fs::write(path, bench_json(&grid, &sweep, &drift))?;
-    Ok((grid, sweep, drift))
+pub fn run_bench_json(path: &std::path::Path) -> std::io::Result<BenchMeasurements> {
+    let m = BenchMeasurements {
+        grid: measure_noise_grid(2),
+        sweep: measure_fig4_sweep(64 * 1024),
+        drift: measure_drift_row(8),
+        grid_v2: measure_noise_grid_with(2, ObservablesVersion::V2),
+        sweep_v2: measure_fig4_sweep_with(64 * 1024, ObservablesVersion::V2),
+        drift_v2: measure_drift_row_with(8, ObservablesVersion::V2),
+    };
+    std::fs::write(path, bench_json(&m))?;
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -216,9 +301,9 @@ mod tests {
         assert!(sweep.probes_per_sec > 0.0);
     }
 
-    #[test]
-    fn bench_json_is_well_formed() {
+    fn fake_measurements() -> BenchMeasurements {
         let grid = CampaignThroughput {
+            observables: ObservablesVersion::V1,
             trials_per_cell: 2,
             wall_seconds: 1.5,
             rows: 56,
@@ -228,23 +313,61 @@ mod tests {
             trials_per_sec: 66.7,
         };
         let sweep = SweepThroughput {
+            observables: ObservablesVersion::V1,
             probes: 2048,
             wall_seconds: 0.01,
             probes_per_sec: 204_800.0,
         };
         let drift = DriftRowThroughput {
+            observables: ObservablesVersion::V1,
             trials: 8,
             probes: 20_000,
             wall_seconds: 0.02,
             probes_per_sec: 1_000_000.0,
             accuracy_pct: 100.0,
         };
-        let json = bench_json(&grid, &sweep, &drift);
+        BenchMeasurements {
+            grid,
+            sweep,
+            drift,
+            grid_v2: CampaignThroughput {
+                observables: ObservablesVersion::V2,
+                ..grid
+            },
+            sweep_v2: SweepThroughput {
+                observables: ObservablesVersion::V2,
+                ..sweep
+            },
+            drift_v2: DriftRowThroughput {
+                observables: ObservablesVersion::V2,
+                ..drift
+            },
+        }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let json = bench_json(&fake_measurements());
         assert!(json.contains("\"probes_per_sec\""));
-        assert!(json.contains("campaign-throughput/v2"));
+        assert!(json.contains("campaign-throughput/v3"));
         assert!(json.contains("\"drift_row\""));
         assert!(json.contains("\"accuracy_pct\""));
+        // Both regimes appear, each tagged with its observables name.
+        assert!(json.contains("\"grid_v2\""));
+        assert!(json.contains("\"fig4_sweep_v2\""));
+        assert!(json.contains("\"drift_row_v2\""));
+        assert!(json.contains("\"observables\": \"v1\""));
+        assert!(json.contains("\"observables\": \"v2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"observables\"").count(), 6);
+    }
+
+    #[test]
+    fn v2_sweep_measurement_reports_positive_throughput() {
+        let sweep = measure_fig4_sweep_with(1024, ObservablesVersion::V2);
+        assert_eq!(sweep.observables, ObservablesVersion::V2);
+        assert!(sweep.probes >= 1024);
+        assert!(sweep.probes_per_sec > 0.0);
     }
 
     #[test]

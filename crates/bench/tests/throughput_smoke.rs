@@ -1,41 +1,103 @@
 //! Release-mode throughput smoke (tier-1 CI, `--include-ignored`).
 //!
 //! Guards the probe hot path against silent regressions: the
-//! quiet-profile Fig. 4 sweep must stay above a conservative probes/sec
-//! floor. Absolute throughput is machine-dependent, so the floor is set
-//! well below the recording machine's numbers (`BENCH_campaign.json`:
-//! ~13.5M probes/s; the pre-PR-3 pipeline did ~7.2M on the same box) to
-//! tolerate slower shared CI runners — it therefore catches
-//! *catastrophic* regressions (per-probe allocation storms, quadratic
-//! cache scans, debug-mode benches), not a subtle partial revert; the
-//! recorded trajectory in `BENCH_campaign.json` is the fine-grained
-//! cross-PR signal.
+//! quiet-profile Fig. 4 sweep and the noise-grid campaign must stay
+//! above conservative probes/sec floors, in both observables regimes.
+//! Absolute throughput is machine-dependent, so the floors are set well
+//! below the recording machine's numbers (`BENCH_campaign.json`: ~15M+
+//! probes/s sweeps, ~10M+ grid; the pre-PR-3 pipeline did ~5.1M grid on
+//! the same box) to tolerate slower shared CI runners — they therefore
+//! catch *catastrophic* regressions (per-probe allocation storms,
+//! quadratic cache scans, debug-mode benches), not a subtle partial
+//! revert; the recorded trajectory in `BENCH_campaign.json` is the
+//! fine-grained cross-PR signal. Run-to-run variance on one box spans
+//! tens of percent (the recording machine's Fig. 4 sweep ranged
+//! 12.4–18.5M probes/s across otherwise-identical runs), which is why
+//! each gate keeps the better of two measurements and the floors sit at
+//! a fraction of the recorded numbers.
 
-use avx_bench::throughput::measure_fig4_sweep;
+use avx_bench::throughput::{
+    measure_fig4_sweep_with, measure_noise_grid_with, CampaignThroughput, SweepThroughput,
+};
+use avx_uarch::ObservablesVersion;
 
-/// Conservative floor in probes per second (see module docs for what
-/// this can and cannot catch).
-const FLOOR_PROBES_PER_SEC: f64 = 3_000_000.0;
+/// Conservative sweep floor in probes per second (see module docs for
+/// what this can and cannot catch).
+const SWEEP_FLOOR_PROBES_PER_SEC: f64 = 3_000_000.0;
+
+/// Conservative noise-grid floor. The grid exercises every attack ×
+/// noise cell (calibration, adaptive sampling, heavy noise rows), so it
+/// runs slower than the quiet sweep; the floor is scaled accordingly.
+const GRID_FLOOR_PROBES_PER_SEC: f64 = 2_000_000.0;
+
+fn best_sweep(observables: ObservablesVersion) -> SweepThroughput {
+    // Two measurements; keep the better one to shrug off scheduler
+    // hiccups on shared runners.
+    let a = measure_fig4_sweep_with(128 * 1024, observables);
+    let b = measure_fig4_sweep_with(128 * 1024, observables);
+    if a.probes_per_sec >= b.probes_per_sec {
+        a
+    } else {
+        b
+    }
+}
+
+fn best_grid(observables: ObservablesVersion) -> CampaignThroughput {
+    let a = measure_noise_grid_with(1, observables);
+    let b = measure_noise_grid_with(1, observables);
+    if a.probes_per_sec >= b.probes_per_sec {
+        a
+    } else {
+        b
+    }
+}
 
 #[test]
 #[ignore = "release-mode perf gate; debug builds are expected to be slower (CI runs with --release --include-ignored)"]
 fn fig4_sweep_throughput_stays_above_floor() {
-    // Two measurements; keep the better one to shrug off scheduler
-    // hiccups on shared runners.
-    let best = (0..2)
-        .map(|_| measure_fig4_sweep(128 * 1024).probes_per_sec)
-        .fold(0.0f64, f64::max);
-    assert!(
-        best >= FLOOR_PROBES_PER_SEC,
-        "Fig. 4 sweep throughput regressed: {best:.0} probes/s < floor {FLOOR_PROBES_PER_SEC:.0}"
-    );
+    for observables in [ObservablesVersion::V1, ObservablesVersion::V2] {
+        let best = best_sweep(observables).probes_per_sec;
+        assert!(
+            best >= SWEEP_FLOOR_PROBES_PER_SEC,
+            "Fig. 4 sweep ({observables}) throughput regressed: \
+             {best:.0} probes/s < floor {SWEEP_FLOOR_PROBES_PER_SEC:.0}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "release-mode perf gate; debug builds are expected to be slower (CI runs with --release --include-ignored)"]
+fn noise_grid_throughput_stays_above_floor() {
+    for observables in [ObservablesVersion::V1, ObservablesVersion::V2] {
+        let best = best_grid(observables).probes_per_sec;
+        assert!(
+            best >= GRID_FLOOR_PROBES_PER_SEC,
+            "noise-grid ({observables}) throughput regressed: \
+             {best:.0} probes/s < floor {GRID_FLOOR_PROBES_PER_SEC:.0}"
+        );
+    }
 }
 
 #[test]
 fn bench_json_flag_produces_valid_record() {
     // The measurement machinery behind `repro --bench-json` works end
     // to end (small n; runs in debug CI too).
-    let sweep = measure_fig4_sweep(2048);
+    let sweep = measure_fig4_sweep_with(2048, ObservablesVersion::V1);
     assert!(sweep.probes >= 2048);
     assert!(sweep.wall_seconds > 0.0);
+}
+
+#[test]
+fn grid_measurement_pins_probe_counts_per_regime() {
+    // The probe *count* of a fixed grid is deterministic per regime —
+    // wall-clock varies, the simulated work does not. v1's count is the
+    // bit-exactness canary (any drift means the default stream moved);
+    // v2's pins the re-goldened batched regime.
+    let v1 = measure_noise_grid_with(1, ObservablesVersion::V1);
+    let v1_again = measure_noise_grid_with(1, ObservablesVersion::V1);
+    assert_eq!(v1.probes, v1_again.probes, "v1 grid probes must be stable");
+    let v2 = measure_noise_grid_with(1, ObservablesVersion::V2);
+    let v2_again = measure_noise_grid_with(1, ObservablesVersion::V2);
+    assert_eq!(v2.probes, v2_again.probes, "v2 grid probes must be stable");
+    assert_eq!(v1.rows, v2.rows, "regimes run the same grid shape");
 }

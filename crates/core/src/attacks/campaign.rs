@@ -34,7 +34,7 @@ use avx_os::cloud::CloudScenario;
 use avx_os::linux::{LinuxConfig, LinuxSystem, KERNEL_SLOTS, KPTI_TRAMPOLINE_OFFSET, MODULE_SLOTS};
 use avx_os::process::{build_process, ImageSignature};
 use avx_os::windows::{WindowsConfig, WindowsSystem};
-use avx_uarch::{CpuProfile, Machine, NoiseProfile, Vendor};
+use avx_uarch::{CpuProfile, Machine, NoiseProfile, ObservablesVersion, Vendor};
 
 use crate::adaptive::{AdaptiveSampler, Sampling};
 use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
@@ -45,7 +45,7 @@ use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_configured;
+use super::cloud::run_scenario_observed;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -73,6 +73,12 @@ pub struct CampaignConfig {
     /// paper's one-shot calibration; every pre-recalibration golden row
     /// is unchanged by construction.
     pub recal: Option<RecalConfig>,
+    /// Noise-observables regime of the victim machines. The default,
+    /// [`ObservablesVersion::V1`], is the bit-exact per-sample stream
+    /// every pre-versioning golden row assumes;
+    /// [`ObservablesVersion::V2`] runs the batched ziggurat kernel
+    /// (distribution-equivalent, re-goldened once, tagged separately).
+    pub observables: ObservablesVersion,
 }
 
 impl Default for CampaignConfig {
@@ -84,6 +90,7 @@ impl Default for CampaignConfig {
             sampling: Sampling::Fixed,
             calibrator: CalibratorKind::Legacy,
             recal: None,
+            observables: ObservablesVersion::V1,
         }
     }
 }
@@ -128,6 +135,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Same config under a different observables regime (what
+    /// `repro --observables v2` selects).
+    #[must_use]
+    pub fn with_observables(mut self, observables: ObservablesVersion) -> Self {
+        self.observables = observables;
+        self
+    }
+
     /// The adaptive sampler this config induces for a calibration fit
     /// on `profile`: [`Sampling::sampler_for_calibration`] with this
     /// config's estimator and the profile's oracle σ.
@@ -160,6 +175,9 @@ pub struct CampaignRow {
     /// Threshold-estimator label ("legacy", "trimmed", "bimodal",
     /// "noise-aware") the cell calibrated with.
     pub calibrator: &'static str,
+    /// Observables-regime label ("v1", "v2") the cell's machines ran
+    /// under.
+    pub observables: &'static str,
     /// Mean seconds inside the timed masked ops.
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
@@ -180,12 +198,13 @@ impl fmt::Display for CampaignRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {} [{}/{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
+            "{} {} [{}/{}/{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
             self.cpu,
             self.target,
             self.noise,
             self.sampling,
             self.calibrator,
+            self.observables,
             fmt_seconds(self.probing_seconds),
             fmt_seconds(self.total_seconds),
             self.probes_per_address,
@@ -501,6 +520,7 @@ impl Scenario {
                 Sampling::Fixed.name()
             },
             calibrator: config.calibrator.name(),
+            observables: config.observables.name(),
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
             trials,
@@ -668,6 +688,7 @@ fn linux_prober(
 ) -> (SimProber, avx_os::LinuxTruth, CalibrationFit) {
     let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
+    machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, config.calibrator);
     (p, truth, fit)
@@ -714,6 +735,7 @@ fn amd_base_trial(
 ) -> TrialOutcome {
     let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
+    machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
     let mut finder = AmdKernelBaseFinder::for_default_kernel();
     if let Some(filter) = config.sampling.min_filter() {
@@ -867,6 +889,7 @@ fn userspace_trial(
         .expect("calibration page free");
     let mut machine = Machine::new(profile.clone(), space, seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
+    machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
     let (perm, fit) = PermissionAttack::calibrate_with(&mut p, own, config.calibrator);
     let mut scanner = UserSpaceScanner::new(perm);
@@ -918,6 +941,7 @@ fn windows_trial(
 ) -> TrialOutcome {
     let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
     machine.set_noise_profile(config.noise);
+    machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, config.calibrator);
     let mut attack = WindowsKaslrAttack::new(fit.threshold);
@@ -947,13 +971,14 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_configured(
+        let report = run_scenario_observed(
             &scenario,
             seed ^ 0xabcd,
             config.noise,
             config.sampling,
             config.calibrator,
             config.recal,
+            config.observables,
         );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;
@@ -1216,6 +1241,32 @@ mod tests {
         let grid = Campaign::noise_grid(CampaignConfig::new(1, 3));
         assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
         assert_eq!(grid.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn v2_observables_campaign_is_accurate_and_tagged() {
+        let v1 = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        let v2 = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            small().with_observables(ObservablesVersion::V2),
+        );
+        assert_eq!(v1.observables, "v1");
+        assert_eq!(v2.observables, "v2");
+        assert!(v1.to_string().contains("/v1]"), "{v1}");
+        assert!(v2.to_string().contains("/v2]"), "{v2}");
+        // The regimes are distribution-equivalent: the attack succeeds
+        // under both, with the same probe accounting structure.
+        assert!(v2.accuracy.rate() > 0.8, "{v2}");
+        assert_eq!(v2.accuracy.total, v1.accuracy.total);
+        assert!(v2.probes > 0);
+    }
+
+    #[test]
+    fn cloud_campaign_threads_the_observables_regime() {
+        let config = CampaignConfig::new(1, 11).with_observables(ObservablesVersion::V2);
+        let row = Scenario::Cloud.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
+        assert_eq!(row.observables, "v2");
+        assert!(row.accuracy.rate() > 0.6, "{row}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use avx_mmu::VirtAddr;
 use avx_os::cloud::{CloudProvider, CloudScenario, GuestOs};
 use avx_os::linux::{LinuxSystem, KERNEL_SLOTS, MODULE_SLOTS};
 use avx_os::windows::WindowsSystem;
-use avx_uarch::NoiseProfile;
+use avx_uarch::{NoiseProfile, ObservablesVersion};
 
 use crate::adaptive::Sampling;
 use crate::calibrate::{CalibratorKind, Threshold};
@@ -129,12 +129,39 @@ pub fn run_scenario_configured(
     calibrator: CalibratorKind,
     recal: Option<RecalConfig>,
 ) -> CloudBreakReport {
+    run_scenario_observed(
+        scenario,
+        machine_seed,
+        noise,
+        sampling,
+        calibrator,
+        recal,
+        ObservablesVersion::V1,
+    )
+}
+
+/// [`run_scenario_configured`] under an explicit observables regime —
+/// the final knob [`crate::attacks::campaign::CampaignConfig`] threads
+/// into the cloud rows. The v1 regime is bit-exact with
+/// [`run_scenario_configured`]; v2 runs the same chain over the batched
+/// ziggurat noise kernel.
+#[must_use]
+pub fn run_scenario_observed(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
+    recal: Option<RecalConfig>,
+    observables: ObservablesVersion,
+) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
         GuestOs::Linux(cfg) => {
             let sys = LinuxSystem::build(cfg.clone());
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
+            machine.set_observables(observables);
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, calibrator);
             let th = fit.threshold;
@@ -206,6 +233,7 @@ pub fn run_scenario_configured(
             let sys = WindowsSystem::build(cfg.clone());
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
+            machine.set_observables(observables);
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, calibrator);
             let mut attack = WindowsKaslrAttack::new(fit.threshold);

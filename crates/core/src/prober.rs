@@ -362,6 +362,15 @@ mod tests {
     const KERNEL: u64 = 0xffff_ffff_a1e0_0000;
 
     #[test]
+    fn batch_tile_matches_the_machine_noise_block() {
+        // The v2 observables regime precomputes noise in blocks of
+        // `avx_uarch::NOISE_BLOCK`; probe batches are tiled in
+        // `BATCH_TILE` chunks. Keeping them equal means one noise block
+        // per warm/measure tile — change them together or not at all.
+        assert_eq!(ProbeStrategy::BATCH_TILE, avx_uarch::NOISE_BLOCK);
+    }
+
+    #[test]
     fn probe_accounts_probing_and_overhead() {
         let mut p = SimProber::new(machine());
         let cycles = p.probe(OpKind::Load, VirtAddr::new_truncate(KERNEL));

@@ -64,6 +64,13 @@ struct AssocArray {
     stamps: Vec<u64>,
     clock: u64,
     index: crate::tagidx::TagIndex,
+    /// Slot of the most recent hit. Region scans re-hit the same PDPTE
+    /// tag for 512 consecutive 2 MiB probes, so one verified compare
+    /// usually answers the lookup without touching the hash index. The
+    /// value needs no invalidation hooks: tags are unique, so
+    /// `tags[mru] == tag` alone proves `mru` is `tag`'s slot, and any
+    /// stale value simply fails the compare and falls through.
+    mru: usize,
 }
 
 impl AssocArray {
@@ -75,16 +82,30 @@ impl AssocArray {
             stamps: Vec::with_capacity(capacity),
             clock: 0,
             index: crate::tagidx::TagIndex::with_capacity(capacity),
+            mru: usize::MAX,
         }
     }
 
-    fn position(&self, tag: u64) -> Option<usize> {
-        self.index.find(tag)
+    fn position(&mut self, tag: u64) -> Option<usize> {
+        if self.tags.get(self.mru) == Some(&tag) {
+            return Some(self.mru);
+        }
+        let pos = self.index.find(tag);
+        if let Some(i) = pos {
+            self.mru = i;
+        }
+        pos
     }
 
     fn lookup(&mut self, tag: u64) -> Option<PscEntry> {
-        self.clock += 1;
+        // The clock advances only when a stamp is assigned (hit here,
+        // or insert): stamps stay strictly increasing and their
+        // *relative order* — the only thing min-stamp LRU eviction can
+        // observe — is identical to a clock that also ticked on misses.
+        // Region scans miss on nearly every probe, so not touching the
+        // clock on the miss path keeps it out of the hot loop entirely.
         if let Some(i) = self.position(tag) {
+            self.clock += 1;
             self.stamps[i] = self.clock;
             return Some(self.entries[i]);
         }
@@ -186,13 +207,21 @@ impl PagingStructureCache {
     /// Returns the level of the cached entry (the entry *at* that level is
     /// known, so the walk resumes at the next level down).
     pub fn lookup_deepest(&mut self, va: VirtAddr) -> Option<(Level, PscEntry)> {
-        for level in [Level::Pd, Level::Pdpt, Level::Pml4] {
-            let tag = Self::tag_for(va, level);
-            let hit = self.array_for(level).and_then(|array| array.lookup(tag));
-            if let Some(entry) = hit {
-                self.hits += 1;
-                return Some((level, entry));
-            }
+        // Straight-lined deepest-first probe sequence (PDE → PDPTE →
+        // PML4E); semantics identical to iterating `array_for` over the
+        // cacheable levels.
+        let v = va.as_u64();
+        if let Some(entry) = self.pde.lookup(v >> 21) {
+            self.hits += 1;
+            return Some((Level::Pd, entry));
+        }
+        if let Some(entry) = self.pdpte.lookup(v >> 30) {
+            self.hits += 1;
+            return Some((Level::Pdpt, entry));
+        }
+        if let Some(entry) = self.pml4e.lookup(v >> 39) {
+            self.hits += 1;
+            return Some((Level::Pml4, entry));
         }
         self.misses += 1;
         None

@@ -84,14 +84,19 @@ fn tlb_key(vpn: u64, size: PageSize) -> u64 {
     (vpn << 2) | code
 }
 
-fn tlb_key_for_shift(va: VirtAddr, size_shift: u32) -> u64 {
-    let code = match size_shift {
-        12 => 0u64,
+/// 2-bit size code shared by [`tlb_key`] and the per-size occupancy
+/// counters.
+fn size_code_for_shift(size_shift: u32) -> usize {
+    match size_shift {
+        12 => 0,
         21 => 1,
         30 => 2,
         _ => unreachable!("architectural page shifts only"),
-    };
-    ((va.as_u64() >> size_shift) << 2) | code
+    }
+}
+
+fn tlb_key_for_shift(va: VirtAddr, size_shift: u32) -> u64 {
+    ((va.as_u64() >> size_shift) << 2) | size_code_for_shift(size_shift) as u64
 }
 
 /// A placeholder for invalid slots (parallel-array layout needs a value
@@ -124,7 +129,27 @@ struct SetAssoc {
     /// Live entries per set: region sweeps miss on almost every probe,
     /// and most sets are empty, so the way-scan is skipped outright.
     live: Vec<u16>,
+    /// Live entries per page-size code. A lookup for a size with no
+    /// cached translations is a guaranteed miss, and — since the miss
+    /// path touches no replacement state — skipping it outright is
+    /// unobservable. The unified STLB is probed once per page size on
+    /// every translation, so this prunes whole probes from the scan
+    /// loop (e.g. no 1 GiB mappings ⇒ the 1 GiB probe never runs).
+    live_by_size: [u32; 3],
+    /// Per-set key signature: one hash bit per live key. A clear bit is
+    /// a guaranteed miss (no false negatives by construction), letting
+    /// the lookup skip the whole way-scan — the dominant cost once sets
+    /// fill up, since a sweep probes a fresh key almost every time.
+    /// Rebuilt from the live ways whenever a key leaves a set.
+    sig: Vec<u64>,
     clock: u64,
+}
+
+/// One hash bit per key for the per-set signatures (Fibonacci hash,
+/// top bits — the low key bits are the set index and carry no entropy
+/// within a set).
+fn sig_bit(key: u64) -> u64 {
+    1u64 << (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58)
 }
 
 impl SetAssoc {
@@ -136,6 +161,8 @@ impl SetAssoc {
             keys: vec![0; sets * ways],
             entries: vec![DEAD_ENTRY; sets * ways],
             live: vec![0; sets],
+            live_by_size: [0; 3],
+            sig: vec![0; sets],
             clock: 0,
         }
     }
@@ -144,17 +171,40 @@ impl SetAssoc {
         (vpn as usize) & (self.sets - 1)
     }
 
+    /// Recomputes one set's key signature from its live ways (cold
+    /// paths only: eviction, invalidation, flush).
+    fn rebuild_sig(&mut self, set: usize) {
+        let base = set * self.ways;
+        let mut sig = 0u64;
+        for slot in base..base + self.ways {
+            if self.stamps[slot] != 0 {
+                sig |= sig_bit(self.keys[slot]);
+            }
+        }
+        self.sig[set] = sig;
+    }
+
     fn lookup(&mut self, va: VirtAddr, size_shift: u32) -> Option<TlbEntry> {
-        self.clock += 1;
+        if self.live_by_size[size_code_for_shift(size_shift)] == 0 {
+            return None;
+        }
         let vpn = va.as_u64() >> size_shift;
         let set = self.set_index(vpn);
         if self.live[set] == 0 {
             return None;
         }
         let key = tlb_key_for_shift(va, size_shift);
+        if self.sig[set] & sig_bit(key) == 0 {
+            return None;
+        }
         let base = set * self.ways;
         for slot in base..base + self.ways {
             if self.stamps[slot] != 0 && self.keys[slot] == key {
+                // The clock ticks only when a stamp is assigned: the
+                // min-stamp victim choice depends on stamp *order*
+                // alone, and that order is unchanged by skipping the
+                // (frequent) miss-path increments.
+                self.clock += 1;
                 self.stamps[slot] = self.clock;
                 return Some(self.entries[slot]);
             }
@@ -182,6 +232,8 @@ impl SetAssoc {
                 self.keys[slot] = key;
                 self.entries[slot] = entry;
                 self.live[set] += 1;
+                self.live_by_size[(key & 3) as usize] += 1;
+                self.sig[set] |= sig_bit(key);
                 return None;
             }
         }
@@ -190,9 +242,12 @@ impl SetAssoc {
             .min_by_key(|&slot| self.stamps[slot])
             .expect("ways > 0");
         let evicted = self.entries[victim];
+        self.live_by_size[(self.keys[victim] & 3) as usize] -= 1;
+        self.live_by_size[(key & 3) as usize] += 1;
         self.stamps[victim] = self.clock;
         self.keys[victim] = key;
         self.entries[victim] = entry;
+        self.rebuild_sig(set);
         Some(evicted)
     }
 
@@ -201,6 +256,8 @@ impl SetAssoc {
             if self.stamps[slot] != 0 && self.entries[slot].covers(va) {
                 self.stamps[slot] = 0;
                 self.live[slot / self.ways] -= 1;
+                self.live_by_size[(self.keys[slot] & 3) as usize] -= 1;
+                self.rebuild_sig(slot / self.ways);
             }
         }
     }
@@ -211,9 +268,13 @@ impl SetAssoc {
             if !keep {
                 if self.stamps[slot] != 0 {
                     self.live[slot / self.ways] -= 1;
+                    self.live_by_size[(self.keys[slot] & 3) as usize] -= 1;
                 }
                 self.stamps[slot] = 0;
             }
+        }
+        for set in 0..self.sets {
+            self.rebuild_sig(set);
         }
     }
 
@@ -249,6 +310,10 @@ struct FullyAssoc {
     stamps: Vec<u64>,
     clock: u64,
     index: crate::tagidx::TagIndex,
+    /// Live entries per page-size code (see [`SetAssoc::live_by_size`]):
+    /// lets `covering_position` skip the hash probe for a size with no
+    /// cached translations — a guaranteed miss with no observable state.
+    live_by_size: [u32; 3],
 }
 
 impl FullyAssoc {
@@ -260,6 +325,7 @@ impl FullyAssoc {
             stamps: Vec::with_capacity(capacity),
             clock: 0,
             index: crate::tagidx::TagIndex::with_capacity(capacity),
+            live_by_size: [0; 3],
         }
     }
 
@@ -275,13 +341,14 @@ impl FullyAssoc {
     /// size; distinct sizes may both cover `va` (stale entries), so the
     /// lowest slot position wins — the first match of a linear scan.
     fn covering_position(&self, va: VirtAddr) -> Option<usize> {
-        if self.keys.is_empty() {
-            return None;
-        }
         // Only 2 MiB / 1 GiB translations ever land here ([`Tlb`] routes
-        // 4 KiB entries to the D-TLB), so two candidate keys suffice.
+        // 4 KiB entries to the D-TLB), so two candidate keys suffice —
+        // and a size with zero live entries needs no probe at all.
         let mut best: Option<usize> = None;
         for shift in [21u32, 30] {
+            if self.live_by_size[size_code_for_shift(shift)] == 0 {
+                continue;
+            }
             if let Some(pos) = self.key_position(tlb_key_for_shift(va, shift)) {
                 best = Some(best.map_or(pos, |b: usize| b.min(pos)));
             }
@@ -290,8 +357,10 @@ impl FullyAssoc {
     }
 
     fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
-        self.clock += 1;
         if let Some(i) = self.covering_position(va) {
+            // Clock ticks only on stamp assignment — see
+            // `SetAssoc::lookup` for why this preserves LRU order.
+            self.clock += 1;
             self.stamps[i] = self.clock;
             return Some(self.entries[i]);
         }
@@ -310,8 +379,11 @@ impl FullyAssoc {
             self.keys.push(key);
             self.entries.push(entry);
             self.stamps.push(self.clock);
+            self.live_by_size[(key & 3) as usize] += 1;
             self.index.insert(key, self.keys.len() - 1);
         } else if let Some(victim) = (0..self.stamps.len()).min_by_key(|&i| self.stamps[i]) {
+            self.live_by_size[(self.keys[victim] & 3) as usize] -= 1;
+            self.live_by_size[(key & 3) as usize] += 1;
             self.keys[victim] = key;
             self.entries[victim] = entry;
             self.stamps[victim] = self.clock;
@@ -321,6 +393,7 @@ impl FullyAssoc {
 
     fn invalidate(&mut self, va: VirtAddr) {
         while let Some(i) = self.covering_position(va) {
+            self.live_by_size[(self.keys[i] & 3) as usize] -= 1;
             self.keys.remove(i);
             self.entries.remove(i);
             self.stamps.remove(i);
@@ -336,6 +409,7 @@ impl FullyAssoc {
                 if self.entries[i].perms.global {
                     i += 1;
                 } else {
+                    self.live_by_size[(self.keys[i] & 3) as usize] -= 1;
                     self.keys.remove(i);
                     self.entries.remove(i);
                     self.stamps.remove(i);
@@ -347,6 +421,7 @@ impl FullyAssoc {
             self.entries.clear();
             self.stamps.clear();
             self.index.clear();
+            self.live_by_size = [0; 3];
         }
     }
 

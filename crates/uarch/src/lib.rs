@@ -44,13 +44,16 @@ pub mod machine;
 pub mod masked;
 pub mod memory;
 pub mod noise;
+pub mod observables;
 pub mod pmc;
 pub mod profile;
+pub mod ziggurat;
 
 pub use lines::PteLineCache;
-pub use machine::{Machine, MaskedOutcome};
+pub use machine::{Machine, MaskedOutcome, NOISE_BLOCK};
 pub use masked::{ElemWidth, Fault, Mask, MaskedOp, OpKind};
 pub use memory::SparseMemory;
 pub use noise::{DriftRamp, NoiseModel, NoiseProfile, NoiseSchedule};
+pub use observables::ObservablesVersion;
 pub use pmc::{Event, PmcBank, PmcDelta, PmcSnapshot};
 pub use profile::{CpuModel, CpuProfile, TimingParams, Vendor};

@@ -25,8 +25,16 @@ use crate::lines::PteLineCache;
 use crate::masked::{ElemWidth, Fault, MaskedOp, OpKind};
 use crate::memory::SparseMemory;
 use crate::noise::{NoiseModel, NoiseSchedule};
+use crate::observables::ObservablesVersion;
 use crate::pmc::{Event, PmcBank};
 use crate::profile::CpuProfile;
+
+/// Noise-block length of the v2 batched path: how many consecutive
+/// probes share one precomputed block of noise samples. Pinned equal to
+/// the probe pipeline's batch tile (`ProbeStrategy::BATCH_TILE` in
+/// `avx-channel`, asserted by a cross-crate test there) so blocks align
+/// with `AddrRange::tiles()` and every sweep engine fills whole blocks.
+pub const NOISE_BLOCK: usize = 16;
 
 /// Result of executing one masked operation.
 #[derive(Clone, Debug)]
@@ -140,6 +148,11 @@ pub struct Machine {
     schedule: Option<NoiseSchedule>,
     /// Ops executed so far — the index the schedule interpolates on.
     probe_seq: u64,
+    /// Which noise-observables regime the machine runs under:
+    /// [`ObservablesVersion::V1`] (default) reproduces the historical
+    /// per-sample Box–Muller stream bit-for-bit; V2 draws the same
+    /// distribution through the batched ziggurat kernel.
+    observables: ObservablesVersion,
     rng: StdRng,
     tsc: u64,
 }
@@ -170,6 +183,7 @@ impl Machine {
             noise,
             schedule: None,
             probe_seq: 0,
+            observables: ObservablesVersion::V1,
             rng: StdRng::seed_from_u64(seed),
             tsc: 0,
         }
@@ -256,6 +270,40 @@ impl Machine {
         };
         self.probe_seq += 1;
         model
+    }
+
+    /// Selects the noise-observables regime. V1 (the construction
+    /// default) is the bit-exact historical stream; V2 is the batched
+    /// ziggurat kernel — same distribution, different (cheaper) draws.
+    /// Switching mid-run is supported but changes the stream from that
+    /// point on, so campaigns set it once at machine construction.
+    pub fn set_observables(&mut self, observables: ObservablesVersion) {
+        self.observables = observables;
+    }
+
+    /// The active noise-observables regime.
+    #[must_use]
+    pub fn observables(&self) -> ObservablesVersion {
+        self.observables
+    }
+
+    /// Applies measurement noise to one op's deterministic cycle cost —
+    /// the single dispatch point between the v1 and v2 regimes for the
+    /// scalar path (the v2 batch path pre-draws whole noise blocks but
+    /// consumes the RNG in the same per-sample order, so scalar and
+    /// batched v2 streams stay bit-identical).
+    fn measure_cycles(&mut self, cycles: f64) -> u64 {
+        match self.observables {
+            ObservablesVersion::V1 => self.next_noise().perturb(&mut self.rng, cycles),
+            ObservablesVersion::V2 => {
+                let model = match &self.schedule {
+                    Some(s) => s.model_at(self.probe_seq),
+                    None => self.noise,
+                };
+                self.probe_seq += 1;
+                (cycles + model.sample_v2(&mut self.rng)).round().max(1.0) as u64
+            }
+        }
     }
 
     /// Switches to a named noise environment: the preset's factors are
@@ -410,6 +458,9 @@ impl Machine {
     /// Sweep engines thread one scratch buffer through every tile, so
     /// the steady-state probe loop performs no heap allocation at all.
     pub fn execute_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
+        if self.observables == ObservablesVersion::V2 {
+            return self.execute_batch_into_v2(kind, addrs, out);
+        }
         let t = self.profile.timing;
         let (retired_event, walk_event, base) = match kind {
             OpKind::Load => (
@@ -450,6 +501,81 @@ impl Machine {
             self.tsc += measured;
             out.push(measured);
         }
+    }
+
+    /// The v2 batched hot path: probes are processed in
+    /// [`NOISE_BLOCK`]-sized chunks, each chunk's noise pre-drawn into
+    /// one stack block by the ziggurat kernel ([`NoiseModel::fill_block`])
+    /// before the translation loop consumes it. Translation never
+    /// touches the RNG, so pre-drawing preserves the per-sample stream:
+    /// a v2 batch is bit-identical to the same probes run through the
+    /// v2 scalar path (asserted by `execute_batch_matches_scalar_*`).
+    /// Retired-op PMC bumps are aggregated per chunk — batch callers
+    /// have no mid-batch observation point, so the post-batch counter
+    /// values are unchanged.
+    fn execute_batch_into_v2(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
+        let t = self.profile.timing;
+        let (retired_event, walk_event, base) = match kind {
+            OpKind::Load => (
+                Event::MaskedLoadRetired,
+                Event::DtlbLoadWalkCompleted,
+                t.base_load,
+            ),
+            OpKind::Store => (
+                Event::MaskedStoreRetired,
+                Event::DtlbStoreWalkCompleted,
+                t.base_store,
+            ),
+        };
+        let last_lane_offset = 7 * ElemWidth::Dword.bytes();
+
+        out.reserve(addrs.len());
+        let mut block = [0.0f64; NOISE_BLOCK];
+        for chunk in addrs.chunks(NOISE_BLOCK) {
+            let noise = &mut block[..chunk.len()];
+            self.fill_noise_block(noise);
+            self.pmc.add(retired_event, chunk.len() as u64);
+            for (i, &addr) in chunk.iter().enumerate() {
+                let mut acc = OpAccounting::new(base);
+                let first_page = addr.align_down(4096);
+                let last_page = addr.wrapping_add(last_lane_offset).align_down(4096);
+                let _ = self.visit_page(kind, first_page, false, &mut acc, None);
+                if last_page != first_page {
+                    let _ = self.visit_page(kind, last_page, false, &mut acc, None);
+                }
+
+                if acc.user_nonpresent && kind == OpKind::Load {
+                    acc.cycles += t.user_nonpresent_load_extra;
+                }
+                self.pmc.add(walk_event, u64::from(acc.walks_total));
+                let measured = (acc.cycles + noise[i]).round().max(1.0) as u64;
+                self.tsc += measured;
+                out.push(measured);
+            }
+        }
+    }
+
+    /// Fills one noise block in per-sample order, advancing the probe
+    /// sequence by the block length. A drifting schedule resolves its
+    /// model per probe index — block boundaries never quantize the
+    /// ramp, so the drift trajectory is identical whether the sweep
+    /// probes scalar or batched (the block-boundary consistency
+    /// property in `noise_props.rs`).
+    fn fill_noise_block(&mut self, out: &mut [f64]) {
+        match self.schedule {
+            None => {
+                let model = self.noise;
+                model.fill_block(&mut self.rng, out);
+            }
+            Some(s) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = s
+                        .model_at(self.probe_seq + i as u64)
+                        .sample_v2(&mut self.rng);
+                }
+            }
+        }
+        self.probe_seq += out.len() as u64;
     }
 
     /// Translates and accounts one touched page of a masked op — the
@@ -553,7 +679,7 @@ impl Machine {
         if let Some(f) = fault {
             acc.cycles += t.fault_cost;
             self.pmc.bump(Event::PageFault);
-            let measured = self.next_noise().perturb(&mut self.rng, acc.cycles);
+            let measured = self.measure_cycles(acc.cycles);
             self.tsc += measured;
             return MaskedOutcome {
                 cycles: measured,
@@ -576,7 +702,7 @@ impl Machine {
         // Move the data for unmasked lanes on good pages.
         let data = self.transfer(&op, &ok_pages);
 
-        let measured = self.next_noise().perturb(&mut self.rng, acc.cycles);
+        let measured = self.measure_cycles(acc.cycles);
         self.tsc += measured;
         MaskedOutcome {
             cycles: measured,
@@ -1382,5 +1508,93 @@ mod tests {
             .map(|&a| scalar.probe(OpKind::Load, a))
             .collect();
         assert_eq!(batch, looped);
+    }
+
+    #[test]
+    fn v2_batch_matches_v2_scalar_under_noise() {
+        // The v2 block path pre-draws noise per chunk; because
+        // translation never consumes RNG, its stream must equal the v2
+        // scalar path's draw-per-probe stream — including a tail chunk
+        // shorter than NOISE_BLOCK (69 = 4×16 + 5) and PMC totals.
+        use crate::observables::ObservablesVersion;
+        let addrs: Vec<VirtAddr> = (0..69)
+            .map(|i| va(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        for kind in [OpKind::Load, OpKind::Store] {
+            let mut scalar = fig2_machine();
+            let mut batched = fig2_machine();
+            for m in [&mut scalar, &mut batched] {
+                m.set_noise(NoiseModel::new(1.3, 0.05, (200.0, 900.0)));
+                m.set_observables(ObservablesVersion::V2);
+            }
+            assert_eq!(batched.observables(), ObservablesVersion::V2);
+            let batch = batched.execute_batch(kind, &addrs);
+            let looped: Vec<u64> = addrs.iter().map(|&a| scalar.probe(kind, a)).collect();
+            assert_eq!(batch, looped, "{kind}");
+            assert_eq!(scalar.elapsed_cycles(), batched.elapsed_cycles());
+            for event in [
+                Event::MaskedLoadRetired,
+                Event::MaskedStoreRetired,
+                Event::AssistsAny,
+                Event::SuppressedFault,
+                Event::DtlbLoadWalkCompleted,
+                Event::DtlbStoreWalkCompleted,
+                Event::TlbMiss,
+                Event::TlbHitL1,
+            ] {
+                assert_eq!(
+                    scalar.pmc().read(event),
+                    batched.pmc().read(event),
+                    "{kind}: {event:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_drift_schedule_indexes_blocks_per_probe() {
+        // Under a drifting schedule the v2 block fill resolves the
+        // model per probe index, so batch and scalar agree even when a
+        // block straddles the ramp onset (onset 40 inside the 3rd
+        // 16-probe block).
+        use crate::noise::NoiseProfile;
+        use crate::observables::ObservablesVersion;
+        let addrs: Vec<VirtAddr> = (0..96)
+            .map(|i| va(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        let drift = NoiseProfile::drift_with(NoiseProfile::Quiet, NoiseProfile::LaptopDvfs, 40, 72);
+        let mut scalar = fig2_machine();
+        let mut batched = fig2_machine();
+        for m in [&mut scalar, &mut batched] {
+            m.set_noise_profile(drift);
+            m.set_observables(ObservablesVersion::V2);
+        }
+        let batch = batched.execute_batch(OpKind::Load, &addrs);
+        let looped: Vec<u64> = addrs
+            .iter()
+            .map(|&a| scalar.probe(OpKind::Load, a))
+            .collect();
+        assert_eq!(batch, looped);
+    }
+
+    #[test]
+    fn v1_default_stream_is_unchanged_by_the_dispatch() {
+        // The observables dispatch must leave the default (v1) stream
+        // bit-exact: a machine that never calls set_observables produces
+        // the same cycles as one explicitly set to V1.
+        use crate::observables::ObservablesVersion;
+        let addrs: Vec<VirtAddr> = (0..32)
+            .map(|i| va(0xffff_ffff_a000_0000 + i * 0x20_0000))
+            .collect();
+        let mut default = fig2_machine();
+        let mut explicit = fig2_machine();
+        default.set_noise(NoiseModel::new(1.3, 0.05, (200.0, 900.0)));
+        explicit.set_noise(NoiseModel::new(1.3, 0.05, (200.0, 900.0)));
+        assert_eq!(default.observables(), ObservablesVersion::V1);
+        explicit.set_observables(ObservablesVersion::V1);
+        assert_eq!(
+            default.execute_batch(OpKind::Load, &addrs),
+            explicit.execute_batch(OpKind::Load, &addrs)
+        );
     }
 }

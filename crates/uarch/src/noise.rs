@@ -65,6 +65,12 @@ impl NoiseModel {
     }
 
     /// Draws one noise sample (may be negative; spikes are positive).
+    ///
+    /// This is the **v1 observables** path: the exact historical draw
+    /// sequence (Box–Muller Gaussian, then an `f64` spike-decision
+    /// uniform, then the spike magnitude), pinned bit-for-bit by the
+    /// golden suites. The v2 path ([`NoiseModel::sample_v2`]) produces
+    /// the same distribution from a different, cheaper stream.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let mut noise = if self.sigma > 0.0 {
             gaussian(rng) * self.sigma
@@ -72,8 +78,7 @@ impl NoiseModel {
             0.0
         };
         if self.spike_prob > 0.0 && rng.gen::<f64>() < self.spike_prob {
-            let (lo, hi) = self.spike_range;
-            noise += if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            noise += self.spike_magnitude(rng);
         }
         noise
     }
@@ -83,14 +88,96 @@ impl NoiseModel {
         let noisy = cycles + self.sample(rng);
         noisy.round().max(1.0) as u64
     }
+
+    /// Draws the magnitude of one spike — the single source of truth
+    /// shared by the v1 per-sample path and the v2 block path (only the
+    /// spike *decision* differs between regimes; the magnitude draw is
+    /// identical, which `noise_props.rs` pins by property test).
+    fn spike_magnitude<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.spike_range;
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    /// The v2 spike-decision threshold: `spike_prob` mapped onto the
+    /// full `u64` range so the per-sample decision is one integer
+    /// compare against a raw RNG word instead of an `f64` conversion.
+    /// Kept in `u128` so `spike_prob >= 1.0` saturates to *always*
+    /// rather than losing the top probability ulp.
+    fn spike_threshold(&self) -> u128 {
+        if self.spike_prob <= 0.0 {
+            0
+        } else {
+            (self.spike_prob * 18_446_744_073_709_551_616.0) as u128
+        }
+    }
+
+    /// Draws one noise sample under the **v2 observables** regime: a
+    /// ziggurat Gaussian (single RNG word in the common case) and a
+    /// fixed-point spike decision. Distribution-equivalent to
+    /// [`NoiseModel::sample`]; bit-identical only to itself.
+    pub fn sample_v2<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_v2_with(crate::ziggurat::tables(), self.spike_threshold(), rng)
+    }
+
+    /// The shared v2 draw: `tables` and `threshold` are hoisted by the
+    /// block path so the per-sample work is the draw alone.
+    #[inline]
+    fn sample_v2_with<R: Rng + ?Sized>(
+        &self,
+        tables: &crate::ziggurat::Tables,
+        threshold: u128,
+        rng: &mut R,
+    ) -> f64 {
+        let mut noise = if self.sigma > 0.0 {
+            tables.sample(rng) * self.sigma
+        } else {
+            0.0
+        };
+        if threshold != 0 && u128::from(rng.next_u64()) < threshold {
+            noise += self.spike_magnitude(rng);
+        }
+        noise
+    }
+
+    /// Fills `out` with consecutive v2 noise samples — the per-tile
+    /// noise block of the batched probe path. The samples are drawn in
+    /// order, so the RNG stream is identical to `out.len()` scalar
+    /// [`NoiseModel::sample_v2`] calls (the scalar/batch bit-equality
+    /// the engine property tests assert); the ziggurat tables and the
+    /// spike threshold are resolved once per block.
+    pub fn fill_block<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        let tables = crate::ziggurat::tables();
+        let threshold = self.spike_threshold();
+        for slot in out.iter_mut() {
+            *slot = self.sample_v2_with(tables, threshold, rng);
+        }
+    }
 }
 
-/// One standard-normal sample via the Box–Muller transform.
+/// One standard-normal sample via the Box–Muller transform — the v1
+/// observables Gaussian.
 ///
 /// `rand` is in the dependency set, `rand_distr` deliberately is not; a
 /// two-line Box–Muller keeps the footprint minimal.
+///
+/// Interval conventions, pinned here because the v1 golden suites
+/// depend on the exact draw sequence:
+///
+/// * `u1` is drawn from the **open-at-zero** interval
+///   `[f64::MIN_POSITIVE, 1.0)` — `ln(0)` must never be reached, so the
+///   radius term is always finite.
+/// * `u2` is drawn from the standard **half-open** `[0, 1)` uniform.
+///   `cos(TAU·u2)` is total and periodic, so the closed-at-zero
+///   endpoint is harmless (`u2 = 0` gives `cos(0) = 1`, a valid angle);
+///   widening it to an open interval would change the bit-exact v1
+///   stream for no numerical benefit, which the v1 bit-exactness pin in
+///   `noise_props.rs` forbids. The v2 regime does not use this
+///   function at all (see [`crate::ziggurat`]).
 fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid ln(0).
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen::<f64>();
     (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
@@ -478,6 +565,74 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(19);
         let m = NoiseModel::new(0.0, 1.0, (250.0, 250.0));
         assert_eq!(m.sample(&mut rng), 250.0);
+    }
+
+    #[test]
+    fn v2_moments_match_v1_distribution() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = NoiseModel::new(2.0, 0.0, (0.0, 0.0));
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_v2(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn v2_spike_rate_matches_the_probability() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = NoiseModel::new(0.0, 0.05, (500.0, 1000.0));
+        let n = 40_000;
+        let spikes = (0..n)
+            .map(|_| m.sample_v2(&mut rng))
+            .filter(|&x| x > 0.0)
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn v2_certain_spike_always_fires() {
+        // spike_prob = 1.0 saturates the u128 threshold to "always":
+        // the fixed-point compare must not lose the top probability ulp.
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = NoiseModel::new(0.0, 1.0, (500.0, 1000.0));
+        for _ in 0..1000 {
+            let s = m.sample_v2(&mut rng);
+            assert!((500.0..1000.0).contains(&s), "spike {s}");
+        }
+    }
+
+    #[test]
+    fn fill_block_is_the_scalar_v2_stream() {
+        // The block path must consume the RNG exactly like consecutive
+        // scalar sample_v2 calls — that equality is what makes the v2
+        // batched machine bit-identical to the v2 scalar machine.
+        let m = NoiseModel::new(1.3, 0.05, (200.0, 900.0));
+        let mut block_rng = StdRng::seed_from_u64(37);
+        let mut scalar_rng = StdRng::seed_from_u64(37);
+        let mut block = [0.0; 16];
+        for _ in 0..64 {
+            m.fill_block(&mut block_rng, &mut block);
+            for &b in &block {
+                assert_eq!(b, m.sample_v2(&mut scalar_rng));
+            }
+        }
+    }
+
+    #[test]
+    fn v2_none_model_draws_nothing() {
+        // A noiseless model must not consume RNG words in either regime.
+        use rand::RngCore;
+        let m = NoiseModel::none();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut reference = StdRng::seed_from_u64(41);
+        assert_eq!(m.sample_v2(&mut rng), 0.0);
+        let mut block = [1.0; 8];
+        m.fill_block(&mut rng, &mut block);
+        assert_eq!(block, [0.0; 8]);
+        assert_eq!(rng.next_u64(), reference.next_u64());
     }
 
     /// Baseline anchors the preset moment tests scale from.
