@@ -10,16 +10,17 @@
 //! environment for the campaign sections (`drift` is the quiet→laptop
 //! mid-scan ramp), `--adaptive` / `--fixed-budget` select the
 //! probe-budget policy, `--recalibrate` runs every sweep attack
-//! under the closed-loop recalibration driver, and
-//! `--observables v1|v2` selects the noise-observables regime (v1 is
-//! the bit-exact paper stream, v2 the batched ziggurat kernel) —
+//! under the closed-loop recalibration driver, `--confirm` layers the
+//! confirmation decision policy over every needle-in-haystack scan,
+//! and `--observables v1|v2` selects the noise-observables regime (v1
+//! is the bit-exact paper stream, v2 the batched ziggurat kernel) —
 //! together they reproduce the probes-per-address numbers of the
 //! noise-scenario matrix and the drifting-noise recovery row. The
 //! output of this binary is what `EXPERIMENTS.md` records.
 
 use avx_bench::{
-    accuracy_trials, calibrate, calibrator_kind, linux_prober, linux_prober_with, noise_profile,
-    observables_version, paper, recal_config, sampling_policy,
+    accuracy_trials, calibrate, calibrator_kind, confirm_config, linux_prober, linux_prober_with,
+    noise_profile, observables_version, paper, recal_config, sampling_policy,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
@@ -101,6 +102,7 @@ fn main() {
     adaptive_economy();
     calibration_menu();
     recalibration();
+    confirmation();
     full_campaign();
     println!("\ndone.");
 }
@@ -114,11 +116,13 @@ fn full_campaign() {
     let sampling = sampling_policy();
     let calibrator = calibrator_kind();
     let recal = recal_config();
+    let confirm = confirm_config();
     let observables = observables_version();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, observables={observables}, rayon-parallel)",
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, confirm={}, observables={observables}, rayon-parallel)",
         sampling.name(),
         if recal.is_some() { "on" } else { "off" },
+        if confirm.is_some() { "on" } else { "off" },
     ));
     let mut config = CampaignConfig::new(trials, 0)
         .with_noise(noise)
@@ -127,6 +131,9 @@ fn full_campaign() {
         .with_observables(observables);
     if let Some(recal) = recal {
         config = config.with_recalibration(recal);
+    }
+    if let Some(confirm) = confirm {
+        config = config.with_confirmation(confirm);
     }
     let campaign = Campaign::full(config);
     let mut table = Table::new([
@@ -261,6 +268,45 @@ fn recalibration() {
     println!(
         "  (reproduce: repro --noise drift --adaptive --calibrator noise-aware [--recalibrate])"
     );
+}
+
+/// The confirmation-policy story: the KPTI trampoline cell under
+/// laptop-DVFS noise, first-mapped-slot-wins vs confirmed decisions.
+/// Laptop jitter sprays false-positive slots below the trampoline and
+/// the legacy first-wins rule latches onto them; the confirmation
+/// layer re-tests every candidate with an escalated budget and a
+/// slot-level sequential test before committing.
+fn confirmation() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::{CalibratorKind, ConfirmConfig, Sampling};
+    use avx_uarch::NoiseProfile;
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Confirmation policy — KPTI trampoline under laptop DVFS (n={trials}, adaptive sampling)"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let base = CampaignConfig::new(trials, 0)
+        .with_noise(NoiseProfile::LaptopDvfs)
+        .with_sampling(Sampling::adaptive())
+        .with_calibrator(CalibratorKind::NoiseAware)
+        .with_observables(observables_version());
+    let mut table = Table::new(["Decision", "p/addr", "Accuracy"]);
+    for (label, config) in [
+        ("confirm=off (first-wins)", base),
+        (
+            "confirm=on (re-tested)",
+            base.with_confirmation(ConfirmConfig::default()),
+        ),
+    ] {
+        let row = Scenario::Kpti.campaign(&profile, config);
+        table.row([
+            label.to_string(),
+            format!("{:.2}", row.probes_per_address),
+            format!("{:.2} %", row.accuracy.percent()),
+        ]);
+    }
+    println!("{table}");
+    println!("  (reproduce: repro --noise laptop --adaptive --calibrator noise-aware [--confirm])");
 }
 
 fn quiet_machine(profile: CpuProfile, space: AddressSpace, seed: u64) -> Machine {
@@ -540,6 +586,9 @@ fn table1() {
         .with_calibrator(calibrator);
     if let Some(recal) = recal_config() {
         config = config.with_recalibration(recal);
+    }
+    if let Some(confirm) = confirm_config() {
+        config = config.with_confirmation(confirm);
     }
     let rows = avx_channel::attacks::campaign::table1(config);
     let mut table = Table::new(["CPU", "Target", "Probing", "Total", "p/addr", "Accuracy"]);

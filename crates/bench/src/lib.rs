@@ -9,7 +9,7 @@
 
 pub mod throughput;
 
-use avx_channel::{CalibratorKind, RecalConfig, Sampling, SimProber, Threshold};
+use avx_channel::{CalibratorKind, ConfirmConfig, RecalConfig, Sampling, SimProber, Threshold};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile, ObservablesVersion};
 
@@ -185,6 +185,20 @@ pub fn recal_config() -> Option<RecalConfig> {
     (from_args || from_env).then(RecalConfig::default)
 }
 
+/// Confirmation decision layer for the campaign sections: `--confirm`
+/// (or `AVX_CONFIRM=1`) re-tests every needle-in-haystack candidate
+/// through [`avx_channel::decision`] with the pinned default
+/// [`ConfirmConfig`]. Off by default — the historical first-mapped-wins
+/// detection rules.
+#[must_use]
+pub fn confirm_config() -> Option<ConfirmConfig> {
+    let from_args = std::env::args().any(|a| a == "--confirm");
+    let from_env = std::env::var("AVX_CONFIRM")
+        .map(|v| !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")))
+        .unwrap_or(false);
+    (from_args || from_env).then(ConfirmConfig::default)
+}
+
 /// Observables regime for the campaign sections:
 /// `--observables v1|v2` (or `--observables=<name>`) on the command
 /// line, else the `AVX_OBSERVABLES` environment variable, else the
@@ -273,6 +287,17 @@ mod tests {
         std::env::set_var("AVX_RECALIBRATE", "0");
         assert_eq!(recal_config(), None);
         std::env::remove_var("AVX_RECALIBRATE");
+    }
+
+    #[test]
+    fn confirmation_defaults_off_and_honors_the_env_knob() {
+        std::env::remove_var("AVX_CONFIRM");
+        assert_eq!(confirm_config(), None);
+        std::env::set_var("AVX_CONFIRM", "1");
+        assert_eq!(confirm_config(), Some(ConfirmConfig::default()));
+        std::env::set_var("AVX_CONFIRM", "false");
+        assert_eq!(confirm_config(), None);
+        std::env::remove_var("AVX_CONFIRM");
     }
 
     #[test]

@@ -38,6 +38,7 @@ use avx_uarch::{CpuProfile, Machine, NoiseProfile, ObservablesVersion, Vendor};
 
 use crate::adaptive::{AdaptiveSampler, Sampling};
 use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
+use crate::decision::ConfirmConfig;
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
@@ -45,7 +46,7 @@ use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_observed;
+use super::cloud::run_scenario_decided;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -73,6 +74,11 @@ pub struct CampaignConfig {
     /// paper's one-shot calibration; every pre-recalibration golden row
     /// is unchanged by construction.
     pub recal: Option<RecalConfig>,
+    /// Confirmation decision layer of the needle-in-haystack scans
+    /// ([`crate::decision`]). `None` — the default — keeps the
+    /// historical first-mapped-wins detection rules bit-exact; every
+    /// pre-confirmation golden row is unchanged by construction.
+    pub confirm: Option<ConfirmConfig>,
     /// Noise-observables regime of the victim machines. The default,
     /// [`ObservablesVersion::V1`], is the bit-exact per-sample stream
     /// every pre-versioning golden row assumes;
@@ -90,6 +96,7 @@ impl Default for CampaignConfig {
             sampling: Sampling::Fixed,
             calibrator: CalibratorKind::Legacy,
             recal: None,
+            confirm: None,
             observables: ObservablesVersion::V1,
         }
     }
@@ -132,6 +139,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_recalibration(mut self, recal: RecalConfig) -> Self {
         self.recal = Some(recal);
+        self
+    }
+
+    /// Same config with the confirmation decision layer enabled for
+    /// every needle-in-haystack scan (what `repro --confirm` selects).
+    #[must_use]
+    pub fn with_confirmation(mut self, confirm: ConfirmConfig) -> Self {
+        self.confirm = Some(confirm);
         self
     }
 
@@ -715,6 +730,9 @@ fn kernel_base_trial(
     if let Some(recal) = config.recal {
         finder = finder.with_recalibration(recal);
     }
+    if let Some(confirm) = config.confirm {
+        finder = finder.with_confirmation(confirm);
+    }
     let scan = finder.scan(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
@@ -776,6 +794,9 @@ fn modules_trial(
     if let Some(recal) = config.recal {
         scanner = scanner.with_recalibration(recal);
     }
+    if let Some(confirm) = config.confirm {
+        scanner = scanner.with_confirmation(confirm);
+    }
     let scan = scanner.scan(&mut p);
     let mut accuracy = Trials::new();
     for m in &truth.modules {
@@ -810,6 +831,9 @@ fn kpti_trial(
     }
     if let Some(recal) = config.recal {
         attack = attack.with_recalibration(recal);
+    }
+    if let Some(confirm) = config.confirm {
+        attack = attack.with_confirmation(confirm);
     }
     let scan = attack.scan(&mut p);
     let mut accuracy = Trials::new();
@@ -902,6 +926,9 @@ fn userspace_trial(
     if let Some(strategy) = config.sampling.strategy_override() {
         scanner.permission.strategy = strategy;
     }
+    if let Some(confirm) = config.confirm {
+        scanner = scanner.with_confirmation(confirm);
+    }
 
     let first = truth.libraries.first().expect("standard set non-empty");
     let last = truth.libraries.last().expect("standard set non-empty");
@@ -954,6 +981,9 @@ fn windows_trial(
     if let Some(recal) = config.recal {
         attack = attack.with_recalibration(recal);
     }
+    if let Some(confirm) = config.confirm {
+        attack = attack.with_confirmation(confirm);
+    }
     let scan = attack.find_kernel_region(&mut p);
     let mut accuracy = Trials::new();
     accuracy.record(scan.base == Some(truth.kernel_base));
@@ -971,7 +1001,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_observed(
+        let report = run_scenario_decided(
             &scenario,
             seed ^ 0xabcd,
             config.noise,
@@ -979,6 +1009,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
             config.calibrator,
             config.recal,
             config.observables,
+            config.confirm,
         );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;

@@ -16,6 +16,7 @@ use avx_uarch::{NoiseProfile, ObservablesVersion};
 
 use crate::adaptive::Sampling;
 use crate::calibrate::{CalibratorKind, Threshold};
+use crate::decision::ConfirmConfig;
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
 
@@ -140,11 +141,10 @@ pub fn run_scenario_configured(
     )
 }
 
-/// [`run_scenario_configured`] under an explicit observables regime —
-/// the final knob [`crate::attacks::campaign::CampaignConfig`] threads
-/// into the cloud rows. The v1 regime is bit-exact with
-/// [`run_scenario_configured`]; v2 runs the same chain over the batched
-/// ziggurat noise kernel.
+/// [`run_scenario_configured`] under an explicit observables regime.
+/// The v1 regime is bit-exact with [`run_scenario_configured`]; v2 runs
+/// the same chain over the batched ziggurat noise kernel. Delegates to
+/// [`run_scenario_decided`] with the confirmation layer off.
 #[must_use]
 pub fn run_scenario_observed(
     scenario: &CloudScenario,
@@ -154,6 +154,36 @@ pub fn run_scenario_observed(
     calibrator: CalibratorKind,
     recal: Option<RecalConfig>,
     observables: ObservablesVersion,
+) -> CloudBreakReport {
+    run_scenario_decided(
+        scenario,
+        machine_seed,
+        noise,
+        sampling,
+        calibrator,
+        recal,
+        observables,
+        None,
+    )
+}
+
+/// [`run_scenario_observed`] plus the confirmation decision layer — the
+/// full set of knobs [`crate::attacks::campaign::CampaignConfig`]
+/// threads into the cloud rows. With `confirm` set, every
+/// needle-in-haystack scan of the chain (KPTI trampoline, GCE base +
+/// modules, Azure region scan) re-tests its candidates through
+/// [`crate::decision`] before committing to an answer.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_decided(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
+    recal: Option<RecalConfig>,
+    observables: ObservablesVersion,
+    confirm: Option<ConfirmConfig>,
 ) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
@@ -177,6 +207,9 @@ pub fn run_scenario_observed(
                 }
                 if let Some(recal) = recal {
                     attack = attack.with_recalibration(recal);
+                }
+                if let Some(confirm) = confirm {
+                    attack = attack.with_confirmation(confirm);
                 }
                 let scan = attack.scan(&mut p);
                 let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
@@ -209,6 +242,10 @@ pub fn run_scenario_observed(
                 if let Some(recal) = recal {
                     base_finder = base_finder.with_recalibration(recal);
                     module_scanner = module_scanner.with_recalibration(recal);
+                }
+                if let Some(confirm) = confirm {
+                    base_finder = base_finder.with_confirmation(confirm);
+                    module_scanner = module_scanner.with_confirmation(confirm);
                 }
                 let scan = base_finder.scan(&mut p);
                 let base_seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);
@@ -245,6 +282,9 @@ pub fn run_scenario_observed(
             }
             if let Some(recal) = recal {
                 attack = attack.with_recalibration(recal);
+            }
+            if let Some(confirm) = confirm {
+                attack = attack.with_confirmation(confirm);
             }
             let scan = attack.find_kernel_region(&mut p);
             let seconds = scan.total_cycles as f64 / (p.clock_ghz() * 1e9);

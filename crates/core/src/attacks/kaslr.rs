@@ -14,6 +14,7 @@ use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_START};
 
 use crate::adaptive::{AdaptiveMinFilter, AdaptiveSampler};
 use crate::calibrate::Threshold;
+use crate::decision::{run_anchors, ConfirmConfig, Confirmer};
 use crate::primitives::{LevelAttack, PageTableAttack};
 use crate::prober::{ProbeStrategy, Prober};
 use crate::recal::RecalConfig;
@@ -57,6 +58,7 @@ impl KaslrScan {
 #[derive(Clone, Copy, Debug)]
 pub struct KernelBaseFinder {
     attack: PageTableAttack,
+    confirm: Option<ConfirmConfig>,
 }
 
 impl KernelBaseFinder {
@@ -65,6 +67,7 @@ impl KernelBaseFinder {
     pub fn new(threshold: Threshold) -> Self {
         Self {
             attack: PageTableAttack::new(threshold),
+            confirm: None,
         }
     }
 
@@ -102,6 +105,15 @@ impl KernelBaseFinder {
         self
     }
 
+    /// Re-tests candidate run anchors through the confirmation decision
+    /// layer ([`crate::decision`]) instead of trusting the first mapped
+    /// run outright.
+    #[must_use]
+    pub fn with_confirmation(mut self, config: ConfirmConfig) -> Self {
+        self.confirm = Some(config);
+        self
+    }
+
     /// The 512-slot candidate range of the §IV-B scan.
     #[must_use]
     pub fn candidate_range() -> AddrRange {
@@ -121,15 +133,34 @@ impl KernelBaseFinder {
         let start = range.start;
         let sweep = self.attack.sweep_range(p, &range);
         p.spend(KERNEL_SLOTS * PER_SLOT_OVERHEAD_CYCLES);
-        let base = first_mapped_run(&sweep.mapped, 2)
-            .map(|slot| start.wrapping_add(slot as u64 * KASLR_ALIGN));
+        let mut confirm_probes = 0u64;
+        let slot = match self.confirm {
+            None => first_mapped_run(&sweep.mapped, 2).map(|slot| slot as u64),
+            Some(config) => {
+                let confirmer = Confirmer::new(&self.attack, config);
+                let anchors = run_anchors(&sweep.mapped, 2);
+                let found = confirmer.first_confirmed(
+                    p,
+                    anchors
+                        .iter()
+                        .map(|&i| (i as u64, start.wrapping_add(i as u64 * KASLR_ALIGN))),
+                );
+                confirm_probes = found.probes;
+                // Every anchor failed its re-test: fall back to the
+                // legacy first-run rule rather than return nothing.
+                found
+                    .slot
+                    .or_else(|| first_mapped_run(&sweep.mapped, 2).map(|slot| slot as u64))
+            }
+        };
+        let base = slot.map(|slot| start.wrapping_add(slot * KASLR_ALIGN));
         KaslrScan {
             samples: sweep.samples,
             mapped: sweep.mapped,
             base,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
-            probes: sweep.probes,
+            probes: sweep.probes + confirm_probes,
             refits: sweep.refits,
         }
     }
@@ -365,6 +396,42 @@ mod tests {
         assert_eq!(first_mapped_run(&[false, false], 2), None);
         // Trailing single mapped slot.
         assert_eq!(first_mapped_run(&[false, false, true], 2), Some(2));
+    }
+
+    #[test]
+    fn confirmed_scan_keeps_the_quiet_answer() {
+        for seed in [61, 62] {
+            let sys = LinuxSystem::build(LinuxConfig::seeded(seed));
+            let (mut m, truth) = sys.into_machine(CpuProfile::alder_lake_i5_12400f(), seed);
+            m.set_noise(NoiseModel::none());
+            let mut p = SimProber::new(m);
+            let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+            let plain = KernelBaseFinder::new(th).scan(&mut p);
+            let confirmed = KernelBaseFinder::new(th)
+                .with_confirmation(ConfirmConfig::default())
+                .scan(&mut p);
+            assert_eq!(confirmed.base, plain.base, "seed {seed}");
+            assert_eq!(confirmed.base, Some(truth.kernel_base), "seed {seed}");
+            assert!(confirmed.probes > plain.probes, "seed {seed}: re-test cost");
+        }
+    }
+
+    #[test]
+    fn run_anchor_order_matches_the_legacy_rule() {
+        // The decision layer's anchor stream starts exactly where the
+        // legacy first-wins rule would have looked.
+        for mapped in [
+            vec![false, true, true, false],
+            vec![true, false, true, true],
+            vec![false, false, true],
+            vec![false, false],
+        ] {
+            assert_eq!(
+                run_anchors(&mapped, 2).first().copied(),
+                first_mapped_run(&mapped, 2),
+                "{mapped:?}"
+            );
+        }
     }
 
     #[test]

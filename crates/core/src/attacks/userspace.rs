@@ -12,6 +12,7 @@ use core::fmt;
 use avx_mmu::VirtAddr;
 use avx_os::process::{ImageSignature, PermClass};
 
+use crate::decision::{ConfirmConfig, SlotSprt};
 use crate::primitives::{PermissionAttack, ProbedPerm};
 use crate::prober::Prober;
 use crate::sweep::AddrRange;
@@ -86,6 +87,7 @@ pub struct UserSpaceScanner {
     pub permission: PermissionAttack,
     /// Per-page record-keeping overhead (cycles).
     pub per_page_overhead: u64,
+    confirm: Option<ConfirmConfig>,
 }
 
 impl UserSpaceScanner {
@@ -102,7 +104,18 @@ impl UserSpaceScanner {
         Self {
             permission,
             per_page_overhead: 60,
+            confirm: None,
         }
+    }
+
+    /// Confirms first-hit candidates through the decision layer
+    /// ([`crate::decision`]) before accepting them: a single noisy
+    /// permission misread no longer anchors the whole library map
+    /// wrong.
+    #[must_use]
+    pub fn with_confirmation(mut self, config: ConfirmConfig) -> Self {
+        self.confirm = Some(config);
+        self
     }
 
     /// Switches the scanner's load pass to adaptive sequential
@@ -179,12 +192,39 @@ impl UserSpaceScanner {
             chunk.fill(&mut addrs);
             let classes = self.permission.classify_batch(p, &addrs);
             p.spend(self.per_page_overhead * chunk.count);
-            if let Some(hit) = addrs
-                .iter()
-                .zip(classes)
-                .find(|(_, class)| *class != ProbedPerm::NoneOrUnmapped)
-            {
-                return Some(*hit.0);
+            match self.confirm {
+                None => {
+                    if let Some(hit) = addrs
+                        .iter()
+                        .zip(classes)
+                        .find(|(_, class)| *class != ProbedPerm::NoneOrUnmapped)
+                    {
+                        return Some(*hit.0);
+                    }
+                }
+                Some(config) => {
+                    // Decision-layer path: re-probe each candidate hit
+                    // until the slot-level test decides; a rejected hit
+                    // was a single noisy misread — keep searching.
+                    for (&page, class) in addrs.iter().zip(&classes) {
+                        if *class == ProbedPerm::NoneOrUnmapped {
+                            continue;
+                        }
+                        let mut sprt = SlotSprt::new(config);
+                        let confirmed = loop {
+                            let revisit = self.permission.classify_batch(p, &[page]);
+                            p.spend(self.per_page_overhead);
+                            if let Some(verdict) =
+                                sprt.push(revisit[0] != ProbedPerm::NoneOrUnmapped)
+                            {
+                                break verdict;
+                            }
+                        };
+                        if confirmed {
+                            return Some(page);
+                        }
+                    }
+                }
             }
         }
         None
@@ -338,6 +378,19 @@ mod tests {
         let found = scanner
             .find_first_mapped(&mut p, window_start, 64)
             .expect("app text found");
+        assert_eq!(found, base);
+    }
+
+    #[test]
+    fn confirmed_first_hit_matches_the_quiet_answer() {
+        let (mut p, truth) = setup(2);
+        let perm = PermissionAttack::calibrate(&mut p, VirtAddr::new_truncate(OWN));
+        let scanner = UserSpaceScanner::new(perm).with_confirmation(ConfirmConfig::default());
+        let base = truth.app.base;
+        let window_start = VirtAddr::new_truncate(base.as_u64() - 16 * 4096);
+        let found = scanner
+            .find_first_mapped(&mut p, window_start, 64)
+            .expect("app text found with confirmation on");
         assert_eq!(found, base);
     }
 

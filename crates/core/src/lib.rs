@@ -53,6 +53,7 @@ pub mod adaptive;
 pub mod attacks;
 pub mod calibrate;
 pub mod countermeasures;
+pub mod decision;
 pub mod primitives;
 pub mod prober;
 pub mod recal;
@@ -62,10 +63,11 @@ pub mod sweep;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveMinFilter, AdaptiveSampler, Sampling};
 pub use attacks::{
-    AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, ModuleClassifier, ModuleScanner, TlbSpy,
-    UserSpaceScanner, WindowsKaslrAttack,
+    AmdKernelBaseFinder, KernelBaseFinder, KptiAttack, KptiConfidence, ModuleClassifier,
+    ModuleScanner, TlbSpy, UserSpaceScanner, WindowsKaslrAttack,
 };
 pub use calibrate::{CalibrationFit, Calibrator, CalibratorKind, Threshold};
+pub use decision::{ConfirmConfig, Confirmation, Confirmer, FirstConfirmed, RunTracker, SlotSprt};
 pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,
 };
