@@ -80,6 +80,15 @@ fn main() {
         return;
     }
 
+    // `repro --fleet N [--fleet-shards K] [--fleet-checkpoint <path>]`:
+    // streaming population sweep via the fleet engine — constant-memory
+    // sharded reducers with checkpoint/resume instead of the figure
+    // sections.
+    if let Some(victims) = avx_bench::fleet_victims() {
+        fleet(victims);
+        return;
+    }
+
     println!("# AVX timing side-channel reproduction — full experiment run");
     println!("(simulated substrate; see DESIGN.md for the substitution statement)");
 
@@ -105,6 +114,95 @@ fn main() {
     confirmation();
     full_campaign();
     println!("\ndone.");
+}
+
+/// `--fleet N`: the streaming kernel-base population sweep
+/// ([`avx_channel::fleet`]) under the campaign flags — sharded
+/// constant-memory reducers, optional checkpoint/resume. Prints the
+/// canonical `fleet aggregate:` line (bit-identical across shardings
+/// and kill-and-resume boundaries; CI diffs it) and a `victims/sec`
+/// throughput line.
+fn fleet(victims: u64) {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::fleet::{Fleet, FleetConfig};
+
+    heading("Fleet campaign — kernel-base population sweep");
+    let campaign = CampaignConfig {
+        noise: noise_profile(),
+        sampling: sampling_policy(),
+        calibrator: calibrator_kind(),
+        recal: recal_config(),
+        confirm: confirm_config(),
+        observables: observables_version(),
+        ..CampaignConfig::default()
+    };
+    let mut config = FleetConfig::new(victims);
+    if let Some(shards) = avx_bench::fleet_shards() {
+        config = config.with_shards(shards);
+    }
+    if let Some(path) = avx_bench::fleet_checkpoint() {
+        config = config.with_checkpoint(path);
+    }
+    if let Some(max) = avx_bench::fleet_max_shards() {
+        config = config.with_max_shards(max);
+    }
+    let fleet = Fleet::new(
+        Scenario::KernelBase,
+        CpuProfile::alder_lake_i5_12400f(),
+        campaign,
+        config,
+    );
+    println!(
+        "fleet config: victims={} shards={} shard_size={} pool={} noise={} sampling={} \
+         calibrator={} observables={} confirm={} recal={} seed={}",
+        fleet.config.victims,
+        fleet.config.shard_count(),
+        fleet.config.shard_size,
+        fleet.config.pool_size(),
+        fleet.campaign.noise,
+        fleet.campaign.sampling.name(),
+        fleet.campaign.calibrator.name(),
+        fleet.campaign.observables.name(),
+        if fleet.campaign.confirm.is_some() {
+            "on"
+        } else {
+            "off"
+        },
+        if fleet.campaign.recal.is_some() {
+            "on"
+        } else {
+            "off"
+        },
+        fleet.config.campaign_seed,
+    );
+    let report = match fleet.run() {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("fleet error: {err}");
+            std::process::exit(1);
+        }
+    };
+    if report.shards_resumed > 0 {
+        println!(
+            "fleet resume: {} of {} shards restored from checkpoint",
+            report.shards_resumed, report.shards
+        );
+    }
+    println!("fleet aggregate: {}", report.aggregate);
+    println!(
+        "fleet throughput: {:.1} victims/sec, {:.0} probes/sec ({} victims over {} shards \
+         in {:.2} s{})",
+        report.victims_per_sec(),
+        report.probes_per_sec(),
+        report.victims_run,
+        report.shards_run,
+        report.wall_seconds,
+        if report.complete {
+            ""
+        } else {
+            "; population incomplete — rerun with the same checkpoint to resume"
+        },
+    );
 }
 
 /// The generalized Table I: every §IV attack scenario across the three

@@ -224,6 +224,64 @@ pub fn observables_version() -> ObservablesVersion {
         .unwrap_or(ObservablesVersion::V1)
 }
 
+/// Value of `--<name> <value>` or `--<name>=<value>` on the command
+/// line. Exact-name match: `--fleet` never swallows `--fleet-shards`.
+fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next();
+        }
+        if let Some(value) = arg.strip_prefix(&prefixed) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+/// Fleet population size: `--fleet N` (or `AVX_FLEET=N`) switches the
+/// repro binary into the streaming population-sweep mode of
+/// [`avx_channel::fleet`]. `None` — the default — runs the classic
+/// figure/table repro.
+#[must_use]
+pub fn fleet_victims() -> Option<u64> {
+    arg_value("fleet")
+        .or_else(|| std::env::var("AVX_FLEET").ok())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Fleet shard count: `--fleet-shards K` (or `AVX_FLEET_SHARDS=K`)
+/// partitions the population into K contiguous shards instead of the
+/// default ~1024-victim shard size.
+#[must_use]
+pub fn fleet_shards() -> Option<u64> {
+    arg_value("fleet-shards")
+        .or_else(|| std::env::var("AVX_FLEET_SHARDS").ok())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Fleet checkpoint file: `--fleet-checkpoint <path>` (or
+/// `AVX_FLEET_CHECKPOINT=<path>`) enables shard-granular
+/// checkpoint/resume.
+#[must_use]
+pub fn fleet_checkpoint() -> Option<std::path::PathBuf> {
+    arg_value("fleet-checkpoint")
+        .or_else(|| std::env::var("AVX_FLEET_CHECKPOINT").ok())
+        .map(std::path::PathBuf::from)
+}
+
+/// Fleet per-run shard cap: `--fleet-max-shards M` (or
+/// `AVX_FLEET_MAX_SHARDS=M`) executes at most M pending shards before
+/// returning — the kill-and-resume lever the CI resume smoke uses.
+#[must_use]
+pub fn fleet_max_shards() -> Option<u64> {
+    arg_value("fleet-max-shards")
+        .or_else(|| std::env::var("AVX_FLEET_MAX_SHARDS").ok())
+        .and_then(|v| v.parse().ok())
+}
+
 /// Probe-budget policy for the campaign sections: `--adaptive` (or
 /// `AVX_ADAPTIVE=1`) switches from the paper's fixed schedule to the
 /// SPRT engine; `--fixed-budget` selects the noise-robust fixed
@@ -310,6 +368,44 @@ mod tests {
         std::env::set_var("AVX_OBSERVABLES", "v9");
         assert_eq!(observables_version(), ObservablesVersion::V1);
         std::env::remove_var("AVX_OBSERVABLES");
+    }
+
+    #[test]
+    fn fleet_flags_default_off_and_honor_the_env_knobs() {
+        for var in [
+            "AVX_FLEET",
+            "AVX_FLEET_SHARDS",
+            "AVX_FLEET_CHECKPOINT",
+            "AVX_FLEET_MAX_SHARDS",
+        ] {
+            std::env::remove_var(var);
+        }
+        assert_eq!(fleet_victims(), None);
+        assert_eq!(fleet_shards(), None);
+        assert_eq!(fleet_checkpoint(), None);
+        assert_eq!(fleet_max_shards(), None);
+        std::env::set_var("AVX_FLEET", "100000");
+        assert_eq!(fleet_victims(), Some(100_000));
+        std::env::set_var("AVX_FLEET_SHARDS", "4");
+        assert_eq!(fleet_shards(), Some(4));
+        std::env::set_var("AVX_FLEET_CHECKPOINT", "/tmp/ck.json");
+        assert_eq!(
+            fleet_checkpoint(),
+            Some(std::path::PathBuf::from("/tmp/ck.json"))
+        );
+        std::env::set_var("AVX_FLEET_MAX_SHARDS", "1");
+        assert_eq!(fleet_max_shards(), Some(1));
+        // Unparseable numbers fall back instead of aborting.
+        std::env::set_var("AVX_FLEET", "lots");
+        assert_eq!(fleet_victims(), None);
+        for var in [
+            "AVX_FLEET",
+            "AVX_FLEET_SHARDS",
+            "AVX_FLEET_CHECKPOINT",
+            "AVX_FLEET_MAX_SHARDS",
+        ] {
+            std::env::remove_var(var);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
+use avx_channel::fleet::{Fleet, FleetConfig};
 use avx_channel::{CalibratorKind, KernelBaseFinder, Prober, RecalConfig, Sampling, Threshold};
 use avx_uarch::{CpuProfile, NoiseProfile, ObservablesVersion};
 
@@ -179,6 +180,54 @@ pub fn measure_drift_row_with(trials: u64, observables: ObservablesVersion) -> D
     }
 }
 
+/// One measurement of the streaming fleet engine at population scale:
+/// kernel-base victims under the default quiet/fixed/legacy/v1 config,
+/// swept by [`avx_channel::fleet::Fleet`] with default sharding — the
+/// scale-out row the defense-arena populations will be judged on.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetThroughput {
+    /// Observables regime the fleet ran under.
+    pub observables: ObservablesVersion,
+    /// Victims swept.
+    pub victims: u64,
+    /// Shards the population partitioned into.
+    pub shards: u64,
+    /// Raw probes issued across the population.
+    pub probes: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Victims per wall-clock second — the fleet's headline metric.
+    pub victims_per_sec: f64,
+    /// Probes per wall-clock second.
+    pub probes_per_sec: f64,
+    /// Population accuracy, percent.
+    pub accuracy_pct: f64,
+}
+
+/// Measures the streaming fleet at `victims` population size
+/// (`repro --fleet N` as a standardized measurement; the recorded
+/// trajectory row uses N = 10⁵).
+#[must_use]
+pub fn measure_fleet(victims: u64) -> FleetThroughput {
+    let fleet = Fleet::new(
+        Scenario::KernelBase,
+        CpuProfile::alder_lake_i5_12400f(),
+        CampaignConfig::default(),
+        FleetConfig::new(victims),
+    );
+    let report = fleet.run().expect("checkpoint-free fleet run");
+    FleetThroughput {
+        observables: ObservablesVersion::V1,
+        victims: report.aggregate.victims,
+        shards: report.shards,
+        probes: report.aggregate.probes,
+        wall_seconds: report.wall_seconds,
+        victims_per_sec: report.victims_per_sec(),
+        probes_per_sec: report.probes_per_sec(),
+        accuracy_pct: report.aggregate.accuracy().percent(),
+    }
+}
+
 /// The full standardized measurement set: every workload under both
 /// observables regimes. The v1 entries are what every pre-v3 record
 /// held; the v2 entries are the batched-ziggurat counterparts.
@@ -196,6 +245,8 @@ pub struct BenchMeasurements {
     pub sweep_v2: SweepThroughput,
     /// Closed-loop drift row, v2 regime.
     pub drift_v2: DriftRowThroughput,
+    /// Streaming fleet at N = 10⁵ victims, v1 regime.
+    pub fleet: FleetThroughput,
 }
 
 fn grid_json(grid: &CampaignThroughput) -> String {
@@ -237,24 +288,44 @@ fn drift_json(drift: &DriftRowThroughput) -> String {
     )
 }
 
+fn fleet_json(fleet: &FleetThroughput) -> String {
+    format!(
+        "{{\n    \"observables\": \"{}\",\n    \"victims\": {},\n    \
+         \"shards\": {},\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
+         \"victims_per_sec\": {:.1},\n    \"probes_per_sec\": {:.1},\n    \
+         \"accuracy_pct\": {:.2}\n  }}",
+        fleet.observables,
+        fleet.victims,
+        fleet.shards,
+        fleet.probes,
+        fleet.wall_seconds,
+        fleet.victims_per_sec,
+        fleet.probes_per_sec,
+        fleet.accuracy_pct,
+    )
+}
+
 /// Serializes the measurements as the machine-readable
 /// `BENCH_campaign.json` record (hand-rolled JSON; the build is
-/// air-gapped, so no serde). Schema v3: every entry carries its
+/// air-gapped, so no serde). Schema v4: every entry carries its
 /// observables tag, the historical `grid`/`fig4_sweep`/`drift_row`
-/// keys stay the v1 regime, and the `*_v2` keys hold the batched
-/// ziggurat counterparts.
+/// keys stay the v1 regime, the `*_v2` keys hold the batched ziggurat
+/// counterparts, and `fleet_row` records the streaming fleet at
+/// N = 10⁵ victims.
 #[must_use]
 pub fn bench_json(m: &BenchMeasurements) -> String {
     format!(
-        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v3\",\n  \
+        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v4\",\n  \
          \"grid\": {},\n  \"fig4_sweep\": {},\n  \"drift_row\": {},\n  \
-         \"grid_v2\": {},\n  \"fig4_sweep_v2\": {},\n  \"drift_row_v2\": {}\n}}\n",
+         \"grid_v2\": {},\n  \"fig4_sweep_v2\": {},\n  \"drift_row_v2\": {},\n  \
+         \"fleet_row\": {}\n}}\n",
         grid_json(&m.grid),
         sweep_json(&m.sweep),
         drift_json(&m.drift),
         grid_json(&m.grid_v2),
         sweep_json(&m.sweep_v2),
         drift_json(&m.drift_v2),
+        fleet_json(&m.fleet),
     )
 }
 
@@ -285,6 +356,7 @@ pub fn run_bench_json(path: &std::path::Path) -> std::io::Result<BenchMeasuremen
         grid_v2: measure_noise_grid_with(2, ObservablesVersion::V2),
         sweep_v2: measure_fig4_sweep_with(64 * 1024, ObservablesVersion::V2),
         drift_v2: measure_drift_row_with(8, ObservablesVersion::V2),
+        fleet: measure_fleet(100_000),
     };
     std::fs::write(path, bench_json(&m))?;
     Ok(m)
@@ -342,6 +414,16 @@ mod tests {
                 observables: ObservablesVersion::V2,
                 ..drift
             },
+            fleet: FleetThroughput {
+                observables: ObservablesVersion::V1,
+                victims: 100_000,
+                shards: 98,
+                probes: 104_100_000,
+                wall_seconds: 12.0,
+                victims_per_sec: 8_333.3,
+                probes_per_sec: 8_675_000.0,
+                accuracy_pct: 99.8,
+            },
         }
     }
 
@@ -349,7 +431,7 @@ mod tests {
     fn bench_json_is_well_formed() {
         let json = bench_json(&fake_measurements());
         assert!(json.contains("\"probes_per_sec\""));
-        assert!(json.contains("campaign-throughput/v3"));
+        assert!(json.contains("campaign-throughput/v4"));
         assert!(json.contains("\"drift_row\""));
         assert!(json.contains("\"accuracy_pct\""));
         // Both regimes appear, each tagged with its observables name.
@@ -358,8 +440,22 @@ mod tests {
         assert!(json.contains("\"drift_row_v2\""));
         assert!(json.contains("\"observables\": \"v1\""));
         assert!(json.contains("\"observables\": \"v2\""));
+        // The fleet row carries the population-scale metrics.
+        assert!(json.contains("\"fleet_row\""));
+        assert!(json.contains("\"victims_per_sec\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches("\"observables\"").count(), 6);
+        assert_eq!(json.matches("\"observables\"").count(), 7);
+    }
+
+    #[test]
+    fn fleet_measurement_reports_positive_throughput() {
+        let fleet = measure_fleet(128);
+        assert_eq!(fleet.victims, 128);
+        assert_eq!(fleet.shards, 1);
+        assert!(fleet.probes > 0);
+        assert!(fleet.victims_per_sec > 0.0);
+        assert!(fleet.probes_per_sec > 0.0);
+        assert!(fleet.accuracy_pct >= 90.0, "{}", fleet.accuracy_pct);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use avx_uarch::{CpuProfile, Machine, NoiseProfile, ObservablesVersion, Vendor};
 use crate::adaptive::{AdaptiveSampler, Sampling};
 use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
 use crate::decision::ConfirmConfig;
+use crate::fleet::{legacy_trial_seed, machine_seed};
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
@@ -242,6 +243,10 @@ pub struct TrialOutcome {
     /// Success records of this trial (one per trial for base attacks,
     /// one per module/library/sample for the others).
     pub accuracy: Trials,
+    /// Confirmation-layer confidence tag of the trial's scan, for
+    /// scenarios whose scan reports one (KPTI today). `None` elsewhere;
+    /// the fleet reducer histograms these.
+    pub confidence: Option<super::KptiConfidence>,
 }
 
 /// A prebuilt victim system for one (scenario, seed) pair.
@@ -469,7 +474,13 @@ impl Scenario {
         let trials = config.trials.max(1);
         let outcomes: Vec<TrialOutcome> = (0..trials)
             .into_par_iter()
-            .map(|i| self.run_trial(profile, config.seed0 + self.seed_salt() + i, config))
+            .map(|i| {
+                self.run_trial(
+                    profile,
+                    legacy_trial_seed(config.seed0, self.seed_salt(), i),
+                    config,
+                )
+            })
             .collect();
         self.aggregate(profile, config, outcomes, trials)
     }
@@ -493,7 +504,7 @@ impl Scenario {
                 self.run_trial_with(
                     profile,
                     &fixtures[i],
-                    config.seed0 + self.seed_salt() + i as u64,
+                    legacy_trial_seed(config.seed0, self.seed_salt(), i as u64),
                     config,
                 )
             })
@@ -659,7 +670,13 @@ impl Campaign {
                 let trials = self.config.trials.clamp(1, scenario.max_trials());
                 (0..trials)
                     .into_par_iter()
-                    .map(|i| scenario.build_fixture(self.config.seed0 + scenario.seed_salt() + i))
+                    .map(|i| {
+                        scenario.build_fixture(legacy_trial_seed(
+                            self.config.seed0,
+                            scenario.seed_salt(),
+                            i,
+                        ))
+                    })
                     .collect()
             })
             .collect();
@@ -701,7 +718,7 @@ fn linux_prober(
     seed: u64,
     config: CampaignConfig,
 ) -> (SimProber, avx_os::LinuxTruth, CalibrationFit) {
-    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
@@ -742,6 +759,7 @@ fn kernel_base_trial(
         probes: p.probes_issued(),
         addresses: KERNEL_SLOTS,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -751,7 +769,7 @@ fn amd_base_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
@@ -774,6 +792,7 @@ fn amd_base_trial(
         probes: p.probes_issued(),
         addresses: KERNEL_SLOTS,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -812,6 +831,7 @@ fn modules_trial(
         probes: p.probes_issued(),
         addresses: MODULE_SLOTS,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -844,6 +864,7 @@ fn kpti_trial(
         probes: p.probes_issued(),
         addresses: KERNEL_SLOTS,
         accuracy,
+        confidence: Some(scan.confidence),
     }
 }
 
@@ -894,6 +915,7 @@ fn behaviour_trial(
         probes: p.probes_issued(),
         addresses: trace.samples.len() as u64,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -911,7 +933,7 @@ fn userspace_trial(
     space
         .map(own, PageSize::Size4K, PteFlags::user_ro())
         .expect("calibration page free");
-    let mut machine = Machine::new(profile.clone(), space, seed ^ 0xabcd);
+    let mut machine = Machine::new(profile.clone(), space, machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
@@ -957,6 +979,7 @@ fn userspace_trial(
         probes: p.probes_issued(),
         addresses: span / 4096,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -966,7 +989,7 @@ fn windows_trial(
     seed: u64,
     config: CampaignConfig,
 ) -> TrialOutcome {
-    let (mut machine, truth) = sys.machine(profile.clone(), seed ^ 0xabcd);
+    let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
     let mut p = SimProber::new(machine);
@@ -993,6 +1016,7 @@ fn windows_trial(
         probes: p.probes_issued(),
         addresses: scan.candidates,
         accuracy,
+        confidence: None,
     }
 }
 
@@ -1003,7 +1027,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     for scenario in CloudScenario::all(seed) {
         let report = run_scenario_decided(
             &scenario,
-            seed ^ 0xabcd,
+            machine_seed(seed),
             config.noise,
             config.sampling,
             config.calibrator,
@@ -1023,6 +1047,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
         probes,
         addresses,
         accuracy,
+        confidence: None,
     }
 }
 

@@ -54,6 +54,7 @@ pub mod attacks;
 pub mod calibrate;
 pub mod countermeasures;
 pub mod decision;
+pub mod fleet;
 pub mod primitives;
 pub mod prober;
 pub mod recal;
@@ -68,6 +69,7 @@ pub use attacks::{
 };
 pub use calibrate::{CalibrationFit, Calibrator, CalibratorKind, Threshold};
 pub use decision::{ConfirmConfig, Confirmation, Confirmer, FirstConfirmed, RunTracker, SlotSprt};
+pub use fleet::{victim_seed, Fleet, FleetConfig, FleetReducer, FleetReport};
 pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,
 };
