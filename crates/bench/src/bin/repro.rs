@@ -12,22 +12,25 @@
 //! probe-budget policy, `--recalibrate` runs every sweep attack
 //! under the closed-loop recalibration driver, `--confirm` layers the
 //! confirmation decision policy over every needle-in-haystack scan,
-//! and `--observables v1|v2` selects the noise-observables regime (v1
-//! is the bit-exact paper stream, v2 the batched ziggurat kernel) —
-//! together they reproduce the probes-per-address numbers of the
-//! noise-scenario matrix and the drifting-noise recovery row. The
-//! output of this binary is what `EXPERIMENTS.md` records.
+//! `--observables v1|v2` selects the noise-observables regime (v1
+//! is the bit-exact paper stream, v2 the batched ziggurat kernel), and
+//! `--defense none|masked|rerandomizing` runs the campaign sections
+//! against a defended victim (see `docs/DEFENSES.md`) — together they
+//! reproduce the probes-per-address numbers of the noise-scenario
+//! matrix and the drifting-noise recovery row. The output of this
+//! binary is what `EXPERIMENTS.md` records.
 
 use avx_bench::{
-    accuracy_trials, calibrate, calibrator_kind, confirm_config, linux_prober, linux_prober_with,
-    noise_profile, observables_version, paper, recal_config, sampling_policy,
+    accuracy_trials, calibrate, calibrator_kind, confirm_config, defense_kind, linux_prober,
+    linux_prober_with, noise_profile, observables_version, paper, recal_config, sampling_policy,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
 use avx_channel::attacks::modules::score;
 use avx_channel::attacks::userspace::{LibraryMatcher, UserSpaceScanner};
 use avx_channel::attacks::windows::kernel_base_from_shadow;
-use avx_channel::countermeasures::{evaluate_fgkaslr, evaluate_flare, MaskedOpSurvey};
+use avx_channel::countermeasures::MaskedOpSurvey;
+use avx_channel::defense::{evaluate_fgkaslr, evaluate_flare};
 use avx_channel::report::{ascii_plot_clamped, fmt_seconds, Series, Table};
 use avx_channel::stats::Summary;
 use avx_channel::{
@@ -112,6 +115,7 @@ fn main() {
     calibration_menu();
     recalibration();
     confirmation();
+    defense_arena();
     full_campaign();
     println!("\ndone.");
 }
@@ -134,6 +138,7 @@ fn fleet(victims: u64) {
         recal: recal_config(),
         confirm: confirm_config(),
         observables: observables_version(),
+        defense: defense_kind(),
         ..CampaignConfig::default()
     };
     let mut config = FleetConfig::new(victims);
@@ -154,7 +159,7 @@ fn fleet(victims: u64) {
     );
     println!(
         "fleet config: victims={} shards={} shard_size={} pool={} noise={} sampling={} \
-         calibrator={} observables={} confirm={} recal={} seed={}",
+         calibrator={} observables={} defense={} confirm={} recal={} seed={}",
         fleet.config.victims,
         fleet.config.shard_count(),
         fleet.config.shard_size,
@@ -163,6 +168,7 @@ fn fleet(victims: u64) {
         fleet.campaign.sampling.name(),
         fleet.campaign.calibrator.name(),
         fleet.campaign.observables.name(),
+        fleet.campaign.defense.name(),
         if fleet.campaign.confirm.is_some() {
             "on"
         } else {
@@ -205,6 +211,42 @@ fn fleet(victims: u64) {
     );
 }
 
+/// The defense arena: the kernel-base cell against every entry of the
+/// defense menu, quiet and laptop hosts — the per-row efficacy picture
+/// `docs/DEFENSES.md` documents.
+fn defense_arena() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::DefenseKind;
+    use avx_uarch::NoiseProfile;
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Defense arena — kernel-base attack vs the defense menu (n={trials})"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let mut table = Table::new(["Noise", "Defense", "p/addr", "Accuracy"]);
+    for noise in [NoiseProfile::Quiet, NoiseProfile::LaptopDvfs] {
+        for defense in DefenseKind::ALL {
+            let row = Scenario::KernelBase.campaign(
+                &profile,
+                CampaignConfig::new(trials, 0)
+                    .with_noise(noise)
+                    .with_sampling(sampling_policy())
+                    .with_calibrator(calibrator_kind())
+                    .with_observables(observables_version())
+                    .with_defense(defense),
+            );
+            table.row([
+                noise.to_string(),
+                row.defense.to_string(),
+                format!("{:.2}", row.probes_per_address),
+                format!("{:.2} %", row.accuracy.percent()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("  (select per run: repro --defense <none|masked|rerandomizing>)");
+}
+
 /// The generalized Table I: every §IV attack scenario across the three
 /// evaluated desktop/mobile parts, trials parallelized via rayon.
 fn full_campaign() {
@@ -216,8 +258,9 @@ fn full_campaign() {
     let recal = recal_config();
     let confirm = confirm_config();
     let observables = observables_version();
+    let defense = defense_kind();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, confirm={}, observables={observables}, rayon-parallel)",
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, confirm={}, observables={observables}, defense={defense}, rayon-parallel)",
         sampling.name(),
         if recal.is_some() { "on" } else { "off" },
         if confirm.is_some() { "on" } else { "off" },
@@ -226,7 +269,8 @@ fn full_campaign() {
         .with_noise(noise)
         .with_sampling(sampling)
         .with_calibrator(calibrator)
-        .with_observables(observables);
+        .with_observables(observables)
+        .with_defense(defense);
     if let Some(recal) = recal {
         config = config.with_recalibration(recal);
     }

@@ -9,7 +9,9 @@
 
 pub mod throughput;
 
-use avx_channel::{CalibratorKind, ConfirmConfig, RecalConfig, Sampling, SimProber, Threshold};
+use avx_channel::{
+    CalibratorKind, ConfirmConfig, DefenseKind, RecalConfig, Sampling, SimProber, Threshold,
+};
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile, ObservablesVersion};
 
@@ -224,6 +226,20 @@ pub fn observables_version() -> ObservablesVersion {
         .unwrap_or(ObservablesVersion::V1)
 }
 
+/// Victim-side defense for the campaign sections:
+/// `--defense none|masked|rerandomizing` (or `--defense=<name>`) on the
+/// command line, else the `AVX_DEFENSE` environment variable, else the
+/// undefended [`DefenseKind::None`] victim — which is architecturally
+/// silent, so the default repro output is bit-exact. Unknown names fall
+/// back to none rather than aborting a long repro run.
+#[must_use]
+pub fn defense_kind() -> DefenseKind {
+    arg_value("defense")
+        .or_else(|| std::env::var("AVX_DEFENSE").ok())
+        .and_then(|v| DefenseKind::parse(&v))
+        .unwrap_or(DefenseKind::None)
+}
+
 /// Value of `--<name> <value>` or `--<name>=<value>` on the command
 /// line. Exact-name match: `--fleet` never swallows `--fleet-shards`.
 fn arg_value(name: &str) -> Option<String> {
@@ -406,6 +422,20 @@ mod tests {
         ] {
             std::env::remove_var(var);
         }
+    }
+
+    #[test]
+    fn defense_defaults_to_none_and_honors_the_env_knob() {
+        std::env::remove_var("AVX_DEFENSE");
+        assert_eq!(defense_kind(), DefenseKind::None);
+        std::env::set_var("AVX_DEFENSE", "masked");
+        assert_eq!(defense_kind(), DefenseKind::MaskedTranslation);
+        std::env::set_var("AVX_DEFENSE", "rerandomizing");
+        assert_eq!(defense_kind(), DefenseKind::Rerandomizing);
+        // Unknown names fall back instead of aborting a long repro run.
+        std::env::set_var("AVX_DEFENSE", "bogus");
+        assert_eq!(defense_kind(), DefenseKind::None);
+        std::env::remove_var("AVX_DEFENSE");
     }
 
     #[test]

@@ -39,6 +39,7 @@ use avx_uarch::{CpuProfile, Machine, NoiseProfile, ObservablesVersion, Vendor};
 use crate::adaptive::{AdaptiveSampler, Sampling};
 use crate::calibrate::{CalibrationFit, CalibratorKind, Threshold};
 use crate::decision::ConfirmConfig;
+use crate::defense::{DefenseKind, DefenseRegion};
 use crate::fleet::{legacy_trial_seed, machine_seed};
 use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
@@ -47,7 +48,7 @@ use crate::report::fmt_seconds;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_decided;
+use super::cloud::run_scenario_defended;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -86,6 +87,11 @@ pub struct CampaignConfig {
     /// [`ObservablesVersion::V2`] runs the batched ziggurat kernel
     /// (distribution-equivalent, re-goldened once, tagged separately).
     pub observables: ObservablesVersion,
+    /// Victim-side defense the trial machines run under
+    /// ([`crate::defense`]). The default, [`DefenseKind::None`], is
+    /// architecturally silent — every pre-defense golden row is
+    /// bit-exact by construction.
+    pub defense: DefenseKind,
 }
 
 impl Default for CampaignConfig {
@@ -99,6 +105,7 @@ impl Default for CampaignConfig {
             recal: None,
             confirm: None,
             observables: ObservablesVersion::V1,
+            defense: DefenseKind::None,
         }
     }
 }
@@ -159,6 +166,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Same config against a defended victim (what `repro --defense`
+    /// selects).
+    #[must_use]
+    pub fn with_defense(mut self, defense: DefenseKind) -> Self {
+        self.defense = defense;
+        self
+    }
+
     /// The adaptive sampler this config induces for a calibration fit
     /// on `profile`: [`Sampling::sampler_for_calibration`] with this
     /// config's estimator and the profile's oracle σ.
@@ -194,6 +209,9 @@ pub struct CampaignRow {
     /// Observables-regime label ("v1", "v2") the cell's machines ran
     /// under.
     pub observables: &'static str,
+    /// Defense label ("none", "masked", "rerandomizing") the cell's
+    /// victims ran under.
+    pub defense: &'static str,
     /// Mean seconds inside the timed masked ops.
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
@@ -212,15 +230,24 @@ pub struct CampaignRow {
 
 impl fmt::Display for CampaignRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Undefended rows keep the historical 4-part tag so every
+        // pre-defense consumer (and golden assertion) is unchanged;
+        // defended cells append their defense label.
+        let defense_tag = if self.defense == "none" {
+            String::new()
+        } else {
+            format!("/{}", self.defense)
+        };
         write!(
             f,
-            "{} {} [{}/{}/{}/{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
+            "{} {} [{}/{}/{}/{}{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
             self.cpu,
             self.target,
             self.noise,
             self.sampling,
             self.calibrator,
             self.observables,
+            defense_tag,
             fmt_seconds(self.probing_seconds),
             fmt_seconds(self.total_seconds),
             self.probes_per_address,
@@ -365,6 +392,31 @@ impl Scenario {
             Scenario::Behaviour => 20,
             Scenario::WindowsKaslr => 8,
             Scenario::Cloud => 16,
+        }
+    }
+
+    /// The randomization regions a victim-side defense protects for
+    /// this scenario's victims ([`crate::defense`]). Linux victims
+    /// defend both kernel text and the module area (the OS hardens its
+    /// whole randomized address space, not just what this attack
+    /// happens to target); Windows victims defend the 18-bit kernel
+    /// region. User-space ASLR is process-local and outside the kernel
+    /// defense menu, so [`Scenario::UserSpace`] defends nothing — its
+    /// defended rows honestly equal its undefended ones. Cloud chains
+    /// install per-guest regions inside the chain runner.
+    #[must_use]
+    pub fn defense_regions(self) -> Vec<DefenseRegion> {
+        match self {
+            Scenario::KernelBase
+            | Scenario::AmdKernelBase
+            | Scenario::Modules
+            | Scenario::Kpti
+            | Scenario::Behaviour => vec![
+                DefenseRegion::linux_kernel_text(),
+                DefenseRegion::linux_modules(),
+            ],
+            Scenario::WindowsKaslr => vec![DefenseRegion::windows_kernel()],
+            Scenario::UserSpace | Scenario::Cloud => Vec::new(),
         }
     }
 
@@ -547,6 +599,7 @@ impl Scenario {
             },
             calibrator: config.calibrator.name(),
             observables: config.observables.name(),
+            defense: config.defense.name(),
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
             trials,
@@ -567,7 +620,7 @@ impl fmt::Display for Scenario {
     }
 }
 
-/// A scenario × profile × noise campaign matrix.
+/// A scenario × profile × noise × defense campaign matrix.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     /// CPU profiles to attack on.
@@ -576,6 +629,8 @@ pub struct Campaign {
     pub scenarios: Vec<Scenario>,
     /// Noise environments to run each cell under.
     pub noises: Vec<NoiseProfile>,
+    /// Victim-side defenses to run each cell against.
+    pub defenses: Vec<DefenseKind>,
     /// Trial parameters.
     pub config: CampaignConfig,
 }
@@ -593,6 +648,7 @@ impl Campaign {
             profiles,
             scenarios,
             noises: vec![config.noise],
+            defenses: vec![config.defense],
             config,
         }
     }
@@ -603,6 +659,22 @@ impl Campaign {
         assert!(!noises.is_empty(), "noise axis must be non-empty");
         self.noises = noises;
         self
+    }
+
+    /// Replaces the defense axis of the matrix.
+    #[must_use]
+    pub fn with_defenses(mut self, defenses: Vec<DefenseKind>) -> Self {
+        assert!(!defenses.is_empty(), "defense axis must be non-empty");
+        self.defenses = defenses;
+        self
+    }
+
+    /// The full 4-axis attack × CPU × noise × defense grid:
+    /// [`Campaign::noise_grid`] repeated against every
+    /// [`DefenseKind`].
+    #[must_use]
+    pub fn defense_grid(config: CampaignConfig) -> Self {
+        Self::noise_grid(config).with_defenses(DefenseKind::ALL.to_vec())
     }
 
     /// The full paper evaluation: all eight §IV attacks across the two
@@ -639,15 +711,19 @@ impl Campaign {
         Self::full(config).with_noises(NoiseProfile::ALL.to_vec())
     }
 
-    /// Runs every supported noise × scenario × profile cell; rows come
-    /// back noise-major, then scenario-major in the order of
-    /// `self.scenarios`.
+    /// Runs every supported noise × defense × scenario × profile cell;
+    /// rows come back noise-major, then defense-major, then
+    /// scenario-major in the order of `self.scenarios`.
     ///
     /// Trial layouts depend only on (scenario, seed), so each
     /// scenario's victim systems are built **once** up front
-    /// (rayon-parallel) and every (noise, profile) cell runs against
-    /// copy-on-write snapshots of that pool — the cells differ only in
-    /// the machine they wrap around the snapshot, not in the layout.
+    /// (rayon-parallel) and every (noise, defense, profile) cell runs
+    /// against copy-on-write snapshots of that pool — the cells differ
+    /// only in the machine they wrap around the snapshot, not in the
+    /// layout. Defenses never touch the shared pool either: a defended
+    /// trial installs its defense on the trial's own machine, and a
+    /// re-randomizing victim re-randomizes its copy-on-write clone
+    /// (invariant 12).
     ///
     /// Heavyweight scenarios are bounded to [`Scenario::max_trials`]
     /// trials per cell (call [`Scenario::campaign`] directly for
@@ -683,21 +759,26 @@ impl Campaign {
 
         let mut rows = Vec::new();
         for &noise in &self.noises {
-            for (&scenario, pool) in self.scenarios.iter().zip(&pools) {
-                let config = CampaignConfig {
-                    trials: pool.len() as u64,
-                    noise,
-                    ..self.config
-                };
-                if scenario == Scenario::Cloud {
-                    if let Some(profile) = self.profiles.iter().find(|p| scenario.supported_on(p)) {
-                        rows.push(scenario.campaign_with(profile, config, pool));
+            for &defense in &self.defenses {
+                for (&scenario, pool) in self.scenarios.iter().zip(&pools) {
+                    let config = CampaignConfig {
+                        trials: pool.len() as u64,
+                        noise,
+                        defense,
+                        ..self.config
+                    };
+                    if scenario == Scenario::Cloud {
+                        if let Some(profile) =
+                            self.profiles.iter().find(|p| scenario.supported_on(p))
+                        {
+                            rows.push(scenario.campaign_with(profile, config, pool));
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                for profile in &self.profiles {
-                    if scenario.supported_on(profile) {
-                        rows.push(scenario.campaign_with(profile, config, pool));
+                    for profile in &self.profiles {
+                        if scenario.supported_on(profile) {
+                            rows.push(scenario.campaign_with(profile, config, pool));
+                        }
                     }
                 }
             }
@@ -709,9 +790,22 @@ impl Campaign {
 // ---------------------------------------------------------------------
 // Per-scenario trial implementations.
 
+/// The regions a defended Linux victim protects — kernel text plus the
+/// module area, matching [`Scenario::defense_regions`].
+fn linux_defense_regions() -> [DefenseRegion; 2] {
+    [
+        DefenseRegion::linux_kernel_text(),
+        DefenseRegion::linux_modules(),
+    ]
+}
+
 /// Machine + calibrated prober over a copy-on-write snapshot of a
 /// prebuilt Linux system, running under the campaign's noise
-/// environment and calibrating with the campaign's estimator.
+/// environment and defense, calibrating with the campaign's estimator.
+/// The defense is installed on the snapshot machine before the first
+/// probe (so a re-randomizing victim only ever mutates its clone), and
+/// before calibration (the attacker calibrates against the defended
+/// victim, like on real silicon).
 fn linux_prober(
     profile: &CpuProfile,
     sys: &LinuxSystem,
@@ -721,6 +815,9 @@ fn linux_prober(
     let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
+    config
+        .defense
+        .install(&mut machine, &linux_defense_regions(), seed);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, config.calibrator);
     (p, truth, fit)
@@ -772,6 +869,9 @@ fn amd_base_trial(
     let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
+    config
+        .defense
+        .install(&mut machine, &linux_defense_regions(), seed);
     let mut p = SimProber::new(machine);
     let mut finder = AmdKernelBaseFinder::for_default_kernel();
     if let Some(filter) = config.sampling.min_filter() {
@@ -992,6 +1092,9 @@ fn windows_trial(
     let (mut machine, truth) = sys.machine(profile.clone(), machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
+    config
+        .defense
+        .install(&mut machine, &[DefenseRegion::windows_kernel()], seed);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, config.calibrator);
     let mut attack = WindowsKaslrAttack::new(fit.threshold);
@@ -1025,7 +1128,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_decided(
+        let report = run_scenario_defended(
             &scenario,
             machine_seed(seed),
             config.noise,
@@ -1034,6 +1137,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
             config.recal,
             config.observables,
             config.confirm,
+            config.defense,
         );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;
@@ -1297,6 +1401,75 @@ mod tests {
         let grid = Campaign::noise_grid(CampaignConfig::new(1, 3));
         assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
         assert_eq!(grid.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn defense_axis_produces_grid_rows_with_ordered_efficacy() {
+        let campaign = Campaign::new(
+            vec![CpuProfile::alder_lake_i5_12400f()],
+            vec![Scenario::KernelBase],
+            CampaignConfig::new(4, 5),
+        )
+        .with_defenses(DefenseKind::ALL.to_vec());
+        let rows = campaign.run();
+        assert_eq!(rows.len(), DefenseKind::ALL.len());
+        let labels: Vec<&str> = rows.iter().map(|r| r.defense).collect();
+        assert_eq!(labels, vec!["none", "masked", "rerandomizing"]);
+        // Efficacy: the undefended scan works; the masked victim is
+        // (near-)immune; the re-randomizing victim turns it into a race.
+        assert!(rows[0].accuracy.rate() > 0.9, "{}", rows[0]);
+        assert!(
+            rows[1].accuracy.rate() < rows[0].accuracy.rate(),
+            "mask must cost accuracy: {} vs {}",
+            rows[1],
+            rows[0]
+        );
+        assert!(
+            rows[2].accuracy.rate() < rows[0].accuracy.rate(),
+            "re-randomization must cost accuracy: {} vs {}",
+            rows[2],
+            rows[0]
+        );
+    }
+
+    #[test]
+    fn defended_rows_tag_their_defense_and_undefended_rows_do_not() {
+        let none = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        let masked = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            small().with_defense(DefenseKind::MaskedTranslation),
+        );
+        assert_eq!(none.defense, "none");
+        assert_eq!(masked.defense, "masked");
+        assert!(
+            !none.to_string().contains("none"),
+            "the undefended tag stays the historical 4-part one: {none}"
+        );
+        assert!(masked.to_string().contains("/masked]"), "{masked}");
+    }
+
+    #[test]
+    fn defense_grid_is_the_full_four_axis_matrix() {
+        let grid = Campaign::defense_grid(CampaignConfig::new(1, 3));
+        assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
+        assert_eq!(grid.defenses, DefenseKind::ALL.to_vec());
+        assert_eq!(grid.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn userspace_defended_row_equals_undefended_row() {
+        // User-space ASLR is outside the kernel defense menu:
+        // Scenario::UserSpace defends nothing, and its rows say so
+        // honestly by not moving at all.
+        let config = CampaignConfig::new(2, 21);
+        let plain = Scenario::UserSpace.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
+        let defended = Scenario::UserSpace.campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            config.with_defense(DefenseKind::Rerandomizing),
+        );
+        assert!(Scenario::UserSpace.defense_regions().is_empty());
+        assert_eq!(plain.accuracy.rate(), defended.accuracy.rate());
+        assert_eq!(plain.probes, defended.probes);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use avx_uarch::{NoiseProfile, ObservablesVersion};
 use crate::adaptive::Sampling;
 use crate::calibrate::{CalibratorKind, Threshold};
 use crate::decision::ConfirmConfig;
+use crate::defense::{DefenseKind, DefenseRegion};
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
 
@@ -185,6 +186,38 @@ pub fn run_scenario_decided(
     observables: ObservablesVersion,
     confirm: Option<ConfirmConfig>,
 ) -> CloudBreakReport {
+    run_scenario_defended(
+        scenario,
+        machine_seed,
+        noise,
+        sampling,
+        calibrator,
+        recal,
+        observables,
+        confirm,
+        DefenseKind::None,
+    )
+}
+
+/// [`run_scenario_decided`] against a defended guest: the complete set
+/// of campaign knobs. Each guest installs the defense over its own
+/// kernel's randomization regions — the Linux guests defend kernel text
+/// plus the module area, the Windows guest its 18-bit region — before
+/// the chain's first probe. [`DefenseKind::None`] is architecturally
+/// silent, so [`run_scenario_decided`] stays bit-exact.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_defended(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
+    recal: Option<RecalConfig>,
+    observables: ObservablesVersion,
+    confirm: Option<ConfirmConfig>,
+    defense: DefenseKind,
+) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
         GuestOs::Linux(cfg) => {
@@ -192,6 +225,14 @@ pub fn run_scenario_decided(
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
             machine.set_observables(observables);
+            defense.install(
+                &mut machine,
+                &[
+                    DefenseRegion::linux_kernel_text(),
+                    DefenseRegion::linux_modules(),
+                ],
+                machine_seed,
+            );
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, calibrator);
             let th = fit.threshold;
@@ -271,6 +312,11 @@ pub fn run_scenario_decided(
             let (mut machine, truth) = sys.into_machine(scenario.cpu.clone(), machine_seed);
             machine.set_noise_profile(noise);
             machine.set_observables(observables);
+            defense.install(
+                &mut machine,
+                &[DefenseRegion::windows_kernel()],
+                machine_seed,
+            );
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, calibrator);
             let mut attack = WindowsKaslrAttack::new(fit.threshold);

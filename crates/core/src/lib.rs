@@ -21,7 +21,7 @@
 //! | User-space / SGX | §IV-F, Fig. 7 | [`attacks::UserSpaceScanner`] |
 //! | Windows 10 / KVAS | §IV-G | [`attacks::WindowsKaslrAttack`] |
 //! | Cloud guests | §IV-H | [`attacks::run_scenario`] |
-//! | Defense analysis | §V | [`countermeasures`] |
+//! | Defense analysis | §V | [`defense`] (legacy shim: [`countermeasures`]) |
 //!
 //! Attacks are generic over [`Prober`]; [`SimProber`] runs them against
 //! the deterministic microarchitectural simulator, while the `avx-hw`
@@ -54,6 +54,7 @@ pub mod attacks;
 pub mod calibrate;
 pub mod countermeasures;
 pub mod decision;
+pub mod defense;
 pub mod fleet;
 pub mod primitives;
 pub mod prober;
@@ -69,6 +70,9 @@ pub use attacks::{
 };
 pub use calibrate::{CalibrationFit, Calibrator, CalibratorKind, Threshold};
 pub use decision::{ConfirmConfig, Confirmation, Confirmer, FirstConfirmed, RunTracker, SlotSprt};
+pub use defense::{
+    Defense, DefenseKind, DefenseRegion, MaskedTranslation, NoDefense, Rerandomizing,
+};
 pub use fleet::{victim_seed, Fleet, FleetConfig, FleetReducer, FleetReport};
 pub use primitives::{
     LevelAttack, PageTableAttack, PermissionAttack, ProbedPerm, TlbAttack, TlbState,

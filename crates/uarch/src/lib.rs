@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod defense;
 pub mod lines;
 pub mod machine;
 pub mod masked;
@@ -49,6 +50,7 @@ pub mod pmc;
 pub mod profile;
 pub mod ziggurat;
 
+pub use defense::{AddressMask, Rerandomizer, VictimDefense};
 pub use lines::PteLineCache;
 pub use machine::{Machine, MaskedOutcome, NOISE_BLOCK};
 pub use masked::{ElemWidth, Fault, Mask, MaskedOp, OpKind};

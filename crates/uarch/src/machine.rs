@@ -21,6 +21,7 @@ use avx_mmu::{
     VirtAddr, WalkOutcome, Walker,
 };
 
+use crate::defense::VictimDefense;
 use crate::lines::PteLineCache;
 use crate::masked::{ElemWidth, Fault, MaskedOp, OpKind};
 use crate::memory::SparseMemory;
@@ -153,6 +154,11 @@ pub struct Machine {
     /// per-sample Box–Muller stream bit-for-bit; V2 draws the same
     /// distribution through the batched ziggurat kernel.
     observables: ObservablesVersion,
+    /// Victim-side ASLR defenses ([`crate::defense`]). `None` — the
+    /// default — is the bit-exact undefended engine: no per-op check
+    /// beyond one `Option` discriminant read, no RNG interaction, no
+    /// translation rewriting.
+    defense: Option<VictimDefense>,
     rng: StdRng,
     tsc: u64,
 }
@@ -184,6 +190,7 @@ impl Machine {
             schedule: None,
             probe_seq: 0,
             observables: ObservablesVersion::V1,
+            defense: None,
             rng: StdRng::seed_from_u64(seed),
             tsc: 0,
         }
@@ -332,6 +339,65 @@ impl Machine {
         self.schedule = profile.schedule_for(&self.profile.timing);
     }
 
+    /// Installs (or removes) the victim-side defense layer. Installing
+    /// `None` — or never calling this — is the bit-exact undefended
+    /// engine; a defended machine defends its *own* address space (the
+    /// campaign layer hands every machine a copy-on-write snapshot, so
+    /// shared fixtures are never touched).
+    pub fn set_defense(&mut self, defense: Option<VictimDefense>) {
+        self.defense = defense.filter(VictimDefense::is_active);
+    }
+
+    /// The installed defense layer, if any.
+    #[must_use]
+    pub fn defense(&self) -> Option<&VictimDefense> {
+        self.defense.as_ref()
+    }
+
+    /// Completed live re-randomization events across all protected
+    /// images (0 without a [`crate::defense::Rerandomizer`]).
+    #[must_use]
+    pub fn rerandomizations(&self) -> u64 {
+        self.defense.as_ref().map_or(0, |d| d.rerandomizations)
+    }
+
+    /// The defense's view of an attacker-issued page address: masked
+    /// translation rewrites it, everything else (and the undefended
+    /// machine) is identity.
+    #[inline]
+    fn defended_page(&self, page: VirtAddr) -> VirtAddr {
+        match &self.defense {
+            Some(d) => d.masked(page),
+            None => page,
+        }
+    }
+
+    /// Advances every live re-randomizer by one executed op; on a
+    /// firing, performs the TLB shootdown an OS would after moving the
+    /// image (non-global flush + paging-structure caches). Runs before
+    /// the op's translations, so a firing is visible to the very op
+    /// that triggered it — the mid-scan race the defense creates.
+    #[inline]
+    fn defense_tick(&mut self) {
+        let Some(defense) = &mut self.defense else {
+            return;
+        };
+        if defense.rerandomizers.is_empty() {
+            return;
+        }
+        let mut fired = false;
+        for r in &mut defense.rerandomizers {
+            if r.tick(&mut self.space) {
+                defense.rerandomizations += 1;
+                fired = true;
+            }
+        }
+        if fired {
+            self.tlb.flush(false);
+            self.psc.flush_all();
+        }
+    }
+
     /// Flushes the whole TLB (CR3 reload). Global entries survive when
     /// `keep_global`.
     pub fn flush_tlb(&mut self, keep_global: bool) {
@@ -356,6 +422,9 @@ impl Machine {
     /// TLB attack (P4) and produces the *cold-walk* timings (381 cycles
     /// in §III-B, the ≈430-cycle idle band of Fig. 6).
     pub fn evict_translation(&mut self, va: VirtAddr) {
+        // The eviction targets the translation the attacker's probes
+        // actually exercise — under masked translation, the masked one.
+        let va = self.defended_page(va);
         self.tlb.evict_address(va);
         self.psc.flush_all();
         self.lines.flush();
@@ -481,6 +550,7 @@ impl Machine {
 
         out.reserve(addrs.len());
         for &addr in addrs {
+            self.defense_tick();
             self.pmc.bump(retired_event);
             let mut acc = OpAccounting::new(base);
 
@@ -536,6 +606,7 @@ impl Machine {
             self.fill_noise_block(noise);
             self.pmc.add(retired_event, chunk.len() as u64);
             for (i, &addr) in chunk.iter().enumerate() {
+                self.defense_tick();
                 let mut acc = OpAccounting::new(base);
                 let first_page = addr.align_down(4096);
                 let last_page = addr.wrapping_add(last_lane_offset).align_down(4096);
@@ -590,6 +661,12 @@ impl Machine {
         acc: &mut OpAccounting,
         ok_pages: Option<&mut Vec<(VirtAddr, u64)>>,
     ) -> Option<Fault> {
+        // The single defense chokepoint of every attacker-issued op:
+        // scalar, v1-batch and v2-batch paths all translate through
+        // here, so masked translation rewrites the walked (and
+        // TLB-/shadow-indexed) address in one place. Kernel-side
+        // accesses (`touch_as_kernel`) keep the unmasked view.
+        let page = self.defended_page(page);
         let t = self.profile.timing;
         let verdict = self.translate_page(page);
         acc.cycles += verdict.cycles;
@@ -648,6 +725,7 @@ impl Machine {
 
     /// Executes one masked operation, advancing the clock.
     pub fn execute(&mut self, op: MaskedOp) -> MaskedOutcome {
+        self.defense_tick();
         let retired_event = match op.kind {
             OpKind::Load => Event::MaskedLoadRetired,
             OpKind::Store => Event::MaskedStoreRetired,
@@ -903,7 +981,7 @@ impl Machine {
         };
         for lane in op.mask.set_lanes() {
             let la = op.lane_addr(lane);
-            let page = la.align_down(4096);
+            let page = self.defended_page(la.align_down(4096));
             let Some(&(_, frame)) = ok_pages.iter().find(|(p, _)| *p == page) else {
                 continue; // suppressed page: lane dropped (loads read 0)
             };

@@ -14,7 +14,12 @@
 //! plus the kernel-base × noise-profile matrix.
 
 use avx_aslr::channel::attacks::campaign::{table1, CampaignConfig, CampaignRow, Scenario};
-use avx_aslr::channel::{AdaptiveConfig, CalibratorKind, ConfirmConfig, RecalConfig, Sampling};
+use avx_aslr::channel::defense::{Defense, DefenseKind, DefenseRegion, Rerandomizing};
+use avx_aslr::channel::{
+    AdaptiveConfig, CalibratorKind, ConfirmConfig, KernelBaseFinder, Prober, RecalConfig, Sampling,
+    SimProber, Threshold,
+};
+use avx_aslr::os::linux::{LinuxConfig, LinuxSystem};
 use avx_aslr::uarch::{CpuProfile, NoiseProfile, ObservablesVersion};
 
 /// The pinned campaign shape. Changing TRIALS or SEED0 invalidates
@@ -598,5 +603,240 @@ fn full_campaign_grid_runs_with_probe_reporting_on_every_row() {
         } else {
             assert_eq!(row.sampling, "adaptive");
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Defense-efficacy goldens (defense-axis tentpole). One golden per
+// kernel-base × defense × noise cell, drift/KPTI row style: the
+// undefended row pins the baseline, the defended rows pin the *degraded
+// attacker* so a regression in either direction is loud — a defense
+// that stops working and an attack that silently weakens both trip
+// these.
+
+/// One defense-efficacy golden cell.
+struct DefenseGolden {
+    defense: DefenseKind,
+    accuracy_pct: f64,
+    ppa: (f64, f64),
+}
+
+fn defense_cell(
+    noise: NoiseProfile,
+    trials: u64,
+    cal: CalibratorKind,
+    row: &DefenseGolden,
+) -> CampaignRow {
+    Scenario::KernelBase.campaign(
+        &CpuProfile::alder_lake_i5_12400f(),
+        CampaignConfig::new(trials, SEED0)
+            .with_noise(noise)
+            .with_sampling(Sampling::adaptive())
+            .with_calibrator(cal)
+            .with_defense(row.defense),
+    )
+}
+
+fn assert_defense_cells(
+    noise: NoiseProfile,
+    trials: u64,
+    cal: CalibratorKind,
+    golden: &[DefenseGolden],
+) {
+    let rows: Vec<CampaignRow> = golden
+        .iter()
+        .map(|g| defense_cell(noise, trials, cal, g))
+        .collect();
+    for (row, gold) in rows.iter().zip(golden) {
+        assert_eq!(row.defense, gold.defense.name());
+        let acc = row.accuracy.percent();
+        assert!(
+            (acc - gold.accuracy_pct).abs() <= ACCURACY_TOLERANCE_PCT,
+            "{noise} {}: accuracy {acc:.3} % drifted from golden {:.3} %",
+            gold.defense,
+            gold.accuracy_pct
+        );
+        assert!(
+            row.probes_per_address >= gold.ppa.0 && row.probes_per_address <= gold.ppa.1,
+            "{noise} {}: probes/address {:.4} outside [{}, {}]",
+            gold.defense,
+            row.probes_per_address,
+            gold.ppa.0,
+            gold.ppa.1
+        );
+    }
+    // The efficacy ordering itself is part of the contract: masked
+    // translation fully decorrelates the walk signal (strongest),
+    // re-randomization leaves a window per trigger period (partial),
+    // and an undefended victim is an open book.
+    let by = |kind: DefenseKind| {
+        rows.iter()
+            .find(|r| r.defense == kind.name())
+            .expect("cell present")
+            .accuracy
+            .rate()
+    };
+    assert!(
+        by(DefenseKind::None) > by(DefenseKind::Rerandomizing),
+        "{noise}: re-randomization stopped costing the attacker"
+    );
+    assert!(
+        by(DefenseKind::Rerandomizing) > by(DefenseKind::MaskedTranslation),
+        "{noise}: masked translation fell behind re-randomization"
+    );
+}
+
+/// Quiet host, kernel base, adaptive sampling, n = 10: the undefended
+/// scan is perfect; masked translation zeroes it; live re-randomization
+/// (default 384-op trigger ⇒ several re-slides per sweep) leaves the
+/// attacker winning only the trials where the base survives long
+/// enough. Probe spend is defense-independent to within noise — all
+/// three cells pay the same sweep, which is exactly the point: the
+/// victim, not the attacker, changes.
+const DEFENSE_GOLDEN_QUIET: [DefenseGolden; 3] = [
+    DefenseGolden {
+        defense: DefenseKind::None,
+        accuracy_pct: 100.0,
+        ppa: (3.0, 3.1),
+    },
+    DefenseGolden {
+        defense: DefenseKind::MaskedTranslation,
+        accuracy_pct: 0.0,
+        ppa: (3.0, 3.1),
+    },
+    DefenseGolden {
+        defense: DefenseKind::Rerandomizing,
+        accuracy_pct: 40.0,
+        ppa: (3.0, 3.1),
+    },
+];
+
+/// Laptop-DVFS host, n = 20, noise-aware calibration: the undefended
+/// cell reproduces the PR 4 laptop acceptance row (85 %); the defended
+/// cells degrade from there.
+const DEFENSE_GOLDEN_LAPTOP: [DefenseGolden; 3] = [
+    DefenseGolden {
+        defense: DefenseKind::None,
+        accuracy_pct: 85.0,
+        ppa: (5.0, 5.2),
+    },
+    DefenseGolden {
+        defense: DefenseKind::MaskedTranslation,
+        accuracy_pct: 0.0,
+        ppa: (5.0, 5.2),
+    },
+    DefenseGolden {
+        defense: DefenseKind::Rerandomizing,
+        accuracy_pct: 20.0,
+        ppa: (5.0, 5.2),
+    },
+];
+
+#[test]
+fn defense_rows_quiet_match_goldens() {
+    assert_defense_cells(
+        NoiseProfile::Quiet,
+        TRIALS,
+        CalibratorKind::Legacy,
+        &DEFENSE_GOLDEN_QUIET,
+    );
+}
+
+#[test]
+fn defense_rows_laptop_match_goldens() {
+    assert_defense_cells(
+        NoiseProfile::LaptopDvfs,
+        LAPTOP_TRIALS,
+        CalibratorKind::NoiseAware,
+        &DEFENSE_GOLDEN_LAPTOP,
+    );
+}
+
+/// The mid-scan re-randomization race, pinned as a single golden trial:
+/// an aggressive 128-op trigger re-slides the kernel image eight times
+/// inside one 512-slot sweep. The scan stays total (every slot
+/// classified, fixed probe bill) but the picture it assembles is a
+/// smear of eight layouts — phantom mapped slots appear and the
+/// recovered base is wrong. Golden values recorded at the introduction
+/// of the defense axis.
+const RACE_SEED: u64 = 0;
+const RACE_PERIOD: u64 = 128;
+const RACE_RERANDOMIZATIONS: u64 = 8;
+const RACE_MAPPED_SLOTS: usize = 7;
+const RACE_PROBES: u64 = 1041;
+
+#[test]
+fn rerandomization_race_row_matches_golden() {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(RACE_SEED));
+    let (mut machine, truth) = sys.machine(CpuProfile::alder_lake_i5_12400f(), RACE_SEED);
+    Rerandomizing {
+        period: RACE_PERIOD,
+    }
+    .install(
+        &mut machine,
+        &[DefenseRegion::linux_kernel_text()],
+        RACE_SEED,
+    );
+    let mut p = SimProber::new(machine);
+    let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+    let scan = KernelBaseFinder::new(th).scan(&mut p);
+
+    assert_eq!(
+        p.machine().rerandomizations(),
+        RACE_RERANDOMIZATIONS,
+        "trigger schedule drifted"
+    );
+    assert_ne!(scan.base, Some(truth.kernel_base), "race row: attacker won");
+    assert_eq!(
+        scan.mapped.iter().filter(|&&m| m).count(),
+        RACE_MAPPED_SLOTS,
+        "phantom-slot smear drifted"
+    );
+    assert_eq!(p.probes_issued(), RACE_PROBES, "probe bill drifted");
+}
+
+#[test]
+#[ignore = "tier-2: stat-heavy full defense-grid smoke"]
+fn full_defense_grid_runs_and_none_rows_are_the_noise_grid() {
+    use avx_aslr::channel::attacks::campaign::Campaign;
+    let config = CampaignConfig::new(1, 5).with_sampling(Sampling::adaptive());
+    let rows = Campaign::defense_grid(config).run();
+    // 14 scenario rows × 4 noise presets × 3 defenses.
+    assert_eq!(
+        rows.len(),
+        14 * NoiseProfile::ALL.len() * DefenseKind::ALL.len()
+    );
+    for row in &rows {
+        assert!(
+            row.accuracy.total > 0,
+            "{} [{}]: empty row",
+            row.target,
+            row.defense
+        );
+        assert!(
+            row.probes > 0,
+            "{} [{}]: no probes",
+            row.target,
+            row.defense
+        );
+    }
+    // The defense axis never perturbs the undefended cells: the
+    // defense-grid rows with defense == none are bit-identical to a
+    // plain noise-grid run (invariant 12 at grid scale).
+    let baseline = Campaign::noise_grid(config).run();
+    let none_rows: Vec<&CampaignRow> = rows.iter().filter(|r| r.defense == "none").collect();
+    assert_eq!(none_rows.len(), baseline.len());
+    for (a, b) in none_rows.iter().zip(&baseline) {
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.noise, b.noise);
+        assert_eq!(a.probes, b.probes, "{} [{}]", a.target, a.noise);
+        assert_eq!(a.accuracy, b.accuracy, "{} [{}]", a.target, a.noise);
+        assert_eq!(
+            a.probing_seconds.to_bits(),
+            b.probing_seconds.to_bits(),
+            "{} [{}]",
+            a.target,
+            a.noise
+        );
     }
 }
