@@ -13,16 +13,21 @@
 //! under the closed-loop recalibration driver, `--confirm` layers the
 //! confirmation decision policy over every needle-in-haystack scan,
 //! `--observables v1|v2` selects the noise-observables regime (v1
-//! is the bit-exact paper stream, v2 the batched ziggurat kernel), and
+//! is the bit-exact paper stream, v2 the batched ziggurat kernel),
 //! `--defense none|masked|rerandomizing` runs the campaign sections
-//! against a defended victim (see `docs/DEFENSES.md`) — together they
-//! reproduce the probes-per-address numbers of the noise-scenario
+//! against a defended victim (see `docs/DEFENSES.md`), and
+//! `--schedule none|dvfs-square|cotenant-burst|module-churn` runs them
+//! against an event-driven victim whose environment changes on a
+//! virtual wall clock mid-scan — a non-preset `--schedule` value is
+//! read as a trace file in the grammar of `docs/VICTIMS.md` — together
+//! they reproduce the probes-per-address numbers of the noise-scenario
 //! matrix and the drifting-noise recovery row. The output of this
 //! binary is what `EXPERIMENTS.md` records.
 
 use avx_bench::{
     accuracy_trials, calibrate, calibrator_kind, confirm_config, defense_kind, linux_prober,
     linux_prober_with, noise_profile, observables_version, paper, recal_config, sampling_policy,
+    schedule_kind, schedule_spec,
 };
 use avx_channel::attacks::behavior::{SpyConfig, TlbSpy};
 use avx_channel::attacks::cloud::run_scenario;
@@ -46,7 +51,7 @@ use avx_os::modules::{unique_sized, UBUNTU_18_04_MODULES};
 use avx_os::process::{build_process, ImageSignature};
 use avx_os::windows::{WindowsConfig, WindowsSystem, WindowsVersion};
 use avx_os::ExecutionContext;
-use avx_uarch::{CpuProfile, Event, Machine, MaskedOp, NoiseModel, OpKind};
+use avx_uarch::{CpuProfile, Event, Machine, MaskedOp, NoiseModel, OpKind, VictimSchedule};
 
 fn heading(text: &str) {
     println!("\n## {text}\n");
@@ -116,6 +121,7 @@ fn main() {
     recalibration();
     confirmation();
     defense_arena();
+    schedules();
     full_campaign();
     println!("\ndone.");
 }
@@ -139,6 +145,7 @@ fn fleet(victims: u64) {
         confirm: confirm_config(),
         observables: observables_version(),
         defense: defense_kind(),
+        schedule: schedule_kind(),
         ..CampaignConfig::default()
     };
     let mut config = FleetConfig::new(victims);
@@ -159,7 +166,7 @@ fn fleet(victims: u64) {
     );
     println!(
         "fleet config: victims={} shards={} shard_size={} pool={} noise={} sampling={} \
-         calibrator={} observables={} defense={} confirm={} recal={} seed={}",
+         calibrator={} observables={} defense={} schedule={} confirm={} recal={} seed={}",
         fleet.config.victims,
         fleet.config.shard_count(),
         fleet.config.shard_size,
@@ -169,6 +176,7 @@ fn fleet(victims: u64) {
         fleet.campaign.calibrator.name(),
         fleet.campaign.observables.name(),
         fleet.campaign.defense.name(),
+        fleet.campaign.schedule.name(),
         if fleet.campaign.confirm.is_some() {
             "on"
         } else {
@@ -247,6 +255,115 @@ fn defense_arena() {
     println!("  (select per run: repro --defense <none|masked|rerandomizing>)");
 }
 
+/// The event-driven-victim story: the kernel-base cell against every
+/// entry of the schedule menu, one-shot vs closed-loop calibration.
+/// The square-wave DVFS victim is the motivating pair: its mid-scan
+/// noise-preset swaps go stale against a one-shot threshold, and the
+/// closed loop recovers through `DriftMonitor::check` alone (see
+/// `docs/VICTIMS.md` for the per-row helps-vs-hurts picture).
+fn schedules() {
+    use avx_channel::attacks::campaign::{CampaignConfig, Scenario};
+    use avx_channel::{CalibratorKind, RecalConfig, Sampling, ScheduleKind};
+    let trials = accuracy_trials().min(12);
+    heading(&format!(
+        "Event-driven victims — schedule menu (n={trials}, adaptive sampling)"
+    ));
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let base = CampaignConfig::new(trials, 0)
+        .with_sampling(Sampling::adaptive())
+        .with_calibrator(CalibratorKind::NoiseAware)
+        .with_observables(observables_version());
+    let mut table = Table::new(["Schedule", "Calibration", "p/addr", "Accuracy"]);
+    for schedule in ScheduleKind::ALL {
+        for (label, config) in [
+            ("one-shot", base.with_schedule(schedule)),
+            (
+                "closed-loop",
+                base.with_schedule(schedule)
+                    .with_recalibration(RecalConfig::default()),
+            ),
+        ] {
+            let row = Scenario::KernelBase.campaign(&profile, config);
+            table.row([
+                row.schedule.to_string(),
+                label.to_string(),
+                format!("{:.2}", row.probes_per_address),
+                format!("{:.2} %", row.accuracy.percent()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "  (select per run: repro --schedule <none|dvfs-square|cotenant-burst|module-churn> \
+         or --schedule <trace-file>)"
+    );
+    trace_demo();
+}
+
+/// `--schedule <trace-file>`: one demonstration scan against a
+/// user-authored victim schedule (the trace grammar of
+/// `docs/VICTIMS.md`), reported alongside the preset menu.
+fn trace_demo() {
+    let Some(spec) = schedule_spec() else { return };
+    if avx_channel::ScheduleKind::parse(&spec).is_some() {
+        return;
+    }
+    let text = match std::fs::read_to_string(&spec) {
+        Ok(text) => text,
+        Err(err) => {
+            println!("  trace schedule {spec:?}: unreadable ({err}); demo skipped");
+            return;
+        }
+    };
+    let sched = match VictimSchedule::from_trace(&text, 77) {
+        Ok(sched) => sched,
+        Err(err) => {
+            println!("  trace schedule {spec:?}: {err}; demo skipped");
+            return;
+        }
+    };
+    use avx_channel::attacks::campaign::CampaignConfig;
+    let profile = CpuProfile::alder_lake_i5_12400f();
+    let (mut p, truth) = linux_prober(profile.clone(), 77);
+    // Mirror the campaign install order and attacker tooling: the
+    // victim's baseline noise environment is the trace's `base` preset
+    // (the events perturb it), and the attacker runs under the session
+    // knobs — sampling policy, calibrator, recalibration.
+    let base = sched.profile();
+    p.machine_mut().set_noise_profile(base);
+    p.machine_mut().set_observables(observables_version());
+    p.machine_mut().set_victim_schedule(Some(sched));
+    let config = CampaignConfig::new(1, 77)
+        .with_noise(base)
+        .with_sampling(sampling_policy())
+        .with_calibrator(calibrator_kind())
+        .with_observables(observables_version());
+    let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, config.calibrator);
+    let mut finder = KernelBaseFinder::new(fit.threshold);
+    if let Some(sampler) = config.sampler_for(&profile, &fit) {
+        finder = finder.with_adaptive(sampler);
+    }
+    if let Some(strategy) = config.sampling.strategy_override() {
+        finder = finder.with_strategy(strategy);
+    }
+    if let Some(recal) = recal_config() {
+        finder = finder.with_recalibration(recal);
+    }
+    let scan = finder.scan(&mut p);
+    let fired = p.machine().victim_schedule().map_or(0, |s| s.fired());
+    println!(
+        "  trace demo {spec:?}: base {} (truth {}, {}), {fired} events fired over {} probes",
+        scan.base.map_or("-".into(), |b| b.to_string()),
+        truth.kernel_base,
+        if scan.base == Some(truth.kernel_base) {
+            "recovered"
+        } else {
+            "missed — try --adaptive --calibrator noise-aware --recalibrate"
+        },
+        p.probes_issued(),
+    );
+}
+
 /// The generalized Table I: every §IV attack scenario across the three
 /// evaluated desktop/mobile parts, trials parallelized via rayon.
 fn full_campaign() {
@@ -259,8 +376,9 @@ fn full_campaign() {
     let confirm = confirm_config();
     let observables = observables_version();
     let defense = defense_kind();
+    let schedule = schedule_kind();
     heading(&format!(
-        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, confirm={}, observables={observables}, defense={defense}, rayon-parallel)",
+        "Full campaign — all 8 attacks x 3 CPUs (n={trials}, noise={noise}, sampling={}, calibrator={calibrator}, recalibrate={}, confirm={}, observables={observables}, defense={defense}, schedule={schedule}, rayon-parallel)",
         sampling.name(),
         if recal.is_some() { "on" } else { "off" },
         if confirm.is_some() { "on" } else { "off" },
@@ -270,7 +388,8 @@ fn full_campaign() {
         .with_sampling(sampling)
         .with_calibrator(calibrator)
         .with_observables(observables)
-        .with_defense(defense);
+        .with_defense(defense)
+        .with_schedule(schedule);
     if let Some(recal) = recal {
         config = config.with_recalibration(recal);
     }

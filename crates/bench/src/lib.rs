@@ -10,7 +10,8 @@
 pub mod throughput;
 
 use avx_channel::{
-    CalibratorKind, ConfirmConfig, DefenseKind, RecalConfig, Sampling, SimProber, Threshold,
+    CalibratorKind, ConfirmConfig, DefenseKind, RecalConfig, Sampling, ScheduleKind, SimProber,
+    Threshold,
 };
 use avx_os::linux::{LinuxConfig, LinuxSystem, LinuxTruth};
 use avx_uarch::{CpuProfile, NoiseModel, NoiseProfile, ObservablesVersion};
@@ -240,6 +241,30 @@ pub fn defense_kind() -> DefenseKind {
         .unwrap_or(DefenseKind::None)
 }
 
+/// Raw victim-schedule selector for the campaign sections:
+/// `--schedule <name|trace-file>` (or `--schedule=<value>`) on the
+/// command line, else the `AVX_SCHEDULE` environment variable. The
+/// repro binary treats values that are not preset names as trace-file
+/// paths (see `docs/VICTIMS.md` for the grammar).
+#[must_use]
+pub fn schedule_spec() -> Option<String> {
+    arg_value("schedule").or_else(|| std::env::var("AVX_SCHEDULE").ok())
+}
+
+/// Victim event schedule for the campaign sections, resolved to a
+/// preset: `--schedule none|dvfs-square|cotenant-burst|module-churn`
+/// (or `AVX_SCHEDULE=<name>`), else the event-free
+/// [`ScheduleKind::None`] victim — which installs nothing, so the
+/// default repro output is bit-exact. Non-preset values (trace-file
+/// paths, typos) fall back to none here; the repro binary's schedule
+/// section separately demonstrates trace files.
+#[must_use]
+pub fn schedule_kind() -> ScheduleKind {
+    schedule_spec()
+        .and_then(|v| ScheduleKind::parse(&v))
+        .unwrap_or(ScheduleKind::None)
+}
+
 /// Value of `--<name> <value>` or `--<name>=<value>` on the command
 /// line. Exact-name match: `--fleet` never swallows `--fleet-shards`.
 fn arg_value(name: &str) -> Option<String> {
@@ -436,6 +461,23 @@ mod tests {
         std::env::set_var("AVX_DEFENSE", "bogus");
         assert_eq!(defense_kind(), DefenseKind::None);
         std::env::remove_var("AVX_DEFENSE");
+    }
+
+    #[test]
+    fn schedule_defaults_to_none_and_honors_the_env_knob() {
+        std::env::remove_var("AVX_SCHEDULE");
+        assert_eq!(schedule_kind(), ScheduleKind::None);
+        assert_eq!(schedule_spec(), None);
+        std::env::set_var("AVX_SCHEDULE", "dvfs-square");
+        assert_eq!(schedule_kind(), ScheduleKind::DvfsSquare);
+        std::env::set_var("AVX_SCHEDULE", "cotenant-burst");
+        assert_eq!(schedule_kind(), ScheduleKind::CoTenantBurst);
+        // Non-preset values (trace-file paths) resolve to none at the
+        // preset layer but stay visible through the raw spec.
+        std::env::set_var("AVX_SCHEDULE", "/tmp/victim.trace");
+        assert_eq!(schedule_kind(), ScheduleKind::None);
+        assert_eq!(schedule_spec(), Some("/tmp/victim.trace".to_string()));
+        std::env::remove_var("AVX_SCHEDULE");
     }
 
     #[test]

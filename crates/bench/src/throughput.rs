@@ -12,7 +12,9 @@ use std::time::Instant;
 
 use avx_channel::attacks::campaign::{Campaign, CampaignConfig, Scenario};
 use avx_channel::fleet::{Fleet, FleetConfig};
-use avx_channel::{CalibratorKind, KernelBaseFinder, Prober, RecalConfig, Sampling, Threshold};
+use avx_channel::{
+    CalibratorKind, KernelBaseFinder, Prober, RecalConfig, Sampling, ScheduleKind, Threshold,
+};
 use avx_uarch::{CpuProfile, NoiseProfile, ObservablesVersion};
 
 /// One end-to-end measurement of the full noise-grid campaign.
@@ -180,6 +182,65 @@ pub fn measure_drift_row_with(trials: u64, observables: ObservablesVersion) -> D
     }
 }
 
+/// One measurement of the event-driven-victim row: the kernel-base
+/// campaign against the square-wave DVFS victim with the closed-loop
+/// driver on — the tentpole scenario of the schedule axis, recorded so
+/// the cost of re-fitting against a victim that swaps noise presets on
+/// its own wall clock stays on the perf trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleRowThroughput {
+    /// Observables regime the row ran under.
+    pub observables: ObservablesVersion,
+    /// Victim schedule the row ran against.
+    pub schedule: &'static str,
+    /// Trials the row ran.
+    pub trials: u64,
+    /// Raw probes issued (calibration + rescans included).
+    pub probes: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Probes per wall-clock second.
+    pub probes_per_sec: f64,
+    /// Accuracy of the closed-loop row, percent.
+    pub accuracy_pct: f64,
+}
+
+/// Measures the closed-loop schedule row (`repro --schedule dvfs-square
+/// --adaptive --calibrator noise-aware --recalibrate` as a campaign
+/// cell).
+#[must_use]
+pub fn measure_schedule_row(trials: u64) -> ScheduleRowThroughput {
+    measure_schedule_row_with(trials, ObservablesVersion::V1)
+}
+
+/// [`measure_schedule_row`] under an explicit observables regime. The
+/// schedule's virtual clock ticks per victim-observed op in both
+/// regimes, so accuracy is comparable across them.
+#[must_use]
+pub fn measure_schedule_row_with(
+    trials: u64,
+    observables: ObservablesVersion,
+) -> ScheduleRowThroughput {
+    let config = CampaignConfig::new(trials, 0)
+        .with_schedule(ScheduleKind::DvfsSquare)
+        .with_sampling(Sampling::adaptive())
+        .with_calibrator(CalibratorKind::NoiseAware)
+        .with_recalibration(RecalConfig::default())
+        .with_observables(observables);
+    let start = Instant::now();
+    let row = Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    ScheduleRowThroughput {
+        observables,
+        schedule: row.schedule,
+        trials,
+        probes: row.probes,
+        wall_seconds,
+        probes_per_sec: row.probes as f64 / wall_seconds.max(1e-9),
+        accuracy_pct: row.accuracy.percent(),
+    }
+}
+
 /// One measurement of the streaming fleet engine at population scale:
 /// kernel-base victims under the default quiet/fixed/legacy/v1 config,
 /// swept by [`avx_channel::fleet::Fleet`] with default sharding — the
@@ -247,6 +308,8 @@ pub struct BenchMeasurements {
     pub drift_v2: DriftRowThroughput,
     /// Streaming fleet at N = 10⁵ victims, v1 regime.
     pub fleet: FleetThroughput,
+    /// Closed-loop square-wave-DVFS schedule row, v1 regime.
+    pub schedule_row: ScheduleRowThroughput,
 }
 
 fn grid_json(grid: &CampaignThroughput) -> String {
@@ -305,20 +368,36 @@ fn fleet_json(fleet: &FleetThroughput) -> String {
     )
 }
 
+fn schedule_json(row: &ScheduleRowThroughput) -> String {
+    format!(
+        "{{\n    \"observables\": \"{}\",\n    \"schedule\": \"{}\",\n    \
+         \"trials\": {},\n    \"probes\": {},\n    \"wall_seconds\": {:.6},\n    \
+         \"probes_per_sec\": {:.1},\n    \"accuracy_pct\": {:.2}\n  }}",
+        row.observables,
+        row.schedule,
+        row.trials,
+        row.probes,
+        row.wall_seconds,
+        row.probes_per_sec,
+        row.accuracy_pct,
+    )
+}
+
 /// Serializes the measurements as the machine-readable
 /// `BENCH_campaign.json` record (hand-rolled JSON; the build is
-/// air-gapped, so no serde). Schema v4: every entry carries its
+/// air-gapped, so no serde). Schema v5: every entry carries its
 /// observables tag, the historical `grid`/`fig4_sweep`/`drift_row`
 /// keys stay the v1 regime, the `*_v2` keys hold the batched ziggurat
-/// counterparts, and `fleet_row` records the streaming fleet at
-/// N = 10⁵ victims.
+/// counterparts, `fleet_row` records the streaming fleet at N = 10⁵
+/// victims, and `schedule_row` the closed-loop campaign against the
+/// square-wave-DVFS event-driven victim.
 #[must_use]
 pub fn bench_json(m: &BenchMeasurements) -> String {
     format!(
-        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v4\",\n  \
+        "{{\n  \"schema\": \"avx-aslr/campaign-throughput/v5\",\n  \
          \"grid\": {},\n  \"fig4_sweep\": {},\n  \"drift_row\": {},\n  \
          \"grid_v2\": {},\n  \"fig4_sweep_v2\": {},\n  \"drift_row_v2\": {},\n  \
-         \"fleet_row\": {}\n}}\n",
+         \"fleet_row\": {},\n  \"schedule_row\": {}\n}}\n",
         grid_json(&m.grid),
         sweep_json(&m.sweep),
         drift_json(&m.drift),
@@ -326,6 +405,7 @@ pub fn bench_json(m: &BenchMeasurements) -> String {
         sweep_json(&m.sweep_v2),
         drift_json(&m.drift_v2),
         fleet_json(&m.fleet),
+        schedule_json(&m.schedule_row),
     )
 }
 
@@ -357,6 +437,7 @@ pub fn run_bench_json(path: &std::path::Path) -> std::io::Result<BenchMeasuremen
         sweep_v2: measure_fig4_sweep_with(64 * 1024, ObservablesVersion::V2),
         drift_v2: measure_drift_row_with(8, ObservablesVersion::V2),
         fleet: measure_fleet(100_000),
+        schedule_row: measure_schedule_row(8),
     };
     std::fs::write(path, bench_json(&m))?;
     Ok(m)
@@ -424,6 +505,15 @@ mod tests {
                 probes_per_sec: 8_675_000.0,
                 accuracy_pct: 99.8,
             },
+            schedule_row: ScheduleRowThroughput {
+                observables: ObservablesVersion::V1,
+                schedule: "dvfs-square",
+                trials: 8,
+                probes: 25_000,
+                wall_seconds: 0.02,
+                probes_per_sec: 1_250_000.0,
+                accuracy_pct: 100.0,
+            },
         }
     }
 
@@ -431,7 +521,7 @@ mod tests {
     fn bench_json_is_well_formed() {
         let json = bench_json(&fake_measurements());
         assert!(json.contains("\"probes_per_sec\""));
-        assert!(json.contains("campaign-throughput/v4"));
+        assert!(json.contains("campaign-throughput/v5"));
         assert!(json.contains("\"drift_row\""));
         assert!(json.contains("\"accuracy_pct\""));
         // Both regimes appear, each tagged with its observables name.
@@ -443,8 +533,11 @@ mod tests {
         // The fleet row carries the population-scale metrics.
         assert!(json.contains("\"fleet_row\""));
         assert!(json.contains("\"victims_per_sec\""));
+        // The schedule row tags the victim schedule it ran against.
+        assert!(json.contains("\"schedule_row\""));
+        assert!(json.contains("\"schedule\": \"dvfs-square\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches("\"observables\"").count(), 7);
+        assert_eq!(json.matches("\"observables\"").count(), 8);
     }
 
     #[test]
@@ -464,6 +557,16 @@ mod tests {
         assert_eq!(sweep.observables, ObservablesVersion::V2);
         assert!(sweep.probes >= 1024);
         assert!(sweep.probes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn schedule_row_measurement_recovers_and_reports_throughput() {
+        let row = measure_schedule_row(2);
+        assert_eq!(row.trials, 2);
+        assert_eq!(row.schedule, "dvfs-square");
+        assert!(row.probes > 0);
+        assert!(row.probes_per_sec > 0.0);
+        assert!(row.accuracy_pct >= 50.0, "{}", row.accuracy_pct);
     }
 
     #[test]

@@ -87,17 +87,26 @@ fn bench_json_flag_produces_valid_record() {
     assert!(sweep.wall_seconds > 0.0);
 }
 
+/// Absolute probe count of the n=2 noise grid under the bit-exact v1
+/// regime — pinned at this value since PR 3 (`BENCH_campaign.json`).
+/// Any drift means the default probe stream itself moved.
+const GRID_PROBES_V1: u64 = 10_850_014;
+
+/// Absolute probe count of the n=2 noise grid under the batched
+/// ziggurat v2 regime, pinned since the regime was re-goldened (PR 6).
+const GRID_PROBES_V2: u64 = 11_075_285;
+
 #[test]
 fn grid_measurement_pins_probe_counts_per_regime() {
     // The probe *count* of a fixed grid is deterministic per regime —
-    // wall-clock varies, the simulated work does not. v1's count is the
-    // bit-exactness canary (any drift means the default stream moved);
-    // v2's pins the re-goldened batched regime.
-    let v1 = measure_noise_grid_with(1, ObservablesVersion::V1);
-    let v1_again = measure_noise_grid_with(1, ObservablesVersion::V1);
-    assert_eq!(v1.probes, v1_again.probes, "v1 grid probes must be stable");
-    let v2 = measure_noise_grid_with(1, ObservablesVersion::V2);
-    let v2_again = measure_noise_grid_with(1, ObservablesVersion::V2);
-    assert_eq!(v2.probes, v2_again.probes, "v2 grid probes must be stable");
+    // wall-clock varies, the simulated work does not. The absolute pins
+    // double as the schedule axis's no-schedule canary: the default
+    // grid carries `ScheduleKind::None`, so these counts moving would
+    // mean the event scheduler leaked into the unscheduled path
+    // (invariant 13).
+    let v1 = measure_noise_grid_with(2, ObservablesVersion::V1);
+    assert_eq!(v1.probes, GRID_PROBES_V1, "v1 grid probe count moved");
+    let v2 = measure_noise_grid_with(2, ObservablesVersion::V2);
+    assert_eq!(v2.probes, GRID_PROBES_V2, "v2 grid probe count moved");
     assert_eq!(v1.rows, v2.rows, "regimes run the same grid shape");
 }

@@ -45,10 +45,11 @@ use crate::primitives::{PermissionAttack, TlbAttack};
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
 use crate::report::fmt_seconds;
+use crate::schedule::ScheduleKind;
 use crate::stats::Trials;
 
 use super::behavior::{SpyConfig, TlbSpy};
-use super::cloud::run_scenario_defended;
+use super::cloud::run_scenario_scheduled;
 use super::kaslr::{AmdKernelBaseFinder, KernelBaseFinder};
 use super::kpti::KptiAttack;
 use super::modules::ModuleScanner;
@@ -92,6 +93,11 @@ pub struct CampaignConfig {
     /// architecturally silent — every pre-defense golden row is
     /// bit-exact by construction.
     pub defense: DefenseKind,
+    /// Event schedule the victim machines run under
+    /// ([`crate::schedule`]). The default, [`ScheduleKind::None`], is
+    /// architecturally silent (no schedule ⇒ no clock reads) — every
+    /// pre-schedule golden row is bit-exact by construction.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for CampaignConfig {
@@ -106,6 +112,7 @@ impl Default for CampaignConfig {
             confirm: None,
             observables: ObservablesVersion::V1,
             defense: DefenseKind::None,
+            schedule: ScheduleKind::None,
         }
     }
 }
@@ -174,6 +181,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Same config against an event-driven victim (what
+    /// `repro --schedule` selects).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// The adaptive sampler this config induces for a calibration fit
     /// on `profile`: [`Sampling::sampler_for_calibration`] with this
     /// config's estimator and the profile's oracle σ.
@@ -212,6 +227,9 @@ pub struct CampaignRow {
     /// Defense label ("none", "masked", "rerandomizing") the cell's
     /// victims ran under.
     pub defense: &'static str,
+    /// Schedule label ("none", "dvfs-square", "cotenant-burst",
+    /// "module-churn") the cell's victims ran under.
+    pub schedule: &'static str,
     /// Mean seconds inside the timed masked ops.
     pub probing_seconds: f64,
     /// Mean seconds including overhead.
@@ -232,15 +250,21 @@ impl fmt::Display for CampaignRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Undefended rows keep the historical 4-part tag so every
         // pre-defense consumer (and golden assertion) is unchanged;
-        // defended cells append their defense label.
+        // defended cells append their defense label and event-driven
+        // cells their schedule label.
         let defense_tag = if self.defense == "none" {
             String::new()
         } else {
             format!("/{}", self.defense)
         };
+        let schedule_tag = if self.schedule == "none" {
+            String::new()
+        } else {
+            format!("/{}", self.schedule)
+        };
         write!(
             f,
-            "{} {} [{}/{}/{}/{}{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
+            "{} {} [{}/{}/{}/{}{}{}]: {} probing / {} total / {:.1} probes/addr / {:.2} %",
             self.cpu,
             self.target,
             self.noise,
@@ -248,6 +272,7 @@ impl fmt::Display for CampaignRow {
             self.calibrator,
             self.observables,
             defense_tag,
+            schedule_tag,
             fmt_seconds(self.probing_seconds),
             fmt_seconds(self.total_seconds),
             self.probes_per_address,
@@ -600,6 +625,7 @@ impl Scenario {
             calibrator: config.calibrator.name(),
             observables: config.observables.name(),
             defense: config.defense.name(),
+            schedule: config.schedule.name(),
             probing_seconds: probing / trials as f64,
             total_seconds: total / trials as f64,
             trials,
@@ -620,7 +646,7 @@ impl fmt::Display for Scenario {
     }
 }
 
-/// A scenario × profile × noise × defense campaign matrix.
+/// A scenario × profile × noise × defense × schedule campaign matrix.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     /// CPU profiles to attack on.
@@ -631,6 +657,8 @@ pub struct Campaign {
     pub noises: Vec<NoiseProfile>,
     /// Victim-side defenses to run each cell against.
     pub defenses: Vec<DefenseKind>,
+    /// Event schedules to run each cell's victims under.
+    pub schedules: Vec<ScheduleKind>,
     /// Trial parameters.
     pub config: CampaignConfig,
 }
@@ -649,6 +677,7 @@ impl Campaign {
             scenarios,
             noises: vec![config.noise],
             defenses: vec![config.defense],
+            schedules: vec![config.schedule],
             config,
         }
     }
@@ -669,12 +698,29 @@ impl Campaign {
         self
     }
 
+    /// Replaces the schedule axis of the matrix.
+    #[must_use]
+    pub fn with_schedules(mut self, schedules: Vec<ScheduleKind>) -> Self {
+        assert!(!schedules.is_empty(), "schedule axis must be non-empty");
+        self.schedules = schedules;
+        self
+    }
+
     /// The full 4-axis attack × CPU × noise × defense grid:
     /// [`Campaign::noise_grid`] repeated against every
     /// [`DefenseKind`].
     #[must_use]
     pub fn defense_grid(config: CampaignConfig) -> Self {
         Self::noise_grid(config).with_defenses(DefenseKind::ALL.to_vec())
+    }
+
+    /// The attack × CPU × noise × schedule grid:
+    /// [`Campaign::noise_grid`] repeated against every
+    /// [`ScheduleKind`]. Its `schedule=none` rows are bit-equal to
+    /// [`Campaign::noise_grid`]'s by invariant 13.
+    #[must_use]
+    pub fn schedule_grid(config: CampaignConfig) -> Self {
+        Self::noise_grid(config).with_schedules(ScheduleKind::ALL.to_vec())
     }
 
     /// The full paper evaluation: all eight §IV attacks across the two
@@ -711,9 +757,10 @@ impl Campaign {
         Self::full(config).with_noises(NoiseProfile::ALL.to_vec())
     }
 
-    /// Runs every supported noise × defense × scenario × profile cell;
-    /// rows come back noise-major, then defense-major, then
-    /// scenario-major in the order of `self.scenarios`.
+    /// Runs every supported noise × defense × schedule × scenario ×
+    /// profile cell; rows come back noise-major, then defense-major,
+    /// then schedule-major, then scenario-major in the order of
+    /// `self.scenarios`.
     ///
     /// Trial layouts depend only on (scenario, seed), so each
     /// scenario's victim systems are built **once** up front
@@ -760,24 +807,27 @@ impl Campaign {
         let mut rows = Vec::new();
         for &noise in &self.noises {
             for &defense in &self.defenses {
-                for (&scenario, pool) in self.scenarios.iter().zip(&pools) {
-                    let config = CampaignConfig {
-                        trials: pool.len() as u64,
-                        noise,
-                        defense,
-                        ..self.config
-                    };
-                    if scenario == Scenario::Cloud {
-                        if let Some(profile) =
-                            self.profiles.iter().find(|p| scenario.supported_on(p))
-                        {
-                            rows.push(scenario.campaign_with(profile, config, pool));
+                for &schedule in &self.schedules {
+                    for (&scenario, pool) in self.scenarios.iter().zip(&pools) {
+                        let config = CampaignConfig {
+                            trials: pool.len() as u64,
+                            noise,
+                            defense,
+                            schedule,
+                            ..self.config
+                        };
+                        if scenario == Scenario::Cloud {
+                            if let Some(profile) =
+                                self.profiles.iter().find(|p| scenario.supported_on(p))
+                            {
+                                rows.push(scenario.campaign_with(profile, config, pool));
+                            }
+                            continue;
                         }
-                        continue;
-                    }
-                    for profile in &self.profiles {
-                        if scenario.supported_on(profile) {
-                            rows.push(scenario.campaign_with(profile, config, pool));
+                        for profile in &self.profiles {
+                            if scenario.supported_on(profile) {
+                                rows.push(scenario.campaign_with(profile, config, pool));
+                            }
                         }
                     }
                 }
@@ -801,11 +851,12 @@ fn linux_defense_regions() -> [DefenseRegion; 2] {
 
 /// Machine + calibrated prober over a copy-on-write snapshot of a
 /// prebuilt Linux system, running under the campaign's noise
-/// environment and defense, calibrating with the campaign's estimator.
-/// The defense is installed on the snapshot machine before the first
-/// probe (so a re-randomizing victim only ever mutates its clone), and
-/// before calibration (the attacker calibrates against the defended
-/// victim, like on real silicon).
+/// environment, defense and event schedule, calibrating with the
+/// campaign's estimator. The defense and schedule are installed on the
+/// snapshot machine before the first probe (so a re-randomizing victim
+/// or churning schedule only ever mutates its clone), and before
+/// calibration (the attacker calibrates against the defended,
+/// event-driven victim, like on real silicon).
 fn linux_prober(
     profile: &CpuProfile,
     sys: &LinuxSystem,
@@ -818,6 +869,7 @@ fn linux_prober(
     config
         .defense
         .install(&mut machine, &linux_defense_regions(), seed);
+    config.schedule.install(&mut machine, config.noise, seed);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, config.calibrator);
     (p, truth, fit)
@@ -872,6 +924,7 @@ fn amd_base_trial(
     config
         .defense
         .install(&mut machine, &linux_defense_regions(), seed);
+    config.schedule.install(&mut machine, config.noise, seed);
     let mut p = SimProber::new(machine);
     let mut finder = AmdKernelBaseFinder::for_default_kernel();
     if let Some(filter) = config.sampling.min_filter() {
@@ -1036,6 +1089,7 @@ fn userspace_trial(
     let mut machine = Machine::new(profile.clone(), space, machine_seed(seed));
     machine.set_noise_profile(config.noise);
     machine.set_observables(config.observables);
+    config.schedule.install(&mut machine, config.noise, seed);
     let mut p = SimProber::new(machine);
     let (perm, fit) = PermissionAttack::calibrate_with(&mut p, own, config.calibrator);
     let mut scanner = UserSpaceScanner::new(perm);
@@ -1095,6 +1149,7 @@ fn windows_trial(
     config
         .defense
         .install(&mut machine, &[DefenseRegion::windows_kernel()], seed);
+    config.schedule.install(&mut machine, config.noise, seed);
     let mut p = SimProber::new(machine);
     let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, config.calibrator);
     let mut attack = WindowsKaslrAttack::new(fit.threshold);
@@ -1128,7 +1183,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
     let (mut probing, mut total) = (0.0f64, 0.0f64);
     let (mut probes, mut addresses) = (0u64, 0u64);
     for scenario in CloudScenario::all(seed) {
-        let report = run_scenario_defended(
+        let report = run_scenario_scheduled(
             &scenario,
             machine_seed(seed),
             config.noise,
@@ -1138,6 +1193,7 @@ fn cloud_trial(seed: u64, config: CampaignConfig) -> TrialOutcome {
             config.observables,
             config.confirm,
             config.defense,
+            config.schedule,
         );
         accuracy.record(report.base_correct);
         probing += report.probing_seconds;
@@ -1453,6 +1509,52 @@ mod tests {
         let grid = Campaign::defense_grid(CampaignConfig::new(1, 3));
         assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
         assert_eq!(grid.defenses, DefenseKind::ALL.to_vec());
+        assert_eq!(grid.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn scheduled_rows_tag_their_schedule_and_unscheduled_rows_do_not() {
+        let none = intel_base_campaign(&CpuProfile::alder_lake_i5_12400f(), small());
+        let burst = intel_base_campaign(
+            &CpuProfile::alder_lake_i5_12400f(),
+            small().with_schedule(ScheduleKind::CoTenantBurst),
+        );
+        assert_eq!(none.schedule, "none");
+        assert_eq!(burst.schedule, "cotenant-burst");
+        assert!(
+            !none.to_string().contains("none"),
+            "the unscheduled tag stays the historical 4-part one: {none}"
+        );
+        assert!(burst.to_string().contains("/cotenant-burst]"), "{burst}");
+    }
+
+    #[test]
+    fn schedule_axis_produces_grid_rows_in_menu_order() {
+        let campaign = Campaign::new(
+            vec![CpuProfile::alder_lake_i5_12400f()],
+            vec![Scenario::KernelBase],
+            CampaignConfig::new(3, 7),
+        )
+        .with_schedules(ScheduleKind::ALL.to_vec());
+        let rows = campaign.run();
+        assert_eq!(rows.len(), ScheduleKind::ALL.len());
+        let labels: Vec<&str> = rows.iter().map(|r| r.schedule).collect();
+        assert_eq!(
+            labels,
+            vec!["none", "dvfs-square", "cotenant-burst", "module-churn"]
+        );
+        assert!(rows[0].accuracy.rate() > 0.9, "{}", rows[0]);
+        for row in &rows {
+            assert!(row.accuracy.total > 0, "{row}: empty cell");
+        }
+    }
+
+    #[test]
+    fn schedule_grid_is_the_full_noise_by_schedule_matrix() {
+        let grid = Campaign::schedule_grid(CampaignConfig::new(1, 3));
+        assert_eq!(grid.noises, NoiseProfile::ALL.to_vec());
+        assert_eq!(grid.schedules, ScheduleKind::ALL.to_vec());
+        assert_eq!(grid.defenses, vec![DefenseKind::None]);
         assert_eq!(grid.scenarios.len(), 8);
     }
 

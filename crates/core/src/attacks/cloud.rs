@@ -20,6 +20,7 @@ use crate::decision::ConfirmConfig;
 use crate::defense::{DefenseKind, DefenseRegion};
 use crate::prober::{Prober, SimProber};
 use crate::recal::RecalConfig;
+use crate::schedule::ScheduleKind;
 
 use super::kaslr::KernelBaseFinder;
 use super::kpti::KptiAttack;
@@ -218,6 +219,40 @@ pub fn run_scenario_defended(
     confirm: Option<ConfirmConfig>,
     defense: DefenseKind,
 ) -> CloudBreakReport {
+    run_scenario_scheduled(
+        scenario,
+        machine_seed,
+        noise,
+        sampling,
+        calibrator,
+        recal,
+        observables,
+        confirm,
+        defense,
+        ScheduleKind::None,
+    )
+}
+
+/// [`run_scenario_defended`] against an event-driven guest: the
+/// complete set of campaign knobs. Each guest installs the victim
+/// schedule after its defense and before the chain's first probe, so
+/// the virtual wall clock covers calibration and every sweep.
+/// [`ScheduleKind::None`] is architecturally silent, so
+/// [`run_scenario_defended`] stays bit-exact.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_scheduled(
+    scenario: &CloudScenario,
+    machine_seed: u64,
+    noise: NoiseProfile,
+    sampling: Sampling,
+    calibrator: CalibratorKind,
+    recal: Option<RecalConfig>,
+    observables: ObservablesVersion,
+    confirm: Option<ConfirmConfig>,
+    defense: DefenseKind,
+    schedule: ScheduleKind,
+) -> CloudBreakReport {
     let sigma = noise.effective_sigma(&scenario.cpu.timing);
     match &scenario.guest {
         GuestOs::Linux(cfg) => {
@@ -233,6 +268,7 @@ pub fn run_scenario_defended(
                 ],
                 machine_seed,
             );
+            schedule.install(&mut machine, noise, machine_seed);
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user.calibration, 16, calibrator);
             let th = fit.threshold;
@@ -317,6 +353,7 @@ pub fn run_scenario_defended(
                 &[DefenseRegion::windows_kernel()],
                 machine_seed,
             );
+            schedule.install(&mut machine, noise, machine_seed);
             let mut p = SimProber::new(machine);
             let fit = Threshold::calibrate_with(&mut p, truth.user_scratch, 16, calibrator);
             let mut attack = WindowsKaslrAttack::new(fit.threshold);

@@ -60,6 +60,7 @@ pub mod primitives;
 pub mod prober;
 pub mod recal;
 pub mod report;
+pub mod schedule;
 pub mod stats;
 pub mod sweep;
 
@@ -79,4 +80,5 @@ pub use primitives::{
 };
 pub use prober::{ProbeStrategy, Prober, SimProber};
 pub use recal::{DriftMonitor, DriftSignal, RecalConfig, RecalEvent, Recalibrating};
+pub use schedule::ScheduleKind;
 pub use sweep::AddrRange;

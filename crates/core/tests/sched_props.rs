@@ -1,0 +1,274 @@
+//! Property suite for the schedule axis (`avx_channel::schedule`).
+//!
+//! Pins the campaign-level face of invariant 13:
+//! 1. `ScheduleKind::None` is bit-identical to the historical
+//!    no-schedule path — probe values *and* probe counts, both
+//!    observables regimes.
+//! 2. Scheduled campaigns are deterministic: same seed + schedule ⇒
+//!    bit-identical `CampaignRow`, events included.
+//! 3. Mid-scan module churn never violates the `AddrRange::tiles()`
+//!    probe-order contract: the attacker's sweep schedule is the
+//!    attacker's, no matter what the victim loads or unloads.
+//! 4. Trigger-never-fires: a scheduled quiet→quiet swap stays
+//!    bit-exact with the open-loop sweep — the recalibrator's
+//!    `DriftMonitor::check` is the only trigger site, and a no-op
+//!    environment gives it nothing to fire on.
+
+use avx_channel::attacks::campaign::{CampaignConfig, CampaignRow, Scenario};
+use avx_channel::schedule::ScheduleKind;
+use avx_channel::{AddrRange, KernelBaseFinder, Prober, RecalConfig, SimProber, Threshold};
+use avx_mmu::VirtAddr;
+use avx_os::linux::{
+    LinuxConfig, LinuxSystem, KASLR_ALIGN, KERNEL_SLOTS, KERNEL_TEXT_REGION_END,
+    KERNEL_TEXT_REGION_START,
+};
+use avx_uarch::{CpuProfile, NoiseProfile, ObservablesVersion, OpKind, SchedEvent, VictimSchedule};
+
+fn profile() -> CpuProfile {
+    CpuProfile::alder_lake_i5_12400f()
+}
+
+fn assert_rows_bit_identical(a: &CampaignRow, b: &CampaignRow, what: &str) {
+    assert_eq!(
+        a.probing_seconds.to_bits(),
+        b.probing_seconds.to_bits(),
+        "{what}: probing seconds moved"
+    );
+    assert_eq!(
+        a.total_seconds.to_bits(),
+        b.total_seconds.to_bits(),
+        "{what}: total seconds moved"
+    );
+    assert_eq!(a.probes, b.probes, "{what}: probe count moved");
+    assert_eq!(
+        a.probes_per_address.to_bits(),
+        b.probes_per_address.to_bits(),
+        "{what}: probes/address moved"
+    );
+    assert_eq!(
+        a.accuracy.successes, b.accuracy.successes,
+        "{what}: successes moved"
+    );
+    assert_eq!(a.accuracy.total, b.accuracy.total, "{what}: records moved");
+}
+
+// ---------------------------------------------------------------------
+// Property 1: ScheduleKind::None is the bit-exact historical path.
+
+#[test]
+fn none_campaign_rows_are_bit_identical_in_both_regimes() {
+    for observables in [ObservablesVersion::V1, ObservablesVersion::V2] {
+        for scenario in [Scenario::KernelBase, Scenario::Kpti] {
+            let base = CampaignConfig::new(3, 41).with_observables(observables);
+            let plain = scenario.campaign(&profile(), base);
+            let scheduled = scenario.campaign(&profile(), base.with_schedule(ScheduleKind::None));
+            assert_rows_bit_identical(
+                &plain,
+                &scheduled,
+                &format!("{scenario}/{}", observables.name()),
+            );
+            assert_eq!(plain.schedule, "none");
+            assert_eq!(scheduled.schedule, "none");
+        }
+    }
+}
+
+#[test]
+fn none_machine_probe_values_are_bit_identical_in_both_regimes() {
+    // Below the campaign: the raw per-probe cycle stream of an
+    // installed-None machine equals the untouched machine's, value for
+    // value, under both observables regimes.
+    for observables in [ObservablesVersion::V1, ObservablesVersion::V2] {
+        let sys = LinuxSystem::build(LinuxConfig::seeded(42));
+        let (mut plain, truth) = sys.machine(profile(), 42);
+        let (mut scheduled, _) = sys.machine(profile(), 42);
+        plain.set_observables(observables);
+        scheduled.set_observables(observables);
+        ScheduleKind::None.install(&mut scheduled, NoiseProfile::Quiet, 42);
+        assert!(scheduled.victim_schedule().is_none(), "None never installs");
+
+        let addrs: Vec<VirtAddr> = (0..64)
+            .map(|s| truth.kernel_base.wrapping_add(s * KASLR_ALIGN))
+            .chain(std::iter::once(truth.user.calibration))
+            .collect();
+        let a = plain.execute_batch(OpKind::Load, &addrs);
+        let b = scheduled.execute_batch(OpKind::Load, &addrs);
+        assert_eq!(a, b, "probe stream moved under {}", observables.name());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 2: scheduled campaigns replay bit-identically.
+
+#[test]
+fn scheduled_campaign_rows_are_deterministic() {
+    for kind in [
+        ScheduleKind::DvfsSquare,
+        ScheduleKind::CoTenantBurst,
+        ScheduleKind::ModuleChurn,
+    ] {
+        let config = CampaignConfig::new(3, 7).with_schedule(kind);
+        let first = Scenario::KernelBase.campaign(&profile(), config);
+        let second = Scenario::KernelBase.campaign(&profile(), config);
+        assert_eq!(first.schedule, kind.name());
+        assert_rows_bit_identical(&first, &second, &format!("{kind} replay"));
+    }
+}
+
+#[test]
+fn schedule_determinism_holds_under_v2_observables() {
+    let config = CampaignConfig::new(3, 9)
+        .with_schedule(ScheduleKind::DvfsSquare)
+        .with_observables(ObservablesVersion::V2);
+    let first = Scenario::KernelBase.campaign(&profile(), config);
+    let second = Scenario::KernelBase.campaign(&profile(), config);
+    assert_rows_bit_identical(&first, &second, "dvfs-square v2 replay");
+}
+
+// ---------------------------------------------------------------------
+// Property 3: mid-scan module churn never bends the probe order.
+
+/// A transparent prober that records every probed address in issue
+/// order — the instrument for the `AddrRange::tiles()` contract.
+struct RecordingProber {
+    inner: SimProber,
+    log: Vec<VirtAddr>,
+}
+
+impl Prober for RecordingProber {
+    fn probe(&mut self, kind: OpKind, addr: VirtAddr) -> u64 {
+        self.log.push(addr);
+        self.inner.probe(kind, addr)
+    }
+
+    fn probe_batch_into(&mut self, kind: OpKind, addrs: &[VirtAddr], out: &mut Vec<u64>) {
+        self.log.extend_from_slice(addrs);
+        self.inner.probe_batch_into(kind, addrs, out);
+    }
+
+    fn evict(&mut self, addr: VirtAddr) {
+        self.inner.evict(addr);
+    }
+
+    fn spend(&mut self, cycles: u64) {
+        self.inner.spend(cycles);
+    }
+
+    fn probes_issued(&self) -> u64 {
+        self.inner.probes_issued()
+    }
+
+    fn probing_cycles(&self) -> u64 {
+        self.inner.probing_cycles()
+    }
+
+    fn total_cycles(&self) -> u64 {
+        self.inner.total_cycles()
+    }
+
+    fn clock_ghz(&self) -> f64 {
+        self.inner.clock_ghz()
+    }
+}
+
+#[test]
+fn mid_scan_module_churn_preserves_tile_probe_order() {
+    let sys = LinuxSystem::build(LinuxConfig::seeded(33));
+    let (mut machine, truth) = sys.machine(profile(), 33);
+    ScheduleKind::ModuleChurn.install(&mut machine, NoiseProfile::Quiet, 33);
+    let mut p = RecordingProber {
+        inner: SimProber::new(machine),
+        log: Vec::new(),
+    };
+    let th = Threshold::calibrate(&mut p, truth.user.calibration, 16);
+    p.log.clear();
+
+    let scan = KernelBaseFinder::new(th).scan(&mut p);
+    assert_eq!(scan.mapped.len(), KERNEL_SLOTS as usize, "scan completed");
+    let sched = p
+        .inner
+        .machine()
+        .victim_schedule()
+        .expect("churn installed");
+    assert!(
+        sched.fired() >= 2,
+        "the victim churned mid-scan ({} events)",
+        sched.fired()
+    );
+
+    // The attacker's sweep schedule is exactly the tile order of the
+    // kernel region — first occurrences in the log match tile-flattened
+    // candidates one for one, module churn or not.
+    let expected: Vec<VirtAddr> = AddrRange::new(
+        VirtAddr::new_truncate(KERNEL_TEXT_REGION_START),
+        KASLR_ALIGN,
+        KERNEL_SLOTS,
+    )
+    .tiles()
+    .flat_map(|tile| tile.to_vec())
+    .collect();
+    let mut seen = std::collections::HashSet::new();
+    let first_occurrences: Vec<VirtAddr> = p
+        .log
+        .iter()
+        .copied()
+        .filter(|a| {
+            let v = a.as_u64();
+            (KERNEL_TEXT_REGION_START..KERNEL_TEXT_REGION_END).contains(&v) && seen.insert(*a)
+        })
+        .collect();
+    assert_eq!(first_occurrences, expected, "probe order bent");
+}
+
+// ---------------------------------------------------------------------
+// Property 4: a scheduled no-op never trips the recalibrator.
+
+#[test]
+fn quiet_to_quiet_swap_stays_bit_exact_with_the_open_loop_sweep() {
+    // The victim fires a NoiseSwap back to its own preset every few
+    // hundred ops. The environment never actually changes, so the
+    // closed-loop sweep — recalibration armed — must stay bit-exact
+    // with the plain open-loop sweep on the untouched machine:
+    // `DriftMonitor::check` is the only trigger, and a flat stream
+    // gives it nothing.
+    let sys = LinuxSystem::build(LinuxConfig::seeded(55));
+    let (plain_machine, truth) = sys.machine(profile(), 55);
+    let (mut swapped_machine, _) = sys.machine(profile(), 55);
+    swapped_machine.set_victim_schedule(Some(
+        VictimSchedule::new(64, 55)
+            .with_base(NoiseProfile::Quiet)
+            .every(4, 8, SchedEvent::NoiseSwap(NoiseProfile::Quiet)),
+    ));
+
+    let mut open = SimProber::new(plain_machine);
+    let th_open = Threshold::calibrate(&mut open, truth.user.calibration, 16);
+    let open_scan = KernelBaseFinder::new(th_open).scan(&mut open);
+
+    let mut closed = SimProber::new(swapped_machine);
+    let th_closed = Threshold::calibrate(&mut closed, truth.user.calibration, 16);
+    let closed_scan = KernelBaseFinder::new(th_closed)
+        .with_recalibration(RecalConfig::default())
+        .scan(&mut closed);
+
+    assert_eq!(
+        th_open.boundary().to_bits(),
+        th_closed.boundary().to_bits(),
+        "calibration moved"
+    );
+    assert_eq!(open_scan.base, closed_scan.base);
+    assert_eq!(open_scan.mapped, closed_scan.mapped, "classification moved");
+    assert_eq!(
+        open_scan.probing_cycles, closed_scan.probing_cycles,
+        "probing cycles moved — a refit fired"
+    );
+    assert_eq!(
+        open.probes_issued(),
+        closed.probes_issued(),
+        "probe count moved — a refit fired"
+    );
+    let sched = closed
+        .machine()
+        .victim_schedule()
+        .expect("swap schedule installed");
+    assert!(sched.fired() >= 2, "the no-op swaps did fire");
+}

@@ -48,6 +48,7 @@ pub mod noise;
 pub mod observables;
 pub mod pmc;
 pub mod profile;
+pub mod sched;
 pub mod ziggurat;
 
 pub use defense::{AddressMask, Rerandomizer, VictimDefense};
@@ -59,3 +60,4 @@ pub use noise::{DriftRamp, NoiseModel, NoiseProfile, NoiseSchedule};
 pub use observables::ObservablesVersion;
 pub use pmc::{Event, PmcBank, PmcDelta, PmcSnapshot};
 pub use profile::{CpuModel, CpuProfile, TimingParams, Vendor};
+pub use sched::{SchedEvent, SchedRegion, VictimSchedule, DEFAULT_TENANT_WEIGHT};

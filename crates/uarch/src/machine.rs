@@ -29,6 +29,7 @@ use crate::noise::{NoiseModel, NoiseSchedule};
 use crate::observables::ObservablesVersion;
 use crate::pmc::{Event, PmcBank};
 use crate::profile::CpuProfile;
+use crate::sched::VictimSchedule;
 
 /// Noise-block length of the v2 batched path: how many consecutive
 /// probes share one precomputed block of noise samples. Pinned equal to
@@ -159,6 +160,10 @@ pub struct Machine {
     /// beyond one `Option` discriminant read, no RNG interaction, no
     /// translation rewriting.
     defense: Option<VictimDefense>,
+    /// Event-driven victim environment ([`crate::sched`]). `None` —
+    /// the default — is the bit-exact open-loop engine: no clock
+    /// reads, no per-op work beyond one `Option` discriminant read.
+    sched: Option<VictimSchedule>,
     rng: StdRng,
     tsc: u64,
 }
@@ -191,6 +196,7 @@ impl Machine {
             probe_seq: 0,
             observables: ObservablesVersion::V1,
             defense: None,
+            sched: None,
             rng: StdRng::seed_from_u64(seed),
             tsc: 0,
         }
@@ -398,6 +404,63 @@ impl Machine {
         }
     }
 
+    /// Installs (or removes) the victim's event schedule. Installing
+    /// `None` — or never calling this, or installing a schedule with
+    /// an empty queue — is the bit-exact open-loop engine: the per-op
+    /// hook reduces to one `Option` discriminant read and the machine
+    /// never reads the virtual wall clock at all.
+    pub fn set_victim_schedule(&mut self, sched: Option<VictimSchedule>) {
+        self.sched = sched.filter(VictimSchedule::is_active);
+    }
+
+    /// The installed victim schedule, if the environment is
+    /// event-driven.
+    #[must_use]
+    pub fn victim_schedule(&self) -> Option<&VictimSchedule> {
+        self.sched.as_ref()
+    }
+
+    /// Advances the victim's wall clock by one observed op and applies
+    /// any due events. Runs before [`Machine::defense_tick`] at every
+    /// op site (scalar and both batch paths): environment events are
+    /// the world the op executes in, defenses react inside that world.
+    #[inline]
+    fn sched_tick(&mut self) {
+        if self.sched.is_some() {
+            self.sched_advance();
+        }
+    }
+
+    /// The out-of-line slow path of [`Machine::sched_tick`]: pops all
+    /// due events in `(tick, insertion-seq)` order and routes their
+    /// effects through the existing chokepoints — noise-shaped events
+    /// re-resolve the stationary model via [`Machine::set_noise`] (the
+    /// same swap site every preset change uses), space-shaped events
+    /// mutate [`Machine::space`] through `map`/`unmap` (`write_entry`)
+    /// followed by the same TLB shootdown a defense firing performs.
+    fn sched_advance(&mut self) {
+        let due = self.sched.as_mut().is_some_and(VictimSchedule::advance_op);
+        if !due {
+            return;
+        }
+        let mut sched = self.sched.take().expect("checked due above");
+        let mut noise_dirty = false;
+        let mut space_dirty = false;
+        while let Some(event) = sched.pop_due() {
+            noise_dirty |= sched.apply_env_event(event);
+            space_dirty |= sched.apply_space_event(event, &mut self.space);
+        }
+        if noise_dirty {
+            let model = sched.effective_model(&self.profile.timing);
+            self.set_noise(model);
+        }
+        if space_dirty {
+            self.tlb.flush(false);
+            self.psc.flush_all();
+        }
+        self.sched = Some(sched);
+    }
+
     /// Flushes the whole TLB (CR3 reload). Global entries survive when
     /// `keep_global`.
     pub fn flush_tlb(&mut self, keep_global: bool) {
@@ -550,6 +613,7 @@ impl Machine {
 
         out.reserve(addrs.len());
         for &addr in addrs {
+            self.sched_tick();
             self.defense_tick();
             self.pmc.bump(retired_event);
             let mut acc = OpAccounting::new(base);
@@ -606,6 +670,7 @@ impl Machine {
             self.fill_noise_block(noise);
             self.pmc.add(retired_event, chunk.len() as u64);
             for (i, &addr) in chunk.iter().enumerate() {
+                self.sched_tick();
                 self.defense_tick();
                 let mut acc = OpAccounting::new(base);
                 let first_page = addr.align_down(4096);
@@ -725,6 +790,7 @@ impl Machine {
 
     /// Executes one masked operation, advancing the clock.
     pub fn execute(&mut self, op: MaskedOp) -> MaskedOutcome {
+        self.sched_tick();
         self.defense_tick();
         let retired_event = match op.kind {
             OpKind::Load => Event::MaskedLoadRetired,

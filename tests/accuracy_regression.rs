@@ -15,6 +15,7 @@
 
 use avx_aslr::channel::attacks::campaign::{table1, CampaignConfig, CampaignRow, Scenario};
 use avx_aslr::channel::defense::{Defense, DefenseKind, DefenseRegion, Rerandomizing};
+use avx_aslr::channel::schedule::ScheduleKind;
 use avx_aslr::channel::{
     AdaptiveConfig, CalibratorKind, ConfirmConfig, KernelBaseFinder, Prober, RecalConfig, Sampling,
     SimProber, Threshold,
@@ -29,6 +30,23 @@ const SEED0: u64 = 0;
 
 fn config() -> CampaignConfig {
     CampaignConfig::new(TRIALS, SEED0)
+}
+
+/// The one golden-cell fixture builder every acceptance suite shares:
+/// the desktop profile, `SEED0` and adaptive sampling are the common
+/// frame, and each suite layers its remaining knobs (noise, estimator,
+/// recalibration, confirmation, defense, schedule) through `tune`.
+/// Keeping one builder means a new campaign knob threads through every
+/// golden suite by construction instead of by copy-paste.
+fn adaptive_cell(
+    scenario: Scenario,
+    trials: u64,
+    tune: impl FnOnce(CampaignConfig) -> CampaignConfig,
+) -> CampaignRow {
+    scenario.campaign(
+        &CpuProfile::alder_lake_i5_12400f(),
+        tune(CampaignConfig::new(trials, SEED0).with_sampling(Sampling::adaptive())),
+    )
 }
 
 /// One golden Table I row.
@@ -204,13 +222,10 @@ const LAPTOP_LEGACY_ACCURACY_PCT: f64 = 30.0;
 const LAPTOP_NOISE_AWARE_ACCURACY_PCT: f64 = 85.0;
 
 fn laptop_cell(calibrator: CalibratorKind) -> CampaignRow {
-    Scenario::KernelBase.campaign(
-        &CpuProfile::alder_lake_i5_12400f(),
-        CampaignConfig::new(LAPTOP_TRIALS, SEED0)
-            .with_noise(NoiseProfile::LaptopDvfs)
-            .with_sampling(Sampling::adaptive())
-            .with_calibrator(calibrator),
-    )
+    adaptive_cell(Scenario::KernelBase, LAPTOP_TRIALS, |c| {
+        c.with_noise(NoiseProfile::LaptopDvfs)
+            .with_calibrator(calibrator)
+    })
 }
 
 #[test]
@@ -260,13 +275,11 @@ const LAPTOP_MAX_PROBES_16_ACCURACY_PCT: f64 = 95.0;
 
 #[test]
 fn laptop_row_max_probes_16_closes_most_of_the_residual_gap() {
-    let row = Scenario::KernelBase.campaign(
-        &CpuProfile::alder_lake_i5_12400f(),
-        CampaignConfig::new(LAPTOP_TRIALS, SEED0)
-            .with_noise(NoiseProfile::LaptopDvfs)
+    let row = adaptive_cell(Scenario::KernelBase, LAPTOP_TRIALS, |c| {
+        c.with_noise(NoiseProfile::LaptopDvfs)
             .with_sampling(Sampling::Adaptive(AdaptiveConfig::with_max_probes(16)))
-            .with_calibrator(CalibratorKind::NoiseAware),
-    );
+            .with_calibrator(CalibratorKind::NoiseAware)
+    });
     assert!(
         (row.accuracy.percent() - LAPTOP_MAX_PROBES_16_ACCURACY_PCT).abs()
             <= ACCURACY_TOLERANCE_PCT,
@@ -299,14 +312,16 @@ const DRIFT_ONE_SHOT_ACCURACY_PCT: f64 = 85.0;
 const DRIFT_CLOSED_LOOP_ACCURACY_PCT: f64 = 100.0;
 
 fn drift_cell(recalibrate: bool) -> CampaignRow {
-    let mut config = CampaignConfig::new(LAPTOP_TRIALS, SEED0)
-        .with_noise(NoiseProfile::drift_quiet_to_laptop())
-        .with_sampling(Sampling::adaptive())
-        .with_calibrator(CalibratorKind::NoiseAware);
-    if recalibrate {
-        config = config.with_recalibration(RecalConfig::default());
-    }
-    Scenario::KernelBase.campaign(&CpuProfile::alder_lake_i5_12400f(), config)
+    adaptive_cell(Scenario::KernelBase, LAPTOP_TRIALS, |c| {
+        let c = c
+            .with_noise(NoiseProfile::drift_quiet_to_laptop())
+            .with_calibrator(CalibratorKind::NoiseAware);
+        if recalibrate {
+            c.with_recalibration(RecalConfig::default())
+        } else {
+            c
+        }
+    })
 }
 
 #[test]
@@ -368,14 +383,16 @@ const KPTI_FIRST_WINS_ACCURACY_PCT: f64 = 60.0;
 const KPTI_CONFIRMED_ACCURACY_PCT: f64 = 95.0;
 
 fn kpti_laptop_cell(confirm: bool) -> CampaignRow {
-    let mut config = CampaignConfig::new(LAPTOP_TRIALS, SEED0)
-        .with_noise(NoiseProfile::LaptopDvfs)
-        .with_sampling(Sampling::adaptive())
-        .with_calibrator(CalibratorKind::NoiseAware);
-    if confirm {
-        config = config.with_confirmation(ConfirmConfig::default());
-    }
-    Scenario::Kpti.campaign(&CpuProfile::alder_lake_i5_12400f(), config)
+    adaptive_cell(Scenario::Kpti, LAPTOP_TRIALS, |c| {
+        let c = c
+            .with_noise(NoiseProfile::LaptopDvfs)
+            .with_calibrator(CalibratorKind::NoiseAware);
+        if confirm {
+            c.with_confirmation(ConfirmConfig::default())
+        } else {
+            c
+        }
+    })
 }
 
 #[test]
@@ -627,14 +644,11 @@ fn defense_cell(
     cal: CalibratorKind,
     row: &DefenseGolden,
 ) -> CampaignRow {
-    Scenario::KernelBase.campaign(
-        &CpuProfile::alder_lake_i5_12400f(),
-        CampaignConfig::new(trials, SEED0)
-            .with_noise(noise)
-            .with_sampling(Sampling::adaptive())
+    adaptive_cell(Scenario::KernelBase, trials, |c| {
+        c.with_noise(noise)
             .with_calibrator(cal)
-            .with_defense(row.defense),
-    )
+            .with_defense(row.defense)
+    })
 }
 
 fn assert_defense_cells(
@@ -825,6 +839,152 @@ fn full_defense_grid_runs_and_none_rows_are_the_noise_grid() {
     // plain noise-grid run (invariant 12 at grid scale).
     let baseline = Campaign::noise_grid(config).run();
     let none_rows: Vec<&CampaignRow> = rows.iter().filter(|r| r.defense == "none").collect();
+    assert_eq!(none_rows.len(), baseline.len());
+    for (a, b) in none_rows.iter().zip(&baseline) {
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.noise, b.noise);
+        assert_eq!(a.probes, b.probes, "{} [{}]", a.target, a.noise);
+        assert_eq!(a.accuracy, b.accuracy, "{} [{}]", a.target, a.noise);
+        assert_eq!(
+            a.probing_seconds.to_bits(),
+            b.probing_seconds.to_bits(),
+            "{} [{}]",
+            a.target,
+            a.noise
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule-axis goldens (event-driven-victim tentpole). The square-wave
+// DVFS schedule is the drift rows' shape — "the world moved after
+// calibration" — rebuilt on the victim's wall clock: the environment
+// swaps quiet↔laptop on its own 768-op period, not per attacker probe.
+// One-shot calibration degrades; the closed loop recovers through
+// `DriftMonitor::check` alone (no new trigger sites).
+
+fn schedule_cell(schedule: ScheduleKind, recalibrate: bool) -> CampaignRow {
+    adaptive_cell(Scenario::KernelBase, LAPTOP_TRIALS, |c| {
+        let c = c
+            .with_calibrator(CalibratorKind::NoiseAware)
+            .with_schedule(schedule);
+        if recalibrate {
+            c.with_recalibration(RecalConfig::default())
+        } else {
+            c
+        }
+    })
+}
+
+/// One-shot golden: the attacker calibrates in a quiet phase, then the
+/// square wave spends half of every period at laptop σ — the stale
+/// quiet threshold loses trials it would win under honest laptop
+/// calibration. The pinned *degraded* value keeps the comparison from
+/// silently rotting.
+const DVFS_ONE_SHOT_ACCURACY_PCT: f64 = 90.0;
+const DVFS_CLOSED_LOOP_ACCURACY_PCT: f64 = 100.0;
+
+#[test]
+fn dvfs_square_row_closed_loop_recovers_what_one_shot_calibration_loses() {
+    let one_shot = schedule_cell(ScheduleKind::DvfsSquare, false);
+    let closed = schedule_cell(ScheduleKind::DvfsSquare, true);
+    assert_eq!(one_shot.schedule, "dvfs-square");
+    assert_eq!(closed.schedule, "dvfs-square");
+
+    // The acceptance claim: ≥ 10 percentage points back through
+    // `DriftMonitor::check` alone.
+    assert!(
+        closed.accuracy.percent() >= one_shot.accuracy.percent() + 10.0,
+        "recalibration gap collapsed: closed {:.3} % vs one-shot {:.3} %",
+        closed.accuracy.percent(),
+        one_shot.accuracy.percent()
+    );
+
+    // Pinned goldens so neither side drifts silently.
+    assert!(
+        (one_shot.accuracy.percent() - DVFS_ONE_SHOT_ACCURACY_PCT).abs() <= ACCURACY_TOLERANCE_PCT,
+        "one-shot DVFS row drifted: {:.3} %",
+        one_shot.accuracy.percent()
+    );
+    assert!(
+        (closed.accuracy.percent() - DVFS_CLOSED_LOOP_ACCURACY_PCT).abs() <= ACCURACY_TOLERANCE_PCT,
+        "closed-loop DVFS row drifted: {:.3} %",
+        closed.accuracy.percent()
+    );
+
+    // The closed loop pays for its refits; both stay under the hard
+    // cap + rescan allowance.
+    assert!(
+        closed.probes_per_address > one_shot.probes_per_address,
+        "closed loop must buy more evidence: {:.3} vs {:.3}",
+        closed.probes_per_address,
+        one_shot.probes_per_address
+    );
+    assert!(one_shot.probes_per_address < 4.0);
+    assert!(closed.probes_per_address < 9.1);
+}
+
+/// The co-tenant burst row: arrival/departure events scale the noise
+/// additively (multiplier 1 → 3 → 5 → 3 → 1 across the period), but
+/// the adaptive engine rides the bursts — full accuracy for a modestly
+/// larger evidence bill than the quiet host.
+const COTENANT_ACCURACY_PCT: f64 = 100.0;
+
+#[test]
+fn cotenant_burst_row_matches_golden() {
+    let burst = schedule_cell(ScheduleKind::CoTenantBurst, false);
+    let plain = adaptive_cell(Scenario::KernelBase, LAPTOP_TRIALS, |c| {
+        c.with_calibrator(CalibratorKind::NoiseAware)
+    });
+    assert_eq!(burst.schedule, "cotenant-burst");
+    assert!(
+        (burst.accuracy.percent() - COTENANT_ACCURACY_PCT).abs() <= ACCURACY_TOLERANCE_PCT,
+        "co-tenant burst row drifted: {:.3} %",
+        burst.accuracy.percent()
+    );
+    assert!(
+        burst.probes_per_address > plain.probes_per_address,
+        "bursts must cost evidence: {:.4} vs quiet {:.4}",
+        burst.probes_per_address,
+        plain.probes_per_address
+    );
+    assert!(
+        burst.probes_per_address < 4.0,
+        "burst evidence bill blew up: {:.4}",
+        burst.probes_per_address
+    );
+}
+
+#[test]
+#[ignore = "tier-2: stat-heavy full schedule-grid smoke"]
+fn full_schedule_grid_runs_and_none_rows_are_the_noise_grid() {
+    use avx_aslr::channel::attacks::campaign::Campaign;
+    let config = CampaignConfig::new(1, 5).with_sampling(Sampling::adaptive());
+    let rows = Campaign::schedule_grid(config).run();
+    // 14 scenario rows × 4 noise presets × 4 schedules.
+    assert_eq!(
+        rows.len(),
+        14 * NoiseProfile::ALL.len() * ScheduleKind::ALL.len()
+    );
+    for row in &rows {
+        assert!(
+            row.accuracy.total > 0,
+            "{} [{}]: empty row",
+            row.target,
+            row.schedule
+        );
+        assert!(
+            row.probes > 0,
+            "{} [{}]: no probes",
+            row.target,
+            row.schedule
+        );
+    }
+    // The schedule axis never perturbs the unscheduled cells: the
+    // schedule-grid rows with schedule == none are bit-identical to a
+    // plain noise-grid run (invariant 13 at grid scale).
+    let baseline = Campaign::noise_grid(config).run();
+    let none_rows: Vec<&CampaignRow> = rows.iter().filter(|r| r.schedule == "none").collect();
     assert_eq!(none_rows.len(), baseline.len());
     for (a, b) in none_rows.iter().zip(&baseline) {
         assert_eq!(a.target, b.target);
